@@ -1,0 +1,85 @@
+"""Ablation of the four resource-sharing tricks of Section III-C.
+
+The paper lists four area-reduction techniques (omitting the redundant ones
+counter, block detection from the global counter, the unified serial /
+approximate-entropy implementation, and the shared template shift register)
+but does not quantify them individually.  This bench disables them one at a
+time on the full nine-test design and reports the flip-flop / LUT / slice
+cost of each ablation — the design-choice evidence DESIGN.md calls out.
+"""
+
+import pytest
+
+from repro.core.configs import get_design
+from repro.eval import estimate_fpga
+from repro.hwtests import SharingOptions, UnifiedTestingBlock
+
+ABLATIONS = [
+    ("all tricks enabled (paper)", SharingOptions()),
+    ("no trick 1: dedicated ones counter", SharingOptions(omit_ones_counter=False)),
+    ("no trick 3: own ApEn pattern counters", SharingOptions(unified_approximate_entropy=False)),
+    ("no trick 4: per-test shift registers", SharingOptions(shared_shift_register=False)),
+    ("all tricks disabled", SharingOptions.all_disabled()),
+]
+
+
+def run_ablation(design_name):
+    design = get_design(design_name)
+    rows = []
+    for label, sharing in ABLATIONS:
+        block = UnifiedTestingBlock(design.parameters, tests=design.tests, sharing=sharing)
+        resources = block.resources()
+        fpga = estimate_fpga(resources)
+        rows.append(
+            {
+                "configuration": label,
+                "flip_flops": resources.flip_flops,
+                "luts": fpga.luts,
+                "slices": fpga.slices,
+            }
+        )
+    baseline = rows[0]
+    for row in rows:
+        row["extra_ff_vs_paper"] = row["flip_flops"] - baseline["flip_flops"]
+    return rows
+
+
+def test_ablation_sharing_tricks(benchmark, save_table):
+    rows = benchmark(run_ablation, "n65536_high")
+    save_table(
+        "ablation_sharing",
+        "Ablation - cost of disabling each sharing trick (n = 65536, 9 tests)",
+        rows,
+        ["configuration", "flip_flops", "luts", "slices", "extra_ff_vs_paper"],
+    )
+    baseline = rows[0]
+    fully_disabled = rows[-1]
+    # The unified implementation is the cheapest configuration...
+    for row in rows[1:]:
+        assert row["flip_flops"] >= baseline["flip_flops"]
+        assert row["slices"] >= baseline["slices"]
+    # ...and disabling everything costs a substantial fraction of the block.
+    assert fully_disabled.get("extra_ff_vs_paper") > 0.25 * baseline["flip_flops"]
+
+    # Trick 3 (unified ApEn/serial counters) is the single largest saving, as
+    # the counter banks dominate the high-profile designs.
+    by_label = {row["configuration"]: row for row in rows}
+    trick3 = by_label["no trick 3: own ApEn pattern counters"]["extra_ff_vs_paper"]
+    trick1 = by_label["no trick 1: dedicated ones counter"]["extra_ff_vs_paper"]
+    trick4 = by_label["no trick 4: per-test shift registers"]["extra_ff_vs_paper"]
+    assert trick3 > trick1
+    assert trick3 > trick4
+
+
+def test_ablation_light_design(benchmark, save_table):
+    """For the light designs only trick 1 applies; the saving is one counter."""
+    rows = benchmark(run_ablation, "n65536_light")
+    save_table(
+        "ablation_sharing_light",
+        "Ablation - sharing tricks on the light (5-test) design",
+        rows,
+        ["configuration", "flip_flops", "luts", "slices", "extra_ff_vs_paper"],
+    )
+    by_label = {row["configuration"]: row for row in rows}
+    assert by_label["no trick 1: dedicated ones counter"]["extra_ff_vs_paper"] >= 16
+    assert by_label["no trick 3: own ApEn pattern counters"]["extra_ff_vs_paper"] == 0

@@ -1,0 +1,137 @@
+"""Detection-capability benchmark (extension of the paper's evaluation).
+
+The paper's purpose — detecting failures and attacks on the fly — is not
+tabulated in the paper itself; this bench produces the missing table: for the
+threat catalogue of Section II-B, which tests of the full 65 536-bit design
+flag each source, plus the false-alarm behaviour on an ideal source and the
+alarm-wire vs value-based reporting comparison under a probing attack.
+"""
+
+import pytest
+
+from repro.core.platform import OnTheFlyPlatform
+from repro.core.reporting import compare_reporting_under_probing
+from repro.trng import (
+    AgingSource,
+    AlternatingSource,
+    AttackScenario,
+    BiasedSource,
+    BurstFailureSource,
+    CorrelatedSource,
+    EMInjectionAttack,
+    FrequencyInjectionAttack,
+    IdealSource,
+    OscillatingBiasSource,
+    ProbingAttack,
+    RingOscillatorTRNG,
+    StuckAtSource,
+)
+
+
+def scenarios():
+    aged = AgingSource(drift_per_bit=2e-6, seed=7106)
+    aged.generate(60000)  # pre-age the source before monitoring it
+    return [
+        AttackScenario("ideal", IdealSource(seed=7100), "healthy reference source", False),
+        AttackScenario("ring-oscillator", RingOscillatorTRNG(seed=7101), "healthy jitter-based TRNG", False),
+        AttackScenario("biased-0.60", BiasedSource(0.60, seed=7102), "supply/temperature induced bias", True),
+        AttackScenario("correlated-0.75", CorrelatedSource(0.75, seed=7103), "under-sampled oscillator", True),
+        AttackScenario("oscillating-bias", OscillatingBiasSource(0.25, period=8192, seed=7104),
+                       "slow environmental modulation", True),
+        AttackScenario("stuck-at-1", StuckAtSource(1), "latched sampling flip-flop", True),
+        AttackScenario("wire-cut", StuckAtSource(0), "cut TRNG output wire", True),
+        AttackScenario("alternating", AlternatingSource(), "oscillator locked to the sample clock", True),
+        AttackScenario("burst-failure", BurstFailureSource(5e-4, 2048, seed=7105),
+                       "intermittent total failure", True),
+        AttackScenario("freq-injection", FrequencyInjectionAttack(RingOscillatorTRNG(seed=7107), start_bit=0),
+                       "power-supply frequency injection [15]", True),
+        AttackScenario("em-injection", EMInjectionAttack(RingOscillatorTRNG(seed=7108), coupling=0.85,
+                                                         carrier_period=4, seed=7109),
+                       "contactless EM injection [16]", True),
+        AttackScenario("aged-source", aged, "bias drift due to aging", True),
+    ]
+
+
+def run_detection_matrix(platform):
+    rows = []
+    for scenario in scenarios():
+        bits = scenario.source.generate(platform.n)
+        report = platform.evaluate_sequence(bits, accelerated=True)
+        rows.append(
+            {
+                "scenario": scenario.label,
+                "description": scenario.description,
+                "should_detect": scenario.expected_detectable,
+                "detected": not report.passed,
+                "failing_tests": ",".join(map(str, report.failing_tests)) or "-",
+            }
+        )
+    return rows
+
+
+def test_detection_matrix(benchmark, save_table):
+    platform = OnTheFlyPlatform("n65536_high", alpha=0.01)
+    rows = benchmark.pedantic(run_detection_matrix, args=(platform,), rounds=1, iterations=1)
+    save_table(
+        "detection_matrix",
+        "Detection capability of the n=65536 nine-test design (alpha = 0.01)",
+        rows,
+        ["scenario", "description", "should_detect", "detected", "failing_tests"],
+    )
+    for row in rows:
+        assert row["detected"] == row["should_detect"], row["scenario"]
+
+
+def test_detection_probing_comparison(benchmark, save_table):
+    platform = OnTheFlyPlatform("n128_light")
+    comparison = benchmark.pedantic(
+        compare_reporting_under_probing,
+        args=(platform, StuckAtSource(0), ProbingAttack("ground")),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        {"reporting": "single alarm wire", "detects failure": comparison.alarm_wire_detects,
+         "detects under probing": comparison.alarm_wire_detects_under_probing},
+        {"reporting": "value-based (this paper)", "detects failure": comparison.value_based_detects,
+         "detects under probing": comparison.value_based_detects_under_probing},
+    ]
+    save_table(
+        "detection_probing",
+        "Alarm-wire vs value-based reporting under a grounding probe attack",
+        rows,
+        ["reporting", "detects failure", "detects under probing"],
+    )
+    assert not comparison.alarm_wire_detects_under_probing
+    assert comparison.value_based_detects_under_probing
+
+
+def test_quick_tests_catch_total_failure_within_one_short_sequence(benchmark, save_table):
+    """Section II-B: quick tests (n = 128) exist for fast total-failure detection."""
+    platform = OnTheFlyPlatform("n128_light")
+
+    def run():
+        rows = []
+        for scenario in (
+            AttackScenario("wire-cut", StuckAtSource(0), "", True),
+            AttackScenario("stuck-at-1", StuckAtSource(1), "", True),
+            AttackScenario("alternating", AlternatingSource(), "", True),
+        ):
+            report = platform.evaluate_source(scenario.source)
+            rows.append(
+                {
+                    "scenario": scenario.label,
+                    "detected_within_bits": platform.n if not report.passed else ">128",
+                    "failing_tests": ",".join(map(str, report.failing_tests)),
+                }
+            )
+            assert not report.passed
+        return rows
+
+    rows = benchmark(run)
+    save_table(
+        "detection_quick_tests",
+        "Total-failure detection latency of the 128-bit light design",
+        rows,
+        ["scenario", "detected_within_bits", "failing_tests"],
+    )

@@ -1,0 +1,77 @@
+"""Detection power versus sequence length (extension of the evaluation).
+
+The paper motivates its three sequence lengths with "quick tests for fast
+detection of the total failure ... as well as slow tests for the detection of
+long term statistical weaknesses" but does not quantify the sensitivity gap.
+This bench estimates, by Monte Carlo over the functional hardware model, the
+probability that the light designs detect a given bias level, and the false
+alarm rate on an ideal source — the type-1 / type-2 error picture behind the
+design space.
+"""
+
+import pytest
+
+from repro.eval.power import bias_power_curve, false_alarm_rate
+
+BIAS_LEVELS = (0.50, 0.52, 0.55, 0.60)
+TRIALS = 20
+
+
+def build_power_table():
+    rows = []
+    curves = {
+        "n128_light": bias_power_curve("n128_light", BIAS_LEVELS, trials=TRIALS, seed=3100),
+        "n65536_light": bias_power_curve("n65536_light", BIAS_LEVELS, trials=TRIALS, seed=3100),
+    }
+    for level_index, level in enumerate(BIAS_LEVELS):
+        rows.append(
+            {
+                "bias P(1)": level,
+                "n128_light detection": f"{curves['n128_light'][level_index].detection_rate:.2f}",
+                "n65536_light detection": f"{curves['n65536_light'][level_index].detection_rate:.2f}",
+            }
+        )
+    return rows, curves
+
+
+def test_detection_power_vs_length(benchmark, save_table):
+    (rows, curves) = benchmark.pedantic(build_power_table, rounds=1, iterations=1)
+    save_table(
+        "detection_power",
+        f"Detection power vs bias level ({TRIALS} trials per point, alpha = 0.01)",
+        rows,
+        ["bias P(1)", "n128_light detection", "n65536_light detection"],
+    )
+    short = [point.detection_rate for point in curves["n128_light"]]
+    long = [point.detection_rate for point in curves["n65536_light"]]
+    # At P(1)=0.5 both behave like the false-alarm rate (small)...
+    assert short[0] <= 0.25
+    assert long[0] <= 0.25
+    # ...the long design detects a 5% bias essentially always, the short one
+    # largely misses it; both catch a 10% bias.
+    assert long[BIAS_LEVELS.index(0.55)] >= 0.9
+    assert short[BIAS_LEVELS.index(0.55)] <= 0.5
+    assert long[-1] >= 0.95
+    # Power is non-decreasing in the bias for the long design.
+    assert long == sorted(long)
+
+
+def test_false_alarm_rates(benchmark, save_table):
+    def measure():
+        return [
+            {
+                "design": name,
+                "false_alarm_rate": f"{false_alarm_rate(name, trials=TRIALS, seed=3200):.2f}",
+            }
+            for name in ("n128_light", "n65536_light")
+        ]
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    save_table(
+        "detection_false_alarms",
+        f"False-alarm (type-1) rate on an ideal source ({TRIALS} trials, alpha = 0.01)",
+        rows,
+        ["design", "false_alarm_rate"],
+    )
+    for row in rows:
+        assert float(row["false_alarm_rate"]) <= 0.25

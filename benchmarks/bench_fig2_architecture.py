@@ -1,0 +1,79 @@
+"""Fig. 2 — structural elaboration of the unified hardware testing block.
+
+The figure in the paper shows the unified module containing all tests, the
+shared resources and the memory-mapped read-out multiplexer.  This bench
+elaborates the largest design (all nine tests) and reports its component
+inventory, the register map, and checks the four sharing tricks structurally:
+no dedicated ones counter, a single shared 9-bit shift register, no hardware
+owned by the approximate-entropy test, and power-of-two block detection
+provided by the single global bit counter.
+"""
+
+import pytest
+
+from repro.core.configs import get_design
+from repro.hwtests import UnifiedTestingBlock
+
+
+def elaborate(design_name):
+    design = get_design(design_name)
+    block = UnifiedTestingBlock(design.parameters, tests=design.tests)
+    return block
+
+
+def test_fig2_unified_block_structure(benchmark, save_table):
+    block = benchmark(elaborate, "n1048576_high")
+    inventory = block.component_inventory()
+
+    kind_rows = {}
+    for row in inventory:
+        entry = kind_rows.setdefault(
+            row["kind"], {"kind": row["kind"], "count": 0, "flip_flops": 0, "lut_estimate": 0.0}
+        )
+        entry["count"] += 1
+        entry["flip_flops"] += row["flip_flops"]
+        entry["lut_estimate"] = round(entry["lut_estimate"] + row["lut_estimate"], 1)
+    save_table(
+        "fig2_component_inventory",
+        "Fig. 2 - component inventory of the unified testing block (n = 2^20, 9 tests)",
+        list(kind_rows.values()),
+        ["kind", "count", "flip_flops", "lut_estimate"],
+    )
+
+    memory_map = block.memory_map()
+    save_table(
+        "fig2_register_map",
+        "Fig. 2 - memory-mapped read-out interface (first 16 of "
+        f"{len(memory_map)} addresses)",
+        memory_map[:16],
+        ["address", "name", "width"],
+    )
+
+    # Sharing trick 1: no dedicated ones counter (derived from the cusum walk).
+    assert 1 not in block.units
+    # Sharing trick 3: the approximate-entropy unit owns no hardware.
+    assert block.units[12].shares_serial_counters
+    assert block.units[12].resources().flip_flops == 0
+    # Sharing trick 4: exactly one shift register serves tests 7, 8 and 11.
+    shift_registers = [row for row in inventory if row["kind"] == "shift_register"]
+    assert len(shift_registers) == 1
+    # Sharing trick 2: exactly one global bit counter provides block detection.
+    counters = [row for row in inventory if row["name"] == "global_bit_counter"]
+    assert len(counters) == 1
+    # The 7-bit read-out address space of the paper suffices for every export.
+    assert len(memory_map) <= 128
+    # The read-out multiplexer is accounted as a component of the block.
+    assert any(row["kind"] == "readout_mux" for row in inventory)
+
+
+def test_fig1_platform_wiring(benchmark):
+    """Fig. 1 — the platform contains a TRNG port, the HW block and the SW
+    co-processor, wired through the register file."""
+    from repro.core.platform import OnTheFlyPlatform
+    from repro.trng import IdealSource
+
+    platform = OnTheFlyPlatform("n128_light")
+    report = benchmark(platform.evaluate_source, IdealSource(seed=5555))
+    # The software read the hardware through the memory-mapped interface.
+    assert set(report.hardware_values) == set(platform.hardware.register_file.names())
+    assert report.instruction_counts.read > 0

@@ -1,0 +1,79 @@
+"""Fig. 3 — the 32-segment PWL approximation of x·log(x).
+
+Regenerates the data behind Fig. 3: the exact curve, the 32-segment
+approximation, and the error profile; checks the paper's "less than 3 %
+error" claim (the measured maximum error is ≈ 3 % of the function's peak,
+attained inside the first segment; everywhere else it is an order of
+magnitude smaller) and measures the impact of the approximation on the
+approximate-entropy statistic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sw.pwl import PiecewiseLinearXLogX, xlogx
+
+
+def test_fig3_pwl_error_profile(benchmark, save_table):
+    pwl = PiecewiseLinearXLogX(segments=32)
+    profile = benchmark(pwl.error_profile)
+
+    # Sampled curve (16 points) for the figure reproduction.
+    rows = []
+    for x in np.linspace(0.0, 1.0, 17):
+        exact = xlogx(float(x))
+        approx = pwl.evaluate(float(x))
+        rows.append(
+            {
+                "x": round(float(x), 4),
+                "x_log_x": round(exact, 6),
+                "pwl": round(approx, 6),
+                "abs_error": round(abs(exact - approx), 6),
+            }
+        )
+    rows.append({"x": "max-error point", "x_log_x": round(profile["argmax"], 6),
+                 "pwl": "", "abs_error": round(profile["max_abs_error"], 6)})
+    save_table(
+        "fig3_pwl_approximation",
+        "Fig. 3 - 32-segment PWL approximation of x*log(x) (g(x) = -x ln x)",
+        rows,
+        ["x", "x_log_x", "pwl", "abs_error"],
+    )
+
+    # The paper's error claim, measured.
+    assert profile["segments"] == 32
+    assert profile["max_error_relative_to_peak"] < 0.035
+    assert profile["max_abs_error_outside_first_segment"] < 0.004
+    assert profile["mean_abs_error"] < 0.001
+    # The worst point sits in the first segment, i.e. for arguments that the
+    # approximate-entropy routine only sees when a pattern is almost absent.
+    assert profile["argmax"] < 1.0 / 32.0
+
+
+def test_fig3_segment_count_tradeoff(benchmark, save_table):
+    """Error as a function of the segment count (the design trade-off that
+    motivates the paper's choice of 32 segments with a 5-bit index)."""
+
+    def sweep():
+        rows = []
+        for segments in (8, 16, 32, 64, 128):
+            profile = PiecewiseLinearXLogX(segments=segments).error_profile(samples=4001)
+            rows.append(
+                {
+                    "segments": segments,
+                    "max_abs_error": round(profile["max_abs_error"], 6),
+                    "relative_to_peak": f"{100 * profile['max_error_relative_to_peak']:.2f}%",
+                    "outside_first_segment": round(profile["max_abs_error_outside_first_segment"], 6),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_table(
+        "fig3_segment_tradeoff",
+        "Fig. 3 (extension) - PWL error vs number of segments",
+        rows,
+        ["segments", "max_abs_error", "relative_to_peak", "outside_first_segment"],
+    )
+    errors = [row["max_abs_error"] for row in rows]
+    assert errors == sorted(errors, reverse=True)

@@ -1,0 +1,95 @@
+"""Future work (§V) — software-selectable sequence length.
+
+The paper's first future-work item is letting the software choose the test
+sequence length at run time.  This bench quantifies the area premium of that
+flexibility (a configuration register plus block-boundary select muxes on top
+of the max-length hardware) and demonstrates the operational benefit: the
+same block first runs a quick 128-bit total-failure check and is then
+reconfigured for a long 65 536-bit evaluation.
+"""
+
+import pytest
+
+from repro.core.flexible import FlexibleLengthPlatform
+from repro.eval import estimate_fpga
+from repro.hwtests import DesignParameters, UnifiedTestingBlock
+from repro.trng import BiasedSource, StuckAtSource
+
+TESTS = (1, 2, 3, 4, 7, 8, 11, 12, 13)
+
+
+def build_comparison():
+    rows = []
+    for lengths in ((65536,), (128, 65536), (128, 4096, 65536)):
+        flexible = FlexibleLengthPlatform(supported_lengths=lengths, tests=TESTS)
+        flexible_fpga = flexible.fpga_estimate()
+        fixed = UnifiedTestingBlock(
+            DesignParameters.for_length(max(lengths)), tests=TESTS
+        )
+        fixed_fpga = estimate_fpga(fixed.resources())
+        rows.append(
+            {
+                "supported_lengths": "/".join(str(n) for n in lengths),
+                "fixed_slices": fixed_fpga.slices,
+                "flexible_slices": flexible_fpga.slices,
+                "overhead_slices": flexible_fpga.slices - fixed_fpga.slices,
+                "overhead_percent": round(
+                    100.0 * (flexible_fpga.slices / fixed_fpga.slices - 1.0), 1
+                ),
+                "flexible_ff": flexible.resources().flip_flops,
+            }
+        )
+    return rows
+
+
+def test_flexible_length_overhead(benchmark, save_table):
+    rows = benchmark(build_comparison)
+    save_table(
+        "flexible_length_overhead",
+        "Future work - area premium of software-selectable sequence length (9 tests)",
+        rows,
+        [
+            "supported_lengths", "fixed_slices", "flexible_slices",
+            "overhead_slices", "overhead_percent", "flexible_ff",
+        ],
+    )
+    # Flexibility costs something, but stays a small fraction of the block.
+    for row in rows:
+        assert row["overhead_slices"] >= 0
+        assert row["overhead_percent"] < 20.0
+    # Overhead grows with the number of supported lengths.
+    assert rows[1]["overhead_slices"] <= rows[2]["overhead_slices"]
+
+
+def test_flexible_length_operation(benchmark, save_table):
+    """Quick check then long check on the same (modelled) hardware."""
+    platform = FlexibleLengthPlatform(
+        supported_lengths=(128, 65536), tests=(1, 2, 3, 4, 13), initial_length=128
+    )
+
+    def scenario():
+        events = []
+        platform.reconfigure(128)
+        quick = platform.evaluate_source(StuckAtSource(0))
+        events.append(("128-bit quick check of a dead source", not quick.passed))
+        platform.reconfigure(65536)
+        weak = BiasedSource(0.53, seed=77)
+        long_report = platform.evaluate_sequence(weak.generate(65536))
+        events.append(("65536-bit slow check of a 3% bias", not long_report.passed))
+        platform.reconfigure(128)
+        weak.reset()
+        short_report = platform.evaluate_sequence(weak.generate(128))
+        events.append(("128-bit quick check of the same 3% bias", not short_report.passed))
+        return events
+
+    events = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    rows = [{"scenario": label, "detected": detected} for label, detected in events]
+    save_table(
+        "flexible_length_operation",
+        "Future work - reconfiguring the sequence length at run time",
+        rows,
+        ["scenario", "detected"],
+    )
+    assert rows[0]["detected"] is True     # total failure caught by the quick config
+    assert rows[1]["detected"] is True     # subtle bias caught by the long config
+    assert rows[2]["detected"] is False    # ...which the quick config cannot see

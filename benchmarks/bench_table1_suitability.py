@@ -1,0 +1,44 @@
+"""Table I — hardware-suitability classification of the 15 NIST tests.
+
+Regenerates the Yes/No column of Table I together with a quantitative
+justification: the storage (flip-flop) cost of the suitable tests' hardware
+units at n = 65536, and the storage lower bound that disqualifies the others.
+"""
+
+import pytest
+
+from repro.hwtests.suitability import SUITABILITY_TABLE, suitability_table
+from repro.nist.suite import HW_SUITABLE_TESTS
+
+
+def test_table1_suitability(benchmark, save_table):
+    rows = benchmark(suitability_table, 65536)
+
+    # The classification matches the paper's Table I exactly.
+    suitable = [row["test"] for row in rows if row["hw_suitable"]]
+    assert tuple(suitable) == HW_SUITABLE_TESTS
+    assert len(rows) == 15
+
+    # Quantitative justification: every suitable test fits in a few hundred
+    # flip-flops of simple counters, while every excluded test needs hundreds
+    # of bits of storage *plus* arithmetic (Gaussian elimination, FFT
+    # butterflies, logarithms, ...) that a counters-only datapath cannot offer.
+    for row in rows:
+        if row["hw_suitable"]:
+            assert row["storage_bits"] <= 1200
+        else:
+            assert row["storage_bits"] >= 300
+
+    save_table(
+        "table1_suitability",
+        "Table I - NIST tests and their suitability for on-the-fly hardware (n = 65536)",
+        rows,
+        ["test", "name", "hw_suitable", "storage_bits", "reason"],
+    )
+
+
+def test_table1_static_entries(benchmark):
+    """The static classification is self-consistent."""
+    numbers = benchmark(lambda: [entry.number for entry in SUITABILITY_TABLE])
+    assert numbers == list(range(1, 16))
+    assert sum(entry.hw_suitable for entry in SUITABILITY_TABLE) == 9

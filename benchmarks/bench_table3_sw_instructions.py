@@ -1,0 +1,103 @@
+"""Table III (software rows) — 16-bit instruction counts of the 8 design points.
+
+For every design point an ideal sequence of the design's length is pushed
+through the hardware model (functional path) and the software verification
+routine is executed on the exported values; the resulting
+ADD/SUB/MUL/SQR/SHIFT/COMP/LUT/READ tally regenerates the software half of
+Table III.  Counting conventions necessarily differ from the paper's hand
+counts (documented in EXPERIMENTS.md), so the assertions target the shape:
+counts grow with the sequence length and the number of tests, the LUT row is
+exactly 24 precisely for the designs containing the approximate-entropy test,
+and the READ row matches the size of the memory-mapped register file.
+"""
+
+import pytest
+
+from repro.hwtests import UnifiedTestingBlock
+from repro.sw.routines import SoftwareVerifier
+
+#: Published software instruction counts (16-bit ISA) for reference.
+PAPER_SW = {
+    "n128_light": {"ADD": 9, "SUB": 8, "MUL": 4, "SQR": 8, "SHIFT": 0, "COMP": 22, "LUT": 0, "READ": 10},
+    "n128_medium": {"ADD": 153, "SUB": 14, "MUL": 28, "SQR": 36, "SHIFT": 3, "COMP": 28, "LUT": 24, "READ": 24},
+    "n65536_light": {"ADD": 108, "SUB": 16, "MUL": 24, "SQR": 14, "SHIFT": 0, "COMP": 42, "LUT": 0, "READ": 18},
+    "n65536_medium": {"ADD": 122, "SUB": 24, "MUL": 24, "SQR": 22, "SHIFT": 8, "COMP": 44, "LUT": 0, "READ": 22},
+    "n65536_high": {"ADD": 266, "SUB": 30, "MUL": 48, "SQR": 50, "SHIFT": 11, "COMP": 50, "LUT": 24, "READ": 50},
+    "n1048576_light": {"ADD": 130, "SUB": 24, "MUL": 15, "SQR": 23, "SHIFT": 0, "COMP": 34, "LUT": 0, "READ": 21},
+    "n1048576_medium": {"ADD": 358, "SUB": 40, "MUL": 47, "SQR": 45, "SHIFT": 8, "COMP": 42, "LUT": 0, "READ": 35},
+    "n1048576_high": {"ADD": 890, "SUB": 50, "MUL": 91, "SQR": 101, "SHIFT": 11, "COMP": 48, "LUT": 24, "READ": 91},
+}
+
+
+def measure_instruction_counts(designs, sequences):
+    rows = []
+    for design in designs:
+        bits = sequences[design.n]
+        block = UnifiedTestingBlock(design.parameters, tests=design.tests)
+        block.accelerated_process_sequence(bits)
+        verifier = SoftwareVerifier(design.parameters, tests=design.tests, alpha=0.01)
+        verifier.verify(block.register_file)
+        counts = verifier.instruction_counts().as_dict()
+        row = {"design": design.name, "tests": len(design.tests)}
+        row.update(counts)
+        row["TOTAL"] = sum(counts.values())
+        row["paper_LUT"] = PAPER_SW[design.name]["LUT"]
+        row["paper_READ"] = PAPER_SW[design.name]["READ"]
+        rows.append(row)
+    return rows
+
+
+def test_table3_sw_instruction_counts(benchmark, save_table, all_designs, ideal_sequences):
+    rows = benchmark.pedantic(
+        measure_instruction_counts,
+        args=(all_designs, ideal_sequences),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(
+        "table3_sw_instructions",
+        "Table III (software) - 16-bit instruction counts per design point",
+        rows,
+        [
+            "design", "tests", "ADD", "SUB", "MUL", "SQR", "SHIFT", "COMP",
+            "LUT", "paper_LUT", "READ", "paper_READ", "TOTAL",
+        ],
+    )
+    by_name = {row["design"]: row for row in rows}
+
+    # The LUT row is the PWL table of the approximate-entropy test: exactly
+    # 24 lookups (16 four-bit + 8 three-bit terms) in precisely the designs
+    # that include test 12 — the same placement as in the paper.
+    for name, row in by_name.items():
+        assert row["LUT"] == PAPER_SW[name]["LUT"], name
+
+    # Work grows with the test subset at fixed n, and with n at fixed subset.
+    assert by_name["n65536_light"]["TOTAL"] < by_name["n65536_high"]["TOTAL"]
+    assert by_name["n128_light"]["TOTAL"] < by_name["n1048576_light"]["TOTAL"]
+    assert by_name["n1048576_high"]["TOTAL"] == max(r["TOTAL"] for r in rows)
+
+    # Every exported value is transferred exactly once, so the READ row is at
+    # least of the same order as the paper's.
+    for row in rows:
+        assert row["READ"] >= PAPER_SW[row["design"]]["READ"] * 0.5
+
+    # The high designs transfer the most data, as in the paper (~90-100 words).
+    assert by_name["n1048576_high"]["READ"] > by_name["n1048576_light"]["READ"]
+    assert by_name["n65536_high"]["READ"] > by_name["n65536_light"]["READ"]
+
+
+def test_word_size_reduces_latency(benchmark, all_designs, ideal_sequences):
+    """Section IV: on 32-bit platforms considerably fewer instructions are needed."""
+    design = next(d for d in all_designs if d.name == "n65536_high")
+    bits = ideal_sequences[design.n]
+    block = UnifiedTestingBlock(design.parameters, tests=design.tests)
+    block.accelerated_process_sequence(bits)
+
+    def total_for(word_bits):
+        verifier = SoftwareVerifier(design.parameters, tests=design.tests, word_bits=word_bits)
+        verifier.verify(block.register_file)
+        counts = verifier.instruction_counts()
+        return counts.add + counts.sub + counts.mul + counts.sqr + counts.read
+
+    narrow = benchmark(total_for, 16)
+    assert total_for(32) < narrow

@@ -1,0 +1,67 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Besides the
+pytest-benchmark timing, each benchmark renders its table both to stdout and
+to ``benchmarks/results/<name>.txt`` so the artefacts referenced by
+EXPERIMENTS.md can be reproduced with a single ``pytest benchmarks/
+--benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Sequence
+
+import pytest
+
+from repro.core.configs import list_designs
+from repro.trng.ideal import IdealSource
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
+    """Render a list of dict rows as a fixed-width text table."""
+    if not rows:
+        return "(no rows)"
+    widths = {
+        column: max(len(str(column)), max(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Persist a rendered table under benchmarks/results/ and echo it."""
+
+    def _save(name: str, title: str, rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = f"{title}\n\n{format_table(rows, columns)}\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        print("\n" + text)
+        return text
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def all_designs():
+    """The eight design points in Table III order."""
+    return list_designs()
+
+
+@pytest.fixture(scope="session")
+def ideal_sequences():
+    """One fixed ideal sequence per sequence length, keyed by n."""
+    return {
+        n: IdealSource(seed=10_000 + n).generate(n).bits
+        for n in (128, 65536, 1048576)
+    }

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Attack detection: the threat catalogue of Section II-B, end to end.
+
+Three attacks against a ring-oscillator TRNG (and against the test logic
+itself) are simulated and monitored on the fly:
+
+1. a frequency-injection attack through the power supply that locks the
+   oscillator mid-operation (Markettos & Moore),
+2. a contactless electromagnetic injection that couples a carrier onto the
+   sampled bits (Bayon et al.),
+3. a probing attack that grounds the reporting channel — which defeats a
+   classic single-wire alarm but not the paper's value-based reporting.
+
+Run with:  python examples/attack_detection.py
+"""
+
+from repro import OnTheFlyPlatform, ProbingAttack, RingOscillatorTRNG
+from repro.core.monitor import OnTheFlyMonitor
+from repro.core.reporting import compare_reporting_under_probing
+from repro.trng import EMInjectionAttack, FrequencyInjectionAttack, StuckAtSource
+
+
+def frequency_injection_demo() -> None:
+    print("=" * 72)
+    print("1. Frequency-injection attack (oscillator locks after 3 sequences)")
+    print("=" * 72)
+    platform = OnTheFlyPlatform("n128_medium", alpha=0.01)
+    trng = RingOscillatorTRNG(ratio=200.25, jitter=0.05, seed=7)
+    attack = FrequencyInjectionAttack(trng, lock_strength=1.0, start_bit=3 * platform.n)
+    monitor = OnTheFlyMonitor(platform, suspect_after=1, fail_after=2)
+    for event in monitor.monitor_until_failure(attack, max_sequences=10):
+        status = "PASS" if event.report.passed else f"FAIL {event.report.failing_tests}"
+        print(
+            f"  sequence {event.sequence_index:>2}  "
+            f"attack {'active' if attack.active else 'idle  '}  "
+            f"tests: {status:<24s}  health: {event.state.value}"
+        )
+    latency = monitor.detection_latency_bits()
+    print(f"  -> attack flagged after {latency} monitored bits\n")
+
+
+def em_injection_demo() -> None:
+    print("=" * 72)
+    print("2. Electromagnetic injection (85% coupling to a 4-bit carrier)")
+    print("=" * 72)
+    platform = OnTheFlyPlatform("n65536_high", alpha=0.01)
+    attack = EMInjectionAttack(
+        RingOscillatorTRNG(seed=8), coupling=0.85, carrier_period=4, seed=9
+    )
+    report = platform.evaluate_sequence(attack.generate(platform.n), accelerated=True)
+    print(f"  verdict       : {'PASS' if report.passed else 'FAIL'}")
+    print(f"  failing tests : {report.failing_tests}")
+    print("  (the template, serial and approximate-entropy tests see the carrier)\n")
+
+
+def probing_demo() -> None:
+    print("=" * 72)
+    print("3. Probing attack on the reporting channel (dead TRNG, grounded bus)")
+    print("=" * 72)
+    platform = OnTheFlyPlatform("n128_light", alpha=0.01)
+    comparison = compare_reporting_under_probing(
+        platform, source=StuckAtSource(0), probing=ProbingAttack("ground")
+    )
+    print(f"  single alarm wire      : detects failure = {comparison.alarm_wire_detects}, "
+          f"under probing = {comparison.alarm_wire_detects_under_probing}")
+    print(f"  value-based reporting  : detects failure = {comparison.value_based_detects}, "
+          f"under probing = {comparison.value_based_detects_under_probing}")
+    print(f"  consistency violations seen by the software under probing: "
+          f"{comparison.consistency_violations_under_probing}")
+    print("  -> grounding a single alarm wire hides the failure; grounding the")
+    print("     memory-mapped read-out produces structurally impossible values")
+    print("     that the software flags immediately.")
+
+
+def main() -> None:
+    frequency_injection_demo()
+    em_injection_demo()
+    probing_demo()
+
+
+if __name__ == "__main__":
+    main()

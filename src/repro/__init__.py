@@ -1,0 +1,116 @@
+"""repro — Embedded HW/SW platform for on-the-fly testing of TRNGs.
+
+A faithful, fully software reproduction of
+
+    B. Yang, V. Rožić, N. Mentens, W. Dehaene, I. Verbauwhede,
+    "Embedded HW/SW Platform for On-the-Fly Testing of True Random Number
+    Generators", DATE 2015.
+
+Top-level quickstart::
+
+    from repro import OnTheFlyPlatform, IdealSource
+
+    platform = OnTheFlyPlatform("n65536_high", alpha=0.01)
+    report = platform.evaluate_source(IdealSource(seed=1))
+    print(report.passed, report.failing_tests)
+
+Sub-packages
+------------
+``repro.core``
+    The HW/SW co-designed platform (design points, per-sequence evaluation,
+    continuous monitoring, value-based reporting).
+``repro.hwtests`` / ``repro.hwsim``
+    The bit-serial hardware testing block of Fig. 2 and the component /
+    resource model underneath it.
+``repro.sw``
+    The 16-bit software platform: verification routines, precomputed critical
+    values, PWL x·log(x), instruction and cycle counting.
+``repro.nist``
+    Reference implementations of all 15 NIST SP 800-22 tests (golden model).
+``repro.trng``
+    Entropy-source and attack simulators.
+``repro.eval``
+    FPGA / ASIC / latency estimation and the standalone-implementation
+    baseline used for the Table IV comparison.
+"""
+
+from repro.core import (
+    DesignPoint,
+    FlexibleLengthPlatform,
+    HealthState,
+    MonitorEvent,
+    OnTheFlyMonitor,
+    OnTheFlyPlatform,
+    PlatformReport,
+    STANDARD_DESIGNS,
+    get_design,
+    list_designs,
+)
+from repro.hwtests import DesignParameters, SharingOptions, UnifiedTestingBlock
+from repro.nist import BitSequence, NistSuite, TestResult, run_all_tests
+from repro.sw import CriticalValues, InstructionCounts, SoftwareVerifier
+from repro.trng import (
+    AgingSource,
+    AlternatingSource,
+    BiasedSource,
+    BurstFailureSource,
+    CaptureSource,
+    CorrelatedSource,
+    DeadSource,
+    EMInjectionAttack,
+    EntropySource,
+    FrequencyInjectionAttack,
+    IdealSource,
+    OscillatingBiasSource,
+    ProbingAttack,
+    ReplaySource,
+    RingOscillatorTRNG,
+    StuckAtSource,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "DesignPoint",
+    "FlexibleLengthPlatform",
+    "HealthState",
+    "MonitorEvent",
+    "OnTheFlyMonitor",
+    "OnTheFlyPlatform",
+    "PlatformReport",
+    "STANDARD_DESIGNS",
+    "get_design",
+    "list_designs",
+    # hardware
+    "DesignParameters",
+    "SharingOptions",
+    "UnifiedTestingBlock",
+    # nist
+    "BitSequence",
+    "NistSuite",
+    "TestResult",
+    "run_all_tests",
+    # software
+    "CriticalValues",
+    "InstructionCounts",
+    "SoftwareVerifier",
+    # trng
+    "AgingSource",
+    "AlternatingSource",
+    "BiasedSource",
+    "BurstFailureSource",
+    "CaptureSource",
+    "CorrelatedSource",
+    "DeadSource",
+    "EMInjectionAttack",
+    "EntropySource",
+    "FrequencyInjectionAttack",
+    "IdealSource",
+    "OscillatingBiasSource",
+    "ProbingAttack",
+    "ReplaySource",
+    "RingOscillatorTRNG",
+    "StuckAtSource",
+]

@@ -1,0 +1,192 @@
+"""Command-line interface of the on-the-fly testing platform.
+
+Installed as ``repro-trng-test`` (see ``pyproject.toml``); also runnable as
+``python -m repro.cli``.  Sub-commands:
+
+``designs``
+    List the eight published design points with their estimated cost.
+``evaluate``
+    Evaluate a captured bit stream (raw byte file) — or a built-in simulated
+    source — on one design point, printing the per-test verdicts.
+``monitor``
+    Continuously monitor a simulated source for a number of sequences and
+    report the health-state trajectory.
+``suite``
+    Run the full reference NIST SP 800-22 suite (all 15 tests) on a captured
+    byte file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.configs import get_design, list_designs
+from repro.core.monitor import OnTheFlyMonitor
+from repro.core.platform import OnTheFlyPlatform
+from repro.eval.asic import estimate_asic
+from repro.eval.fpga import estimate_fpga
+from repro.hwtests.block import UnifiedTestingBlock
+from repro.nist.suite import NistSuite
+from repro.trng.biased import BiasedSource
+from repro.trng.capture import ReplaySource
+from repro.trng.correlated import CorrelatedSource
+from repro.trng.failures import AlternatingSource, StuckAtSource
+from repro.trng.ideal import IdealSource
+from repro.trng.oscillator import RingOscillatorTRNG
+from repro.trng.source import EntropySource
+
+__all__ = ["main", "build_parser"]
+
+#: Built-in simulated sources selectable from the command line.
+_SIMULATED_SOURCES = ("ideal", "biased", "correlated", "oscillator", "stuck", "alternating")
+
+
+def _make_source(name: str, seed: int, parameter: float) -> EntropySource:
+    """Instantiate one of the built-in simulated sources."""
+    if name == "ideal":
+        return IdealSource(seed=seed)
+    if name == "biased":
+        return BiasedSource(parameter if parameter > 0 else 0.6, seed=seed)
+    if name == "correlated":
+        return CorrelatedSource(parameter if parameter > 0 else 0.7, seed=seed)
+    if name == "oscillator":
+        return RingOscillatorTRNG(seed=seed)
+    if name == "stuck":
+        return StuckAtSource(int(parameter) if parameter in (0, 1) else 0)
+    if name == "alternating":
+        return AlternatingSource()
+    raise ValueError(f"unknown simulated source {name!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command-line parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trng-test",
+        description="Embedded HW/SW platform for on-the-fly testing of TRNGs (DATE 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("designs", help="list the published design points and their cost")
+
+    evaluate = sub.add_parser("evaluate", help="evaluate one sequence on a design point")
+    evaluate.add_argument("--design", default="n65536_high", help="design point name")
+    evaluate.add_argument("--alpha", type=float, default=0.01, help="level of significance")
+    evaluate.add_argument("--capture", help="raw byte file with the captured TRNG output")
+    evaluate.add_argument("--source", choices=_SIMULATED_SOURCES, default="ideal",
+                          help="simulated source (ignored when --capture is given)")
+    evaluate.add_argument("--seed", type=int, default=0, help="seed of the simulated source")
+    evaluate.add_argument("--parameter", type=float, default=0.0,
+                          help="source parameter (bias / repeat probability / stuck value)")
+
+    monitor = sub.add_parser("monitor", help="continuously monitor a simulated source")
+    monitor.add_argument("--design", default="n128_light")
+    monitor.add_argument("--alpha", type=float, default=0.01)
+    monitor.add_argument("--source", choices=_SIMULATED_SOURCES, default="ideal")
+    monitor.add_argument("--seed", type=int, default=0)
+    monitor.add_argument("--parameter", type=float, default=0.0)
+    monitor.add_argument("--sequences", type=int, default=8)
+
+    suite = sub.add_parser("suite", help="run the full reference NIST suite on a capture")
+    suite.add_argument("capture", help="raw byte file with the captured TRNG output")
+    suite.add_argument("--alpha", type=float, default=0.01)
+
+    return parser
+
+
+def _cmd_designs(out) -> int:
+    print(f"{'design':<18}{'n':>9}{'tests':>7}{'slices':>8}{'FF':>7}{'LUT':>7}{'fmax':>7}{'GE':>8}", file=out)
+    for design in list_designs():
+        block = UnifiedTestingBlock(design.parameters, tests=design.tests)
+        resources = block.resources()
+        fpga = estimate_fpga(resources)
+        asic = estimate_asic(resources)
+        print(
+            f"{design.name:<18}{design.n:>9}{len(design.tests):>7}{fpga.slices:>8}"
+            f"{fpga.flip_flops:>7}{fpga.luts:>7}{fpga.max_frequency_mhz:>7.0f}"
+            f"{asic.gate_equivalents:>8}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_evaluate(args, out) -> int:
+    platform = OnTheFlyPlatform(args.design, alpha=args.alpha)
+    if args.capture:
+        source: EntropySource = ReplaySource.from_file(args.capture)
+        if source.total_bits < platform.n:
+            print(
+                f"error: capture holds {source.total_bits} bits but design "
+                f"{args.design} needs {platform.n}",
+                file=out,
+            )
+            return 2
+        bits = source.generate(platform.n)
+        report = platform.evaluate_sequence(bits, accelerated=True)
+        origin = args.capture
+    else:
+        simulated = _make_source(args.source, args.seed, args.parameter)
+        bits = simulated.generate(platform.n)
+        report = platform.evaluate_sequence(bits, accelerated=True)
+        origin = simulated.name
+    print(f"design   : {args.design} (n = {platform.n}, alpha = {args.alpha})", file=out)
+    print(f"source   : {origin}", file=out)
+    print(f"verdict  : {'PASS' if report.passed else 'FAIL'}", file=out)
+    for row in report.summary_rows():
+        status = "ok  " if row["passed"] else "FAIL"
+        print(f"  [{status}] test {row['test']:>2}: {row['name']}", file=out)
+    if report.consistency_violations:
+        print(f"read-out consistency violations: {report.consistency_violations}", file=out)
+    return 0 if report.passed else 1
+
+
+def _cmd_monitor(args, out) -> int:
+    platform = OnTheFlyPlatform(args.design, alpha=args.alpha)
+    monitor = OnTheFlyMonitor(platform, suspect_after=1, fail_after=2)
+    source = _make_source(args.source, args.seed, args.parameter)
+    events = monitor.monitor(source, num_sequences=args.sequences)
+    for event in events:
+        verdict = "pass" if event.report.passed else f"fail {event.report.failing_tests}"
+        print(
+            f"sequence {event.sequence_index:>3}  {verdict:<26}  health: {event.state.value}",
+            file=out,
+        )
+    print(f"final state: {monitor.state.value}  failure rate: {monitor.failure_rate():.2f}", file=out)
+    return 0 if monitor.failure_rate() == 0 else 1
+
+
+def _cmd_suite(args, out) -> int:
+    source = ReplaySource.from_file(args.capture)
+    bits = source.generate(source.total_bits)
+    report = NistSuite().run(bits)
+    print(f"reference NIST SP 800-22 suite on {args.capture} ({source.total_bits} bits)", file=out)
+    for row in report.summary_rows(args.alpha):
+        if row.get("error"):
+            print(f"  test {row['test']:>2}: {row['name']:<44} skipped ({row['error']})", file=out)
+        else:
+            status = "ok  " if row["passed"] else "FAIL"
+            print(
+                f"  [{status}] test {row['test']:>2}: {row['name']:<44} p = {row['p_value']:.4f}",
+                file=out,
+            )
+    return 0 if report.passed(args.alpha) else 1
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "designs":
+        return _cmd_designs(out)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args, out)
+    if args.command == "monitor":
+        return _cmd_monitor(args, out)
+    if args.command == "suite":
+        return _cmd_suite(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

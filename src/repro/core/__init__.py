@@ -1,0 +1,39 @@
+"""The paper's primary contribution: the HW/SW on-the-fly testing platform.
+
+* :mod:`repro.core.configs` — the eight published design points (sequence
+  length × test-subset);
+* :mod:`repro.core.platform` — :class:`OnTheFlyPlatform`, wiring a TRNG, the
+  unified hardware testing block and the software verifier together (Fig. 1);
+* :mod:`repro.core.monitor` — continuous on-the-fly monitoring of a running
+  entropy source with a configurable health policy;
+* :mod:`repro.core.reporting` — alarm-wire vs value-based reporting under a
+  probing attack (the paper's security argument).
+"""
+
+from repro.core.configs import DesignPoint, STANDARD_DESIGNS, get_design, list_designs
+from repro.core.results import PlatformReport, SequenceVerdict
+from repro.core.platform import OnTheFlyPlatform
+from repro.core.monitor import HealthState, MonitorEvent, OnTheFlyMonitor
+from repro.core.reporting import (
+    AlarmWireReporter,
+    ValueBasedReporter,
+    compare_reporting_under_probing,
+)
+from repro.core.flexible import FlexibleLengthPlatform
+
+__all__ = [
+    "FlexibleLengthPlatform",
+    "DesignPoint",
+    "STANDARD_DESIGNS",
+    "get_design",
+    "list_designs",
+    "PlatformReport",
+    "SequenceVerdict",
+    "OnTheFlyPlatform",
+    "HealthState",
+    "MonitorEvent",
+    "OnTheFlyMonitor",
+    "AlarmWireReporter",
+    "ValueBasedReporter",
+    "compare_reporting_under_probing",
+]

@@ -1,0 +1,101 @@
+"""The eight published design points (the columns of Table III).
+
+Each design point fixes a sequence length and a subset of the nine
+hardware-suitable NIST tests.  The reconstruction of which test belongs to
+which design is documented in DESIGN.md §4 (the paper's dot table is
+ambiguous in the plain-text source; the assignment below matches every
+numeric constraint the paper states).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.hwtests.parameters import DesignParameters
+
+__all__ = ["DesignPoint", "STANDARD_DESIGNS", "get_design", "list_designs"]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One column of Table III: a sequence length and a test subset."""
+
+    name: str
+    n: int
+    tests: Tuple[int, ...]
+    profile: str
+    description: str = ""
+
+    @property
+    def parameters(self) -> DesignParameters:
+        """The derived per-test parameters for this sequence length."""
+        return DesignParameters.for_length(self.n)
+
+    @property
+    def num_tests(self) -> int:
+        """Number of NIST tests implemented by this design point."""
+        return len(self.tests)
+
+
+def _design(name: str, n: int, tests: Tuple[int, ...], profile: str, description: str) -> DesignPoint:
+    return DesignPoint(name=name, n=n, tests=tests, profile=profile, description=description)
+
+
+#: The eight design points of Table III, keyed by name.
+STANDARD_DESIGNS: Dict[str, DesignPoint] = {
+    design.name: design
+    for design in (
+        _design(
+            "n128_light", 128, (1, 2, 3, 4, 13), "light",
+            "Smallest design: quick tests on 128-bit sequences (52 slices / 5 tests in the paper)",
+        ),
+        _design(
+            "n128_medium", 128, (1, 2, 3, 4, 11, 12, 13), "medium",
+            "128-bit sequences with the serial and approximate-entropy tests added (7 tests)",
+        ),
+        _design(
+            "n65536_light", 65536, (1, 2, 3, 4, 13), "light",
+            "Balanced sequence length, quick-test subset",
+        ),
+        _design(
+            "n65536_medium", 65536, (1, 2, 3, 4, 7, 13), "medium",
+            "Balanced design compared against [13] in Table IV",
+        ),
+        _design(
+            "n65536_high", 65536, (1, 2, 3, 4, 7, 8, 11, 12, 13), "high",
+            "All nine hardware-suitable tests on 65536-bit sequences",
+        ),
+        _design(
+            "n1048576_light", 1048576, (1, 2, 3, 4, 13), "light",
+            "Long-term evaluation, quick-test subset",
+        ),
+        _design(
+            "n1048576_medium", 1048576, (1, 2, 3, 4, 7, 13), "medium",
+            "Long-term evaluation with the non-overlapping template test",
+        ),
+        _design(
+            "n1048576_high", 1048576, (1, 2, 3, 4, 7, 8, 11, 12, 13), "high",
+            "Largest design: all nine tests on 2^20-bit sequences (552 slices / 9 tests in the paper)",
+        ),
+    )
+}
+
+
+def get_design(name: str) -> DesignPoint:
+    """Look up a design point by name (e.g. ``"n65536_medium"``)."""
+    if name not in STANDARD_DESIGNS:
+        raise KeyError(
+            f"unknown design {name!r}; available: {', '.join(sorted(STANDARD_DESIGNS))}"
+        )
+    return STANDARD_DESIGNS[name]
+
+
+def list_designs() -> List[DesignPoint]:
+    """All standard design points, ordered as in Table III."""
+    order = [
+        "n128_light", "n128_medium",
+        "n65536_light", "n65536_medium", "n65536_high",
+        "n1048576_light", "n1048576_medium", "n1048576_high",
+    ]
+    return [STANDARD_DESIGNS[name] for name in order]

@@ -1,0 +1,203 @@
+"""Runtime-selectable sequence length — the paper's first future-work item.
+
+Section V proposes "modifying the hardware blocks to allow for more
+flexibility, for example by allowing the software to select the length of the
+test sequence, as well as the test parameters".  This module provides a
+functional model of that extension:
+
+* the hardware is provisioned once for the *largest* supported sequence
+  length (counter widths, pattern banks, register map), plus a small
+  configuration register and the boundary-select multiplexers needed to let
+  the block detection work for any supported power-of-two length;
+* at run time the software writes the desired length into the configuration
+  register (:meth:`FlexibleLengthPlatform.reconfigure`) and from then on the
+  block behaves exactly like the fixed design of that length — which is how
+  the model realises it: behaviourally it delegates to the corresponding
+  fixed configuration, while the resource accounting always reflects the
+  max-length provisioning plus the configuration overhead.
+
+The companion benchmark (``bench_flexible_length.py``) quantifies the area
+premium of this flexibility against the fixed design points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.platform import OnTheFlyPlatform
+from repro.core.configs import DesignPoint
+from repro.core.results import PlatformReport
+from repro.eval.fpga import FpgaEstimate, estimate_fpga
+from repro.hwsim.resources import ResourceReport
+from repro.hwtests.block import UnifiedTestingBlock
+from repro.hwtests.parameters import DesignParameters, SharingOptions, clog2, is_power_of_two
+from repro.nist.common import BitsLike
+from repro.trng.source import EntropySource
+
+__all__ = ["FlexibleLengthPlatform"]
+
+
+class FlexibleLengthPlatform:
+    """A platform whose sequence length is selected by the software at run time.
+
+    Parameters
+    ----------
+    supported_lengths:
+        The power-of-two sequence lengths the hardware must support
+        (default: the paper's three lengths 128, 65 536 and 2^20).
+    tests:
+        The NIST test subset (default: all nine hardware-suitable tests).
+    alpha:
+        Level of significance used by the software routines.
+    initial_length:
+        The length selected at power-up (default: the largest supported).
+    """
+
+    def __init__(
+        self,
+        supported_lengths: Sequence[int] = (128, 65536, 1048576),
+        tests: Sequence[int] = (1, 2, 3, 4, 7, 8, 11, 12, 13),
+        alpha: float = 0.01,
+        initial_length: Optional[int] = None,
+        sharing: SharingOptions = SharingOptions(),
+        word_bits: int = 16,
+    ):
+        lengths = tuple(sorted(set(int(n) for n in supported_lengths)))
+        if not lengths:
+            raise ValueError("at least one supported length is required")
+        for n in lengths:
+            if not is_power_of_two(n) or n < 128:
+                raise ValueError(
+                    f"supported lengths must be powers of two >= 128, got {n}"
+                )
+        self.supported_lengths = lengths
+        self.tests = tuple(sorted(set(tests)))
+        self.alpha = alpha
+        self.sharing = sharing
+        self.word_bits = word_bits
+        self._platforms: Dict[int, OnTheFlyPlatform] = {}
+        self._active_length = int(initial_length) if initial_length else lengths[-1]
+        if self._active_length not in lengths:
+            raise ValueError(
+                f"initial_length {self._active_length} is not among the supported lengths {lengths}"
+            )
+
+    # ------------------------------------------------------------------ config
+    @property
+    def active_length(self) -> int:
+        """The currently configured sequence length."""
+        return self._active_length
+
+    @property
+    def max_length(self) -> int:
+        """The largest supported sequence length (what the hardware is sized for)."""
+        return self.supported_lengths[-1]
+
+    def reconfigure(self, n: int) -> None:
+        """Select a new sequence length (a software write to the config register)."""
+        if n not in self.supported_lengths:
+            raise ValueError(
+                f"length {n} is not supported; choose from {self.supported_lengths}"
+            )
+        self._active_length = int(n)
+
+    def set_alpha(self, alpha: float) -> None:
+        """Change the level of significance for every supported length."""
+        self.alpha = alpha
+        for platform in self._platforms.values():
+            platform.set_alpha(alpha)
+
+    # ------------------------------------------------------------------ behaviour
+    def _design_for(self, n: int) -> DesignPoint:
+        return DesignPoint(
+            name=f"flexible_n{n}",
+            n=n,
+            tests=self.tests,
+            profile="flexible",
+            description=f"runtime-configured length {n} of a flexible block "
+            f"(max {self.max_length})",
+        )
+
+    def _platform(self, n: Optional[int] = None) -> OnTheFlyPlatform:
+        n = n or self._active_length
+        if n not in self._platforms:
+            self._platforms[n] = OnTheFlyPlatform(
+                self._design_for(n),
+                alpha=self.alpha,
+                sharing=self.sharing,
+                word_bits=self.word_bits,
+            )
+        return self._platforms[n]
+
+    def evaluate_sequence(self, bits: BitsLike, accelerated: bool = True) -> PlatformReport:
+        """Evaluate one sequence of the currently configured length."""
+        return self._platform().evaluate_sequence(bits, accelerated=accelerated)
+
+    def evaluate_source(self, source: EntropySource) -> PlatformReport:
+        """Draw and evaluate one sequence of the currently configured length."""
+        return self._platform().evaluate_source(source)
+
+    # ------------------------------------------------------------------ resources
+    def configuration_overhead(self) -> ResourceReport:
+        """Extra hardware needed for run-time length selection.
+
+        The overhead consists of the length-configuration register (one bit
+        per supported length exponent is generous), and one multiplexer LUT
+        per block-boundary compare bit of every block-based test, so that the
+        boundary decode can select among ``len(supported_lengths)`` masks.
+        """
+        num_lengths = len(self.supported_lengths)
+        config_register_bits = max(1, clog2(num_lengths))
+        # Block-based tests: 2 (block frequency), 4 (longest run), 7 and 8
+        # (templates) each compare ~log2(max block length) counter bits.
+        block_tests = [t for t in self.tests if t in (2, 4, 7, 8)]
+        mask_bits = clog2(self.max_length)
+        mux_luts = float(len(block_tests) * mask_bits * max(1, num_lengths - 1)) / 2.0
+        return ResourceReport(
+            flip_flops=config_register_bits,
+            lut_estimate=mux_luts + config_register_bits,
+            max_counter_width=0,
+            readout_values=0,
+            components={"register": 1},
+            label="length-configuration overhead",
+        )
+
+    def resources(self) -> ResourceReport:
+        """Resource usage: the max-length block plus the configuration overhead."""
+        max_block = UnifiedTestingBlock(
+            DesignParameters.for_length(self.max_length),
+            tests=self.tests,
+            sharing=self.sharing,
+            bus_width=self.word_bits,
+        )
+        report = max_block.resources().merge(self.configuration_overhead())
+        return ResourceReport(
+            flip_flops=report.flip_flops,
+            lut_estimate=report.lut_estimate,
+            max_counter_width=report.max_counter_width,
+            readout_values=max_block.resources().readout_values,
+            components=report.components,
+            label=f"flexible(max_n={self.max_length}, lengths={len(self.supported_lengths)})",
+        )
+
+    def fpga_estimate(self) -> FpgaEstimate:
+        """Spartan-6 estimate of the flexible block."""
+        return estimate_fpga(self.resources())
+
+    def overhead_versus_fixed(self) -> Tuple[int, int, float]:
+        """(flexible slices, fixed max-length slices, overhead fraction)."""
+        fixed = UnifiedTestingBlock(
+            DesignParameters.for_length(self.max_length),
+            tests=self.tests,
+            sharing=self.sharing,
+            bus_width=self.word_bits,
+        )
+        fixed_slices = estimate_fpga(fixed.resources()).slices
+        flexible_slices = self.fpga_estimate().slices
+        return flexible_slices, fixed_slices, flexible_slices / fixed_slices - 1.0
+
+    def __repr__(self) -> str:
+        return (
+            f"FlexibleLengthPlatform(lengths={self.supported_lengths}, "
+            f"active={self.active_length}, tests={self.tests})"
+        )

@@ -1,0 +1,149 @@
+"""Continuous on-the-fly monitoring of a running entropy source.
+
+The platform of :mod:`repro.core.platform` evaluates one n-bit sequence at a
+time; a deployed TRNG is monitored *continuously* — the hardware block stays
+active whenever the TRNG runs (Section III-A), and the software checks the
+results sequence after sequence.  :class:`OnTheFlyMonitor` models that
+operation, including a simple health policy (how many consecutive failing
+sequences demote the source to SUSPECT / FAILED) of the kind an AIS-31-style
+integrator would wrap around the raw test outcomes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional
+
+from repro.core.platform import OnTheFlyPlatform
+from repro.core.results import PlatformReport
+from repro.trng.source import EntropySource
+
+__all__ = ["HealthState", "MonitorEvent", "OnTheFlyMonitor"]
+
+
+class HealthState(enum.Enum):
+    """Health of the monitored entropy source."""
+
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    FAILED = "failed"
+
+
+@dataclass
+class MonitorEvent:
+    """One monitored sequence: its report and the resulting health state."""
+
+    sequence_index: int
+    report: PlatformReport
+    state: HealthState
+    consecutive_failures: int
+
+
+class OnTheFlyMonitor:
+    """Sequence-by-sequence health monitor wrapped around a platform.
+
+    Parameters
+    ----------
+    platform:
+        The HW/SW platform doing the per-sequence evaluation.
+    suspect_after:
+        Number of consecutive failing sequences after which the source is
+        reported SUSPECT.
+    fail_after:
+        Number of consecutive failing sequences after which the source is
+        reported FAILED (a total failure requiring the TRNG output to be
+        disconnected from consumers).
+    on_event:
+        Optional callback invoked with every :class:`MonitorEvent`.
+    """
+
+    def __init__(
+        self,
+        platform: OnTheFlyPlatform,
+        suspect_after: int = 1,
+        fail_after: int = 2,
+        on_event: Optional[Callable[[MonitorEvent], None]] = None,
+    ):
+        if suspect_after < 1 or fail_after < suspect_after:
+            raise ValueError("need 1 <= suspect_after <= fail_after")
+        self.platform = platform
+        self.suspect_after = suspect_after
+        self.fail_after = fail_after
+        self.on_event = on_event
+        self.history: List[MonitorEvent] = []
+        self._consecutive_failures = 0
+
+    # ------------------------------------------------------------------ state
+    @property
+    def state(self) -> HealthState:
+        """Current health state of the monitored source."""
+        if self._consecutive_failures >= self.fail_after:
+            return HealthState.FAILED
+        if self._consecutive_failures >= self.suspect_after:
+            return HealthState.SUSPECT
+        return HealthState.HEALTHY
+
+    @property
+    def sequences_monitored(self) -> int:
+        """Number of sequences evaluated so far."""
+        return len(self.history)
+
+    def reset(self) -> None:
+        """Forget all history (e.g. after the TRNG has been serviced)."""
+        self.history = []
+        self._consecutive_failures = 0
+
+    # ------------------------------------------------------------------ monitoring
+    def observe(self, report: PlatformReport) -> MonitorEvent:
+        """Fold one sequence report into the health state."""
+        if report.passed:
+            self._consecutive_failures = 0
+        else:
+            self._consecutive_failures += 1
+        event = MonitorEvent(
+            sequence_index=len(self.history),
+            report=report,
+            state=self.state,
+            consecutive_failures=self._consecutive_failures,
+        )
+        self.history.append(event)
+        if self.on_event is not None:
+            self.on_event(event)
+        return event
+
+    def monitor(self, source: EntropySource, num_sequences: int) -> List[MonitorEvent]:
+        """Monitor ``source`` for ``num_sequences`` consecutive n-bit sequences."""
+        if num_sequences < 1:
+            raise ValueError("num_sequences must be positive")
+        events = []
+        for _ in range(num_sequences):
+            report = self.platform.evaluate_source(source)
+            events.append(self.observe(report))
+        return events
+
+    def monitor_until_failure(
+        self, source: EntropySource, max_sequences: int = 1000
+    ) -> Iterator[MonitorEvent]:
+        """Yield events until the source is FAILED or the budget is exhausted."""
+        for _ in range(max_sequences):
+            report = self.platform.evaluate_source(source)
+            event = self.observe(report)
+            yield event
+            if event.state is HealthState.FAILED:
+                return
+
+    # ------------------------------------------------------------------ reporting
+    def failure_rate(self) -> float:
+        """Fraction of monitored sequences with at least one failing test."""
+        if not self.history:
+            return 0.0
+        failures = sum(1 for event in self.history if not event.report.passed)
+        return failures / len(self.history)
+
+    def detection_latency_bits(self) -> Optional[int]:
+        """Bits consumed until the first FAILED state (None if never failed)."""
+        for event in self.history:
+            if event.state is HealthState.FAILED:
+                return (event.sequence_index + 1) * self.platform.n
+        return None

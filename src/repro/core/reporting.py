@@ -1,0 +1,167 @@
+"""Alarm-wire vs value-based reporting under a probing attack.
+
+Section I-A of the paper points out a weakness of every previous embedded
+test implementation: the hardware raises a single *alarm signal* on failure,
+and an attacker who grounds that wire (a trivial probing/fault attack) hides
+every failure.  The paper's architecture instead transmits a *set of
+numerical values* to the software, which both evaluates the tests and — in
+this reproduction, made explicit — cross-checks the values' structural
+consistency.  This module models both reporting styles so the difference can
+be measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.platform import OnTheFlyPlatform
+from repro.core.results import PlatformReport
+from repro.hwsim.register_file import RegisterFile
+from repro.trng.attacks import ProbingAttack
+from repro.trng.source import EntropySource
+
+__all__ = [
+    "AlarmWireReporter",
+    "ValueBasedReporter",
+    "TamperedRegisterFile",
+    "compare_reporting_under_probing",
+]
+
+
+class AlarmWireReporter:
+    """Classic reporting: the hardware block drives a single alarm wire.
+
+    The alarm is the OR of all per-test failure flags; a probing attack on
+    the wire forces it to the attacker's chosen level regardless of the
+    actual test outcomes.
+    """
+
+    def __init__(self, probing: Optional[ProbingAttack] = None):
+        self.probing = probing
+
+    def alarm(self, report: PlatformReport) -> bool:
+        """True when a failure is (apparently) signalled."""
+        genuine_alarm = not report.passed
+        if self.probing is None:
+            return genuine_alarm
+        return self.probing.tamper_alarm(genuine_alarm)
+
+
+class TamperedRegisterFile(RegisterFile):
+    """A register file whose read-out bus is under a probing attack.
+
+    Every read returns the forced all-zeros / all-ones pattern instead of the
+    true counter value, which is what grounding (or pulling up) the shared
+    read bus achieves physically.
+    """
+
+    def __init__(self, inner: RegisterFile, probing: ProbingAttack):
+        super().__init__(bus_width=inner.bus_width, address_bits=inner.address_bits)
+        self._inner = inner
+        self._probing = probing
+        for row in inner.memory_map():
+            name = str(row["name"])
+            width = int(row["width"])
+            self.add(name, width, self._tampered_getter(name, width))
+
+    def _tampered_getter(self, name: str, width: int):
+        def getter() -> int:
+            true_value = self._inner.read(name)
+            return self._probing.tamper_value(true_value, width)
+
+        return getter
+
+
+class ValueBasedReporter:
+    """The paper's reporting style: software reads and validates raw values."""
+
+    def __init__(self, platform: OnTheFlyPlatform, probing: Optional[ProbingAttack] = None):
+        self.platform = platform
+        self.probing = probing
+
+    def report(self) -> PlatformReport:
+        """Software verification pass over the (possibly tampered) read-out."""
+        register_file = self.platform.hardware.register_file
+        if self.probing is not None:
+            register_file = TamperedRegisterFile(register_file, self.probing)
+        software = self.platform.software
+        software.processor.reset_counts()
+        verdicts = software.verify(register_file)
+        violations = software.consistency_check(register_file)
+        return PlatformReport(
+            design_name=self.platform.design.name,
+            n=self.platform.n,
+            alpha=self.platform.alpha,
+            verdicts=verdicts,
+            hardware_values={name: register_file.read(name) for name in register_file.names()},
+            instruction_counts=software.instruction_counts(),
+            consistency_violations=violations,
+        )
+
+    def failure_detected(self) -> bool:
+        """True when the software flags the source (test failure or tampering)."""
+        return not self.report().passed
+
+
+@dataclass
+class ReportingComparison:
+    """Outcome of the alarm-wire vs value-based comparison."""
+
+    source_is_bad: bool
+    alarm_wire_detects: bool
+    alarm_wire_detects_under_probing: bool
+    value_based_detects: bool
+    value_based_detects_under_probing: bool
+    consistency_violations_under_probing: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "source_is_bad": self.source_is_bad,
+            "alarm_wire_detects": self.alarm_wire_detects,
+            "alarm_wire_detects_under_probing": self.alarm_wire_detects_under_probing,
+            "value_based_detects": self.value_based_detects,
+            "value_based_detects_under_probing": self.value_based_detects_under_probing,
+            "consistency_violations_under_probing": self.consistency_violations_under_probing,
+        }
+
+
+def compare_reporting_under_probing(
+    platform: OnTheFlyPlatform,
+    source: EntropySource,
+    probing: Optional[ProbingAttack] = None,
+    source_is_bad: bool = True,
+) -> ReportingComparison:
+    """Measure both reporting styles on one sequence, with and without probing.
+
+    Parameters
+    ----------
+    platform:
+        The HW/SW platform (its hardware block will be re-run).
+    source:
+        The entropy source to draw one n-bit sequence from (typically a
+        failed/attacked source, so that there *is* something to detect).
+    probing:
+        The probing attack model; defaults to grounding.
+    source_is_bad:
+        Ground-truth label recorded in the comparison result.
+    """
+    probing = probing or ProbingAttack(mode="ground")
+    clean_report = platform.evaluate_source(source)
+
+    alarm_clean = AlarmWireReporter().alarm(clean_report)
+    alarm_probed = AlarmWireReporter(probing).alarm(clean_report)
+
+    value_clean = not clean_report.passed
+    probed_reporter = ValueBasedReporter(platform, probing=probing)
+    probed_report = probed_reporter.report()
+    value_probed = not probed_report.passed
+
+    return ReportingComparison(
+        source_is_bad=source_is_bad,
+        alarm_wire_detects=alarm_clean,
+        alarm_wire_detects_under_probing=alarm_probed,
+        value_based_detects=value_clean,
+        value_based_detects_under_probing=value_probed,
+        consistency_violations_under_probing=len(probed_report.consistency_violations),
+    )

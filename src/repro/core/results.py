@@ -1,0 +1,85 @@
+"""Result containers of the platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sw.processor import InstructionCounts
+from repro.sw.routines import SoftwareVerdict
+
+__all__ = ["SequenceVerdict", "PlatformReport"]
+
+
+@dataclass
+class SequenceVerdict:
+    """Per-test decision for one evaluated sequence."""
+
+    test_number: int
+    name: str
+    passed: bool
+    statistic: float
+    threshold: float
+
+
+@dataclass
+class PlatformReport:
+    """Everything the platform produces for one n-bit sequence.
+
+    Attributes
+    ----------
+    design_name:
+        Name of the design point that produced the report.
+    n:
+        Sequence length.
+    alpha:
+        Level of significance used by the software routines.
+    verdicts:
+        Per-test software verdicts keyed by NIST test number.
+    hardware_values:
+        Snapshot of the memory-mapped register file (the values an operator
+        or auditor would log — the paper's value-based reporting).
+    instruction_counts:
+        16-bit instruction tally of the software verification pass.
+    consistency_violations:
+        Violated read-out invariants (non-empty indicates tampering or a
+        hardware fault; see ``SoftwareVerifier.consistency_check``).
+    """
+
+    design_name: str
+    n: int
+    alpha: float
+    verdicts: Dict[int, SoftwareVerdict]
+    hardware_values: Dict[str, int] = field(default_factory=dict)
+    instruction_counts: Optional[InstructionCounts] = None
+    consistency_violations: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every test passed and the read-out was consistent."""
+        return not self.consistency_violations and all(
+            verdict.passed for verdict in self.verdicts.values()
+        )
+
+    @property
+    def failing_tests(self) -> List[int]:
+        """Test numbers that rejected the randomness hypothesis."""
+        return sorted(
+            number for number, verdict in self.verdicts.items() if not verdict.passed
+        )
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """Tabular per-test summary for printing."""
+        rows = []
+        for number in sorted(self.verdicts):
+            verdict = self.verdicts[number]
+            rows.append(
+                {
+                    "test": number,
+                    "name": verdict.name,
+                    "statistic": verdict.statistic,
+                    "threshold": verdict.threshold,
+                    "passed": verdict.passed,
+                }
+            )
+        return rows

@@ -1,0 +1,44 @@
+"""Implementation-cost evaluation: FPGA, ASIC, software latency, baselines.
+
+These models translate the raw resource reports of the hardware model into
+the quantities Table III and Table IV report (Spartan-6 slices / FFs / LUTs /
+maximum frequency, ASIC gate equivalents, software instruction counts and
+cycle latency), and provide the standalone-implementation baseline of
+Veljković et al. [13] for the Table IV comparison.
+"""
+
+from repro.eval.fpga import FpgaEstimate, SPARTAN6_MODEL, estimate_fpga
+from repro.eval.asic import AsicEstimate, UMC130_MODEL, estimate_asic
+from repro.eval.latency import LatencyReport, latency_report, throughput_mbit_per_s
+from repro.eval.comparison import (
+    StandaloneTestEstimate,
+    standalone_baseline,
+    unified_vs_standalone,
+)
+from repro.eval.power import (
+    PowerPoint,
+    bias_power_curve,
+    correlation_power_curve,
+    detection_rate,
+    false_alarm_rate,
+)
+
+__all__ = [
+    "PowerPoint",
+    "bias_power_curve",
+    "correlation_power_curve",
+    "detection_rate",
+    "false_alarm_rate",
+    "FpgaEstimate",
+    "SPARTAN6_MODEL",
+    "estimate_fpga",
+    "AsicEstimate",
+    "UMC130_MODEL",
+    "estimate_asic",
+    "LatencyReport",
+    "latency_report",
+    "throughput_mbit_per_s",
+    "StandaloneTestEstimate",
+    "standalone_baseline",
+    "unified_vs_standalone",
+]

@@ -1,0 +1,128 @@
+"""Comparison against standalone per-test implementations (Table IV).
+
+The baseline of Table IV is Veljković et al. (DATE 2012, ref. [13]): each
+test implemented as an individual hardware block that completes the *whole*
+test in hardware — including the arithmetic that this paper moves to
+software — and reports through its own alarm.  The baseline model therefore
+charges each standalone test block:
+
+* its own bit-serial counters (no sharing with other tests: no shared ones
+  counter, no shared shift register, no shared pattern banks), and
+* a result-evaluation datapath (multiplier/accumulator/comparator sized for
+  the test's statistic) that the unified design does not need in hardware.
+
+The unified design, in exchange, pays the software latency of the
+verification routine — which Table IV shows is still far below the sequence
+generation time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.eval.fpga import FpgaEstimate, estimate_fpga
+from repro.hwsim.resources import ResourceReport
+from repro.hwtests.block import UnifiedTestingBlock
+from repro.hwtests.parameters import DesignParameters, SharingOptions, counter_width
+
+__all__ = ["StandaloneTestEstimate", "standalone_baseline", "unified_vs_standalone"]
+
+#: Tests that need a multiplier/accumulator to finish their statistic in HW
+#: (sum of squares / χ²-style post-processing).
+_NEEDS_MULTIPLIER = {2, 4, 7, 8, 11, 12}
+#: Tests whose post-processing is comparison-only even in hardware.
+_COMPARISON_ONLY = {1, 3, 13}
+
+
+@dataclass(frozen=True)
+class StandaloneTestEstimate:
+    """FPGA estimate of one standalone (full-test-in-hardware) block."""
+
+    test_number: int
+    fpga: FpgaEstimate
+    evaluation_luts: int
+    evaluation_ffs: int
+
+
+def _evaluation_datapath_cost(test_number: int, params: DesignParameters) -> Dict[str, int]:
+    """Extra logic a standalone block needs to finish its test in hardware.
+
+    A w×w sequential multiplier costs roughly 2.5·w LUTs and 3·w FFs
+    (operand, accumulator and control registers); comparison-only tests get a
+    constant-comparator plus a small FSM.
+    """
+    w = counter_width(params.n)
+    if test_number in _NEEDS_MULTIPLIER:
+        return {"luts": int(2.5 * w) + 24, "ffs": 3 * w + 8}
+    if test_number in _COMPARISON_ONLY:
+        return {"luts": w + 8, "ffs": 8}
+    raise ValueError(f"test {test_number} is not hardware-suitable")
+
+
+def standalone_baseline(
+    params: DesignParameters, tests: Sequence[int]
+) -> List[StandaloneTestEstimate]:
+    """Estimate each test as its own standalone hardware block ([13]-style)."""
+    estimates = []
+    for number in tests:
+        block = UnifiedTestingBlock(
+            params, tests=[number], sharing=SharingOptions.all_disabled()
+        )
+        report = block.resources()
+        extra = _evaluation_datapath_cost(number, params)
+        combined = ResourceReport(
+            flip_flops=report.flip_flops + extra["ffs"],
+            lut_estimate=report.lut_estimate + extra["luts"],
+            max_counter_width=report.max_counter_width,
+            readout_values=0,  # a standalone block only outputs its alarm
+            components=report.components,
+            label=f"standalone_test{number}",
+        )
+        estimates.append(
+            StandaloneTestEstimate(
+                test_number=number,
+                fpga=estimate_fpga(combined),
+                evaluation_luts=extra["luts"],
+                evaluation_ffs=extra["ffs"],
+            )
+        )
+    return estimates
+
+
+def unified_vs_standalone(
+    params: DesignParameters,
+    tests: Sequence[int],
+    software_latency_cycles: float,
+    standalone_latency_cycles: float = 21.0,
+) -> Dict[str, object]:
+    """The Table IV comparison for one design point.
+
+    Parameters
+    ----------
+    params, tests:
+        The unified design point to compare (the paper uses the 65 536-bit
+        medium design: tests 1, 2, 3, 4, 7, 13).
+    software_latency_cycles:
+        Measured cycle count of the unified design's software routine.
+    standalone_latency_cycles:
+        Result latency of the standalone baseline (the slowest individual
+        test of [13] finishes its hardware post-processing in 21 cycles).
+    """
+    unified_block = UnifiedTestingBlock(params, tests=tests)
+    unified_fpga = estimate_fpga(unified_block.resources())
+    standalone = standalone_baseline(params, tests)
+    standalone_slices = sum(item.fpga.slices for item in standalone)
+    return {
+        "tests": tuple(tests),
+        "sequence_length": params.n,
+        "unified_slices": unified_fpga.slices,
+        "standalone_slices_total": standalone_slices,
+        "slice_saving_percent": 100.0 * (1.0 - unified_fpga.slices / standalone_slices),
+        "unified_latency_cycles": software_latency_cycles,
+        "standalone_latency_cycles": standalone_latency_cycles,
+        "per_test_standalone_slices": {
+            item.test_number: item.fpga.slices for item in standalone
+        },
+    }

@@ -1,0 +1,101 @@
+"""Spartan-6 FPGA resource and timing estimation.
+
+The paper synthesises its Verilog with Xilinx ISE 14.7 for a Spartan-6
+XC6SLX45.  Without the vendor tool chain, this module converts the hardware
+model's component-level resource report into the same quantities (occupied
+slices, flip-flops, LUTs, maximum frequency) with a simple technology model
+whose constants are calibrated once against the paper's own Table III; the
+benchmarks then check that the *shape* across the eight design points
+(ordering, relative growth) is preserved.
+
+Model
+-----
+* flip-flops: taken directly from the component declarations;
+* LUTs: the sum of the per-component combinational estimates;
+* slices: a Spartan-6 slice holds four 6-input LUTs and eight flip-flops, but
+  packing is never perfect — the observed packing density in the paper's own
+  results is about 3 LUTs (and well under 8 FFs) per slice, so
+  ``slices = max(LUTs / 3, FFs / 7)``;
+* maximum frequency: the critical path runs through the widest counter's
+  carry chain plus the read-out multiplexer, modelled as an affine function
+  of those two sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hwsim.resources import ResourceReport
+
+__all__ = ["FpgaTechnologyModel", "SPARTAN6_MODEL", "FpgaEstimate", "estimate_fpga"]
+
+#: Number of slices in the Spartan-6 XC6SLX45 used by the paper (for the
+#: utilisation percentage column of Table III).
+XC6SLX45_SLICES = 6822
+
+
+@dataclass(frozen=True)
+class FpgaTechnologyModel:
+    """Calibration constants of the FPGA estimation model."""
+
+    name: str
+    luts_per_slice: float = 3.0
+    ffs_per_slice: float = 7.0
+    #: Affine timing model: period_ns = base + carry_ns_per_bit · max_counter_width
+    #: + mux_ns_per_value · readout_values.
+    base_period_ns: float = 5.3
+    carry_ns_per_bit: float = 0.12
+    mux_ns_per_value: float = 0.010
+    device_slices: int = XC6SLX45_SLICES
+
+
+#: Constants calibrated against the paper's Table III.
+SPARTAN6_MODEL = FpgaTechnologyModel(name="Spartan-6 XC6SLX45 (ISE 14.7)")
+
+
+@dataclass(frozen=True)
+class FpgaEstimate:
+    """FPGA implementation estimate for one hardware block."""
+
+    label: str
+    slices: int
+    flip_flops: int
+    luts: int
+    max_frequency_mhz: float
+    utilisation_percent: float
+
+    def as_row(self) -> dict:
+        """One row of the Table III reproduction."""
+        return {
+            "design": self.label,
+            "slices": self.slices,
+            "utilisation_percent": round(self.utilisation_percent, 1),
+            "ff": self.flip_flops,
+            "lut": self.luts,
+            "max_freq_mhz": round(self.max_frequency_mhz, 1),
+        }
+
+
+def estimate_fpga(
+    report: ResourceReport, model: FpgaTechnologyModel = SPARTAN6_MODEL
+) -> FpgaEstimate:
+    """Estimate Spartan-6 resources for a hardware resource report."""
+    luts = int(math.ceil(report.lut_estimate))
+    ffs = int(report.flip_flops)
+    slices = int(math.ceil(max(luts / model.luts_per_slice, ffs / model.ffs_per_slice)))
+    period_ns = (
+        model.base_period_ns
+        + model.carry_ns_per_bit * report.max_counter_width
+        + model.mux_ns_per_value * report.readout_values
+    )
+    max_frequency = 1000.0 / period_ns
+    utilisation = 100.0 * slices / model.device_slices
+    return FpgaEstimate(
+        label=report.label,
+        slices=slices,
+        flip_flops=ffs,
+        luts=luts,
+        max_frequency_mhz=max_frequency,
+        utilisation_percent=utilisation,
+    )

@@ -1,0 +1,93 @@
+"""Latency and throughput figures of the platform.
+
+Two claims of Section IV are checked here:
+
+* all hardware designs keep up with an input bit rate of at least
+  100 Mbit/s (one bit per clock at > 100 MHz);
+* the latency of the software verification routine, while much higher than a
+  pure-hardware test, stays far below the time needed to *generate* the next
+  sequence, so the software never becomes the bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.fpga import FpgaEstimate
+from repro.sw.cycles import CYCLE_PROFILES, estimate_cycles
+from repro.sw.processor import InstructionCounts
+
+__all__ = ["LatencyReport", "latency_report", "throughput_mbit_per_s"]
+
+
+def throughput_mbit_per_s(fpga: FpgaEstimate) -> float:
+    """Sustained input bit rate: one bit per clock at the estimated fmax."""
+    return fpga.max_frequency_mhz
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Software latency versus sequence generation time for one design point."""
+
+    design: str
+    n: int
+    instruction_total: int
+    software_cycles: float
+    software_time_us: float
+    generation_time_us: float
+    latency_ratio: float
+    profile: str
+
+    def as_row(self) -> dict:
+        return {
+            "design": self.design,
+            "n": self.n,
+            "instructions": self.instruction_total,
+            "sw_cycles": round(self.software_cycles),
+            "sw_time_us": round(self.software_time_us, 1),
+            "generation_time_us": round(self.generation_time_us, 1),
+            "sw_over_generation": round(self.latency_ratio, 4),
+            "profile": self.profile,
+        }
+
+
+def latency_report(
+    design_name: str,
+    n: int,
+    counts: InstructionCounts,
+    profile: str = "openmsp430_hw_mult",
+    cpu_mhz: float = 100.0,
+    trng_bit_rate_mbit_s: float = 10.0,
+) -> LatencyReport:
+    """Build the latency comparison for one design point.
+
+    Parameters
+    ----------
+    design_name, n:
+        Identify the design point.
+    counts:
+        Instruction tally of one software verification pass.
+    profile:
+        Cycle-cost profile (see :data:`repro.sw.cycles.CYCLE_PROFILES`).
+    cpu_mhz:
+        Clock frequency of the software platform.
+    trng_bit_rate_mbit_s:
+        Output bit rate of the TRNG being monitored (10 Mbit/s is a fast
+        oscillator-based FPGA TRNG; the comparison only strengthens for the
+        slower sources that are common in practice).
+    """
+    if profile not in CYCLE_PROFILES:
+        raise ValueError(f"unknown cycle profile {profile!r}")
+    cycles = estimate_cycles(counts, profile)
+    software_time_us = cycles / cpu_mhz
+    generation_time_us = n / trng_bit_rate_mbit_s
+    return LatencyReport(
+        design=design_name,
+        n=n,
+        instruction_total=counts.total(),
+        software_cycles=cycles,
+        software_time_us=software_time_us,
+        generation_time_us=generation_time_us,
+        latency_ratio=software_time_us / generation_time_us,
+        profile=profile,
+    )

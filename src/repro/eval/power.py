@@ -1,0 +1,131 @@
+"""Detection-power (type-2 error) evaluation of the platform.
+
+The statistical tests' purpose is "to minimize the probability of [the
+type 2] error" (Section II-A), yet neither the paper nor the NIST suite
+quantifies the detection power of an on-the-fly configuration.  This module
+estimates it by Monte Carlo: many sequences are drawn from a parameterised
+weakness model, pushed through the functional hardware model and the software
+verifier, and the fraction of flagged sequences is reported per weakness
+level.  The companion benchmark (``bench_detection_power.py``) uses it to
+show the trade-off behind the paper's three sequence lengths: longer designs
+detect smaller deviations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.configs import DesignPoint, get_design
+from repro.hwtests.block import UnifiedTestingBlock
+from repro.sw.routines import SoftwareVerifier
+from repro.trng.biased import BiasedSource
+from repro.trng.correlated import CorrelatedSource
+from repro.trng.ideal import IdealSource
+from repro.trng.source import EntropySource
+
+__all__ = ["PowerPoint", "detection_rate", "bias_power_curve", "correlation_power_curve", "false_alarm_rate"]
+
+
+@dataclass(frozen=True)
+class PowerPoint:
+    """Detection rate of one design at one weakness level."""
+
+    design: str
+    parameter: float
+    trials: int
+    detections: int
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of trials in which at least one test rejected."""
+        return self.detections / self.trials if self.trials else 0.0
+
+
+def _evaluate_many(
+    design: DesignPoint,
+    source_factory: Callable[[int], EntropySource],
+    trials: int,
+    alpha: float,
+) -> int:
+    """Number of trials (out of ``trials``) flagged by the design."""
+    params = design.parameters
+    block = UnifiedTestingBlock(params, tests=design.tests)
+    verifier = SoftwareVerifier(params, tests=design.tests, alpha=alpha)
+    detections = 0
+    for trial in range(trials):
+        bits = source_factory(trial).generate(params.n).bits
+        block.accelerated_process_sequence(bits)
+        verdicts = verifier.verify(block.register_file)
+        if any(not verdict.passed for verdict in verdicts.values()):
+            detections += 1
+    return detections
+
+
+def detection_rate(
+    design_name: str,
+    source_factory: Callable[[int], EntropySource],
+    trials: int = 50,
+    alpha: float = 0.01,
+) -> float:
+    """Monte-Carlo detection rate of ``design_name`` against a weakness model.
+
+    ``source_factory(trial)`` must return a fresh source for each trial
+    (vary the seed with the trial index for reproducible independence).
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    design = get_design(design_name)
+    detections = _evaluate_many(design, source_factory, trials, alpha)
+    return detections / trials
+
+
+def false_alarm_rate(design_name: str, trials: int = 50, alpha: float = 0.01, seed: int = 0) -> float:
+    """Type-1 error estimate: detection rate against an ideal source."""
+    return detection_rate(
+        design_name,
+        lambda trial: IdealSource(seed=seed + trial),
+        trials=trials,
+        alpha=alpha,
+    )
+
+
+def bias_power_curve(
+    design_name: str,
+    bias_levels: Sequence[float],
+    trials: int = 50,
+    alpha: float = 0.01,
+    seed: int = 1000,
+) -> List[PowerPoint]:
+    """Detection power versus the bias P(1) of an independent-bit source."""
+    design = get_design(design_name)
+    points = []
+    for level in bias_levels:
+        detections = _evaluate_many(
+            design,
+            lambda trial, level=level: BiasedSource(level, seed=seed + trial),
+            trials,
+            alpha,
+        )
+        points.append(PowerPoint(design_name, float(level), trials, detections))
+    return points
+
+
+def correlation_power_curve(
+    design_name: str,
+    repeat_probabilities: Sequence[float],
+    trials: int = 50,
+    alpha: float = 0.01,
+    seed: int = 2000,
+) -> List[PowerPoint]:
+    """Detection power versus the repeat probability of a Markov source."""
+    points = []
+    for level in repeat_probabilities:
+        detections = _evaluate_many(
+            get_design(design_name),
+            lambda trial, level=level: CorrelatedSource(level, seed=seed + trial),
+            trials,
+            alpha,
+        )
+        points.append(PowerPoint(design_name, float(level), trials, detections))
+    return points

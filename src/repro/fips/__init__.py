@@ -1,0 +1,38 @@
+"""FIPS 140-1 / 140-2 statistical test battery (baseline from prior work).
+
+The hardware on-the-fly testers that precede the paper ([7], [8] in its
+bibliography) implement the four FIPS 140-1/140-2 power-up tests rather than
+NIST tests.  This package provides that battery as a reference baseline so
+the reproduction can compare the detection capability of the paper's
+NIST-based platform against the older FIPS-based approach
+(``benchmarks/bench_fips_baseline.py``).
+
+The battery operates on a single 20 000-bit block and applies fixed
+acceptance intervals (no configurable α), exactly as specified in FIPS 140-2
+(change notice 1 relaxes nothing we rely on here):
+
+* monobit test — number of ones in (9 725, 10 275);
+* poker test — 4-bit poker statistic in (2.16, 46.17);
+* runs test — per-length run counts within tabulated intervals;
+* long-run test — no run of 26 or more identical bits.
+"""
+
+from repro.fips.battery import (
+    FIPS_BLOCK_BITS,
+    FipsReport,
+    fips_battery,
+    long_run_test,
+    monobit_test,
+    poker_test,
+    runs_test,
+)
+
+__all__ = [
+    "FIPS_BLOCK_BITS",
+    "FipsReport",
+    "fips_battery",
+    "monobit_test",
+    "poker_test",
+    "runs_test",
+    "long_run_test",
+]

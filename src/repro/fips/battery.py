@@ -1,0 +1,188 @@
+"""The four FIPS 140-2 statistical tests on a 20 000-bit block.
+
+These are the tests the prior hardware implementations referenced by the
+paper provide.  They are deliberately simple — fixed block size, fixed
+acceptance intervals, pass/fail only — which is both their appeal for
+hardware and their weakness as a health test (no tunable significance level,
+no sensitivity to weaknesses that need longer observation windows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.nist.common import BitsLike, to_bits
+
+__all__ = [
+    "FIPS_BLOCK_BITS",
+    "FipsTestResult",
+    "FipsReport",
+    "monobit_test",
+    "poker_test",
+    "runs_test",
+    "long_run_test",
+    "fips_battery",
+]
+
+#: The FIPS battery always evaluates exactly 20 000 bits.
+FIPS_BLOCK_BITS = 20000
+
+#: FIPS 140-2 monobit acceptance interval (exclusive bounds).
+MONOBIT_BOUNDS: Tuple[int, int] = (9725, 10275)
+
+#: FIPS 140-2 poker-test acceptance interval (exclusive bounds).
+POKER_BOUNDS: Tuple[float, float] = (2.16, 46.17)
+
+#: FIPS 140-2 per-run-length acceptance intervals (inclusive bounds), applied
+#: to runs of zeros and runs of ones separately; the final entry covers all
+#: runs of length >= 6.
+RUNS_BOUNDS: Dict[int, Tuple[int, int]] = {
+    1: (2343, 2657),
+    2: (1135, 1365),
+    3: (542, 708),
+    4: (251, 373),
+    5: (111, 201),
+    6: (111, 201),
+}
+
+#: FIPS 140-2 long-run limit: any run of this length or more fails.
+LONG_RUN_LIMIT = 26
+
+
+@dataclass
+class FipsTestResult:
+    """Outcome of one FIPS test."""
+
+    name: str
+    passed: bool
+    statistic: float
+    details: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class FipsReport:
+    """Outcome of the whole battery on one 20 000-bit block."""
+
+    results: List[FipsTestResult]
+
+    @property
+    def passed(self) -> bool:
+        """True when all four tests accept the block."""
+        return all(result.passed for result in self.results)
+
+    def failing_tests(self) -> List[str]:
+        """Names of the tests that rejected the block."""
+        return [result.name for result in self.results if not result.passed]
+
+
+def _check_block(bits: BitsLike) -> np.ndarray:
+    arr = to_bits(bits)
+    if arr.size != FIPS_BLOCK_BITS:
+        raise ValueError(
+            f"the FIPS battery requires exactly {FIPS_BLOCK_BITS} bits, got {arr.size}"
+        )
+    return arr
+
+
+def monobit_test(bits: BitsLike) -> FipsTestResult:
+    """FIPS monobit test: the number of ones must lie in (9725, 10275)."""
+    arr = _check_block(bits)
+    ones = int(arr.sum())
+    low, high = MONOBIT_BOUNDS
+    return FipsTestResult(
+        name="FIPS monobit",
+        passed=low < ones < high,
+        statistic=float(ones),
+        details={"ones": ones, "bounds": MONOBIT_BOUNDS},
+    )
+
+
+def poker_test(bits: BitsLike) -> FipsTestResult:
+    """FIPS poker test on non-overlapping 4-bit nibbles."""
+    arr = _check_block(bits)
+    nibbles = arr.reshape(-1, 4)
+    weights = np.array([8, 4, 2, 1])
+    values = nibbles @ weights
+    counts = np.bincount(values, minlength=16).astype(np.float64)
+    num_nibbles = FIPS_BLOCK_BITS // 4
+    statistic = float(16.0 / num_nibbles * np.sum(counts ** 2) - num_nibbles)
+    low, high = POKER_BOUNDS
+    return FipsTestResult(
+        name="FIPS poker",
+        passed=low < statistic < high,
+        statistic=statistic,
+        details={"counts": counts.astype(int).tolist(), "bounds": POKER_BOUNDS},
+    )
+
+
+def _run_lengths(arr: np.ndarray) -> Dict[int, Dict[int, int]]:
+    """Histogram of run lengths, separately for runs of zeros and of ones.
+
+    Returns ``{bit_value: {capped_length: count}}`` where lengths of six or
+    more are accumulated under the key 6.
+    """
+    histogram = {0: {length: 0 for length in range(1, 7)}, 1: {length: 0 for length in range(1, 7)}}
+    if arr.size == 0:
+        return histogram
+    boundaries = np.flatnonzero(np.diff(arr.astype(np.int8))) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [arr.size]])
+    for start, end in zip(starts, ends):
+        value = int(arr[start])
+        length = min(int(end - start), 6)
+        histogram[value][length] += 1
+    return histogram
+
+
+def runs_test(bits: BitsLike) -> FipsTestResult:
+    """FIPS runs test: per-length run counts within the tabulated intervals."""
+    arr = _check_block(bits)
+    histogram = _run_lengths(arr)
+    violations = []
+    for value in (0, 1):
+        for length, (low, high) in RUNS_BOUNDS.items():
+            count = histogram[value][length]
+            if not low <= count <= high:
+                violations.append((value, length, count))
+    return FipsTestResult(
+        name="FIPS runs",
+        passed=not violations,
+        statistic=float(len(violations)),
+        details={"histogram": histogram, "violations": violations},
+    )
+
+
+def long_run_test(bits: BitsLike) -> FipsTestResult:
+    """FIPS long-run test: no run of 26 or more identical bits."""
+    arr = _check_block(bits)
+    longest = 0
+    current = 1
+    for i in range(1, arr.size):
+        if arr[i] == arr[i - 1]:
+            current += 1
+        else:
+            longest = max(longest, current)
+            current = 1
+    longest = max(longest, current) if arr.size else 0
+    return FipsTestResult(
+        name="FIPS long run",
+        passed=longest < LONG_RUN_LIMIT,
+        statistic=float(longest),
+        details={"longest_run": longest, "limit": LONG_RUN_LIMIT},
+    )
+
+
+def fips_battery(bits: BitsLike) -> FipsReport:
+    """Run the complete FIPS 140-2 battery on one 20 000-bit block."""
+    arr = _check_block(bits)
+    return FipsReport(
+        results=[
+            monobit_test(arr),
+            poker_test(arr),
+            runs_test(arr),
+            long_run_test(arr),
+        ]
+    )

@@ -1,0 +1,44 @@
+"""Hardware-simulation substrate.
+
+This package replaces the paper's Verilog RTL with a cycle-accurate,
+bit-serial Python model.  It provides:
+
+* :mod:`repro.hwsim.components` — the only primitives the paper's datapath
+  uses (registers, counters, up/down counters, shift registers, comparators,
+  pattern detectors and the read-out multiplexer), each of which declares its
+  own resource cost;
+* :mod:`repro.hwsim.resources` — resource accounting (flip-flops, LUT
+  estimate, component inventory) consumed by the FPGA/ASIC estimators in
+  :mod:`repro.eval`;
+* :mod:`repro.hwsim.register_file` — the memory-mapped read-out interface of
+  Fig. 2 (a 7-bit-addressed multiplexer over all exported counter values).
+"""
+
+from repro.hwsim.components import (
+    Component,
+    Register,
+    Counter,
+    UpDownCounter,
+    ShiftRegister,
+    EqualityComparator,
+    PatternDetector,
+    PatternCounterBank,
+)
+from repro.hwsim.resources import ResourceReport, component_inventory
+from repro.hwsim.register_file import MappedValue, RegisterFile, ReadoutMux
+
+__all__ = [
+    "Component",
+    "Register",
+    "Counter",
+    "UpDownCounter",
+    "ShiftRegister",
+    "EqualityComparator",
+    "PatternDetector",
+    "PatternCounterBank",
+    "ResourceReport",
+    "component_inventory",
+    "MappedValue",
+    "RegisterFile",
+    "ReadoutMux",
+]

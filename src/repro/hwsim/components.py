@@ -1,0 +1,425 @@
+"""Primitive hardware components of the testing block.
+
+The paper's hardware datapath is deliberately restricted to "counters,
+comparators and registers" (Section I-B); every hardware test unit in
+:mod:`repro.hwtests` is assembled exclusively from the components defined
+here.  Each component models its cycle-by-cycle behaviour *and* declares its
+implementation cost (flip-flops and a LUT estimate), so that the unified
+testing block can report the resource usage that the FPGA/ASIC estimators in
+:mod:`repro.eval` translate into slices and gate equivalents.
+
+Width handling follows RTL semantics: counters and registers wrap modulo
+``2**width``, and the up/down counter uses two's-complement saturation-free
+wrapping.  Widths are chosen by the test units to be provably sufficient for
+the configured sequence length, and the unit tests assert that no wrap ever
+occurs in legal operation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "Component",
+    "Register",
+    "Counter",
+    "UpDownCounter",
+    "ShiftRegister",
+    "EqualityComparator",
+    "PatternDetector",
+    "PatternCounterBank",
+]
+
+
+def _check_width(width: int) -> int:
+    if not isinstance(width, int) or width <= 0:
+        raise ValueError(f"width must be a positive integer, got {width!r}")
+    return width
+
+
+class Component:
+    """Base class of all hardware primitives.
+
+    Sub-classes must implement the resource-declaration properties
+    :attr:`flip_flops` and :attr:`lut_estimate`, and should provide a
+    ``reset()`` method restoring the power-on state.
+    """
+
+    #: Short component-kind label used in inventories ("counter", ...).
+    kind: str = "component"
+
+    def __init__(self, name: str):
+        self.name = name
+
+    @property
+    def flip_flops(self) -> int:
+        """Number of flip-flops (1-bit storage elements) this component uses."""
+        raise NotImplementedError
+
+    @property
+    def lut_estimate(self) -> float:
+        """Estimated number of 6-input LUTs of combinational logic."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Restore the power-on state."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class Register(Component):
+    """A simple ``width``-bit storage register with a load enable.
+
+    Resource model: one flip-flop per bit; the load-enable multiplexing is
+    absorbed into the FF's CE pin on both FPGA and ASIC targets, so the LUT
+    cost is essentially zero.
+    """
+
+    kind = "register"
+
+    def __init__(self, name: str, width: int, reset_value: int = 0):
+        super().__init__(name)
+        self.width = _check_width(width)
+        self._mask = (1 << width) - 1
+        self.reset_value = reset_value & self._mask
+        self._value = self.reset_value
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def load(self, value: int) -> None:
+        """Clock a new value into the register (wraps modulo 2**width)."""
+        self._value = value & self._mask
+
+    def force(self, value: int) -> None:
+        """Set the register state directly (functional-model fast path)."""
+        self.load(value)
+
+    def reset(self) -> None:
+        self._value = self.reset_value
+
+    @property
+    def flip_flops(self) -> int:
+        return self.width
+
+    @property
+    def lut_estimate(self) -> float:
+        return 0.0
+
+
+class Counter(Component):
+    """An up-counter with synchronous enable and reset.
+
+    Resource model: ``width`` flip-flops plus roughly one LUT per bit for the
+    increment logic (on a carry-chain fabric this is conservative).
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, width: int):
+        super().__init__(name)
+        self.width = _check_width(width)
+        self._mask = (1 << width) - 1
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable count."""
+        return self._mask
+
+    def increment(self, enable: bool = True) -> None:
+        """Advance the counter by one when ``enable`` is set."""
+        if enable:
+            self._value = (self._value + 1) & self._mask
+
+    def clear(self) -> None:
+        """Synchronous clear (used at block boundaries)."""
+        self._value = 0
+
+    def force(self, value: int) -> None:
+        """Set the counter state directly (functional-model fast path).
+
+        Raises ``ValueError`` if the value does not fit, so the fast path can
+        never hide a width-sizing bug that the cycle-accurate path would
+        expose as a wrap-around.
+        """
+        if not 0 <= value <= self._mask:
+            raise ValueError(f"value {value} does not fit in {self.width} bits")
+        self._value = value
+
+    def reset(self) -> None:
+        self._value = 0
+
+    @property
+    def flip_flops(self) -> int:
+        return self.width
+
+    @property
+    def lut_estimate(self) -> float:
+        return float(self.width)
+
+
+class UpDownCounter(Component):
+    """A signed up/down counter used to track the cusum random walk.
+
+    The counter holds values in two's complement over ``width`` bits; the
+    paper sizes it so that the full ±n excursion of an n-bit sequence fits
+    (width = ceil(log2(n)) + 1 plus sign).
+
+    Resource model: ``width`` flip-flops and ~1.5 LUTs per bit (an
+    adder/subtractor is slightly wider than a bare incrementer).
+    """
+
+    kind = "updown_counter"
+
+    def __init__(self, name: str, width: int):
+        super().__init__(name)
+        self.width = _check_width(width)
+        self._modulus = 1 << width
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        """Current signed value (two's-complement interpretation)."""
+        raw = self._value
+        if raw >= self._modulus // 2:
+            raw -= self._modulus
+        return raw
+
+    @property
+    def min_value(self) -> int:
+        return -(self._modulus // 2)
+
+    @property
+    def max_value(self) -> int:
+        return self._modulus // 2 - 1
+
+    def count(self, up: bool) -> None:
+        """Count up (``up`` true) or down by one."""
+        delta = 1 if up else -1
+        self._value = (self._value + delta) % self._modulus
+
+    def clear(self) -> None:
+        self._value = 0
+
+    def force(self, signed_value: int) -> None:
+        """Set the counter to a signed value directly (functional fast path)."""
+        if not self.min_value <= signed_value <= self.max_value:
+            raise ValueError(
+                f"value {signed_value} outside the {self.width}-bit two's-complement range"
+            )
+        self._value = signed_value % self._modulus
+
+    def reset(self) -> None:
+        self._value = 0
+
+    @property
+    def flip_flops(self) -> int:
+        return self.width
+
+    @property
+    def lut_estimate(self) -> float:
+        return 1.5 * self.width
+
+
+class ShiftRegister(Component):
+    """A serial-in shift register holding the most recent ``width`` bits.
+
+    The newest bit occupies the least-significant position; :attr:`value`
+    therefore equals the integer whose MSB is the *oldest* stored bit, which
+    matches how the template-matching units compare against their patterns.
+
+    Resource model: one flip-flop per bit, negligible combinational logic.
+    """
+
+    kind = "shift_register"
+
+    def __init__(self, name: str, width: int):
+        super().__init__(name)
+        self.width = _check_width(width)
+        self._mask = (1 << width) - 1
+        self._value = 0
+        self._fill = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def full(self) -> bool:
+        """True once ``width`` bits have been shifted in since reset."""
+        return self._fill >= self.width
+
+    def shift_in(self, bit: int) -> None:
+        """Shift one new bit into the register."""
+        if bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        self._value = ((self._value << 1) | bit) & self._mask
+        if self._fill < self.width:
+            self._fill += 1
+
+    def bits(self) -> List[int]:
+        """Current contents, oldest bit first."""
+        return [(self._value >> (self.width - 1 - i)) & 1 for i in range(self.width)]
+
+    def clear(self) -> None:
+        self._value = 0
+        self._fill = 0
+
+    def reset(self) -> None:
+        self.clear()
+
+    @property
+    def flip_flops(self) -> int:
+        return self.width
+
+    @property
+    def lut_estimate(self) -> float:
+        return 0.0
+
+
+class EqualityComparator(Component):
+    """A combinational equality comparator against a fixed constant.
+
+    Resource model: no flip-flops; a ``width``-bit equality against a
+    constant packs roughly three bits per 6-input LUT plus a small AND
+    reduction tree.
+    """
+
+    kind = "comparator"
+
+    def __init__(self, name: str, width: int, constant: int):
+        super().__init__(name)
+        self.width = _check_width(width)
+        if not 0 <= constant < (1 << width):
+            raise ValueError(f"constant {constant} does not fit in {width} bits")
+        self.constant = constant
+
+    def matches(self, value: int) -> bool:
+        """Combinational compare of ``value`` against the stored constant."""
+        return (value & ((1 << self.width) - 1)) == self.constant
+
+    def reset(self) -> None:  # combinational: nothing to reset
+        return None
+
+    @property
+    def flip_flops(self) -> int:
+        return 0
+
+    @property
+    def lut_estimate(self) -> float:
+        return max(1.0, math.ceil(self.width / 3.0))
+
+
+class PatternDetector(Component):
+    """Shift register + equality comparator detecting a fixed bit pattern.
+
+    Used by the template-matching units.  The shift register may be shared
+    between several detectors (the paper's fourth sharing trick); pass
+    ``shared_shift_register`` to reuse an existing one, in which case only
+    the comparator cost is accounted to this component.
+    """
+
+    kind = "pattern_detector"
+
+    def __init__(
+        self,
+        name: str,
+        pattern: Sequence[int],
+        shared_shift_register: Optional[ShiftRegister] = None,
+    ):
+        super().__init__(name)
+        pattern = tuple(int(b) for b in pattern)
+        if not pattern or set(pattern) - {0, 1}:
+            raise ValueError("pattern must be a non-empty sequence of bits")
+        self.pattern = pattern
+        width = len(pattern)
+        self._owns_shift_register = shared_shift_register is None
+        self.shift_register = shared_shift_register or ShiftRegister(f"{name}_sr", width)
+        if self.shift_register.width != width:
+            raise ValueError(
+                "shared shift register width does not match the pattern length"
+            )
+        pattern_value = 0
+        for bit in pattern:
+            pattern_value = (pattern_value << 1) | bit
+        self.comparator = EqualityComparator(f"{name}_cmp", width, pattern_value)
+
+    def shift_in(self, bit: int) -> bool:
+        """Shift a bit in (only if this detector owns the register) and match."""
+        if self._owns_shift_register:
+            self.shift_register.shift_in(bit)
+        return self.matches()
+
+    def matches(self) -> bool:
+        """True when the (possibly shared) shift register holds the pattern."""
+        return self.shift_register.full and self.comparator.matches(self.shift_register.value)
+
+    def reset(self) -> None:
+        if self._owns_shift_register:
+            self.shift_register.reset()
+
+    @property
+    def flip_flops(self) -> int:
+        return self.shift_register.flip_flops if self._owns_shift_register else 0
+
+    @property
+    def lut_estimate(self) -> float:
+        own_sr = self.shift_register.lut_estimate if self._owns_shift_register else 0.0
+        return own_sr + self.comparator.lut_estimate
+
+
+class PatternCounterBank(Component):
+    """A bank of ``2**pattern_length`` counters indexed by an m-bit window.
+
+    This is the serial-test structure of Table II: one counter per possible
+    m-bit pattern, incremented whenever the sliding window equals that
+    pattern.  The decode of the window value into a one-hot enable costs
+    roughly one LUT per counter.
+    """
+
+    kind = "pattern_counter_bank"
+
+    def __init__(self, name: str, pattern_length: int, counter_width: int):
+        super().__init__(name)
+        if pattern_length <= 0:
+            raise ValueError("pattern_length must be positive")
+        self.pattern_length = pattern_length
+        self.counter_width = _check_width(counter_width)
+        self.counters = [
+            Counter(f"{name}_nu{index:0{pattern_length}b}", counter_width)
+            for index in range(1 << pattern_length)
+        ]
+
+    def record(self, pattern_value: int) -> None:
+        """Increment the counter selected by the m-bit window value."""
+        if not 0 <= pattern_value < (1 << self.pattern_length):
+            raise ValueError(
+                f"pattern value {pattern_value} out of range for m={self.pattern_length}"
+            )
+        self.counters[pattern_value].increment()
+
+    def counts(self) -> List[int]:
+        """Current counter values, indexed by pattern value."""
+        return [counter.value for counter in self.counters]
+
+    def reset(self) -> None:
+        for counter in self.counters:
+            counter.reset()
+
+    @property
+    def flip_flops(self) -> int:
+        return sum(counter.flip_flops for counter in self.counters)
+
+    @property
+    def lut_estimate(self) -> float:
+        decode = float(len(self.counters))
+        return decode + sum(counter.lut_estimate for counter in self.counters)

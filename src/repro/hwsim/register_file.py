@@ -1,0 +1,167 @@
+"""Memory-mapped read-out interface of the hardware testing block.
+
+Fig. 2 of the paper shows a single large multiplexer through which the
+software reads every exported counter value; a 7-bit address selects the
+value.  The paper notes that this interface "contributes significantly to the
+overall area", which is why reducing the number of transmitted values is one
+of its optimisation levers — the model therefore accounts the multiplexer
+cost explicitly as a function of the number and width of exported values.
+
+This read-out path is also where the paper's security argument lives: there
+is no single alarm wire to ground; an attacker probing the interface can only
+force the read values to all-zeros or all-ones, both of which are blatantly
+non-random and flagged by the software (see
+:class:`repro.trng.attacks.ProbingAttack`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.hwsim.components import Component
+
+__all__ = ["MappedValue", "ReadoutMux", "RegisterFile"]
+
+
+@dataclass
+class MappedValue:
+    """One value exported through the memory-mapped interface.
+
+    Attributes
+    ----------
+    address:
+        The 7-bit read address.
+    name:
+        Symbolic name (e.g. ``"t13_s_max"``).
+    width:
+        Bit width of the value on the bus.
+    getter:
+        Callable returning the current (untampered) value.
+    """
+
+    address: int
+    name: str
+    width: int
+    getter: Callable[[], int]
+
+
+class ReadoutMux(Component):
+    """The read-out multiplexer as a resource-bearing component.
+
+    Resource model: a ``num_values``-to-1 multiplexer of ``bus_width`` bits
+    costs roughly ``bus_width * num_values / 3`` 6-input LUTs (two 2-to-1
+    muxes per LUT plus the address decode), and no flip-flops (the paper's
+    interface is combinational read).
+    """
+
+    kind = "readout_mux"
+
+    def __init__(self, name: str, num_values: int, bus_width: int, address_bits: int = 7):
+        super().__init__(name)
+        if num_values < 0:
+            raise ValueError("num_values must be non-negative")
+        if bus_width <= 0:
+            raise ValueError("bus_width must be positive")
+        self.num_values = num_values
+        self.bus_width = bus_width
+        self.address_bits = address_bits
+
+    def reset(self) -> None:  # combinational
+        return None
+
+    @property
+    def flip_flops(self) -> int:
+        return 0
+
+    @property
+    def lut_estimate(self) -> float:
+        if self.num_values <= 1:
+            return 0.0
+        return self.bus_width * self.num_values / 3.0 + self.address_bits
+
+
+class RegisterFile:
+    """Address-mapped collection of exported hardware values.
+
+    The software platform reads counter values through this interface;
+    every read is also counted so the READ column of Table III can be
+    regenerated (each exported value wider than the 16-bit bus costs
+    multiple reads on a 16-bit platform — that accounting lives in
+    :mod:`repro.sw.processor`).
+
+    Parameters
+    ----------
+    bus_width:
+        Width of the read data bus (the paper's SW platform is 16-bit).
+    address_bits:
+        Number of address bits (the paper uses a 7-bit address).
+    """
+
+    def __init__(self, bus_width: int = 16, address_bits: int = 7):
+        self.bus_width = bus_width
+        self.address_bits = address_bits
+        self._values: Dict[int, MappedValue] = {}
+        self._by_name: Dict[str, MappedValue] = {}
+        self._next_address = 0
+
+    # -- construction ------------------------------------------------------
+    def add(self, name: str, width: int, getter: Callable[[], int]) -> MappedValue:
+        """Register a new exported value at the next free address."""
+        if name in self._by_name:
+            raise ValueError(f"value {name!r} already mapped")
+        if self._next_address >= (1 << self.address_bits):
+            raise ValueError("register file address space exhausted")
+        mapped = MappedValue(self._next_address, name, width, getter)
+        self._values[mapped.address] = mapped
+        self._by_name[name] = mapped
+        self._next_address += 1
+        return mapped
+
+    # -- access -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def names(self) -> List[str]:
+        """Exported value names in address order."""
+        return [self._values[a].name for a in sorted(self._values)]
+
+    def read_by_address(self, address: int) -> int:
+        """Read the value stored at ``address``."""
+        if address not in self._values:
+            raise KeyError(f"no value mapped at address {address}")
+        return int(self._values[address].getter())
+
+    def read(self, name: str) -> int:
+        """Read an exported value by name."""
+        if name not in self._by_name:
+            raise KeyError(f"no value named {name!r}")
+        return int(self._by_name[name].getter())
+
+    def width_of(self, name: str) -> int:
+        """Bit width of the named exported value."""
+        return self._by_name[name].width
+
+    def dump(self) -> Dict[str, int]:
+        """Read every exported value (name -> value)."""
+        return {name: self.read(name) for name in self.names()}
+
+    def memory_map(self) -> List[Dict[str, object]]:
+        """The register map as a list of rows (address, name, width)."""
+        return [
+            {"address": mapped.address, "name": mapped.name, "width": mapped.width}
+            for mapped in (self._values[a] for a in sorted(self._values))
+        ]
+
+    def words_required(self, name: str) -> int:
+        """Number of bus transfers needed to read the named value."""
+        return max(1, math.ceil(self._by_name[name].width / self.bus_width))
+
+    def total_read_words(self) -> int:
+        """Bus transfers needed to read the entire register file once."""
+        return sum(self.words_required(name) for name in self.names())
+
+    def mux_component(self, name: str = "readout_mux") -> ReadoutMux:
+        """The read-out multiplexer sized for the current register map."""
+        return ReadoutMux(name, len(self), self.bus_width, self.address_bits)

@@ -1,0 +1,107 @@
+"""Resource accounting for the hardware model.
+
+Every hardware test unit and the unified testing block expose a
+:class:`ResourceReport`; the FPGA/ASIC estimators in :mod:`repro.eval`
+convert these raw flip-flop / LUT numbers into Spartan-6 slices, a maximum
+frequency estimate and ASIC gate equivalents.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _TallyCounter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.hwsim.components import Component
+
+__all__ = ["ResourceReport", "component_inventory"]
+
+
+@dataclass
+class ResourceReport:
+    """Raw resource usage of a hardware block.
+
+    Attributes
+    ----------
+    flip_flops:
+        Total number of 1-bit storage elements.
+    lut_estimate:
+        Estimated number of 6-input LUTs of combinational logic.
+    max_counter_width:
+        Width of the widest counter/adder structure; drives the critical-path
+        (maximum-frequency) model.
+    readout_values:
+        Number of values exported through the memory-mapped interface; drives
+        the read-out multiplexer cost.
+    components:
+        Per-component-kind tallies (``{"counter": 12, ...}``).
+    label:
+        Free-form label identifying the block the report describes.
+    """
+
+    flip_flops: int = 0
+    lut_estimate: float = 0.0
+    max_counter_width: int = 0
+    readout_values: int = 0
+    components: Dict[str, int] = field(default_factory=dict)
+    label: str = ""
+
+    def merge(self, other: "ResourceReport") -> "ResourceReport":
+        """Combine two reports (component-wise sum, max of widths)."""
+        merged_components = dict(self.components)
+        for kind, count in other.components.items():
+            merged_components[kind] = merged_components.get(kind, 0) + count
+        return ResourceReport(
+            flip_flops=self.flip_flops + other.flip_flops,
+            lut_estimate=self.lut_estimate + other.lut_estimate,
+            max_counter_width=max(self.max_counter_width, other.max_counter_width),
+            readout_values=self.readout_values + other.readout_values,
+            components=merged_components,
+            label=self.label or other.label,
+        )
+
+    @classmethod
+    def from_components(
+        cls,
+        components: Iterable[Component],
+        *,
+        label: str = "",
+        readout_values: int = 0,
+    ) -> "ResourceReport":
+        """Build a report by summing the declared costs of ``components``."""
+        components = list(components)
+        flip_flops = sum(c.flip_flops for c in components)
+        luts = sum(c.lut_estimate for c in components)
+        widths = [getattr(c, "width", 0) for c in components if c.kind in ("counter", "updown_counter")]
+        tallies = _TallyCounter(c.kind for c in components)
+        return cls(
+            flip_flops=flip_flops,
+            lut_estimate=luts,
+            max_counter_width=max(widths) if widths else 0,
+            readout_values=readout_values,
+            components=dict(tallies),
+            label=label,
+        )
+
+    def total_components(self) -> int:
+        """Total number of primitive components in the block."""
+        return sum(self.components.values())
+
+
+def component_inventory(components: Iterable[Component]) -> List[Dict[str, object]]:
+    """Structural inventory (name, kind, FFs, LUTs) of a component list.
+
+    Used by the Fig. 2 architecture bench to print the elaborated structure
+    of the unified testing block.
+    """
+    rows = []
+    for component in components:
+        rows.append(
+            {
+                "name": component.name,
+                "kind": component.kind,
+                "flip_flops": component.flip_flops,
+                "lut_estimate": round(component.lut_estimate, 1),
+            }
+        )
+    return rows

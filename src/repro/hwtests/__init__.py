@@ -1,0 +1,43 @@
+"""Bit-serial hardware test units and the unified testing block of Fig. 2.
+
+Each module implements the *hardware half* of one of the nine NIST tests the
+paper selects (Table II, middle column): the values that must be computed
+while the TRNG is producing bits, using only counters, comparators, shift
+registers and registers.  :mod:`repro.hwtests.block` assembles the units into
+the unified testing block with the paper's four resource-sharing tricks and
+the memory-mapped read-out interface.
+"""
+
+from repro.hwtests.base import HardwareTestUnit
+from repro.hwtests.parameters import DesignParameters, SharingOptions
+from repro.hwtests.global_counter import GlobalBitCounter
+from repro.hwtests.frequency import FrequencyHW
+from repro.hwtests.block_frequency import BlockFrequencyHW
+from repro.hwtests.runs import RunsHW
+from repro.hwtests.longest_run import LongestRunHW
+from repro.hwtests.nonoverlapping import NonOverlappingTemplateHW
+from repro.hwtests.overlapping import OverlappingTemplateHW
+from repro.hwtests.serial import SerialHW
+from repro.hwtests.approximate_entropy import ApproximateEntropyHW
+from repro.hwtests.cusum import CusumHW
+from repro.hwtests.block import UnifiedTestingBlock
+from repro.hwtests.suitability import SUITABILITY_TABLE, suitability_table
+
+__all__ = [
+    "HardwareTestUnit",
+    "DesignParameters",
+    "SharingOptions",
+    "GlobalBitCounter",
+    "FrequencyHW",
+    "BlockFrequencyHW",
+    "RunsHW",
+    "LongestRunHW",
+    "NonOverlappingTemplateHW",
+    "OverlappingTemplateHW",
+    "SerialHW",
+    "ApproximateEntropyHW",
+    "CusumHW",
+    "UnifiedTestingBlock",
+    "SUITABILITY_TABLE",
+    "suitability_table",
+]

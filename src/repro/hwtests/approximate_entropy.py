@@ -1,0 +1,133 @@
+"""Hardware half of NIST test 12 (Approximate Entropy).
+
+The approximate-entropy test with block length m = 3 needs exactly the cyclic
+3-bit and 4-bit pattern counts that the serial test (m = 4) already
+maintains.  The paper's third sharing trick therefore gives this test a
+zero-area hardware implementation whenever the serial test is present: this
+unit simply references the serial unit's counter banks.
+
+A standalone mode (own banks) exists for the sharing-ablation benchmark and
+for hypothetical configurations that include test 12 without test 11.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hwsim.components import Component, PatternCounterBank, Register, ShiftRegister
+from repro.hwsim.register_file import RegisterFile
+from repro.hwtests.base import HardwareTestUnit
+from repro.hwtests.parameters import DesignParameters, counter_width
+from repro.hwtests.serial import SerialHW
+
+__all__ = ["ApproximateEntropyHW"]
+
+
+class ApproximateEntropyHW(HardwareTestUnit):
+    """Approximate-entropy hardware: shared with the serial test when possible."""
+
+    test_number = 12
+    display_name = "Approximate Entropy Test"
+
+    def __init__(
+        self,
+        params: DesignParameters,
+        serial_unit: Optional[SerialHW] = None,
+        shift_register: Optional[ShiftRegister] = None,
+    ):
+        self.params = params
+        self.m = params.serial_m - 1  # ApEn block length (3 when serial m = 4)
+        self._serial_unit = serial_unit
+        if serial_unit is not None:
+            # Unified implementation: no hardware of its own.
+            self._banks = {}
+            self._shift_register = None
+            self._head_bits = None
+            self._owns_shift_register = False
+        else:
+            width = counter_width(params.n)
+            self._banks = {
+                length: PatternCounterBank(f"t12_bank{length}", length, width)
+                for length in (self.m, self.m + 1)
+            }
+            self._owns_shift_register = shift_register is None
+            self._shift_register = shift_register or ShiftRegister(
+                "t12_window", self.m + 1
+            )
+            self._head_bits = Register("t12_head_bits", self.m)
+        self._bits_seen = 0
+        self._finalized = False
+
+    @property
+    def shares_serial_counters(self) -> bool:
+        """True when this unit reuses the serial test's banks (zero own area)."""
+        return self._serial_unit is not None
+
+    # -- per-clock behaviour ---------------------------------------------------
+    def process_bit(self, bit: int, index: int) -> None:
+        if self.shares_serial_counters:
+            return  # the serial unit does all the work
+        if self._owns_shift_register:
+            self._shift_register.shift_in(bit)
+        if self._bits_seen < self.m:
+            current = self._head_bits.value
+            self._head_bits.load((current << 1) | bit)
+        self._bits_seen += 1
+        self._record_windows()
+
+    def _record_windows(self) -> None:
+        for length, bank in self._banks.items():
+            if self._bits_seen >= length and self._recorded(bank) < self.params.n:
+                bank.record(self._shift_register.value & ((1 << length) - 1))
+
+    @staticmethod
+    def _recorded(bank: PatternCounterBank) -> int:
+        return sum(counter.value for counter in bank.counters)
+
+    def finalize(self) -> None:
+        if self.shares_serial_counters or self._finalized:
+            return
+        head = self._head_bits.value
+        head_length = min(self.m, self._bits_seen)
+        for i in range(head_length):
+            bit = (head >> (head_length - 1 - i)) & 1
+            self._shift_register.shift_in(bit)
+            self._bits_seen += 1
+            self._record_windows()
+        self._finalized = True
+
+    # -- exported values ----------------------------------------------------------
+    def pattern_counts(self, length: int) -> List[int]:
+        """Cyclic pattern counts for ``length`` in {m, m+1}."""
+        if self.shares_serial_counters:
+            return self._serial_unit.pattern_counts(length)
+        if length not in self._banks:
+            raise ValueError(f"no counter bank for pattern length {length}")
+        return self._banks[length].counts()
+
+    def reset(self) -> None:
+        super().reset()
+        self._bits_seen = 0
+        self._finalized = False
+
+    def components(self) -> List[Component]:
+        if self.shares_serial_counters:
+            return []
+        owned: List[Component] = [self._head_bits]
+        if self._owns_shift_register:
+            owned.append(self._shift_register)
+        owned.extend(self._banks.values())
+        return owned
+
+    def register_exports(self, register_file: RegisterFile) -> None:
+        if self.shares_serial_counters:
+            # The serial unit already exports the shared counters.
+            return
+        for length in sorted(self._banks, reverse=True):
+            bank = self._banks[length]
+            for value, counter in enumerate(bank.counters):
+                register_file.add(
+                    f"t12_nu{length}_{value:0{length}b}",
+                    counter.width,
+                    (lambda c=counter: c.value),
+                )

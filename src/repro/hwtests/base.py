@@ -1,0 +1,94 @@
+"""Common interface of the per-test hardware units.
+
+A hardware test unit models the RTL of one NIST test's hardware half.  It is
+driven one bit per clock cycle by the unified testing block and exposes the
+values it would transfer to the software platform (Table II, middle column)
+through the memory-mapped register file.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List
+
+from repro.hwsim.components import Component
+from repro.hwsim.register_file import RegisterFile
+from repro.hwsim.resources import ResourceReport
+
+__all__ = ["HardwareTestUnit"]
+
+
+class HardwareTestUnit(abc.ABC):
+    """Abstract base class of the bit-serial hardware test units.
+
+    Sub-classes implement:
+
+    * :meth:`process_bit` — the per-clock update; the paper requires that all
+      update calculations finish within one clock cycle, which translates
+      here to "only component-level operations, no arithmetic on Python
+      integers wider than the declared counters";
+    * :meth:`components` — the list of primitive components the unit
+      instantiates (excluding any *shared* components owned by the unified
+      block);
+    * :meth:`register_exports` — add the unit's exported values to the
+      memory-mapped register file.
+
+    ``finalize()`` exists for the single place where the paper's on-the-fly
+    formulation needs an end-of-sequence step (the serial test's cyclic
+    window wrap-around); for every other unit it is a no-op.
+    """
+
+    #: NIST test number (1..15) this unit implements the hardware half of.
+    test_number: int = 0
+    #: Human-readable test name.
+    display_name: str = ""
+
+    @abc.abstractmethod
+    def process_bit(self, bit: int, index: int) -> None:
+        """Consume one input bit.
+
+        Parameters
+        ----------
+        bit:
+            The incoming random bit (0 or 1).
+        index:
+            Zero-based position of the bit within the current sequence; the
+            units use it only in the way real hardware could (comparing the
+            low bits against zero for power-of-two block detection).
+        """
+
+    def finalize(self) -> None:
+        """End-of-sequence hook (default: nothing to do)."""
+
+    @abc.abstractmethod
+    def components(self) -> List[Component]:
+        """Primitive components owned by this unit (shared ones excluded)."""
+
+    @abc.abstractmethod
+    def register_exports(self, register_file: RegisterFile) -> None:
+        """Map this unit's hardware-to-software values into ``register_file``."""
+
+    def reset(self) -> None:
+        """Restore all owned components to their power-on state."""
+        for component in self.components():
+            component.reset()
+
+    # -- convenience ---------------------------------------------------------
+    def resources(self) -> ResourceReport:
+        """Resource usage of the owned components only."""
+        return ResourceReport.from_components(
+            self.components(), label=f"test{self.test_number}"
+        )
+
+    def exported_values(self) -> Dict[str, int]:
+        """Snapshot of the unit's exports, bypassing the register file.
+
+        Only used by unit tests; the platform always reads through the
+        register file so that the READ-instruction accounting stays honest.
+        """
+        register_file = RegisterFile()
+        self.register_exports(register_file)
+        return register_file.dump()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(test={self.test_number})"

@@ -1,0 +1,235 @@
+"""The unified hardware testing block (Fig. 2 of the paper).
+
+Assembles the per-test hardware units for a chosen design point, applies the
+four resource-sharing tricks of Section III-C, drives every unit bit by bit,
+and exposes all hardware-to-software values through a single memory-mapped
+register file read by the software platform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.hwsim.components import Component, ShiftRegister
+from repro.hwsim.register_file import RegisterFile
+from repro.hwsim.resources import ResourceReport, component_inventory
+from repro.hwtests.approximate_entropy import ApproximateEntropyHW
+from repro.hwtests.base import HardwareTestUnit
+from repro.hwtests.block_frequency import BlockFrequencyHW
+from repro.hwtests.cusum import CusumHW
+from repro.hwtests.frequency import FrequencyHW
+from repro.hwtests.global_counter import GlobalBitCounter
+from repro.hwtests.longest_run import LongestRunHW
+from repro.hwtests.nonoverlapping import NonOverlappingTemplateHW
+from repro.hwtests.overlapping import OverlappingTemplateHW
+from repro.hwtests.parameters import DesignParameters, SharingOptions
+from repro.hwtests.runs import RunsHW
+from repro.hwtests.serial import SerialHW
+from repro.nist.common import BitsLike, to_bits
+
+__all__ = ["UnifiedTestingBlock"]
+
+#: Tests the block knows how to instantiate (the 9 HW-suitable tests).
+SUPPORTED_TESTS = (1, 2, 3, 4, 7, 8, 11, 12, 13)
+
+
+class UnifiedTestingBlock:
+    """The unified hardware testing block.
+
+    Parameters
+    ----------
+    params:
+        Design parameters (sequence length and per-test block sizes); see
+        :class:`repro.hwtests.parameters.DesignParameters`.
+    tests:
+        The NIST test numbers included in this design point (a subset of
+        1, 2, 3, 4, 7, 8, 11, 12, 13).
+    sharing:
+        Which of the four area-reduction tricks are applied (all on by
+        default).
+    bus_width:
+        Width of the memory-mapped read bus (16 bits in the paper).
+    """
+
+    def __init__(
+        self,
+        params: DesignParameters,
+        tests: Sequence[int],
+        sharing: SharingOptions = SharingOptions(),
+        bus_width: int = 16,
+    ):
+        tests = tuple(sorted(set(int(t) for t in tests)))
+        unsupported = [t for t in tests if t not in SUPPORTED_TESTS]
+        if unsupported:
+            raise ValueError(
+                f"tests {unsupported} are not implementable in the hardware block "
+                f"(supported: {SUPPORTED_TESTS})"
+            )
+        if not tests:
+            raise ValueError("at least one test must be selected")
+        self.params = params
+        self.tests = tests
+        self.sharing = sharing
+        self.global_counter = GlobalBitCounter(params.n)
+        self._shared_shift_register: Optional[ShiftRegister] = None
+        self.units: Dict[int, HardwareTestUnit] = {}
+        self._build_units()
+        self.register_file = RegisterFile(bus_width=bus_width)
+        for number in sorted(self.units):
+            self.units[number].register_exports(self.register_file)
+        self._finalized = False
+
+    # ------------------------------------------------------------------ build
+    def _build_units(self) -> None:
+        params = self.params
+        sharing = self.sharing
+        template_tests_present = any(t in self.tests for t in (7, 8))
+        if sharing.shared_shift_register and template_tests_present:
+            self._shared_shift_register = ShiftRegister(
+                "shared_template_sr", params.template_length
+            )
+
+        if 13 in self.tests:
+            self.units[13] = CusumHW(params)
+        if 1 in self.tests:
+            ones_from_cusum = sharing.omit_ones_counter and 13 in self.tests
+            if not ones_from_cusum:
+                self.units[1] = FrequencyHW(params)
+        if 2 in self.tests:
+            self.units[2] = BlockFrequencyHW(params)
+        if 3 in self.tests:
+            self.units[3] = RunsHW(params)
+        if 4 in self.tests:
+            self.units[4] = LongestRunHW(params)
+        if 7 in self.tests:
+            self.units[7] = NonOverlappingTemplateHW(
+                params, shift_register=self._shared_shift_register
+            )
+        if 8 in self.tests:
+            self.units[8] = OverlappingTemplateHW(
+                params, shift_register=self._shared_shift_register
+            )
+        if 11 in self.tests:
+            serial_sr = None
+            if self._shared_shift_register is not None:
+                serial_sr = self._shared_shift_register
+            self.units[11] = SerialHW(params, shift_register=serial_sr)
+        if 12 in self.tests:
+            serial_unit = None
+            if 11 in self.tests and sharing.unified_approximate_entropy:
+                serial_unit = self.units[11]
+            apen_sr = None
+            if serial_unit is None and self._shared_shift_register is not None:
+                apen_sr = self._shared_shift_register
+            self.units[12] = ApproximateEntropyHW(
+                params, serial_unit=serial_unit, shift_register=apen_sr
+            )
+
+    # ------------------------------------------------------------ bit-serial I/O
+    @property
+    def bits_processed(self) -> int:
+        """Number of bits consumed since the last reset."""
+        return self.global_counter.bits_received
+
+    @property
+    def sequence_complete(self) -> bool:
+        """True once the configured sequence length has been consumed."""
+        return self.global_counter.sequence_complete
+
+    def process_bit(self, bit: int) -> None:
+        """Consume one random bit (one clock cycle of the testing block)."""
+        if bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        if self.sequence_complete:
+            raise RuntimeError(
+                "sequence already complete; call reset() before feeding more bits"
+            )
+        index = self.global_counter.bits_received
+        if self._shared_shift_register is not None:
+            self._shared_shift_register.shift_in(bit)
+        for number in sorted(self.units):
+            self.units[number].process_bit(bit, index)
+        self.global_counter.clock()
+
+    def finalize(self) -> None:
+        """End-of-sequence step (serial-test cyclic wrap-around replay)."""
+        if self._finalized:
+            return
+        for number in sorted(self.units):
+            self.units[number].finalize()
+        self._finalized = True
+
+    def process_sequence(self, bits: BitsLike) -> "UnifiedTestingBlock":
+        """Feed a complete sequence of exactly ``n`` bits and finalize."""
+        arr = to_bits(bits)
+        if arr.size != self.params.n:
+            raise ValueError(
+                f"expected a sequence of {self.params.n} bits, got {arr.size}"
+            )
+        for bit in arr:
+            self.process_bit(int(bit))
+        self.finalize()
+        return self
+
+    def accelerated_process_sequence(self, bits: BitsLike) -> "UnifiedTestingBlock":
+        """Functional-model fast path: identical final state, vectorised.
+
+        Produces exactly the same register-file contents as
+        :meth:`process_sequence` (verified by the test suite) but computes
+        the final counter states with vectorised reference code instead of
+        clocking every bit, which makes the 2^20-bit design points usable in
+        benchmarks and examples.
+        """
+        from repro.hwtests.functional import fast_load_block
+
+        arr = to_bits(bits)
+        fast_load_block(self, arr)
+        return self
+
+    def reset(self) -> None:
+        """Restore the whole block to its power-on state."""
+        self.global_counter.reset()
+        if self._shared_shift_register is not None:
+            self._shared_shift_register.reset()
+        for unit in self.units.values():
+            unit.reset()
+        self._finalized = False
+
+    # ------------------------------------------------------------------ readout
+    def hardware_values(self) -> Dict[str, int]:
+        """Read every exported value through the memory-mapped interface."""
+        return self.register_file.dump()
+
+    def memory_map(self) -> List[Dict[str, object]]:
+        """The register map (address, name, width) of the read-out interface."""
+        return self.register_file.memory_map()
+
+    # ------------------------------------------------------------------ structure
+    def all_components(self) -> List[Component]:
+        """Every primitive component in the block (shared ones once)."""
+        components: List[Component] = list(self.global_counter.components())
+        if self._shared_shift_register is not None:
+            components.append(self._shared_shift_register)
+        for number in sorted(self.units):
+            components.extend(self.units[number].components())
+        components.append(self.register_file.mux_component())
+        return components
+
+    def component_inventory(self) -> List[Dict[str, object]]:
+        """Structural inventory used by the Fig. 2 architecture bench."""
+        return component_inventory(self.all_components())
+
+    def resources(self) -> ResourceReport:
+        """Aggregate resource usage of the whole block."""
+        report = ResourceReport.from_components(
+            self.all_components(),
+            label=f"n={self.params.n} tests={','.join(map(str, self.tests))}",
+            readout_values=len(self.register_file),
+        )
+        return report
+
+    def __repr__(self) -> str:
+        return (
+            f"UnifiedTestingBlock(n={self.params.n}, tests={self.tests}, "
+            f"values={len(self.register_file)})"
+        )

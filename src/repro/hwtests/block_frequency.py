@@ -1,0 +1,64 @@
+"""Hardware half of NIST test 2 (Frequency within a Block).
+
+One counter accumulates the number of ones in the current block; at every
+block boundary (detected from the global bit counter, sharing trick 2) the
+count is latched into the next snapshot register and the counter is cleared.
+The exported ε_1..ε_N are exactly the values Table II lists for this test;
+the software computes Σ(ε_i − M/2)².
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hwsim.components import Component, Counter, Register
+from repro.hwsim.register_file import RegisterFile
+from repro.hwtests.base import HardwareTestUnit
+from repro.hwtests.parameters import DesignParameters, counter_width
+
+__all__ = ["BlockFrequencyHW"]
+
+
+class BlockFrequencyHW(HardwareTestUnit):
+    """Block ones counter plus one snapshot register per block."""
+
+    test_number = 2
+    display_name = "Frequency Test within a Block"
+
+    def __init__(self, params: DesignParameters):
+        self.params = params
+        self.block_length = params.block_frequency_block_length
+        self.num_blocks = params.block_frequency_num_blocks
+        width = counter_width(self.block_length)
+        self._block_ones = Counter("t2_block_ones", width)
+        self._snapshots = [
+            Register(f"t2_eps_{i + 1}", width) for i in range(self.num_blocks)
+        ]
+        self._current_block = 0
+
+    def process_bit(self, bit: int, index: int) -> None:
+        self._block_ones.increment(enable=bool(bit))
+        # Block boundary: the low log2(M) bits of the (index + 1) count are 0.
+        if (index + 1) % self.block_length == 0:
+            if self._current_block < self.num_blocks:
+                self._snapshots[self._current_block].load(self._block_ones.value)
+                self._current_block += 1
+            self._block_ones.clear()
+
+    @property
+    def ones_per_block(self) -> List[int]:
+        """The latched ε_i values for all completed blocks."""
+        return [reg.value for reg in self._snapshots[: self._current_block]]
+
+    def reset(self) -> None:
+        super().reset()
+        self._current_block = 0
+
+    def components(self) -> List[Component]:
+        return [self._block_ones, *self._snapshots]
+
+    def register_exports(self, register_file: RegisterFile) -> None:
+        for i, register in enumerate(self._snapshots):
+            register_file.add(
+                f"t2_eps_{i + 1}", register.width, (lambda r=register: r.value)
+            )

@@ -1,0 +1,45 @@
+"""Hardware half of NIST test 1 (Frequency / Monobit).
+
+In the unified block with sharing trick 1 enabled this unit is *not*
+instantiated at all: the total number of ones is derived in software from the
+cusum counter's final value.  The standalone version below (a plain ones
+counter) exists for two reasons: configurations that include test 1 but not
+test 13, and the sharing-ablation benchmark that quantifies the saving of
+trick 1.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hwsim.components import Component, Counter
+from repro.hwsim.register_file import RegisterFile
+from repro.hwtests.base import HardwareTestUnit
+from repro.hwtests.parameters import DesignParameters, counter_width
+
+__all__ = ["FrequencyHW"]
+
+
+class FrequencyHW(HardwareTestUnit):
+    """Dedicated ones counter for the frequency (monobit) test."""
+
+    test_number = 1
+    display_name = "Frequency (Monobit) Test"
+
+    def __init__(self, params: DesignParameters):
+        self.params = params
+        self._ones = Counter("t1_ones", counter_width(params.n))
+
+    def process_bit(self, bit: int, index: int) -> None:
+        self._ones.increment(enable=bool(bit))
+
+    @property
+    def ones(self) -> int:
+        """Total number of ones counted so far."""
+        return self._ones.value
+
+    def components(self) -> List[Component]:
+        return [self._ones]
+
+    def register_exports(self, register_file: RegisterFile) -> None:
+        register_file.add("t1_n_ones", self._ones.width, lambda: self._ones.value)

@@ -1,0 +1,154 @@
+"""Functional (vectorised) model of the hardware testing block.
+
+The cycle-accurate model in :mod:`repro.hwtests` consumes one bit per call,
+exactly like the RTL; that fidelity costs ~10 µs of Python per bit, which
+makes the 2^20-bit design points slow to exercise.  This module provides the
+standard EDA answer — a *functional model*: for each hardware unit the final
+counter state after a complete n-bit sequence is computed with vectorised
+reference code and loaded directly into the unit's components.
+
+The functional and cycle-accurate paths are verified equivalent by
+``tests/test_hwtests_functional.py`` (same final register-file contents for
+the same input sequence); benchmarks and examples may then use whichever
+path suits their sequence length.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.hwtests.approximate_entropy import ApproximateEntropyHW
+from repro.hwtests.base import HardwareTestUnit
+from repro.hwtests.block_frequency import BlockFrequencyHW
+from repro.hwtests.cusum import CusumHW
+from repro.hwtests.frequency import FrequencyHW
+from repro.hwtests.longest_run import LongestRunHW
+from repro.hwtests.nonoverlapping import NonOverlappingTemplateHW
+from repro.hwtests.overlapping import OverlappingTemplateHW
+from repro.hwtests.runs import RunsHW
+from repro.hwtests.serial import SerialHW
+from repro.nist.common import chunk, pattern_counts
+from repro.nist.cusum import random_walk_extremes
+from repro.nist.longest_run import LONGEST_RUN_TABLES, category_index, longest_run_of_ones
+from repro.nist.nonoverlapping import count_non_overlapping
+from repro.nist.overlapping import count_overlapping
+from repro.nist.runs import count_runs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hwtests.block import UnifiedTestingBlock
+
+__all__ = ["fast_load_unit", "fast_load_block"]
+
+
+def _load_cusum(unit: CusumHW, bits: np.ndarray) -> None:
+    s_max, s_min, s_final = random_walk_extremes(bits)
+    unit._walk.force(s_final)
+    unit._s_max.force(unit._to_raw(s_max))
+    unit._s_min.force(unit._to_raw(s_min))
+
+
+def _load_frequency(unit: FrequencyHW, bits: np.ndarray) -> None:
+    unit._ones.force(int(bits.sum()))
+
+
+def _load_runs(unit: RunsHW, bits: np.ndarray) -> None:
+    unit._runs.force(count_runs(bits))
+    unit._previous.force(int(bits[-1]) if bits.size else 0)
+    unit._started = bits.size > 0
+
+
+def _load_block_frequency(unit: BlockFrequencyHW, bits: np.ndarray) -> None:
+    blocks = chunk(bits, unit.block_length)
+    for index, block in enumerate(blocks[: unit.num_blocks]):
+        unit._snapshots[index].force(int(block.sum()))
+    unit._current_block = min(len(blocks), unit.num_blocks)
+    unit._block_ones.clear()
+
+
+def _load_longest_run(unit: LongestRunHW, bits: np.ndarray) -> None:
+    _k, v_values, _pi = LONGEST_RUN_TABLES[unit.block_length]
+    categories = [0] * len(unit._categories)
+    for block in chunk(bits, unit.block_length):
+        categories[category_index(longest_run_of_ones(block), v_values)] += 1
+    for counter, value in zip(unit._categories, categories):
+        counter.force(value)
+    unit._current_run.clear()
+    unit._block_longest.force(0)
+
+
+def _load_non_overlapping(unit: NonOverlappingTemplateHW, bits: np.ndarray) -> None:
+    blocks = chunk(bits, unit.block_length)
+    for index, counter in enumerate(unit._block_counters):
+        if index < len(blocks):
+            counter.force(count_non_overlapping(blocks[index], unit.template))
+    unit._skip.clear()
+    unit._current_block = min(len(blocks), unit.num_blocks) - 1
+
+
+def _load_overlapping(unit: OverlappingTemplateHW, bits: np.ndarray) -> None:
+    categories = [0] * len(unit._categories)
+    for block in chunk(bits, unit.block_length)[: unit.num_blocks]:
+        occurrences = count_overlapping(block, unit.template)
+        categories[min(occurrences, unit.K)] += 1
+    for counter, value in zip(unit._categories, categories):
+        counter.force(value)
+    unit._block_matches.clear()
+
+
+def _load_serial(unit: SerialHW, bits: np.ndarray) -> None:
+    for length, bank in unit._banks.items():
+        counts = pattern_counts(bits, length, cyclic=True)
+        for counter, value in zip(bank.counters, counts):
+            counter.force(int(value))
+    unit._bits_seen = int(bits.size) + unit.m - 1
+    unit._finalized = True
+
+
+def _load_approximate_entropy(unit: ApproximateEntropyHW, bits: np.ndarray) -> None:
+    if unit.shares_serial_counters:
+        return  # the serial unit's fast load already provides the counts
+    for length, bank in unit._banks.items():
+        counts = pattern_counts(bits, length, cyclic=True)
+        for counter, value in zip(bank.counters, counts):
+            counter.force(int(value))
+    unit._bits_seen = int(bits.size) + unit.m
+    unit._finalized = True
+
+
+_LOADERS = {
+    CusumHW: _load_cusum,
+    FrequencyHW: _load_frequency,
+    RunsHW: _load_runs,
+    BlockFrequencyHW: _load_block_frequency,
+    LongestRunHW: _load_longest_run,
+    NonOverlappingTemplateHW: _load_non_overlapping,
+    OverlappingTemplateHW: _load_overlapping,
+    SerialHW: _load_serial,
+    ApproximateEntropyHW: _load_approximate_entropy,
+}
+
+
+def fast_load_unit(unit: HardwareTestUnit, bits: np.ndarray) -> None:
+    """Load the end-of-sequence state of one unit from a complete sequence."""
+    loader = _LOADERS.get(type(unit))
+    if loader is None:
+        raise TypeError(f"no functional model for {type(unit).__name__}")
+    loader(unit, bits)
+
+
+def fast_load_block(block: "UnifiedTestingBlock", bits: np.ndarray) -> None:
+    """Load the end-of-sequence state of a whole unified testing block."""
+    if bits.size != block.params.n:
+        raise ValueError(f"expected {block.params.n} bits, got {bits.size}")
+    block.reset()
+    for unit in block.units.values():
+        fast_load_unit(unit, bits)
+    # Advance the global counter to the end-of-sequence state.
+    block.global_counter._counter.force(block.params.n)
+    if block._shared_shift_register is not None:
+        tail = bits[-block._shared_shift_register.width :]
+        for bit in tail:
+            block._shared_shift_register.shift_in(int(bit))
+    block._finalized = True

@@ -1,0 +1,78 @@
+"""The global bit counter of the unified testing block.
+
+The paper mentions (Section III-C) a global bit counter, not drawn in Fig. 2,
+that counts the total number of received bits so that the end of the sequence
+can be detected.  Because every block length in the design is a power of two,
+the same counter also provides every block-boundary signal: a block of
+``2**k`` bits ends exactly when the counter's low ``k`` bits roll over to
+zero (the paper's "block detection" trick).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hwsim.components import Component, Counter
+from repro.hwtests.parameters import counter_width, is_power_of_two
+
+__all__ = ["GlobalBitCounter"]
+
+
+class GlobalBitCounter:
+    """Counts received bits and derives end-of-sequence / block boundaries.
+
+    Parameters
+    ----------
+    n:
+        Sequence length in bits (a power of two).
+    """
+
+    def __init__(self, n: int):
+        if not is_power_of_two(n):
+            raise ValueError("sequence length must be a power of two")
+        self.n = n
+        self._counter = Counter("global_bit_counter", counter_width(n))
+
+    # -- per-clock behaviour -------------------------------------------------
+    def clock(self) -> None:
+        """Count one received bit."""
+        self._counter.increment()
+
+    @property
+    def bits_received(self) -> int:
+        """Number of bits received since the last reset."""
+        return self._counter.value
+
+    @property
+    def sequence_complete(self) -> bool:
+        """True once ``n`` bits have been received."""
+        return self._counter.value >= self.n
+
+    def block_boundary(self, block_length: int) -> bool:
+        """True when the most recent bit completed a block of ``block_length`` bits.
+
+        In hardware this is the AND of the low ``log2(block_length)`` counter
+        bits being zero (checked *after* the increment), which is exactly the
+        modulo comparison below for power-of-two block lengths.
+        """
+        if not is_power_of_two(block_length):
+            raise ValueError("block_length must be a power of two")
+        if self._counter.value == 0:
+            return False
+        return self._counter.value % block_length == 0
+
+    def position_in_block(self, block_length: int) -> int:
+        """Zero-based position of the *next* bit within its block."""
+        if not is_power_of_two(block_length):
+            raise ValueError("block_length must be a power of two")
+        return self._counter.value % block_length
+
+    def reset(self) -> None:
+        """Clear the counter for a new sequence."""
+        self._counter.reset()
+
+    # -- resources -------------------------------------------------------------
+    def components(self) -> List[Component]:
+        """The counter itself (the boundary decode is a handful of LUTs,
+        already covered by the counter's per-bit LUT estimate)."""
+        return [self._counter]

@@ -1,0 +1,72 @@
+"""Hardware half of NIST test 4 (Longest Run of Ones in a Block).
+
+Per incoming bit the unit maintains the length of the current run of ones and
+the longest run seen in the current block (a comparator plus two small
+counters/registers).  At each block boundary the block's longest run is
+classified into one of the K+1 NIST categories with constant comparators and
+the corresponding category counter ν_runs,i is incremented — those category
+counters are the values exported to software (Table II).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hwsim.components import Component, Counter, Register
+from repro.hwsim.register_file import RegisterFile
+from repro.hwtests.base import HardwareTestUnit
+from repro.hwtests.parameters import DesignParameters, counter_width
+from repro.nist.longest_run import LONGEST_RUN_TABLES, category_index
+
+__all__ = ["LongestRunHW"]
+
+
+class LongestRunHW(HardwareTestUnit):
+    """Current-run tracking plus per-category block counters."""
+
+    test_number = 4
+    display_name = "Longest Run of Ones in a Block"
+
+    def __init__(self, params: DesignParameters):
+        self.params = params
+        self.block_length = params.longest_run_block_length
+        if self.block_length not in LONGEST_RUN_TABLES:
+            raise ValueError(
+                f"longest-run block length {self.block_length} has no NIST category table"
+            )
+        self.num_blocks = params.n // self.block_length
+        self.k, self.v_values, self.pi = LONGEST_RUN_TABLES[self.block_length]
+        run_width = counter_width(self.block_length)
+        category_width = counter_width(self.num_blocks)
+        self._current_run = Counter("t4_current_run", run_width)
+        self._block_longest = Register("t4_block_longest", run_width)
+        self._categories = [
+            Counter(f"t4_nu_{i}", category_width) for i in range(self.k + 1)
+        ]
+
+    def process_bit(self, bit: int, index: int) -> None:
+        if bit:
+            self._current_run.increment()
+            if self._current_run.value > self._block_longest.value:
+                self._block_longest.load(self._current_run.value)
+        else:
+            self._current_run.clear()
+        if (index + 1) % self.block_length == 0:
+            category = category_index(self._block_longest.value, self.v_values)
+            self._categories[category].increment()
+            self._current_run.clear()
+            self._block_longest.load(0)
+
+    @property
+    def category_counts(self) -> List[int]:
+        """Current ν_runs,i values (one per category)."""
+        return [counter.value for counter in self._categories]
+
+    def components(self) -> List[Component]:
+        return [self._current_run, self._block_longest, *self._categories]
+
+    def register_exports(self, register_file: RegisterFile) -> None:
+        for i, counter in enumerate(self._categories):
+            register_file.add(
+                f"t4_nu_{i}", counter.width, (lambda c=counter: c.value)
+            )

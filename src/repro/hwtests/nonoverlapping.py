@@ -1,0 +1,120 @@
+"""Hardware half of NIST test 7 (Non-overlapping Template Matching).
+
+The incoming bits pass through a 9-bit shift register (shared with the
+overlapping test and the serial window when sharing trick 4 is on); an
+equality comparator detects the template.  Matches are counted per block into
+the W_i counters of Table II.  The non-overlapping scanning rule — after a
+match the window restarts rather than sliding — is implemented with a small
+skip counter that ignores the next m−1 positions after each match.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hwsim.components import (
+    Component,
+    Counter,
+    EqualityComparator,
+    ShiftRegister,
+)
+from repro.hwsim.register_file import RegisterFile
+from repro.hwtests.base import HardwareTestUnit
+from repro.hwtests.parameters import DesignParameters, counter_width
+
+__all__ = ["NonOverlappingTemplateHW"]
+
+
+class NonOverlappingTemplateHW(HardwareTestUnit):
+    """Template detector with per-block non-overlapping match counters."""
+
+    test_number = 7
+    display_name = "Non-overlapping Template Matching Test"
+
+    def __init__(
+        self,
+        params: DesignParameters,
+        shift_register: Optional[ShiftRegister] = None,
+    ):
+        self.params = params
+        self.template = params.nonoverlapping_template
+        self.template_length = params.template_length
+        self.num_blocks = params.nonoverlapping_num_blocks
+        self.block_length = params.nonoverlapping_block_length
+        if self.block_length < self.template_length:
+            raise ValueError("block shorter than the template")
+        self._owns_shift_register = shift_register is None
+        self._shift_register = shift_register or ShiftRegister(
+            "t7_shift_register", self.template_length
+        )
+        if self._shift_register.width < self.template_length:
+            raise ValueError("shared shift register narrower than the template")
+        template_value = 0
+        for bit in self.template:
+            template_value = (template_value << 1) | int(bit)
+        self._comparator = EqualityComparator(
+            "t7_template_cmp", self.template_length, template_value
+        )
+        # Worst case: a match every m bits.
+        match_width = counter_width(self.block_length // self.template_length + 1)
+        self._block_counters = [
+            Counter(f"t7_w_{i + 1}", match_width) for i in range(self.num_blocks)
+        ]
+        self._skip = Counter("t7_skip", counter_width(self.template_length))
+        self._current_block = 0
+
+    # -- per-clock behaviour -------------------------------------------------
+    def process_bit(self, bit: int, index: int) -> None:
+        if self._owns_shift_register:
+            self._shift_register.shift_in(bit)
+        position_in_block = index % self.block_length
+        if position_in_block == 0 and index > 0:
+            # New block: restart the scan (matches never straddle blocks).
+            self._skip.clear()
+        self._current_block = min(index // self.block_length, self.num_blocks - 1)
+        if self._skip.value > 0:
+            self._decrement_skip()
+            return
+        window_complete = position_in_block >= self.template_length - 1
+        if window_complete and self._matches():
+            self._block_counters[self._current_block].increment()
+            # Ignore the next m-1 positions (the window restarts after a match).
+            for _ in range(self.template_length - 1):
+                self._skip.increment()
+
+    def _decrement_skip(self) -> None:
+        # Down-count by clearing and re-counting (models a small down counter).
+        remaining = self._skip.value - 1
+        self._skip.clear()
+        for _ in range(remaining):
+            self._skip.increment()
+
+    def _matches(self) -> bool:
+        window = self._shift_register.value & ((1 << self.template_length) - 1)
+        return self._shift_register.full and self._comparator.matches(window)
+
+    # -- exported values -------------------------------------------------------
+    @property
+    def block_counts(self) -> List[int]:
+        """Current W_i values (non-overlapping matches per block)."""
+        return [counter.value for counter in self._block_counters]
+
+    def reset(self) -> None:
+        super().reset()
+        if not self._owns_shift_register:
+            # The shared register is reset by its owner (the unified block).
+            pass
+        self._current_block = 0
+
+    def components(self) -> List[Component]:
+        owned: List[Component] = []
+        if self._owns_shift_register:
+            owned.append(self._shift_register)
+        owned.extend([self._comparator, self._skip, *self._block_counters])
+        return owned
+
+    def register_exports(self, register_file: RegisterFile) -> None:
+        for i, counter in enumerate(self._block_counters):
+            register_file.add(
+                f"t7_w_{i + 1}", counter.width, (lambda c=counter: c.value)
+            )

@@ -1,0 +1,100 @@
+"""Hardware half of NIST test 8 (Overlapping Template Matching).
+
+Shares the 9-bit shift register with the non-overlapping test (sharing
+trick 4); its own comparator detects the all-ones template.  Matches are
+counted per block (overlapping — the window always slides by one), and at
+each block boundary the block is classified into one of the K+1 occurrence
+categories whose counters ν_temp,i are the exported values of Table II.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hwsim.components import (
+    Component,
+    Counter,
+    EqualityComparator,
+    ShiftRegister,
+)
+from repro.hwsim.register_file import RegisterFile
+from repro.hwtests.base import HardwareTestUnit
+from repro.hwtests.parameters import DesignParameters, counter_width
+
+__all__ = ["OverlappingTemplateHW"]
+
+
+class OverlappingTemplateHW(HardwareTestUnit):
+    """Overlapping template detector with per-category block counters."""
+
+    test_number = 8
+    display_name = "Overlapping Template Matching Test"
+
+    #: Number of non-terminal categories (occurrence counts 0..K-1, then >= K).
+    K = 5
+
+    def __init__(
+        self,
+        params: DesignParameters,
+        shift_register: Optional[ShiftRegister] = None,
+    ):
+        self.params = params
+        self.template = params.overlapping_template
+        self.template_length = params.template_length
+        self.block_length = params.overlapping_block_length
+        self.num_blocks = params.overlapping_num_blocks
+        if self.block_length < self.template_length:
+            raise ValueError("block shorter than the template")
+        if self.num_blocks < 1:
+            raise ValueError("sequence too short for a single overlapping-test block")
+        self._owns_shift_register = shift_register is None
+        self._shift_register = shift_register or ShiftRegister(
+            "t8_shift_register", self.template_length
+        )
+        template_value = 0
+        for bit in self.template:
+            template_value = (template_value << 1) | int(bit)
+        self._comparator = EqualityComparator(
+            "t8_template_cmp", self.template_length, template_value
+        )
+        self._block_matches = Counter(
+            "t8_block_matches", counter_width(self.block_length)
+        )
+        category_width = counter_width(self.num_blocks)
+        self._categories = [
+            Counter(f"t8_nu_{i}", category_width) for i in range(self.K + 1)
+        ]
+
+    def process_bit(self, bit: int, index: int) -> None:
+        if self._owns_shift_register:
+            self._shift_register.shift_in(bit)
+        position_in_block = index % self.block_length
+        window_complete = position_in_block >= self.template_length - 1
+        if window_complete and self._matches():
+            self._block_matches.increment()
+        if (index + 1) % self.block_length == 0:
+            category = min(self._block_matches.value, self.K)
+            self._categories[category].increment()
+            self._block_matches.clear()
+
+    def _matches(self) -> bool:
+        window = self._shift_register.value & ((1 << self.template_length) - 1)
+        return self._shift_register.full and self._comparator.matches(window)
+
+    @property
+    def category_counts(self) -> List[int]:
+        """Current ν_temp,i values (one per occurrence category)."""
+        return [counter.value for counter in self._categories]
+
+    def components(self) -> List[Component]:
+        owned: List[Component] = []
+        if self._owns_shift_register:
+            owned.append(self._shift_register)
+        owned.extend([self._comparator, self._block_matches, *self._categories])
+        return owned
+
+    def register_exports(self, register_file: RegisterFile) -> None:
+        for i, counter in enumerate(self._categories):
+            register_file.add(
+                f"t8_nu_{i}", counter.width, (lambda c=counter: c.value)
+            )

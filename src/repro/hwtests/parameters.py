@@ -1,0 +1,175 @@
+"""Design parameters shared by the hardware test units.
+
+The paper's "block detection" trick requires every block length to be a power
+of two so that block boundaries can be read directly off the global bit
+counter; the parameter derivation here enforces that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+__all__ = ["SharingOptions", "DesignParameters", "is_power_of_two", "clog2"]
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def clog2(value: int) -> int:
+    """Ceiling of log2, i.e. the number of bits needed to address ``value`` states."""
+    if value <= 0:
+        raise ValueError("value must be positive")
+    return max(1, int(math.ceil(math.log2(value))))
+
+
+def counter_width(max_count: int) -> int:
+    """Width of a counter that must be able to hold ``max_count``."""
+    if max_count < 0:
+        raise ValueError("max_count must be non-negative")
+    return max(1, (max_count).bit_length())
+
+
+@dataclass(frozen=True)
+class SharingOptions:
+    """The four area-reduction tricks of Section III-C, individually switchable.
+
+    All default to True (the paper's unified implementation); the ablation
+    benchmark disables them one at a time to quantify each trick's saving.
+
+    Attributes
+    ----------
+    omit_ones_counter:
+        Trick 1 — derive the total number of ones from the cusum up/down
+        counter's final value instead of keeping a dedicated ones counter
+        (possible whenever test 13 is present).
+    block_detection_from_global_counter:
+        Trick 2 — detect power-of-two block boundaries by observing bits of
+        the global bit counter instead of per-test block counters.
+    unified_approximate_entropy:
+        Trick 3 — the approximate-entropy test reuses the serial test's 3-bit
+        and 4-bit pattern counters instead of instantiating its own bank.
+    shared_shift_register:
+        Trick 4 — the non-overlapping and overlapping template tests (and the
+        serial test's window) share a single 9-bit shift register.
+    """
+
+    omit_ones_counter: bool = True
+    block_detection_from_global_counter: bool = True
+    unified_approximate_entropy: bool = True
+    shared_shift_register: bool = True
+
+    @classmethod
+    def all_disabled(cls) -> "SharingOptions":
+        """A configuration with every sharing trick turned off."""
+        return cls(False, False, False, False)
+
+
+@dataclass(frozen=True)
+class DesignParameters:
+    """Per-design test parameters derived from the sequence length ``n``.
+
+    Parameters are chosen the way the paper describes: every block length is
+    a power of two, the longest-run block length is one of the NIST-tabulated
+    values that is also a power of two (8 / 128 / 512), templates are 9 bits
+    long, and the serial / approximate-entropy tests use m = 4 / m = 3.
+
+    Attributes
+    ----------
+    n:
+        Sequence length in bits (must be a power of two).
+    block_frequency_num_blocks:
+        Number of blocks N for the block-frequency test (power of two).
+    longest_run_block_length:
+        Block length M for the longest-run test (8, 128 or 512).
+    template_length:
+        Template length m for both template-matching tests.
+    nonoverlapping_num_blocks:
+        Number of blocks N for the non-overlapping template test.
+    overlapping_block_length:
+        Block length M for the overlapping template test (power of two).
+    serial_m:
+        Pattern length m for the serial test (the approximate-entropy test
+        uses m − 1).
+    """
+
+    n: int
+    block_frequency_num_blocks: int = 8
+    longest_run_block_length: int = 128
+    template_length: int = 9
+    nonoverlapping_num_blocks: int = 8
+    overlapping_block_length: int = 1024
+    serial_m: int = 4
+    nonoverlapping_template: Tuple[int, ...] = (0, 0, 0, 0, 0, 0, 0, 0, 1)
+    overlapping_template: Tuple[int, ...] = (1, 1, 1, 1, 1, 1, 1, 1, 1)
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n):
+            raise ValueError(f"sequence length n={self.n} must be a power of two")
+        if not is_power_of_two(self.block_frequency_num_blocks):
+            raise ValueError("block_frequency_num_blocks must be a power of two")
+        if self.block_frequency_num_blocks > self.n:
+            raise ValueError("block_frequency_num_blocks exceeds sequence length")
+        if self.longest_run_block_length not in (8, 128, 512):
+            raise ValueError("longest_run_block_length must be 8, 128 or 512")
+        if self.longest_run_block_length > self.n:
+            raise ValueError("longest_run_block_length exceeds sequence length")
+        if not is_power_of_two(self.nonoverlapping_num_blocks):
+            raise ValueError("nonoverlapping_num_blocks must be a power of two")
+        if not is_power_of_two(self.overlapping_block_length):
+            raise ValueError("overlapping_block_length must be a power of two")
+        if len(self.nonoverlapping_template) != self.template_length:
+            raise ValueError("nonoverlapping_template length mismatch")
+        if len(self.overlapping_template) != self.template_length:
+            raise ValueError("overlapping_template length mismatch")
+        if self.serial_m < 2:
+            raise ValueError("serial_m must be at least 2")
+
+    # -- derived values ------------------------------------------------------
+    @property
+    def block_frequency_block_length(self) -> int:
+        """Block length M of the block-frequency test (n / N)."""
+        return self.n // self.block_frequency_num_blocks
+
+    @property
+    def longest_run_num_blocks(self) -> int:
+        """Number of blocks of the longest-run test."""
+        return self.n // self.longest_run_block_length
+
+    @property
+    def nonoverlapping_block_length(self) -> int:
+        """Block length M of the non-overlapping template test."""
+        return self.n // self.nonoverlapping_num_blocks
+
+    @property
+    def overlapping_num_blocks(self) -> int:
+        """Number of blocks of the overlapping template test."""
+        return self.n // self.overlapping_block_length
+
+    @classmethod
+    def for_length(cls, n: int) -> "DesignParameters":
+        """Default parameters for one of the paper's three sequence lengths.
+
+        Any power-of-two ``n >= 128`` is accepted; the three lengths used by
+        the paper (128, 65 536, 1 048 576) give the parameter sets the
+        benchmarks use.
+        """
+        if not is_power_of_two(n) or n < 128:
+            raise ValueError("n must be a power of two and at least 128")
+        if n < 6272:
+            longest_run_m = 8
+        elif n < 524288:
+            longest_run_m = 128
+        else:
+            longest_run_m = 512
+        overlapping_m = 1024 if n >= 65536 else max(64, n // 8)
+        return cls(
+            n=n,
+            block_frequency_num_blocks=8,
+            longest_run_block_length=longest_run_m,
+            nonoverlapping_num_blocks=8 if n >= 1024 else 2,
+            overlapping_block_length=overlapping_m,
+        )

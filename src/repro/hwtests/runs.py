@@ -1,0 +1,57 @@
+"""Hardware half of NIST test 3 (Runs).
+
+A run boundary occurs whenever the incoming bit differs from the previous
+bit, so the hardware is a single-bit "previous value" register, an XOR and a
+runs counter.  The software also needs the total number of ones for this
+test (Table II lists both N_ones and N_runs); that value comes from the
+shared cusum counter (or the dedicated ones counter when sharing is off), so
+this unit exports only N_runs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hwsim.components import Component, Counter, Register
+from repro.hwsim.register_file import RegisterFile
+from repro.hwtests.base import HardwareTestUnit
+from repro.hwtests.parameters import DesignParameters, counter_width
+
+__all__ = ["RunsHW"]
+
+
+class RunsHW(HardwareTestUnit):
+    """Runs counter: previous-bit register + counter incremented on changes."""
+
+    test_number = 3
+    display_name = "Runs Test"
+
+    def __init__(self, params: DesignParameters):
+        self.params = params
+        self._runs = Counter("t3_runs", counter_width(params.n))
+        self._previous = Register("t3_prev_bit", 1)
+        self._started = False
+
+    def process_bit(self, bit: int, index: int) -> None:
+        if not self._started:
+            # The first bit always opens the first run.
+            self._runs.increment()
+            self._started = True
+        elif bit != self._previous.value:
+            self._runs.increment()
+        self._previous.load(bit)
+
+    @property
+    def runs(self) -> int:
+        """Total number of runs observed so far."""
+        return self._runs.value
+
+    def reset(self) -> None:
+        super().reset()
+        self._started = False
+
+    def components(self) -> List[Component]:
+        return [self._runs, self._previous]
+
+    def register_exports(self, register_file: RegisterFile) -> None:
+        register_file.add("t3_n_runs", self._runs.width, lambda: self._runs.value)

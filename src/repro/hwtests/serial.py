@@ -1,0 +1,139 @@
+"""Hardware half of NIST test 11 (Serial) — and, via sharing, test 12.
+
+Maintains cyclic overlapping pattern counts for m-, (m−1)- and (m−2)-bit
+patterns (m = 4 in the paper's designs): three banks of 16 + 8 + 4 counters,
+exactly the ν values listed for the serial test in Table II.  The
+approximate-entropy test reuses the 4-bit and 3-bit banks (sharing trick 3),
+so :class:`repro.hwtests.approximate_entropy.ApproximateEntropyHW` owns no
+counters of its own when instantiated alongside this unit.
+
+The NIST definition counts patterns over the sequence extended cyclically by
+its first m−1 bits.  On-the-fly hardware achieves this by saving the first
+m−1 input bits in a small register and replaying them through the window
+after the last input bit — that replay is the only end-of-sequence step in
+the whole testing block and is modelled by :meth:`finalize`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hwsim.components import Component, PatternCounterBank, Register, ShiftRegister
+from repro.hwsim.register_file import RegisterFile
+from repro.hwtests.base import HardwareTestUnit
+from repro.hwtests.parameters import DesignParameters, counter_width
+
+__all__ = ["SerialHW"]
+
+
+class SerialHW(HardwareTestUnit):
+    """Cyclic pattern counter banks for m-, (m−1)- and (m−2)-bit patterns."""
+
+    test_number = 11
+    display_name = "Serial Test"
+
+    def __init__(
+        self,
+        params: DesignParameters,
+        shift_register: Optional[ShiftRegister] = None,
+    ):
+        self.params = params
+        self.m = params.serial_m
+        if params.n < (1 << self.m):
+            raise ValueError("sequence too short for the configured pattern length")
+        # Pattern counters are sized for the worst case (a constant input
+        # makes a single pattern appear n times), so that overflow cannot
+        # masquerade as healthy counts precisely when the source has failed.
+        width = counter_width(params.n)
+        self._banks = {
+            length: PatternCounterBank(f"t11_bank{length}", length, width)
+            for length in (self.m, self.m - 1, self.m - 2)
+            if length >= 1
+        }
+        self._owns_shift_register = shift_register is None
+        # The window only needs m bits; when a wider shared register is
+        # available (the 9-bit template register), its low m bits are used.
+        self._shift_register = shift_register or ShiftRegister(
+            "t11_window", self.m
+        )
+        if self._shift_register.width < self.m:
+            raise ValueError("shared shift register narrower than the serial window")
+        # Storage for the first m-1 bits, replayed at the end of the sequence
+        # to realise the cyclic extension.
+        self._head_bits = Register("t11_head_bits", self.m - 1)
+        self._bits_seen = 0
+        self._finalized = False
+
+    # -- window bookkeeping ---------------------------------------------------
+    def _window_value(self, length: int) -> int:
+        """The most recent ``length`` bits as an MSB-first integer."""
+        return self._shift_register.value & ((1 << length) - 1)
+
+    def _record_windows(self, total_bits: int) -> None:
+        """Record the current window into every bank whose warm-up is done and
+        which has not yet reached its n-window budget."""
+        for length, bank in self._banks.items():
+            if total_bits >= length and self._recorded(bank) < self.params.n:
+                bank.record(self._window_value(length))
+
+    @staticmethod
+    def _recorded(bank: PatternCounterBank) -> int:
+        return sum(counter.value for counter in bank.counters)
+
+    # -- per-clock behaviour ----------------------------------------------------
+    def process_bit(self, bit: int, index: int) -> None:
+        if self._owns_shift_register:
+            self._shift_register.shift_in(bit)
+        if self._bits_seen < self.m - 1:
+            # Save the sequence head for the cyclic wrap-around replay.
+            current = self._head_bits.value
+            self._head_bits.load((current << 1) | bit)
+        self._bits_seen += 1
+        self._record_windows(self._bits_seen)
+
+    def finalize(self) -> None:
+        """Replay the first m−1 bits to complete the cyclic pattern counts."""
+        if self._finalized:
+            return
+        head = self._head_bits.value
+        head_length = min(self.m - 1, self._bits_seen)
+        for i in range(head_length):
+            bit = (head >> (head_length - 1 - i)) & 1
+            if self._owns_shift_register:
+                self._shift_register.shift_in(bit)
+            else:
+                # The shared register is fed by the unified block during the
+                # normal sequence; during the replay this unit drives it.
+                self._shift_register.shift_in(bit)
+            self._bits_seen += 1
+            self._record_windows(self._bits_seen)
+        self._finalized = True
+
+    # -- exported values -----------------------------------------------------------
+    def pattern_counts(self, length: int) -> List[int]:
+        """Current counts of all ``length``-bit patterns (length in {m, m-1, m-2})."""
+        if length not in self._banks:
+            raise ValueError(f"no counter bank for pattern length {length}")
+        return self._banks[length].counts()
+
+    def reset(self) -> None:
+        super().reset()
+        self._bits_seen = 0
+        self._finalized = False
+
+    def components(self) -> List[Component]:
+        owned: List[Component] = [self._head_bits]
+        if self._owns_shift_register:
+            owned.append(self._shift_register)
+        owned.extend(self._banks.values())
+        return owned
+
+    def register_exports(self, register_file: RegisterFile) -> None:
+        for length in sorted(self._banks, reverse=True):
+            bank = self._banks[length]
+            for value, counter in enumerate(bank.counters):
+                register_file.add(
+                    f"t11_nu{length}_{value:0{length}b}",
+                    counter.width,
+                    (lambda c=counter: c.value),
+                )

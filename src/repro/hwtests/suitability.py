@@ -1,0 +1,104 @@
+"""Table I of the paper: which NIST tests are suitable for hardware implementation.
+
+The paper keeps a test in hardware only when its on-the-fly half reduces to
+counters, comparators and registers with a small, bounded amount of state and
+a small number of values to transfer to software.  This module captures that
+classification together with the *reason*, and provides a quantitative
+justification helper used by the Table I benchmark: for the suitable tests it
+reports the actual number of storage bits the hardware model uses, and for
+the unsuitable ones the storage/computation lower bound that disqualifies
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.hwtests.parameters import DesignParameters
+from repro.nist.suite import NIST_TEST_NAMES
+
+__all__ = ["SuitabilityEntry", "SUITABILITY_TABLE", "suitability_table"]
+
+
+@dataclass(frozen=True)
+class SuitabilityEntry:
+    """One row of Table I."""
+
+    number: int
+    name: str
+    hw_suitable: bool
+    reason: str
+
+
+#: The classification of Table I with the disqualifying/qualifying reason.
+SUITABILITY_TABLE: List[SuitabilityEntry] = [
+    SuitabilityEntry(1, NIST_TEST_NAMES[1], True, "single ones counter (or derived from the cusum counter)"),
+    SuitabilityEntry(2, NIST_TEST_NAMES[2], True, "one block counter plus N snapshot registers"),
+    SuitabilityEntry(3, NIST_TEST_NAMES[3], True, "runs counter plus a 1-bit previous-value register"),
+    SuitabilityEntry(4, NIST_TEST_NAMES[4], True, "run-length counter plus K+1 category counters"),
+    SuitabilityEntry(5, NIST_TEST_NAMES[5], False, "needs storage of full 32x32 matrices and GF(2) Gaussian elimination"),
+    SuitabilityEntry(6, NIST_TEST_NAMES[6], False, "needs an n-point DFT: O(n) storage and multipliers"),
+    SuitabilityEntry(7, NIST_TEST_NAMES[7], True, "shared 9-bit shift register, comparator and per-block counters"),
+    SuitabilityEntry(8, NIST_TEST_NAMES[8], True, "shared 9-bit shift register, comparator and category counters"),
+    SuitabilityEntry(9, NIST_TEST_NAMES[9], False, "needs a 2^L-entry last-occurrence table and per-block logarithms"),
+    SuitabilityEntry(10, NIST_TEST_NAMES[10], False, "Berlekamp-Massey needs O(M) storage and O(M^2) updates per block"),
+    SuitabilityEntry(11, NIST_TEST_NAMES[11], True, "2^m + 2^(m-1) + 2^(m-2) pattern counters driven by a shared window"),
+    SuitabilityEntry(12, NIST_TEST_NAMES[12], True, "reuses the serial test's 3-/4-bit pattern counters (no own hardware)"),
+    SuitabilityEntry(13, NIST_TEST_NAMES[13], True, "up/down counter plus max/min capture registers"),
+    SuitabilityEntry(14, NIST_TEST_NAMES[14], False, "per-state, per-visit-count bookkeeping across unbounded cycles"),
+    SuitabilityEntry(15, NIST_TEST_NAMES[15], False, "needs 18 wide visit counters plus post-processing over the whole walk"),
+]
+
+
+def _hw_state_bits(number: int, params: DesignParameters) -> int:
+    """Storage bits the hardware model actually uses for a suitable test."""
+    from repro.hwtests.block import UnifiedTestingBlock  # local import to avoid a cycle
+
+    block = UnifiedTestingBlock(params, tests=[number])
+    return block.resources().flip_flops
+
+
+def _storage_lower_bound(number: int, n: int) -> int:
+    """Storage (bits) a hardware implementation of an unsuitable test would need."""
+    if number == 5:
+        return 32 * 32  # one full matrix at a time
+    if number == 6:
+        return 2 * n  # the ±1 samples (before even counting the butterflies)
+    if number == 9:
+        L = 6
+        return (1 << L) * 20  # last-occurrence table of 2^L entries of ~20 bits
+    if number == 10:
+        M = 500
+        return 2 * M  # the two LFSR connection polynomials of Berlekamp-Massey
+    if number == 14:
+        return 8 * 6 * 16  # 8 states x 6 visit-count classes x 16-bit counters
+    if number == 15:
+        return 18 * 24  # 18 states x wide visit counters
+    raise ValueError(f"test {number} is HW-suitable; no lower bound defined")
+
+
+def suitability_table(n: int = 65536) -> List[Dict[str, object]]:
+    """Table I rows augmented with a quantitative storage figure.
+
+    For HW-suitable tests the figure is the flip-flop count of the actual
+    hardware unit at sequence length ``n``; for unsuitable tests it is the
+    storage lower bound that disqualifies them.
+    """
+    params = DesignParameters.for_length(n)
+    rows: List[Dict[str, object]] = []
+    for entry in SUITABILITY_TABLE:
+        if entry.hw_suitable:
+            storage = _hw_state_bits(entry.number, params)
+        else:
+            storage = _storage_lower_bound(entry.number, n)
+        rows.append(
+            {
+                "test": entry.number,
+                "name": entry.name,
+                "hw_suitable": entry.hw_suitable,
+                "reason": entry.reason,
+                "storage_bits": storage,
+            }
+        )
+    return rows

@@ -1,0 +1,403 @@
+"""Shared utilities for the reference NIST SP 800-22 implementations.
+
+The helpers in this module are used by the individual test modules and by
+other parts of the library (the hardware model uses :func:`to_bits` for its
+input streams, the software routines use :func:`igamc` indirectly through the
+precomputed critical values).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Union
+
+import numpy as np
+from scipy import special as _special
+
+__all__ = [
+    "BitsLike",
+    "BitSequence",
+    "TestResult",
+    "to_bits",
+    "bits_from_bytes",
+    "bits_from_int",
+    "bits_to_int",
+    "igamc",
+    "erfc",
+    "normal_cdf",
+    "pattern_counts",
+    "psi_squared",
+    "berlekamp_massey",
+    "binary_matrix_rank",
+    "chunk",
+]
+
+#: Types accepted wherever a bit sequence is expected.
+BitsLike = Union["BitSequence", Sequence[int], np.ndarray, str, bytes, bytearray]
+
+
+def to_bits(bits: BitsLike) -> np.ndarray:
+    """Normalise any supported bit-sequence representation to a uint8 array.
+
+    Accepted inputs:
+
+    * a :class:`BitSequence`,
+    * a numpy array or Python sequence of 0/1 integers (or booleans),
+    * a string of ``'0'``/``'1'`` characters (whitespace ignored),
+    * ``bytes``/``bytearray`` — unpacked MSB-first, 8 bits per byte.
+
+    Raises
+    ------
+    ValueError
+        If any element is not 0 or 1, or the input type is unsupported.
+    """
+    if isinstance(bits, BitSequence):
+        return bits.bits
+    if isinstance(bits, str):
+        cleaned = "".join(bits.split())
+        if cleaned and set(cleaned) - {"0", "1"}:
+            raise ValueError("bit string may only contain '0' and '1'")
+        return np.frombuffer(cleaned.encode("ascii"), dtype=np.uint8) - ord("0")
+    if isinstance(bits, (bytes, bytearray)):
+        return bits_from_bytes(bits)
+    arr = np.asarray(bits)
+    if arr.dtype == bool:
+        return arr.astype(np.uint8)
+    arr = arr.astype(np.int64, copy=False)
+    if arr.size and (arr.min() < 0 or arr.max() > 1):
+        raise ValueError("bit sequence must contain only 0 and 1 values")
+    return arr.astype(np.uint8)
+
+
+def bits_from_bytes(data: Union[bytes, bytearray]) -> np.ndarray:
+    """Unpack a byte string into a bit array, MSB of each byte first."""
+    raw = np.frombuffer(bytes(data), dtype=np.uint8)
+    return np.unpackbits(raw)
+
+
+def bits_from_int(value: int, width: int) -> np.ndarray:
+    """Return ``width`` bits of ``value``, most-significant bit first."""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)], dtype=np.uint8)
+
+
+def bits_to_int(bits: BitsLike) -> int:
+    """Interpret a bit sequence as an unsigned integer, MSB first."""
+    arr = to_bits(bits)
+    value = 0
+    for bit in arr:
+        value = (value << 1) | int(bit)
+    return value
+
+
+class BitSequence:
+    """An immutable sequence of bits with convenience accessors.
+
+    This is a thin wrapper around a numpy ``uint8`` array; it exists so that
+    library users have a single obvious type to pass around, and so that
+    common derived quantities (number of ones, ±1 mapping) are available
+    without re-deriving them at every call site.
+    """
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: BitsLike):
+        arr = to_bits(bits)
+        arr.setflags(write=False)
+        self._bits = arr
+
+    # -- basic protocol ----------------------------------------------------
+    def __len__(self) -> int:
+        return int(self._bits.size)
+
+    def __iter__(self):
+        return iter(int(b) for b in self._bits)
+
+    def __getitem__(self, index):
+        result = self._bits[index]
+        if isinstance(index, slice):
+            return BitSequence(result)
+        return int(result)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, BitSequence):
+            return np.array_equal(self._bits, other._bits)
+        try:
+            return np.array_equal(self._bits, to_bits(other))
+        except (ValueError, TypeError):
+            return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._bits.tobytes())
+
+    def __repr__(self) -> str:
+        preview = "".join(str(int(b)) for b in self._bits[:32])
+        suffix = "..." if len(self) > 32 else ""
+        return f"BitSequence(n={len(self)}, bits={preview}{suffix})"
+
+    # -- accessors ---------------------------------------------------------
+    @property
+    def bits(self) -> np.ndarray:
+        """The underlying read-only uint8 array of 0/1 values."""
+        return self._bits
+
+    @property
+    def n(self) -> int:
+        """Sequence length."""
+        return int(self._bits.size)
+
+    @property
+    def ones(self) -> int:
+        """Total number of ones in the sequence."""
+        return int(self._bits.sum())
+
+    @property
+    def zeros(self) -> int:
+        """Total number of zeros in the sequence."""
+        return self.n - self.ones
+
+    @property
+    def proportion(self) -> float:
+        """Fraction of ones."""
+        if self.n == 0:
+            return 0.0
+        return self.ones / self.n
+
+    def as_pm1(self) -> np.ndarray:
+        """Map bits to ±1: ``1 -> +1`` and ``0 -> -1`` (NIST's 2ε-1)."""
+        return 2 * self._bits.astype(np.int64) - 1
+
+    def to01(self) -> str:
+        """Return the sequence as a string of '0'/'1' characters."""
+        return "".join(str(int(b)) for b in self._bits)
+
+    def concat(self, other: BitsLike) -> "BitSequence":
+        """Return a new sequence with ``other`` appended."""
+        return BitSequence(np.concatenate([self._bits, to_bits(other)]))
+
+
+@dataclass
+class TestResult:
+    """Outcome of a single statistical test.
+
+    Attributes
+    ----------
+    name:
+        Human-readable test name ("Frequency (Monobit) Test", ...).
+    statistic:
+        The primary decision statistic (test-specific; e.g. ``s_obs`` for the
+        frequency test, χ² for the block-frequency test).
+    p_value:
+        The primary P-value.
+    p_values:
+        All P-values produced by the test (some NIST tests produce two or
+        more, e.g. the serial and cumulative-sums tests).
+    details:
+        Test-specific intermediate values, useful for debugging and for the
+        HW/SW equivalence checks.
+    """
+
+    #: Not a pytest test class, despite the name (prevents collection warnings).
+    __test__ = False
+
+    name: str
+    statistic: float
+    p_value: float
+    p_values: List[float] = field(default_factory=list)
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.p_values:
+            self.p_values = [self.p_value]
+
+    def passed(self, alpha: float = 0.01) -> bool:
+        """Return True when the randomness hypothesis is accepted at ``alpha``.
+
+        NIST's decision rule: the sequence passes a test when *every*
+        P-value produced by the test is at least the level of significance.
+        """
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must lie strictly between 0 and 1")
+        return all(p >= alpha for p in self.p_values)
+
+    @property
+    def min_p_value(self) -> float:
+        """The smallest P-value produced by the test (drives the decision)."""
+        return min(self.p_values)
+
+
+# ---------------------------------------------------------------------------
+# Special functions
+# ---------------------------------------------------------------------------
+
+def igamc(a: float, x: float) -> float:
+    """Complemented incomplete gamma function Q(a, x) as used by NIST."""
+    if a <= 0:
+        raise ValueError("shape parameter a must be positive")
+    if x < 0:
+        raise ValueError("x must be non-negative")
+    return float(_special.gammaincc(a, x))
+
+
+def erfc(x: float) -> float:
+    """Complementary error function."""
+    return float(_special.erfc(x))
+
+
+def normal_cdf(x: float) -> float:
+    """Standard normal cumulative distribution function Φ(x)."""
+    return 0.5 * erfc(-x / math.sqrt(2.0))
+
+
+# ---------------------------------------------------------------------------
+# Pattern counting (serial / approximate entropy)
+# ---------------------------------------------------------------------------
+
+def pattern_counts(bits: BitsLike, m: int, *, cyclic: bool = True) -> np.ndarray:
+    """Count occurrences of every overlapping ``m``-bit pattern.
+
+    Parameters
+    ----------
+    bits:
+        Input bit sequence of length ``n``.
+    m:
+        Pattern length; ``m == 0`` returns a single count equal to ``n``.
+    cyclic:
+        When True (the NIST convention for the serial and approximate-entropy
+        tests) the sequence is extended by its own first ``m - 1`` bits so
+        that exactly ``n`` windows are counted.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of length ``2**m``; entry ``i`` is the number of occurrences of
+        the pattern whose MSB-first integer value is ``i``.
+    """
+    arr = to_bits(bits).astype(np.int64)
+    n = arr.size
+    if m < 0:
+        raise ValueError("pattern length m must be non-negative")
+    if m == 0:
+        return np.array([n], dtype=np.int64)
+    if n == 0:
+        return np.zeros(1 << m, dtype=np.int64)
+    if m > n:
+        raise ValueError(f"pattern length m={m} exceeds sequence length n={n}")
+    if cyclic:
+        extended = np.concatenate([arr, arr[: m - 1]]) if m > 1 else arr
+        num_windows = n
+    else:
+        extended = arr
+        num_windows = n - m + 1
+    weights = 1 << np.arange(m - 1, -1, -1)
+    values = np.zeros(num_windows, dtype=np.int64)
+    for offset in range(m):
+        values += extended[offset : offset + num_windows] * weights[offset]
+    return np.bincount(values, minlength=1 << m).astype(np.int64)
+
+
+def psi_squared(bits: BitsLike, m: int) -> float:
+    """NIST's ψ²_m statistic used by the serial test.
+
+    ψ²_m = (2^m / n) Σ ν_i² − n, computed over the cyclically-extended
+    sequence.  ψ²_0 and ψ²_{-1} are defined as 0.
+    """
+    arr = to_bits(bits)
+    n = arr.size
+    if m <= 0:
+        return 0.0
+    counts = pattern_counts(arr, m, cyclic=True)
+    return float((1 << m) / n * np.sum(counts.astype(np.float64) ** 2) - n)
+
+
+# ---------------------------------------------------------------------------
+# Linear complexity (Berlekamp–Massey)
+# ---------------------------------------------------------------------------
+
+def berlekamp_massey(bits: BitsLike) -> int:
+    """Return the linear complexity of a binary sequence.
+
+    Standard Berlekamp–Massey over GF(2); the returned value is the length of
+    the shortest LFSR that generates the sequence.
+    """
+    s = to_bits(bits).astype(np.uint8)
+    n = s.size
+    if n == 0:
+        return 0
+    c = np.zeros(n, dtype=np.uint8)
+    b = np.zeros(n, dtype=np.uint8)
+    c[0] = 1
+    b[0] = 1
+    L = 0
+    m = -1
+    for i in range(n):
+        # discrepancy
+        d = int(s[i])
+        if L > 0:
+            d ^= int(np.bitwise_and(c[1 : L + 1], s[i - L : i][::-1]).sum() & 1)
+        if d == 1:
+            t = c.copy()
+            shift = i - m
+            c[shift : n] ^= b[: n - shift]
+            if 2 * L <= i:
+                L = i + 1 - L
+                m = i
+                b = t
+    return L
+
+
+# ---------------------------------------------------------------------------
+# Binary matrix rank over GF(2)
+# ---------------------------------------------------------------------------
+
+def binary_matrix_rank(matrix: np.ndarray) -> int:
+    """Rank of a 0/1 matrix over GF(2) via Gaussian elimination."""
+    m = np.array(matrix, dtype=np.uint8, copy=True)
+    if m.ndim != 2:
+        raise ValueError("matrix must be two-dimensional")
+    rows, cols = m.shape
+    rank = 0
+    pivot_row = 0
+    for col in range(cols):
+        if pivot_row >= rows:
+            break
+        pivot = None
+        for r in range(pivot_row, rows):
+            if m[r, col]:
+                pivot = r
+                break
+        if pivot is None:
+            continue
+        m[[pivot_row, pivot]] = m[[pivot, pivot_row]]
+        for r in range(rows):
+            if r != pivot_row and m[r, col]:
+                m[r, :] ^= m[pivot_row, :]
+        pivot_row += 1
+        rank += 1
+    return rank
+
+
+# ---------------------------------------------------------------------------
+# Misc helpers
+# ---------------------------------------------------------------------------
+
+def chunk(bits: BitsLike, block_length: int, *, discard_partial: bool = True) -> List[np.ndarray]:
+    """Split a bit sequence into consecutive blocks of ``block_length`` bits.
+
+    A trailing partial block is discarded when ``discard_partial`` is True
+    (the NIST convention), otherwise it is returned as the final element.
+    """
+    arr = to_bits(bits)
+    if block_length <= 0:
+        raise ValueError("block_length must be positive")
+    full = arr.size // block_length
+    blocks = [arr[i * block_length : (i + 1) * block_length] for i in range(full)]
+    if not discard_partial and arr.size % block_length:
+        blocks.append(arr[full * block_length :])
+    return blocks

@@ -1,0 +1,106 @@
+"""NIST test 13: The Cumulative Sums (Cusum) Test.
+
+Tracks the random walk defined by the ±1-mapped sequence and checks whether
+its maximal excursion from zero is too large (or too small) for a random
+sequence.  The test is run in two modes: forward (mode 0) and backward
+(mode 1, the sequence reversed).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nist.common import BitsLike, TestResult, normal_cdf, to_bits
+
+__all__ = ["cumulative_sums_test", "cusum_p_value", "random_walk_extremes"]
+
+
+def random_walk_extremes(bits: BitsLike) -> tuple[int, int, int]:
+    """Return ``(S_max, S_min, S_final)`` of the ±1 random walk.
+
+    These are exactly the three values the paper's hardware block provides to
+    the software for the cumulative-sums test (Table II).
+    """
+    arr = to_bits(bits)
+    walk = np.cumsum(2 * arr.astype(np.int64) - 1)
+    if walk.size == 0:
+        return 0, 0, 0
+    return int(walk.max()), int(walk.min()), int(walk[-1])
+
+
+def cusum_p_value(z: int, n: int) -> float:
+    """P-value of the cusum test given the maximal excursion ``z``.
+
+    Implements the double sum of equation (2.13.1)/(2.13.2) of NIST
+    SP 800-22 using the standard normal CDF.  The summation bounds follow the
+    NIST reference implementation's convention (integer division truncated
+    towards zero) so that the published worked examples are reproduced to
+    the last printed digit; for realistic sequence lengths the choice of
+    truncation is numerically irrelevant.
+    """
+    if n <= 0:
+        raise ValueError("sequence length n must be positive")
+    if z <= 0:
+        # A zero excursion can only happen for the degenerate n = 0 case; for
+        # any non-empty sequence the first step already gives |S_1| = 1.
+        return 0.0
+    sqrt_n = math.sqrt(n)
+    total = 1.0
+    start = int((-n / z + 1) / 4)
+    stop = int((n / z - 1) / 4)
+    for k in range(start, stop + 1):
+        total -= normal_cdf((4 * k + 1) * z / sqrt_n) - normal_cdf((4 * k - 1) * z / sqrt_n)
+    start = int((-n / z - 3) / 4)
+    stop = int((n / z - 1) / 4)
+    for k in range(start, stop + 1):
+        total += normal_cdf((4 * k + 3) * z / sqrt_n) - normal_cdf((4 * k + 1) * z / sqrt_n)
+    return min(max(total, 0.0), 1.0)
+
+
+def cumulative_sums_test(bits: BitsLike, mode: int = 0) -> TestResult:
+    """Run the cumulative-sums test.
+
+    Parameters
+    ----------
+    bits:
+        The bit sequence under test.
+    mode:
+        0 for the forward walk, 1 for the backward walk (sequence reversed).
+
+    Returns
+    -------
+    TestResult
+        ``details`` contains the walk extremes ``s_max``/``s_min``/``s_final``
+        of the *forward* walk (the hardware-provided values) together with
+        the excursion ``z`` used for the reported mode.
+    """
+    arr = to_bits(bits)
+    n = arr.size
+    if n == 0:
+        raise ValueError("cumulative sums test requires a non-empty sequence")
+    if mode not in (0, 1):
+        raise ValueError("mode must be 0 (forward) or 1 (backward)")
+    s_max, s_min, s_final = random_walk_extremes(arr)
+    if mode == 0:
+        z = max(abs(s_max), abs(s_min))
+    else:
+        # Backward excursion from the forward-walk summary values: the
+        # reversed walk's partial sums are S_final - S_{n-k}, so its maximal
+        # absolute excursion is max(S_final - S_min, S_max - S_final).
+        z = max(s_final - s_min, s_max - s_final)
+    p_value = cusum_p_value(z, n)
+    return TestResult(
+        name=f"Cumulative Sums Test (mode {mode})",
+        statistic=float(z),
+        p_value=p_value,
+        details={
+            "n": n,
+            "mode": mode,
+            "s_max": s_max,
+            "s_min": s_min,
+            "s_final": s_final,
+            "z": z,
+        },
+    )

@@ -1,0 +1,55 @@
+"""NIST test 6: The Discrete Fourier Transform (Spectral) Test.
+
+Detects periodic features in the sequence by examining the peak heights of
+its discrete Fourier transform.  Classified as unsuitable for compact
+hardware by the paper (Table I) — an n-point DFT requires storage and
+multipliers far beyond a counters-only datapath.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nist.common import BitsLike, TestResult, erfc, to_bits
+
+__all__ = ["dft_test"]
+
+
+def dft_test(bits: BitsLike) -> TestResult:
+    """Run the discrete Fourier transform (spectral) test.
+
+    The ±1-mapped sequence is transformed with an FFT; the number of peaks
+    in the first half of the spectrum below the 95 % threshold
+    ``T = sqrt(n · ln(1/0.05))`` is compared with its expectation
+    ``0.95 · n / 2``.
+
+    Returns
+    -------
+    TestResult
+        ``details`` contains the observed and expected sub-threshold peak
+        counts and the threshold itself.
+    """
+    arr = to_bits(bits)
+    n = arr.size
+    if n < 2:
+        raise ValueError("DFT test requires at least 2 bits")
+    x = 2 * arr.astype(np.float64) - 1
+    spectrum = np.abs(np.fft.fft(x))[: n // 2]
+    threshold = math.sqrt(n * math.log(1.0 / 0.05))
+    n0 = 0.95 * n / 2.0
+    n1 = float(np.count_nonzero(spectrum < threshold))
+    d = (n1 - n0) / math.sqrt(n * 0.95 * 0.05 / 4.0)
+    p_value = erfc(abs(d) / math.sqrt(2.0))
+    return TestResult(
+        name="Discrete Fourier Transform (Spectral) Test",
+        statistic=d,
+        p_value=p_value,
+        details={
+            "n": n,
+            "threshold": threshold,
+            "expected_below": n0,
+            "observed_below": n1,
+        },
+    )

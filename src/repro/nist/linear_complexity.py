@@ -1,0 +1,85 @@
+"""NIST test 10: The Linear Complexity Test.
+
+Determines whether the sequence is complex enough to be considered random by
+computing the linear complexity (via Berlekamp–Massey) of fixed-length
+blocks.  Classified as unsuitable for compact hardware by the paper
+(Table I) — Berlekamp–Massey needs O(M) storage and O(M²) operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nist.common import BitsLike, TestResult, berlekamp_massey, igamc, to_bits
+
+__all__ = ["linear_complexity_test", "LINEAR_COMPLEXITY_PI"]
+
+#: Category probabilities π_0..π_6 from SP 800-22 section 3.10.
+LINEAR_COMPLEXITY_PI = [0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833]
+
+
+def linear_complexity_test(bits: BitsLike, block_length: int = 500) -> TestResult:
+    """Run the linear complexity test.
+
+    Parameters
+    ----------
+    bits:
+        The bit sequence under test; NIST recommends at least 10^6 bits, with
+        at least 200 blocks.
+    block_length:
+        Block length M (NIST: 500 <= M <= 5000).
+
+    Returns
+    -------
+    TestResult
+        ``details`` contains the T-value category histogram.
+    """
+    arr = to_bits(bits)
+    n = arr.size
+    if block_length < 4:
+        raise ValueError("block_length must be at least 4")
+    num_blocks = n // block_length
+    if num_blocks == 0:
+        raise ValueError("sequence shorter than a single block")
+    mean = (
+        block_length / 2.0
+        + (9.0 + (-1.0) ** (block_length + 1)) / 36.0
+        - (block_length / 3.0 + 2.0 / 9.0) / 2.0 ** block_length
+    )
+    categories = np.zeros(7, dtype=np.int64)
+    complexities = []
+    for i in range(num_blocks):
+        block = arr[i * block_length : (i + 1) * block_length]
+        L = berlekamp_massey(block)
+        complexities.append(L)
+        t = (-1.0) ** block_length * (L - mean) + 2.0 / 9.0
+        if t <= -2.5:
+            categories[0] += 1
+        elif t <= -1.5:
+            categories[1] += 1
+        elif t <= -0.5:
+            categories[2] += 1
+        elif t <= 0.5:
+            categories[3] += 1
+        elif t <= 1.5:
+            categories[4] += 1
+        elif t <= 2.5:
+            categories[5] += 1
+        else:
+            categories[6] += 1
+    expected = num_blocks * np.array(LINEAR_COMPLEXITY_PI)
+    chi_squared = float(np.sum((categories - expected) ** 2 / expected))
+    p_value = igamc(3.0, chi_squared / 2.0)
+    return TestResult(
+        name="Linear Complexity Test",
+        statistic=chi_squared,
+        p_value=p_value,
+        details={
+            "n": n,
+            "block_length": block_length,
+            "num_blocks": num_blocks,
+            "mean": mean,
+            "categories": categories.tolist(),
+            "complexities": complexities,
+        },
+    )

@@ -1,0 +1,99 @@
+"""NIST test 14: The Random Excursions Test.
+
+Examines the number of cycles of the cumulative-sum random walk that visit a
+given state x exactly k times, for the eight states x in {-4..-1, 1..4}.
+Classified as unsuitable for compact hardware by the paper (Table I) — it
+requires per-state, per-visit-count bookkeeping across an unbounded number of
+cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.nist.common import BitsLike, TestResult, igamc, to_bits
+
+__all__ = ["random_excursions_test", "walk_cycles", "EXCURSION_STATES"]
+
+#: The eight states examined by the test.
+EXCURSION_STATES = (-4, -3, -2, -1, 1, 2, 3, 4)
+
+
+def walk_cycles(bits: BitsLike) -> List[np.ndarray]:
+    """Split the cumulative-sum random walk into zero-to-zero cycles.
+
+    The walk is prepended and appended with a zero (per the NIST spec); each
+    returned array is one cycle, starting and ending at zero.
+    """
+    arr = to_bits(bits)
+    walk = np.concatenate([[0], np.cumsum(2 * arr.astype(np.int64) - 1)])
+    if walk[-1] != 0:
+        walk = np.concatenate([walk, [0]])
+    zero_positions = np.flatnonzero(walk == 0)
+    cycles = []
+    for start, stop in zip(zero_positions[:-1], zero_positions[1:]):
+        cycles.append(walk[start : stop + 1])
+    return cycles
+
+
+def _state_probabilities(x: int) -> List[float]:
+    """π_k(x) for k = 0..5: probability that state x is visited exactly k times."""
+    ax = abs(x)
+    pi = [1.0 - 1.0 / (2.0 * ax)]
+    for k in range(1, 5):
+        pi.append(1.0 / (4.0 * ax * ax) * (1.0 - 1.0 / (2.0 * ax)) ** (k - 1))
+    pi.append(1.0 / (2.0 * ax) * (1.0 - 1.0 / (2.0 * ax)) ** 4)
+    return pi
+
+
+def random_excursions_test(bits: BitsLike) -> TestResult:
+    """Run the random excursions test.
+
+    Returns
+    -------
+    TestResult
+        Eight P-values, one per state; ``details`` contains the number of
+        cycles J and the per-state visit histograms.  Following the NIST
+        spec, if J < 500 the test is still computed but flagged in
+        ``details['j_below_recommendation']``.
+    """
+    arr = to_bits(bits)
+    n = arr.size
+    if n == 0:
+        raise ValueError("random excursions test requires a non-empty sequence")
+    cycles = walk_cycles(arr)
+    j = len(cycles)
+    if j == 0:
+        raise ValueError("random walk produced no cycles")
+    histograms: Dict[int, np.ndarray] = {
+        x: np.zeros(6, dtype=np.int64) for x in EXCURSION_STATES
+    }
+    for cycle in cycles:
+        for x in EXCURSION_STATES:
+            visits = int(np.count_nonzero(cycle == x))
+            histograms[x][min(visits, 5)] += 1
+    p_values = []
+    statistics = []
+    for x in EXCURSION_STATES:
+        pi = _state_probabilities(x)
+        expected = j * np.array(pi)
+        observed = histograms[x].astype(np.float64)
+        chi_squared = float(np.sum((observed - expected) ** 2 / expected))
+        statistics.append(chi_squared)
+        p_values.append(igamc(2.5, chi_squared / 2.0))
+    return TestResult(
+        name="Random Excursions Test",
+        statistic=max(statistics),
+        p_value=min(p_values),
+        p_values=p_values,
+        details={
+            "n": n,
+            "num_cycles": j,
+            "j_below_recommendation": j < 500,
+            "states": list(EXCURSION_STATES),
+            "histograms": {x: histograms[x].tolist() for x in EXCURSION_STATES},
+            "statistics": statistics,
+        },
+    )

@@ -1,0 +1,60 @@
+"""NIST test 15: The Random Excursions Variant Test.
+
+Counts the total number of times each of the eighteen states
+x in {-9..-1, 1..9} is visited by the cumulative-sum random walk and compares
+the counts with their expectation.  Classified as unsuitable for compact
+hardware by the paper (Table I).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nist.common import BitsLike, TestResult, erfc, to_bits
+
+__all__ = ["random_excursions_variant_test", "VARIANT_STATES"]
+
+#: The eighteen states examined by the test.
+VARIANT_STATES = tuple(x for x in range(-9, 10) if x != 0)
+
+
+def random_excursions_variant_test(bits: BitsLike) -> TestResult:
+    """Run the random excursions variant test.
+
+    Returns
+    -------
+    TestResult
+        Eighteen P-values, one per state; ``details`` contains the number of
+        cycles J and the per-state total visit counts.
+    """
+    arr = to_bits(bits)
+    n = arr.size
+    if n == 0:
+        raise ValueError("random excursions variant test requires a non-empty sequence")
+    walk = np.concatenate([[0], np.cumsum(2 * arr.astype(np.int64) - 1), [0]])
+    # J = number of zero crossings after the initial position.
+    j = int(np.count_nonzero(walk[1:] == 0))
+    if j == 0:
+        raise ValueError("random walk produced no cycles")
+    p_values = []
+    counts = {}
+    for x in VARIANT_STATES:
+        count = int(np.count_nonzero(walk == x))
+        counts[x] = count
+        denom = math.sqrt(2.0 * j * (4.0 * abs(x) - 2.0))
+        p_values.append(erfc(abs(count - j) / denom))
+    return TestResult(
+        name="Random Excursions Variant Test",
+        statistic=float(j),
+        p_value=min(p_values),
+        p_values=p_values,
+        details={
+            "n": n,
+            "num_cycles": j,
+            "j_below_recommendation": j < 500,
+            "states": list(VARIANT_STATES),
+            "counts": counts,
+        },
+    )

@@ -1,0 +1,95 @@
+"""NIST test 5: The Binary Matrix Rank Test.
+
+Checks for linear dependence among fixed-length substrings of the sequence by
+forming 32x32 binary matrices and examining the distribution of their ranks
+over GF(2).  The paper classifies this test as *not* suitable for compact
+hardware (Table I) because it requires storing a full matrix and performing
+Gaussian elimination; it is included here as part of the reference suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nist.common import BitsLike, TestResult, binary_matrix_rank, igamc, to_bits
+
+__all__ = ["binary_matrix_rank_test", "rank_probabilities"]
+
+
+def rank_probabilities(m: int, q: int) -> tuple:
+    """Probabilities of full rank, full rank − 1 and the remainder.
+
+    Uses the exact product formulas from SP 800-22 section 2.5; for the
+    standard 32x32 matrices these evaluate to approximately
+    (0.2888, 0.5776, 0.1336).
+    """
+    r_full = min(m, q)
+
+    def prob(r: int) -> float:
+        product = 1.0
+        for i in range(r):
+            product *= (
+                (1.0 - 2.0 ** (i - q)) * (1.0 - 2.0 ** (i - m)) / (1.0 - 2.0 ** (i - r))
+            )
+        return 2.0 ** (r * (q + m - r) - m * q) * product
+
+    p_full = prob(r_full)
+    p_full_minus_1 = prob(r_full - 1)
+    return p_full, p_full_minus_1, 1.0 - p_full - p_full_minus_1
+
+
+def binary_matrix_rank_test(bits: BitsLike, matrix_rows: int = 32, matrix_cols: int = 32) -> TestResult:
+    """Run the binary matrix rank test.
+
+    Parameters
+    ----------
+    bits:
+        The bit sequence under test; NIST recommends at least 38 matrices
+        worth of bits (38,912 bits for 32x32 matrices).
+    matrix_rows, matrix_cols:
+        Matrix dimensions M and Q (default 32x32).
+
+    Returns
+    -------
+    TestResult
+        ``details`` contains the rank histogram over the three categories.
+    """
+    arr = to_bits(bits)
+    n = arr.size
+    bits_per_matrix = matrix_rows * matrix_cols
+    num_matrices = n // bits_per_matrix
+    if num_matrices == 0:
+        raise ValueError(
+            f"sequence too short: need at least {bits_per_matrix} bits, got {n}"
+        )
+    full_rank = min(matrix_rows, matrix_cols)
+    counts = {"full": 0, "full_minus_1": 0, "rest": 0}
+    for i in range(num_matrices):
+        block = arr[i * bits_per_matrix : (i + 1) * bits_per_matrix]
+        matrix = block.reshape(matrix_rows, matrix_cols)
+        rank = binary_matrix_rank(matrix)
+        if rank == full_rank:
+            counts["full"] += 1
+        elif rank == full_rank - 1:
+            counts["full_minus_1"] += 1
+        else:
+            counts["rest"] += 1
+    p_full, p_minus1, p_rest = rank_probabilities(matrix_rows, matrix_cols)
+    expected = np.array([p_full, p_minus1, p_rest]) * num_matrices
+    observed = np.array([counts["full"], counts["full_minus_1"], counts["rest"]], dtype=np.float64)
+    chi_squared = float(np.sum((observed - expected) ** 2 / expected))
+    p_value = igamc(1.0, chi_squared / 2.0)
+    return TestResult(
+        name="Binary Matrix Rank Test",
+        statistic=chi_squared,
+        p_value=p_value,
+        details={
+            "n": n,
+            "matrix_rows": matrix_rows,
+            "matrix_cols": matrix_cols,
+            "num_matrices": num_matrices,
+            "discarded_bits": n - num_matrices * bits_per_matrix,
+            "counts": dict(counts),
+            "probabilities": (p_full, p_minus1, p_rest),
+        },
+    )

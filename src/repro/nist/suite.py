@@ -1,0 +1,174 @@
+"""Driver that runs a configurable subset of the NIST SP 800-22 suite.
+
+The suite is parameterised so it can be run both in its standard (PRNG
+evaluation) configuration and in the reduced, hardware-friendly
+configurations used by the paper's design points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.nist.approximate_entropy import approximate_entropy_test
+from repro.nist.block_frequency import block_frequency_test
+from repro.nist.common import BitsLike, TestResult, to_bits
+from repro.nist.cusum import cumulative_sums_test
+from repro.nist.dft import dft_test
+from repro.nist.frequency import frequency_test
+from repro.nist.linear_complexity import linear_complexity_test
+from repro.nist.longest_run import longest_run_test
+from repro.nist.nonoverlapping import non_overlapping_template_test
+from repro.nist.overlapping import overlapping_template_test
+from repro.nist.random_excursions import random_excursions_test
+from repro.nist.random_excursions_variant import random_excursions_variant_test
+from repro.nist.rank import binary_matrix_rank_test
+from repro.nist.runs import runs_test
+from repro.nist.serial import serial_test
+from repro.nist.universal import universal_test
+
+__all__ = ["NIST_TEST_NAMES", "NistSuite", "SuiteReport", "run_all_tests"]
+
+#: NIST test numbering (Table I of the paper) -> canonical test name.
+NIST_TEST_NAMES: Dict[int, str] = {
+    1: "Frequency (Monobit) Test",
+    2: "Frequency Test within a Block",
+    3: "Runs Test",
+    4: "Longest Run of Ones in a Block",
+    5: "Binary Matrix Rank Test",
+    6: "Discrete Fourier Transform (Spectral) Test",
+    7: "Non-overlapping Template Matching Test",
+    8: "Overlapping Template Matching Test",
+    9: "Maurer's Universal Statistical Test",
+    10: "Linear Complexity Test",
+    11: "Serial Test",
+    12: "Approximate Entropy Test",
+    13: "Cumulative Sums Test",
+    14: "Random Excursions Test",
+    15: "Random Excursions Variant Test",
+}
+
+#: Tests the paper selects for HW/SW co-design (the "Yes" rows of Table I).
+HW_SUITABLE_TESTS = (1, 2, 3, 4, 7, 8, 11, 12, 13)
+
+
+@dataclass
+class SuiteReport:
+    """Aggregated result of a suite run."""
+
+    n: int
+    results: Dict[int, TestResult] = field(default_factory=dict)
+    errors: Dict[int, str] = field(default_factory=dict)
+
+    def passed(self, alpha: float = 0.01) -> bool:
+        """True when every test that ran accepted the randomness hypothesis."""
+        return all(result.passed(alpha) for result in self.results.values())
+
+    def failing_tests(self, alpha: float = 0.01) -> List[int]:
+        """Numbers of tests that rejected the randomness hypothesis."""
+        return [num for num, result in self.results.items() if not result.passed(alpha)]
+
+    def p_values(self) -> Dict[int, float]:
+        """Primary P-value per executed test."""
+        return {num: result.p_value for num, result in self.results.items()}
+
+    def summary_rows(self, alpha: float = 0.01) -> List[Dict[str, object]]:
+        """Tabular summary convenient for printing/reporting."""
+        rows = []
+        for num in sorted(self.results):
+            result = self.results[num]
+            rows.append(
+                {
+                    "test": num,
+                    "name": result.name,
+                    "p_value": result.min_p_value,
+                    "passed": result.passed(alpha),
+                }
+            )
+        for num in sorted(self.errors):
+            rows.append(
+                {
+                    "test": num,
+                    "name": NIST_TEST_NAMES[num],
+                    "p_value": None,
+                    "passed": None,
+                    "error": self.errors[num],
+                }
+            )
+        return rows
+
+
+class NistSuite:
+    """Configurable runner over the 15 reference NIST tests.
+
+    Parameters
+    ----------
+    tests:
+        Test numbers (1..15) to run; defaults to all 15.
+    parameters:
+        Optional per-test keyword arguments, keyed by test number, e.g.
+        ``{2: {"block_length": 1024}, 11: {"m": 4}}``.
+    skip_errors:
+        When True (default) a test that raises ``ValueError`` (for instance
+        because the sequence is too short) is recorded in
+        :attr:`SuiteReport.errors` instead of aborting the whole run.
+    """
+
+    def __init__(
+        self,
+        tests: Optional[Sequence[int]] = None,
+        parameters: Optional[Dict[int, Dict[str, object]]] = None,
+        skip_errors: bool = True,
+    ):
+        requested = tuple(tests) if tests is not None else tuple(range(1, 16))
+        unknown = [t for t in requested if t not in NIST_TEST_NAMES]
+        if unknown:
+            raise ValueError(f"unknown test numbers: {unknown}")
+        self.tests = requested
+        self.parameters = dict(parameters or {})
+        self.skip_errors = skip_errors
+
+    # -- dispatch ----------------------------------------------------------
+    def _runner(self, number: int) -> Callable[..., TestResult]:
+        dispatch = {
+            1: frequency_test,
+            2: block_frequency_test,
+            3: runs_test,
+            4: longest_run_test,
+            5: binary_matrix_rank_test,
+            6: dft_test,
+            7: non_overlapping_template_test,
+            8: overlapping_template_test,
+            9: universal_test,
+            10: linear_complexity_test,
+            11: serial_test,
+            12: approximate_entropy_test,
+            13: cumulative_sums_test,
+            14: random_excursions_test,
+            15: random_excursions_variant_test,
+        }
+        return dispatch[number]
+
+    def run(self, bits: BitsLike) -> SuiteReport:
+        """Run the configured tests on ``bits`` and return a report."""
+        arr = to_bits(bits)
+        report = SuiteReport(n=int(arr.size))
+        for number in self.tests:
+            runner = self._runner(number)
+            kwargs = self.parameters.get(number, {})
+            try:
+                report.results[number] = runner(arr, **kwargs)
+            except ValueError as exc:
+                if not self.skip_errors:
+                    raise
+                report.errors[number] = str(exc)
+        return report
+
+
+def run_all_tests(
+    bits: BitsLike,
+    tests: Optional[Sequence[int]] = None,
+    parameters: Optional[Dict[int, Dict[str, object]]] = None,
+) -> SuiteReport:
+    """Convenience wrapper: run (a subset of) the suite with one call."""
+    return NistSuite(tests=tests, parameters=parameters).run(bits)

@@ -1,0 +1,127 @@
+"""NIST test 9: Maurer's "Universal Statistical" Test.
+
+Measures the compressibility of the sequence via the distances between
+repeated occurrences of L-bit blocks.  Classified as unsuitable for compact
+hardware by the paper (Table I) — the test needs a 2^L-entry position table
+and logarithm evaluations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.nist.common import BitsLike, TestResult, erfc, to_bits
+
+__all__ = ["universal_test", "UNIVERSAL_CONSTANTS", "recommended_l"]
+
+#: NIST-tabulated (expectedValue, variance) for block length L.
+UNIVERSAL_CONSTANTS: Dict[int, Tuple[float, float]] = {
+    6: (5.2177052, 2.954),
+    7: (6.1962507, 3.125),
+    8: (7.1836656, 3.238),
+    9: (8.1764248, 3.311),
+    10: (9.1723243, 3.356),
+    11: (10.170032, 3.384),
+    12: (11.168765, 3.401),
+    13: (12.168070, 3.410),
+    14: (13.167693, 3.416),
+    15: (14.167488, 3.419),
+    16: (15.167379, 3.421),
+}
+
+
+def recommended_l(n: int) -> int:
+    """NIST-recommended block length L for a sequence of ``n`` bits."""
+    thresholds = [
+        (387840, 6),
+        (904960, 7),
+        (2068480, 8),
+        (4654080, 9),
+        (10342400, 10),
+        (22753280, 11),
+        (49643520, 12),
+        (107560960, 13),
+        (231669760, 14),
+        (496435200, 15),
+        (1059061760, 16),
+    ]
+    chosen = 0
+    for minimum, length in thresholds:
+        if n >= minimum:
+            chosen = length
+    if chosen == 0:
+        raise ValueError(
+            "sequence too short for Maurer's universal test (needs >= 387,840 bits)"
+        )
+    return chosen
+
+
+def universal_test(bits: BitsLike, block_length: int | None = None, init_blocks: int | None = None) -> TestResult:
+    """Run Maurer's universal statistical test.
+
+    Parameters
+    ----------
+    bits:
+        The bit sequence under test.  NIST's recommended minimum length is
+        387,840 bits for L = 6; to allow testing on shorter (clearly
+        documented, non-compliant) inputs, explicit ``block_length`` and
+        ``init_blocks`` may be supplied.
+    block_length:
+        L-bit block size (6..16).  Defaults to the NIST recommendation.
+    init_blocks:
+        Number of initialisation blocks Q (default ``10 * 2**L``).
+
+    Returns
+    -------
+    TestResult
+        ``details`` contains the test statistic f_n, the reference
+        expectation/variance and the block counts Q and K.
+    """
+    arr = to_bits(bits)
+    n = arr.size
+    L = block_length if block_length is not None else recommended_l(n)
+    if L not in UNIVERSAL_CONSTANTS:
+        raise ValueError(f"block_length must be one of {sorted(UNIVERSAL_CONSTANTS)}")
+    Q = init_blocks if init_blocks is not None else 10 * (1 << L)
+    total_blocks = n // L
+    K = total_blocks - Q
+    if K <= 0:
+        raise ValueError(
+            f"sequence too short: {total_blocks} blocks available but Q={Q} needed for initialisation"
+        )
+    weights = 1 << np.arange(L - 1, -1, -1)
+    block_values = (
+        arr[: total_blocks * L].reshape(total_blocks, L).astype(np.int64) @ weights
+    )
+    table = np.zeros(1 << L, dtype=np.int64)
+    for i in range(Q):
+        table[block_values[i]] = i + 1
+    total = 0.0
+    for i in range(Q, total_blocks):
+        value = block_values[i]
+        total += math.log2(i + 1 - table[value])
+        table[value] = i + 1
+    fn = total / K
+    expected, variance = UNIVERSAL_CONSTANTS[L]
+    c = 0.7 - 0.8 / L + (4.0 + 32.0 / L) * (K ** (-3.0 / L)) / 15.0
+    sigma = c * math.sqrt(variance / K)
+    statistic = abs(fn - expected) / (math.sqrt(2.0) * sigma)
+    p_value = erfc(statistic)
+    return TestResult(
+        name="Maurer's Universal Statistical Test",
+        statistic=fn,
+        p_value=p_value,
+        details={
+            "n": n,
+            "L": L,
+            "Q": Q,
+            "K": K,
+            "fn": fn,
+            "expected": expected,
+            "variance": variance,
+            "sigma": sigma,
+        },
+    )

@@ -1,0 +1,39 @@
+"""The software half of the platform: verification routines on a 16-bit core.
+
+The paper moves every operation that is *not* needed while bits are being
+generated into software running on whatever processor the embedded system
+already contains (a microcontroller, DSP or soft core).  This package models
+that software:
+
+* :mod:`repro.sw.processor` — a 16-bit software-platform model; every
+  arithmetic operation performed by the routines is decomposed into 16-bit
+  word operations and counted (the ADD/SUB/MUL/SQR/SHIFT/COMP/LUT/READ rows
+  of Table III);
+* :mod:`repro.sw.pwl` — the 32-segment piece-wise-linear approximation of
+  x·log(x) used by the approximate-entropy routine (Fig. 3);
+* :mod:`repro.sw.critical_values` — the precomputed constants (inverse
+  critical values) that replace P-value computation, as a function of the
+  level of significance α;
+* :mod:`repro.sw.routines` — the per-test verification routines operating on
+  the hardware counter values of Table II;
+* :mod:`repro.sw.cycles` — cycle-count models for openMSP430-class platforms
+  (the latency entry of Table IV).
+"""
+
+from repro.sw.processor import InstructionCounts, SoftwareProcessor, SWValue
+from repro.sw.pwl import PiecewiseLinearXLogX
+from repro.sw.critical_values import CriticalValues
+from repro.sw.routines import SoftwareVerdict, SoftwareVerifier
+from repro.sw.cycles import CYCLE_PROFILES, estimate_cycles
+
+__all__ = [
+    "InstructionCounts",
+    "SoftwareProcessor",
+    "SWValue",
+    "PiecewiseLinearXLogX",
+    "CriticalValues",
+    "SoftwareVerdict",
+    "SoftwareVerifier",
+    "CYCLE_PROFILES",
+    "estimate_cycles",
+]

@@ -1,0 +1,97 @@
+"""Cycle-count models for the software platform.
+
+Table IV of the paper reports the latency of the software routine when
+executed on an openMSP430 soft core.  Instruction counts are converted to
+cycles with a per-instruction-class cost profile; three profiles are
+provided, covering the platforms Section IV mentions (a 16-bit
+microcontroller with and without a hardware multiplier, and a 32-bit
+embedded processor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sw.processor import InstructionCounts
+
+__all__ = ["CycleProfile", "CYCLE_PROFILES", "estimate_cycles"]
+
+
+@dataclass(frozen=True)
+class CycleProfile:
+    """Cycles per instruction class for one software platform.
+
+    The numbers are coarse but representative: MSP430-class cores execute
+    register/register ALU operations in a single cycle but need several
+    cycles for memory operands and peripheral reads; without the hardware
+    multiplier peripheral, a 16×16 multiplication is a ~150-cycle library
+    call.
+    """
+
+    name: str
+    add: float
+    sub: float
+    mul: float
+    sqr: float
+    shift: float
+    comp: float
+    lut: float
+    read: float
+    word_bits: int = 16
+    description: str = ""
+
+    def cycles(self, counts: InstructionCounts) -> float:
+        """Total cycle estimate for an instruction tally."""
+        return (
+            counts.add * self.add
+            + counts.sub * self.sub
+            + counts.mul * self.mul
+            + counts.sqr * self.sqr
+            + counts.shift * self.shift
+            + counts.comp * self.comp
+            + counts.lut * self.lut
+            + counts.read * self.read
+        )
+
+
+#: The cycle profiles used by the latency benchmarks.
+CYCLE_PROFILES: Dict[str, CycleProfile] = {
+    "openmsp430_hw_mult": CycleProfile(
+        name="openmsp430_hw_mult",
+        add=2.0, sub=2.0, mul=8.0, sqr=8.0, shift=2.0, comp=2.0, lut=5.0, read=4.0,
+        word_bits=16,
+        description="openMSP430 with the 16x16 hardware multiplier peripheral",
+    ),
+    "openmsp430_sw_mult": CycleProfile(
+        name="openmsp430_sw_mult",
+        add=2.0, sub=2.0, mul=150.0, sqr=150.0, shift=2.0, comp=2.0, lut=5.0, read=4.0,
+        word_bits=16,
+        description="openMSP430 with a software multiplication library",
+    ),
+    "embedded_32bit": CycleProfile(
+        name="embedded_32bit",
+        add=1.0, sub=1.0, mul=3.0, sqr=3.0, shift=1.0, comp=1.0, lut=3.0, read=3.0,
+        word_bits=32,
+        description="generic 32-bit embedded core (Cortex-M class)",
+    ),
+    "avr8": CycleProfile(
+        name="avr8",
+        add=4.0, sub=4.0, mul=20.0, sqr=20.0, shift=4.0, comp=4.0, lut=8.0, read=6.0,
+        word_bits=8,
+        description="8-bit AVR-class microcontroller (16-bit words emulated in pairs)",
+    ),
+    "riscv32_embedded": CycleProfile(
+        name="riscv32_embedded",
+        add=1.0, sub=1.0, mul=5.0, sqr=5.0, shift=1.0, comp=1.0, lut=3.0, read=4.0,
+        word_bits=32,
+        description="RV32IM embedded core with a multi-cycle multiplier",
+    ),
+}
+
+
+def estimate_cycles(counts: InstructionCounts, profile: str = "openmsp430_hw_mult") -> float:
+    """Cycle estimate for an instruction tally under a named profile."""
+    if profile not in CYCLE_PROFILES:
+        raise ValueError(f"unknown cycle profile {profile!r}; choose from {sorted(CYCLE_PROFILES)}")
+    return CYCLE_PROFILES[profile].cycles(counts)

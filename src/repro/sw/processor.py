@@ -1,0 +1,232 @@
+"""Model of the 16-bit software platform.
+
+The verification routines (:mod:`repro.sw.routines`) perform all their
+arithmetic through a :class:`SoftwareProcessor`.  The processor computes the
+exact result (Python numbers — modelling a fixed-point implementation with
+sufficient precision) while simultaneously accounting how many 16-bit
+instructions of each class a real microcontroller would need: an addition of
+two 40-bit quantities on a 16-bit core costs three ADDs, a 24×24-bit
+multiplication costs four 16×16 MULs plus the partial-product additions, and
+so on.  These counts regenerate the software rows of Table III.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Sequence, Union
+
+from repro.hwsim.register_file import RegisterFile
+
+__all__ = ["InstructionCounts", "SWValue", "SoftwareProcessor"]
+
+Number = Union[int, float]
+
+
+@dataclass
+class InstructionCounts:
+    """Tally of 16-bit instructions, one field per row of Table III (SW part)."""
+
+    add: int = 0
+    sub: int = 0
+    mul: int = 0
+    sqr: int = 0
+    shift: int = 0
+    comp: int = 0
+    lut: int = 0
+    read: int = 0
+
+    def total(self) -> int:
+        """Total number of counted instructions."""
+        return (
+            self.add + self.sub + self.mul + self.sqr
+            + self.shift + self.comp + self.lut + self.read
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counts as a plain dictionary (upper-case keys as in the paper)."""
+        return {
+            "ADD": self.add,
+            "SUB": self.sub,
+            "MUL": self.mul,
+            "SQR": self.sqr,
+            "SHIFT": self.shift,
+            "COMP": self.comp,
+            "LUT": self.lut,
+            "READ": self.read,
+        }
+
+    def merge(self, other: "InstructionCounts") -> "InstructionCounts":
+        """Element-wise sum of two tallies."""
+        return InstructionCounts(
+            add=self.add + other.add,
+            sub=self.sub + other.sub,
+            mul=self.mul + other.mul,
+            sqr=self.sqr + other.sqr,
+            shift=self.shift + other.shift,
+            comp=self.comp + other.comp,
+            lut=self.lut + other.lut,
+            read=self.read + other.read,
+        )
+
+
+@dataclass(frozen=True)
+class SWValue:
+    """A value manipulated by the software, annotated with its bit width.
+
+    The width is what determines how many 16-bit word operations an
+    arithmetic step costs; the value itself is kept exact.
+    """
+
+    value: Number
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ValueError("bits must be positive")
+
+    @property
+    def words(self) -> int:
+        """Number of 16-bit words needed to hold this value."""
+        return max(1, math.ceil(self.bits / 16))
+
+    def __repr__(self) -> str:
+        return f"SWValue({self.value}, bits={self.bits})"
+
+
+class SoftwareProcessor:
+    """Executes routine arithmetic while counting 16-bit instructions.
+
+    Parameters
+    ----------
+    word_bits:
+        Native word size of the platform (16 for the paper's evaluation;
+        32 or 64 reduce the instruction counts as discussed in Section IV).
+    """
+
+    def __init__(self, word_bits: int = 16):
+        if word_bits not in (8, 16, 32, 64):
+            raise ValueError("word_bits must be 8, 16, 32 or 64")
+        self.word_bits = word_bits
+        self.counts = InstructionCounts()
+
+    # -- helpers --------------------------------------------------------------
+    def _words(self, value: SWValue) -> int:
+        return max(1, math.ceil(value.bits / self.word_bits))
+
+    def reset_counts(self) -> None:
+        """Clear the instruction tally."""
+        self.counts = InstructionCounts()
+
+    # -- value construction ----------------------------------------------------
+    def constant(self, value: Number, bits: int) -> SWValue:
+        """A constant from program memory (free: folded into the instruction)."""
+        return SWValue(value, bits)
+
+    def read(self, register_file: RegisterFile, name: str) -> SWValue:
+        """Read an exported hardware value through the memory-mapped interface.
+
+        Costs one READ instruction per bus word.
+        """
+        width = register_file.width_of(name)
+        words = max(1, math.ceil(width / self.word_bits))
+        self.counts.read += words
+        return SWValue(register_file.read(name), width)
+
+    def read_all(self, register_file: RegisterFile, names: Iterable[str]) -> Dict[str, SWValue]:
+        """Read several exported values."""
+        return {name: self.read(register_file, name) for name in names}
+
+    # -- arithmetic ---------------------------------------------------------------
+    def add(self, a: SWValue, b: SWValue) -> SWValue:
+        """Addition; one ADD per result word (carry propagation)."""
+        bits = max(a.bits, b.bits) + 1
+        self.counts.add += max(1, math.ceil(bits / self.word_bits))
+        return SWValue(a.value + b.value, bits)
+
+    def sub(self, a: SWValue, b: SWValue) -> SWValue:
+        """Subtraction; one SUB per result word (borrow propagation)."""
+        bits = max(a.bits, b.bits) + 1
+        self.counts.sub += max(1, math.ceil(bits / self.word_bits))
+        return SWValue(a.value - b.value, bits)
+
+    def accumulate(self, values: Sequence[SWValue]) -> SWValue:
+        """Sum a sequence of values with a running accumulator."""
+        if not values:
+            return SWValue(0, 1)
+        total = values[0]
+        for value in values[1:]:
+            total = self.add(total, value)
+        return total
+
+    def mul(self, a: SWValue, b: SWValue) -> SWValue:
+        """Multiplication; schoolbook decomposition into word×word MULs.
+
+        A Wa×Wb-word product needs Wa·Wb word multiplications plus
+        (Wa·Wb − 1) additions to accumulate the partial products.
+        """
+        wa, wb = self._words(a), self._words(b)
+        self.counts.mul += wa * wb
+        self.counts.add += max(0, wa * wb - 1)
+        return SWValue(a.value * b.value, a.bits + b.bits)
+
+    def square(self, a: SWValue) -> SWValue:
+        """Squaring; symmetric schoolbook (about half the MULs of a full multiply)."""
+        wa = self._words(a)
+        self.counts.sqr += wa * (wa + 1) // 2
+        self.counts.add += max(0, wa * (wa + 1) // 2 - 1)
+        return SWValue(a.value * a.value, 2 * a.bits)
+
+    def shift_left(self, a: SWValue, amount: int) -> SWValue:
+        """Left shift by a constant; one SHIFT per operand word."""
+        if amount < 0:
+            raise ValueError("shift amount must be non-negative")
+        self.counts.shift += self._words(a)
+        return SWValue(a.value * (1 << amount), a.bits + amount)
+
+    def shift_right(self, a: SWValue, amount: int) -> SWValue:
+        """Right shift by a constant; one SHIFT per operand word.
+
+        The value is divided exactly (the routines only shift right by
+        amounts that preserve exactness, e.g. dividing by the power-of-two
+        sequence length).
+        """
+        if amount < 0:
+            raise ValueError("shift amount must be non-negative")
+        self.counts.shift += self._words(a)
+        return SWValue(a.value / (1 << amount), max(1, a.bits - amount))
+
+    def compare_le(self, a: SWValue, b: SWValue) -> bool:
+        """Comparison a <= b; one COMP per word of the wider operand."""
+        self.counts.comp += max(self._words(a), self._words(b))
+        return a.value <= b.value
+
+    def compare_ge(self, a: SWValue, b: SWValue) -> bool:
+        """Comparison a >= b."""
+        self.counts.comp += max(self._words(a), self._words(b))
+        return a.value >= b.value
+
+    def compare_lt(self, a: SWValue, b: SWValue) -> bool:
+        """Comparison a < b."""
+        self.counts.comp += max(self._words(a), self._words(b))
+        return a.value < b.value
+
+    def absolute(self, a: SWValue) -> SWValue:
+        """Absolute value: a sign test plus (possibly) a negation."""
+        self.counts.comp += 1
+        if a.value < 0:
+            self.counts.sub += self._words(a)
+            return SWValue(-a.value, a.bits)
+        return a
+
+    def maximum(self, a: SWValue, b: SWValue) -> SWValue:
+        """Maximum of two values (one comparison, no data movement counted)."""
+        self.counts.comp += max(self._words(a), self._words(b))
+        return a if a.value >= b.value else b
+
+    def lut_lookup(self, table: Sequence[Number], index: int, result_bits: int = 16) -> SWValue:
+        """Table lookup from program memory; one LUT instruction."""
+        if not 0 <= index < len(table):
+            raise IndexError(f"LUT index {index} out of range (table size {len(table)})")
+        self.counts.lut += 1
+        return SWValue(table[index], result_bits)

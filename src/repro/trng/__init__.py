@@ -1,0 +1,45 @@
+"""Entropy-source and attack simulators.
+
+The paper's platform monitors a physical TRNG; here the physical entropy
+sources and the physical attacks on them (frequency injection through the
+power supply, electromagnetic injection, wire cutting, probing of the alarm
+signal, aging) are replaced by behavioural models that produce bit streams
+with the corresponding statistical signatures.  These models are what the
+on-the-fly monitor (:mod:`repro.core`) is exercised against.
+"""
+
+from repro.trng.source import EntropySource, SeededSource
+from repro.trng.ideal import IdealSource
+from repro.trng.biased import BiasedSource
+from repro.trng.correlated import CorrelatedSource, OscillatingBiasSource
+from repro.trng.oscillator import RingOscillatorTRNG
+from repro.trng.failures import StuckAtSource, DeadSource, AlternatingSource, BurstFailureSource
+from repro.trng.attacks import (
+    FrequencyInjectionAttack,
+    EMInjectionAttack,
+    ProbingAttack,
+    AttackScenario,
+)
+from repro.trng.aging import AgingSource
+from repro.trng.capture import CaptureSource, ReplaySource
+
+__all__ = [
+    "CaptureSource",
+    "ReplaySource",
+    "EntropySource",
+    "SeededSource",
+    "IdealSource",
+    "BiasedSource",
+    "CorrelatedSource",
+    "OscillatingBiasSource",
+    "RingOscillatorTRNG",
+    "StuckAtSource",
+    "DeadSource",
+    "AlternatingSource",
+    "BurstFailureSource",
+    "FrequencyInjectionAttack",
+    "EMInjectionAttack",
+    "ProbingAttack",
+    "AttackScenario",
+    "AgingSource",
+]

@@ -1,0 +1,136 @@
+"""Replay and capture adapters for real TRNG data.
+
+A deployed platform monitors a physical generator; during bring-up and
+certification, engineers also need to replay *captured* bit streams (from a
+logic analyser dump, a raw byte file, or a previous run) through exactly the
+same testing pipeline.  These adapters bridge stored data and the
+:class:`repro.trng.source.EntropySource` interface used everywhere else.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.nist.common import BitsLike, BitSequence, to_bits
+from repro.trng.source import EntropySource
+
+__all__ = ["ReplaySource", "CaptureSource"]
+
+
+class ReplaySource(EntropySource):
+    """Replay a stored bit sequence as an entropy source.
+
+    Parameters
+    ----------
+    bits:
+        Anything :func:`repro.nist.common.to_bits` accepts (bit string, list,
+        numpy array, raw bytes — unpacked MSB first).
+    loop:
+        When True the stream restarts from the beginning once exhausted;
+        when False, requesting more bits than stored raises ``RuntimeError``
+        (usually the right behaviour for certification replays, where
+        silently recycling data would invalidate the statistics).
+    """
+
+    def __init__(self, bits: BitsLike, loop: bool = False):
+        self._bits = to_bits(bits)
+        if self._bits.size == 0:
+            raise ValueError("cannot replay an empty capture")
+        self.loop = loop
+        self._position = 0
+
+    @classmethod
+    def from_file(cls, path: Union[str, pathlib.Path], loop: bool = False) -> "ReplaySource":
+        """Replay a raw byte file (every byte contributes 8 bits, MSB first)."""
+        data = pathlib.Path(path).read_bytes()
+        if not data:
+            raise ValueError(f"capture file {path} is empty")
+        return cls(data, loop=loop)
+
+    @property
+    def total_bits(self) -> int:
+        """Number of stored bits."""
+        return int(self._bits.size)
+
+    @property
+    def remaining_bits(self) -> Optional[int]:
+        """Bits left before exhaustion (None when looping)."""
+        if self.loop:
+            return None
+        return self.total_bits - self._position
+
+    def next_bit(self) -> int:
+        if self._position >= self._bits.size:
+            if not self.loop:
+                raise RuntimeError(
+                    f"replay exhausted after {self.total_bits} bits; "
+                    "construct with loop=True to recycle the capture"
+                )
+            self._position = 0
+        bit = int(self._bits[self._position])
+        self._position += 1
+        return bit
+
+    def reset(self) -> None:
+        self._position = 0
+
+    @property
+    def name(self) -> str:
+        return f"ReplaySource(total_bits={self.total_bits}, loop={self.loop})"
+
+
+class CaptureSource(EntropySource):
+    """Wrap a source and record every bit it emits.
+
+    Useful for post-mortem analysis: when the on-the-fly monitor flags a
+    sequence, the captured bits can be re-examined with the full reference
+    NIST suite (including the six tests the hardware cannot run).
+    """
+
+    def __init__(self, source: EntropySource, max_bits: Optional[int] = None):
+        if max_bits is not None and max_bits <= 0:
+            raise ValueError("max_bits must be positive when given")
+        self.source = source
+        self.max_bits = max_bits
+        self._captured: list = []
+
+    def next_bit(self) -> int:
+        bit = self.source.next_bit()
+        if self.max_bits is None or len(self._captured) < self.max_bits:
+            self._captured.append(bit)
+        return bit
+
+    @property
+    def captured_bits(self) -> int:
+        """Number of bits recorded so far."""
+        return len(self._captured)
+
+    def captured(self) -> BitSequence:
+        """The recorded bits as a :class:`BitSequence`."""
+        return BitSequence(np.array(self._captured, dtype=np.uint8))
+
+    def save(self, path: Union[str, pathlib.Path]) -> int:
+        """Write the capture as packed bytes (MSB first); returns bytes written.
+
+        Trailing bits that do not fill a whole byte are zero-padded, matching
+        the convention of :meth:`ReplaySource.from_file`.
+        """
+        bits = np.array(self._captured, dtype=np.uint8)
+        packed = np.packbits(bits) if bits.size else np.array([], dtype=np.uint8)
+        pathlib.Path(path).write_bytes(packed.tobytes())
+        return int(packed.size)
+
+    def clear(self) -> None:
+        """Drop the recorded bits (the wrapped source is untouched)."""
+        self._captured = []
+
+    def reset(self) -> None:
+        self.source.reset()
+        self.clear()
+
+    @property
+    def name(self) -> str:
+        return f"CaptureSource({self.source.name})"

@@ -1,0 +1,100 @@
+"""Correlated entropy sources (serial dependence between successive bits)."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.trng.source import SeededSource
+
+__all__ = ["CorrelatedSource", "OscillatingBiasSource"]
+
+
+class CorrelatedSource(SeededSource):
+    """First-order Markov source: each bit repeats the previous one with
+    probability ``p_repeat``.
+
+    With ``p_repeat = 0.5`` this degenerates to an ideal source.  Larger
+    values model under-sampled oscillator TRNGs whose consecutive samples are
+    correlated; the runs, serial and approximate-entropy tests are the ones
+    designed to catch this weakness, while the plain frequency test does not
+    (the marginal bit probability stays 1/2).
+
+    Parameters
+    ----------
+    p_repeat:
+        Probability that a bit equals the previous bit, in [0, 1].
+    seed:
+        Seed of the backing pseudo-random generator.
+    """
+
+    def __init__(self, p_repeat: float, seed: Optional[int] = None):
+        super().__init__(seed)
+        if not 0.0 <= p_repeat <= 1.0:
+            raise ValueError("p_repeat must lie in [0, 1]")
+        self.p_repeat = float(p_repeat)
+        self._previous: Optional[int] = None
+
+    def next_bit(self) -> int:
+        if self._previous is None:
+            bit = int(self._rng.integers(0, 2))
+        elif self._uniform() < self.p_repeat:
+            bit = self._previous
+        else:
+            bit = 1 - self._previous
+        self._previous = bit
+        return bit
+
+    def reset(self) -> None:
+        super().reset()
+        self._previous = None
+
+    @property
+    def name(self) -> str:
+        return f"CorrelatedSource(p_repeat={self.p_repeat})"
+
+
+class OscillatingBiasSource(SeededSource):
+    """Source whose bias drifts sinusoidally over time.
+
+    Models slow environmental modulation (temperature cycling, supply ripple)
+    of the entropy source.  The long-sequence block-frequency test is the one
+    expected to catch it: individual short blocks see an almost constant but
+    wrong bias, while the global ones count can still average out to n/2.
+
+    Parameters
+    ----------
+    amplitude:
+        Peak deviation of P(1) from 1/2 (0 <= amplitude <= 0.5).
+    period:
+        Modulation period in bits.
+    seed:
+        Seed of the backing pseudo-random generator.
+    """
+
+    def __init__(self, amplitude: float, period: int, seed: Optional[int] = None):
+        super().__init__(seed)
+        if not 0.0 <= amplitude <= 0.5:
+            raise ValueError("amplitude must lie in [0, 0.5]")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.amplitude = float(amplitude)
+        self.period = int(period)
+        self._t = 0
+
+    def current_bias(self) -> float:
+        """Instantaneous P(1) at the current position in the stream."""
+        return 0.5 + self.amplitude * math.sin(2.0 * math.pi * self._t / self.period)
+
+    def next_bit(self) -> int:
+        bit = int(self._uniform() < self.current_bias())
+        self._t += 1
+        return bit
+
+    def reset(self) -> None:
+        super().reset()
+        self._t = 0
+
+    @property
+    def name(self) -> str:
+        return f"OscillatingBiasSource(amplitude={self.amplitude}, period={self.period})"

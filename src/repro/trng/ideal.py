@@ -1,0 +1,30 @@
+"""Ideal (unbiased, independent) entropy source."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nist.common import BitSequence
+from repro.trng.source import SeededSource
+
+__all__ = ["IdealSource"]
+
+
+class IdealSource(SeededSource):
+    """An ideal TRNG model: independent, unbiased bits.
+
+    Used as the null-hypothesis workload in every experiment — the platform
+    must accept its output with probability ≈ 1 − α per test.
+    """
+
+    def next_bit(self) -> int:
+        return int(self._rng.integers(0, 2))
+
+    def generate(self, n: int) -> BitSequence:
+        # Vectorised override for speed; behaviour identical to the bit-serial
+        # path (both consume the generator's integer stream).
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return BitSequence(self._rng.integers(0, 2, size=n, dtype=np.uint8))

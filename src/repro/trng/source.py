@@ -1,0 +1,82 @@
+"""Base classes for entropy sources.
+
+An entropy source is anything that produces bits one at a time.  The
+hardware testing block (:mod:`repro.hwtests`) consumes these bits one per
+clock cycle, exactly as the paper's RTL reads the TRNG output bit by bit.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.nist.common import BitSequence
+
+__all__ = ["EntropySource", "SeededSource"]
+
+
+class EntropySource(abc.ABC):
+    """Abstract bit-serial entropy source.
+
+    Concrete sources implement :meth:`next_bit`; bulk generation and
+    iteration are provided on top of it.  Sources are stateful: consecutive
+    calls continue the same underlying stream.
+    """
+
+    @abc.abstractmethod
+    def next_bit(self) -> int:
+        """Produce the next output bit (0 or 1)."""
+
+    def generate(self, n: int) -> BitSequence:
+        """Produce ``n`` bits as a :class:`~repro.nist.common.BitSequence`."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        bits = np.empty(n, dtype=np.uint8)
+        for i in range(n):
+            bits[i] = self.next_bit()
+        return BitSequence(bits)
+
+    def bit_stream(self, n: Optional[int] = None) -> Iterator[int]:
+        """Yield bits one at a time; endless when ``n`` is None."""
+        if n is None:
+            while True:
+                yield self.next_bit()
+        else:
+            for _ in range(n):
+                yield self.next_bit()
+
+    def reset(self) -> None:
+        """Reset any internal state.  Default: no-op."""
+
+    @property
+    def name(self) -> str:
+        """Human-readable source name (defaults to the class name)."""
+        return type(self).__name__
+
+
+class SeededSource(EntropySource):
+    """Entropy source backed by a seeded pseudo-random generator.
+
+    This is the common base of all behavioural models in this package: the
+    underlying physical randomness (thermal noise, jitter) is emulated with a
+    numpy ``Generator`` so that experiments are reproducible.
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def seed(self) -> Optional[int]:
+        """The seed this source was constructed with (None = OS entropy)."""
+        return self._seed
+
+    def reset(self) -> None:
+        """Restart the underlying pseudo-random stream from the seed."""
+        self._rng = np.random.default_rng(self._seed)
+
+    def _uniform(self) -> float:
+        """One uniform draw in [0, 1) from the backing generator."""
+        return float(self._rng.random())

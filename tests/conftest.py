@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.configs import get_design
+from repro.core.platform import OnTheFlyPlatform
+from repro.hwtests.parameters import DesignParameters
+from repro.trng.ideal import IdealSource
+
+
+@pytest.fixture(scope="session")
+def ideal_bits_1024():
+    """1024 ideal bits (fixed seed) as a numpy array."""
+    return IdealSource(seed=1001).generate(1024).bits
+
+
+@pytest.fixture(scope="session")
+def ideal_bits_4096():
+    """4096 ideal bits (fixed seed) as a numpy array."""
+    return IdealSource(seed=2002).generate(4096).bits
+
+
+@pytest.fixture(scope="session")
+def ideal_bits_65536():
+    """65536 ideal bits (fixed seed) as a numpy array."""
+    return IdealSource(seed=3003).generate(65536).bits
+
+
+@pytest.fixture(scope="session")
+def params_4096():
+    """Design parameters for a small power-of-two length used in unit tests."""
+    return DesignParameters.for_length(4096)
+
+
+@pytest.fixture(scope="session")
+def params_65536():
+    """Design parameters for the paper's middle sequence length."""
+    return DesignParameters.for_length(65536)
+
+
+@pytest.fixture(scope="session")
+def platform_65536_high():
+    """The full nine-test platform at n = 65536 (shared, read-only usage)."""
+    return OnTheFlyPlatform("n65536_high", alpha=0.01)
+
+
+@pytest.fixture(scope="session")
+def report_65536_high_ideal(platform_65536_high, ideal_bits_65536):
+    """One evaluated ideal sequence on the full 65536-bit design.
+
+    Session-scoped because the cycle-accurate evaluation of 65536 bits takes
+    on the order of a second; tests must not mutate the returned report.
+    """
+    return platform_65536_high.evaluate_sequence(ideal_bits_65536)
+
+
+@pytest.fixture(scope="session")
+def design_65536_high():
+    return get_design("n65536_high")
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running integration test")

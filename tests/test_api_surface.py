@@ -1,0 +1,72 @@
+"""The documented public API stays importable from the package roots."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize("name", sorted(repro.__all__))
+    def test_every_exported_name_resolves(self, name):
+        assert getattr(repro, name) is not None
+
+    def test_core_classes_exposed(self):
+        assert repro.OnTheFlyPlatform is not None
+        assert repro.OnTheFlyMonitor is not None
+        assert repro.FlexibleLengthPlatform is not None
+        assert repro.UnifiedTestingBlock is not None
+
+    def test_design_helpers_exposed(self):
+        assert len(repro.STANDARD_DESIGNS) == 8
+        assert repro.get_design("n128_light").n == 128
+        assert len(repro.list_designs()) == 8
+
+
+class TestSubpackageApi:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.core",
+            "repro.hwsim",
+            "repro.hwtests",
+            "repro.sw",
+            "repro.nist",
+            "repro.trng",
+            "repro.eval",
+            "repro.fips",
+            "repro.cli",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert getattr(module, name) is not None, f"{module_name}.{name}"
+
+    def test_nist_exports_all_fifteen_tests(self):
+        import repro.nist as nist
+
+        test_functions = [name for name in nist.__all__ if name.endswith("_test")]
+        assert len(test_functions) == 15
+
+    def test_trng_exports_replay_and_capture(self):
+        import repro.trng as trng
+
+        assert "ReplaySource" in trng.__all__
+        assert "CaptureSource" in trng.__all__
+
+    def test_docstrings_present_on_public_entry_points(self):
+        for obj in (
+            repro.OnTheFlyPlatform,
+            repro.OnTheFlyMonitor,
+            repro.FlexibleLengthPlatform,
+            repro.UnifiedTestingBlock,
+            repro.NistSuite,
+            repro.SoftwareVerifier,
+            repro.CriticalValues,
+        ):
+            assert obj.__doc__ and obj.__doc__.strip()

@@ -1,0 +1,108 @@
+"""Tests of the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.trng import CaptureSource, IdealSource
+
+
+def run_cli(argv):
+    """Run the CLI capturing its output; returns (exit_code, text)."""
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("designs", "evaluate", "monitor"):
+            assert parser.parse_args([command]).command == command
+
+    def test_suite_requires_capture(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suite"])
+
+
+class TestDesignsCommand:
+    def test_lists_all_eight_designs(self):
+        code, text = run_cli(["designs"])
+        assert code == 0
+        for name in ("n128_light", "n65536_high", "n1048576_high"):
+            assert name in text
+
+
+class TestEvaluateCommand:
+    def test_ideal_simulated_source_passes(self):
+        code, text = run_cli(
+            ["evaluate", "--design", "n128_light", "--source", "ideal", "--seed", "3"]
+        )
+        assert code == 0
+        assert "PASS" in text
+
+    def test_stuck_source_fails_with_exit_code_one(self):
+        code, text = run_cli(["evaluate", "--design", "n128_light", "--source", "stuck"])
+        assert code == 1
+        assert "FAIL" in text
+
+    def test_biased_source_with_parameter(self):
+        code, text = run_cli(
+            ["evaluate", "--design", "n128_light", "--source", "biased",
+             "--parameter", "0.9", "--seed", "1"]
+        )
+        assert code == 1
+
+    def test_capture_file_evaluation(self, tmp_path):
+        capture = CaptureSource(IdealSource(seed=11))
+        capture.generate(128)
+        path = tmp_path / "trng.bin"
+        capture.save(path)
+        code, text = run_cli(
+            ["evaluate", "--design", "n128_light", "--capture", str(path)]
+        )
+        assert code in (0, 1)
+        assert "n128_light" in text
+
+    def test_capture_too_short_is_an_error(self, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(b"\x55" * 4)  # 32 bits only
+        code, text = run_cli(
+            ["evaluate", "--design", "n128_light", "--capture", str(path)]
+        )
+        assert code == 2
+        assert "error" in text
+
+
+class TestMonitorCommand:
+    def test_monitor_ideal_source(self):
+        code, text = run_cli(
+            ["monitor", "--design", "n128_light", "--source", "ideal",
+             "--sequences", "3", "--seed", "5"]
+        )
+        assert code in (0, 1)
+        assert "final state" in text
+
+    def test_monitor_dead_source_reports_failure(self):
+        code, text = run_cli(
+            ["monitor", "--design", "n128_light", "--source", "stuck", "--sequences", "3"]
+        )
+        assert code == 1
+        assert "failed" in text
+
+
+class TestSuiteCommand:
+    def test_reference_suite_on_capture(self, tmp_path):
+        capture = CaptureSource(IdealSource(seed=12))
+        capture.generate(4096)
+        path = tmp_path / "long.bin"
+        capture.save(path)
+        code, text = run_cli(["suite", str(path), "--alpha", "0.001"])
+        assert code in (0, 1)
+        assert "Frequency (Monobit) Test" in text
+        assert "skipped" in text  # the universal test cannot run on 4096 bits

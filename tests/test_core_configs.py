@@ -1,0 +1,77 @@
+"""Tests of the eight published design points."""
+
+import pytest
+
+from repro.core.configs import STANDARD_DESIGNS, get_design, list_designs
+from repro.hwtests.parameters import is_power_of_two
+
+
+class TestStandardDesigns:
+    def test_exactly_eight_designs(self):
+        assert len(STANDARD_DESIGNS) == 8
+        assert len(list_designs()) == 8
+
+    def test_three_sequence_lengths(self):
+        lengths = {design.n for design in list_designs()}
+        assert lengths == {128, 65536, 1048576}
+
+    def test_lookup_by_name(self):
+        design = get_design("n65536_medium")
+        assert design.n == 65536
+        assert design.tests == (1, 2, 3, 4, 7, 13)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_design("n512_light")
+
+    def test_every_design_has_core_tests(self):
+        """Tests 1, 2, 3, 4 and 13 appear in all eight designs (8 dots each
+        in Table III)."""
+        for design in list_designs():
+            for number in (1, 2, 3, 4, 13):
+                assert number in design.tests
+
+    def test_table3_dot_counts(self):
+        """Per-test dot counts across the eight designs match Table III."""
+        counts = {t: 0 for t in (1, 2, 3, 4, 7, 8, 11, 12, 13)}
+        for design in list_designs():
+            for number in design.tests:
+                counts[number] += 1
+        assert counts == {1: 8, 2: 8, 3: 8, 4: 8, 7: 4, 8: 2, 11: 3, 12: 3, 13: 8}
+
+    def test_extreme_designs_match_abstract(self):
+        """52-slice design has 5 tests; 552-slice design has 9 tests."""
+        assert get_design("n128_light").num_tests == 5
+        assert get_design("n1048576_high").num_tests == 9
+
+    def test_128_supports_up_to_seven_tests(self):
+        assert get_design("n128_medium").num_tests == 7
+
+    def test_table4_design_tests(self):
+        """The design compared against [13] contains tests 1,2,3,4,7,13."""
+        assert set(get_design("n65536_medium").tests) == {1, 2, 3, 4, 7, 13}
+
+    def test_high_profiles_have_all_nine(self):
+        for name in ("n65536_high", "n1048576_high"):
+            assert get_design(name).num_tests == 9
+
+    def test_profiles_are_consistent(self):
+        for design in list_designs():
+            assert design.profile in ("light", "medium", "high")
+            if design.profile == "light":
+                assert design.num_tests == 5
+
+    def test_parameters_are_derivable(self):
+        for design in list_designs():
+            params = design.parameters
+            assert params.n == design.n
+            assert is_power_of_two(params.block_frequency_block_length)
+
+    def test_descriptions_present(self):
+        for design in list_designs():
+            assert design.description
+
+    def test_serial_and_apen_travel_together(self):
+        """Test 12 reuses test 11's counters, so they always co-occur."""
+        for design in list_designs():
+            assert (11 in design.tests) == (12 in design.tests)

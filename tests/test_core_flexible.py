@@ -1,0 +1,116 @@
+"""Tests of the runtime-selectable sequence length platform (future work §V)."""
+
+import pytest
+
+from repro.core.flexible import FlexibleLengthPlatform
+from repro.core.platform import OnTheFlyPlatform
+from repro.eval import estimate_fpga
+from repro.hwtests import DesignParameters, UnifiedTestingBlock
+from repro.trng import BiasedSource, IdealSource, StuckAtSource
+
+
+@pytest.fixture(scope="module")
+def flexible():
+    return FlexibleLengthPlatform(
+        supported_lengths=(128, 4096), tests=(1, 2, 3, 4, 13), initial_length=128
+    )
+
+
+class TestConfiguration:
+    def test_default_lengths_are_the_papers(self):
+        platform = FlexibleLengthPlatform()
+        assert platform.supported_lengths == (128, 65536, 1048576)
+        assert platform.active_length == 1048576
+
+    def test_invalid_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            FlexibleLengthPlatform(supported_lengths=(100,))
+        with pytest.raises(ValueError):
+            FlexibleLengthPlatform(supported_lengths=())
+        with pytest.raises(ValueError):
+            FlexibleLengthPlatform(supported_lengths=(64,))
+
+    def test_initial_length_must_be_supported(self):
+        with pytest.raises(ValueError):
+            FlexibleLengthPlatform(supported_lengths=(128, 4096), initial_length=256)
+
+    def test_reconfigure(self, flexible):
+        flexible.reconfigure(4096)
+        assert flexible.active_length == 4096
+        flexible.reconfigure(128)
+        assert flexible.active_length == 128
+
+    def test_reconfigure_unsupported_rejected(self, flexible):
+        with pytest.raises(ValueError):
+            flexible.reconfigure(2048)
+
+    def test_repr(self, flexible):
+        assert "FlexibleLengthPlatform" in repr(flexible)
+
+
+class TestBehaviour:
+    def test_matches_fixed_platform_of_same_length(self):
+        flexible = FlexibleLengthPlatform(
+            supported_lengths=(128, 4096), tests=(1, 2, 3, 4, 13), initial_length=4096
+        )
+        bits = IdealSource(seed=90).generate(4096)
+        flexible_report = flexible.evaluate_sequence(bits)
+        fixed = OnTheFlyPlatform(flexible._design_for(4096))
+        fixed_report = fixed.evaluate_sequence(bits, accelerated=True)
+        assert flexible_report.failing_tests == fixed_report.failing_tests
+        assert flexible_report.hardware_values == fixed_report.hardware_values
+
+    def test_quick_then_long_monitoring(self, flexible):
+        """The use case of the future-work feature: the same hardware first
+        runs a quick 128-bit check, then is reconfigured for a longer test."""
+        flexible.reconfigure(128)
+        quick = flexible.evaluate_source(StuckAtSource(0))
+        assert not quick.passed
+        flexible.reconfigure(4096)
+        weak = BiasedSource(0.55, seed=91)
+        long_report = flexible.evaluate_sequence(weak.generate(4096))
+        assert not long_report.passed
+        assert long_report.n == 4096
+
+    def test_evaluate_source_uses_active_length(self, flexible):
+        flexible.reconfigure(128)
+        report = flexible.evaluate_source(IdealSource(seed=92))
+        assert report.n == 128
+
+    def test_set_alpha_propagates(self, flexible):
+        flexible.set_alpha(0.001)
+        assert flexible.alpha == 0.001
+        flexible.reconfigure(128)
+        report = flexible.evaluate_source(IdealSource(seed=93))
+        assert report.alpha == 0.001
+        flexible.set_alpha(0.01)
+
+
+class TestResources:
+    def test_overhead_is_positive_but_modest(self):
+        platform = FlexibleLengthPlatform(supported_lengths=(128, 65536))
+        flexible_slices, fixed_slices, overhead = platform.overhead_versus_fixed()
+        assert flexible_slices >= fixed_slices
+        assert overhead < 0.20  # the flexibility premium stays below 20 %
+
+    def test_resources_at_least_max_length_design(self):
+        platform = FlexibleLengthPlatform(supported_lengths=(128, 65536))
+        fixed = UnifiedTestingBlock(
+            DesignParameters.for_length(65536), tests=platform.tests
+        ).resources()
+        assert platform.resources().flip_flops >= fixed.flip_flops
+        assert platform.resources().lut_estimate >= fixed.lut_estimate
+
+    def test_overhead_grows_with_number_of_lengths(self):
+        two = FlexibleLengthPlatform(supported_lengths=(128, 65536))
+        three = FlexibleLengthPlatform(supported_lengths=(128, 4096, 65536))
+        assert (
+            three.configuration_overhead().lut_estimate
+            > two.configuration_overhead().lut_estimate
+        )
+
+    def test_fpga_estimate_labelled(self):
+        platform = FlexibleLengthPlatform(supported_lengths=(128, 65536))
+        estimate = platform.fpga_estimate()
+        assert "flexible" in estimate.label
+        assert estimate.max_frequency_mhz > 100

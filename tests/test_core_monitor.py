@@ -1,0 +1,98 @@
+"""Tests of the continuous on-the-fly monitor and its health policy."""
+
+import pytest
+
+from repro.core.monitor import HealthState, OnTheFlyMonitor
+from repro.core.platform import OnTheFlyPlatform
+from repro.trng import AgingSource, BurstFailureSource, IdealSource, StuckAtSource
+
+
+@pytest.fixture()
+def monitor():
+    return OnTheFlyMonitor(OnTheFlyPlatform("n128_light"), suspect_after=1, fail_after=2)
+
+
+class TestHealthPolicy:
+    def test_policy_validation(self):
+        platform = OnTheFlyPlatform("n128_light")
+        with pytest.raises(ValueError):
+            OnTheFlyMonitor(platform, suspect_after=0)
+        with pytest.raises(ValueError):
+            OnTheFlyMonitor(platform, suspect_after=3, fail_after=2)
+
+    def test_healthy_source_stays_healthy(self, monitor):
+        events = monitor.monitor(IdealSource(seed=60), num_sequences=5)
+        assert len(events) == 5
+        assert monitor.state is HealthState.HEALTHY
+        assert monitor.failure_rate() <= 0.2
+
+    def test_dead_source_fails_quickly(self, monitor):
+        events = monitor.monitor(StuckAtSource(0), num_sequences=3)
+        assert events[0].state is HealthState.SUSPECT
+        assert events[1].state is HealthState.FAILED
+        assert monitor.state is HealthState.FAILED
+        assert monitor.failure_rate() == 1.0
+
+    def test_detection_latency(self, monitor):
+        monitor.monitor(StuckAtSource(0), num_sequences=3)
+        assert monitor.detection_latency_bits() == 2 * 128
+
+    def test_detection_latency_none_when_healthy(self, monitor):
+        monitor.monitor(IdealSource(seed=61), num_sequences=3)
+        assert monitor.detection_latency_bits() is None
+
+    def test_recovery_resets_consecutive_count(self, monitor):
+        monitor.monitor(StuckAtSource(0), num_sequences=1)
+        assert monitor.state is HealthState.SUSPECT
+        monitor.monitor(IdealSource(seed=62), num_sequences=1)
+        assert monitor.state is HealthState.HEALTHY
+
+    def test_monitor_until_failure_stops_early(self, monitor):
+        events = list(monitor.monitor_until_failure(StuckAtSource(1), max_sequences=50))
+        assert events[-1].state is HealthState.FAILED
+        assert len(events) == 2
+
+    def test_monitor_until_failure_respects_budget(self, monitor):
+        events = list(monitor.monitor_until_failure(IdealSource(seed=63), max_sequences=4))
+        assert len(events) == 4
+
+    def test_reset_clears_history(self, monitor):
+        monitor.monitor(StuckAtSource(0), num_sequences=2)
+        monitor.reset()
+        assert monitor.state is HealthState.HEALTHY
+        assert monitor.sequences_monitored == 0
+        assert monitor.failure_rate() == 0.0
+
+    def test_event_callback_invoked(self):
+        seen = []
+        monitor = OnTheFlyMonitor(
+            OnTheFlyPlatform("n128_light"), on_event=seen.append
+        )
+        monitor.monitor(IdealSource(seed=64), num_sequences=3)
+        assert len(seen) == 3
+        assert seen[0].sequence_index == 0
+
+    def test_num_sequences_validation(self, monitor):
+        with pytest.raises(ValueError):
+            monitor.monitor(IdealSource(seed=65), num_sequences=0)
+
+
+class TestMonitorScenarios:
+    def test_intermittent_bursts_raise_suspicion(self):
+        """A bursty source fails some sequences and is flagged SUSPECT."""
+        monitor = OnTheFlyMonitor(
+            OnTheFlyPlatform("n128_light"), suspect_after=1, fail_after=3
+        )
+        source = BurstFailureSource(burst_rate=0.02, burst_length=96, seed=66)
+        monitor.monitor(source, num_sequences=20)
+        assert monitor.failure_rate() > 0.0
+
+    def test_aging_detected_eventually(self):
+        """Slow aging drift passes at first and is caught once it accumulates."""
+        monitor = OnTheFlyMonitor(
+            OnTheFlyPlatform("n128_light"), suspect_after=1, fail_after=2
+        )
+        source = AgingSource(drift_per_bit=2e-4, seed=67)
+        events = monitor.monitor(source, num_sequences=12)
+        assert events[0].report.passed  # young source looks fine
+        assert monitor.state is HealthState.FAILED  # old source caught

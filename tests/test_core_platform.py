@@ -1,0 +1,108 @@
+"""Tests of the OnTheFlyPlatform (Fig. 1 wiring) and its reports."""
+
+import pytest
+
+from repro.core.configs import get_design
+from repro.core.platform import OnTheFlyPlatform
+from repro.core.results import PlatformReport
+from repro.trng import BiasedSource, IdealSource, StuckAtSource
+
+
+@pytest.fixture(scope="module")
+def small_platform():
+    return OnTheFlyPlatform("n128_medium", alpha=0.01)
+
+
+class TestPlatformConstruction:
+    def test_design_by_name_or_object(self):
+        by_name = OnTheFlyPlatform("n128_light")
+        by_object = OnTheFlyPlatform(get_design("n128_light"))
+        assert by_name.design == by_object.design
+
+    def test_unknown_design(self):
+        with pytest.raises(KeyError):
+            OnTheFlyPlatform("n42_light")
+
+    def test_exposes_design_attributes(self, small_platform):
+        assert small_platform.n == 128
+        assert 11 in small_platform.tests
+
+    def test_hardware_and_software_share_parameters(self, small_platform):
+        assert small_platform.hardware.params == small_platform.software.params
+
+    def test_repr(self, small_platform):
+        assert "n128_medium" in repr(small_platform)
+
+
+class TestEvaluation:
+    def test_sequence_length_enforced(self, small_platform):
+        with pytest.raises(ValueError):
+            small_platform.evaluate_sequence([0, 1, 0])
+
+    def test_ideal_sequence_passes(self, small_platform):
+        report = small_platform.evaluate_sequence(IdealSource(seed=50).generate(128))
+        assert isinstance(report, PlatformReport)
+        assert report.passed
+        assert report.failing_tests == []
+        assert report.consistency_violations == []
+
+    def test_stuck_source_fails(self, small_platform):
+        report = small_platform.evaluate_source(StuckAtSource(0))
+        assert not report.passed
+        assert 1 in report.failing_tests
+        assert 13 in report.failing_tests
+
+    def test_report_contents(self, small_platform):
+        report = small_platform.evaluate_source(IdealSource(seed=51))
+        assert report.design_name == "n128_medium"
+        assert report.n == 128
+        assert report.alpha == 0.01
+        assert set(report.verdicts) == set(small_platform.tests)
+        assert report.hardware_values  # register file snapshot included
+        assert report.instruction_counts.total() > 0
+
+    def test_summary_rows(self, small_platform):
+        report = small_platform.evaluate_source(IdealSource(seed=52))
+        rows = report.summary_rows()
+        assert len(rows) == len(small_platform.tests)
+        assert all({"test", "name", "statistic", "threshold", "passed"} <= set(row) for row in rows)
+
+    def test_accelerated_and_cycle_accurate_agree(self):
+        platform = OnTheFlyPlatform("n128_light")
+        bits = IdealSource(seed=53).generate(128)
+        slow = platform.evaluate_sequence(bits, accelerated=False)
+        fast = platform.evaluate_sequence(bits, accelerated=True)
+        assert slow.hardware_values == fast.hardware_values
+        assert slow.failing_tests == fast.failing_tests
+
+    def test_repeated_evaluation_resets_hardware(self, small_platform):
+        bits = IdealSource(seed=54).generate(128)
+        first = small_platform.evaluate_sequence(bits)
+        second = small_platform.evaluate_sequence(bits)
+        assert first.hardware_values == second.hardware_values
+
+    def test_biased_source_fails_frequency(self):
+        platform = OnTheFlyPlatform("n65536_light")
+        report = platform.evaluate_sequence(
+            BiasedSource(0.55, seed=55).generate(65536), accelerated=True
+        )
+        assert 1 in report.failing_tests
+        assert 13 in report.failing_tests
+
+
+class TestAlphaFlexibility:
+    def test_set_alpha_rebuilds_only_software(self, small_platform):
+        hardware_before = small_platform.hardware
+        small_platform.set_alpha(0.001)
+        assert small_platform.hardware is hardware_before
+        assert small_platform.software.alpha == 0.001
+        small_platform.set_alpha(0.01)
+
+    def test_alpha_changes_decisions_monotonically(self):
+        platform = OnTheFlyPlatform("n65536_light")
+        bits = BiasedSource(0.505, seed=56).generate(65536)
+        platform.set_alpha(0.01)
+        strict = platform.evaluate_sequence(bits, accelerated=True)
+        platform.set_alpha(0.001)
+        loose = platform.evaluate_sequence(bits, accelerated=True)
+        assert set(loose.failing_tests) <= set(strict.failing_tests)

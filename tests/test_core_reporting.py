@@ -1,0 +1,95 @@
+"""Tests of alarm-wire vs value-based reporting under probing attacks."""
+
+import pytest
+
+from repro.core.platform import OnTheFlyPlatform
+from repro.core.reporting import (
+    AlarmWireReporter,
+    TamperedRegisterFile,
+    ValueBasedReporter,
+    compare_reporting_under_probing,
+)
+from repro.trng import IdealSource, ProbingAttack, StuckAtSource
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return OnTheFlyPlatform("n128_light")
+
+
+class TestAlarmWireReporter:
+    def test_reports_genuine_failures(self, platform):
+        report = platform.evaluate_source(StuckAtSource(0))
+        assert AlarmWireReporter().alarm(report) is True
+
+    def test_no_alarm_for_healthy_source(self, platform):
+        report = platform.evaluate_source(IdealSource(seed=70))
+        assert AlarmWireReporter().alarm(report) is False
+
+    def test_grounded_alarm_hides_failures(self, platform):
+        """The paper's motivating weakness: grounding the wire masks failures."""
+        report = platform.evaluate_source(StuckAtSource(0))
+        assert AlarmWireReporter(ProbingAttack("ground")).alarm(report) is False
+
+    def test_vdd_alarm_causes_false_alarms(self, platform):
+        report = platform.evaluate_source(IdealSource(seed=71))
+        assert AlarmWireReporter(ProbingAttack("vdd")).alarm(report) is True
+
+
+class TestTamperedRegisterFile:
+    def test_ground_forces_zero(self, platform):
+        platform.evaluate_source(IdealSource(seed=72))
+        tampered = TamperedRegisterFile(platform.hardware.register_file, ProbingAttack("ground"))
+        assert all(value == 0 for value in tampered.dump().values())
+
+    def test_vdd_forces_all_ones(self, platform):
+        platform.evaluate_source(IdealSource(seed=73))
+        tampered = TamperedRegisterFile(platform.hardware.register_file, ProbingAttack("vdd"))
+        for name, value in tampered.dump().items():
+            assert value == (1 << tampered.width_of(name)) - 1
+
+    def test_preserves_register_map(self, platform):
+        platform.evaluate_source(IdealSource(seed=74))
+        original = platform.hardware.register_file
+        tampered = TamperedRegisterFile(original, ProbingAttack("ground"))
+        assert tampered.memory_map() == original.memory_map()
+
+
+class TestValueBasedReporter:
+    def test_detects_failure_without_probing(self, platform):
+        platform.evaluate_source(StuckAtSource(0))
+        reporter = ValueBasedReporter(platform)
+        assert reporter.failure_detected()
+
+    def test_detects_probing_via_consistency(self, platform):
+        platform.evaluate_source(StuckAtSource(0))
+        reporter = ValueBasedReporter(platform, probing=ProbingAttack("ground"))
+        report = reporter.report()
+        assert report.consistency_violations
+        assert not report.passed
+
+
+class TestReportingComparison:
+    def test_value_based_survives_probing(self, platform):
+        """The headline security claim, end to end."""
+        comparison = compare_reporting_under_probing(
+            platform, StuckAtSource(0), ProbingAttack("ground")
+        )
+        assert comparison.source_is_bad
+        assert comparison.alarm_wire_detects is True
+        assert comparison.alarm_wire_detects_under_probing is False  # attack wins
+        assert comparison.value_based_detects is True
+        assert comparison.value_based_detects_under_probing is True  # attack loses
+        assert comparison.consistency_violations_under_probing > 0
+
+    def test_comparison_as_dict(self, platform):
+        comparison = compare_reporting_under_probing(platform, StuckAtSource(1))
+        data = comparison.as_dict()
+        assert set(data) == {
+            "source_is_bad",
+            "alarm_wire_detects",
+            "alarm_wire_detects_under_probing",
+            "value_based_detects",
+            "value_based_detects_under_probing",
+            "consistency_violations_under_probing",
+        }

@@ -1,0 +1,153 @@
+"""Tests of the FPGA/ASIC/latency estimators and the standalone baseline."""
+
+import pytest
+
+from repro.core.configs import get_design, list_designs
+from repro.eval import (
+    estimate_asic,
+    estimate_fpga,
+    latency_report,
+    standalone_baseline,
+    throughput_mbit_per_s,
+    unified_vs_standalone,
+)
+from repro.eval.fpga import SPARTAN6_MODEL, FpgaTechnologyModel
+from repro.hwtests import DesignParameters, UnifiedTestingBlock
+from repro.sw.cycles import CYCLE_PROFILES, estimate_cycles
+from repro.sw.processor import InstructionCounts
+
+
+def _resources(name):
+    design = get_design(name)
+    return UnifiedTestingBlock(design.parameters, tests=design.tests).resources()
+
+
+class TestFpgaEstimation:
+    def test_basic_fields(self):
+        estimate = estimate_fpga(_resources("n65536_high"))
+        assert estimate.slices > 0
+        assert estimate.flip_flops > 0
+        assert estimate.luts > 0
+        assert 0 < estimate.utilisation_percent < 100
+        row = estimate.as_row()
+        assert {"design", "slices", "ff", "lut", "max_freq_mhz"} <= set(row)
+
+    def test_all_designs_exceed_100mhz(self):
+        """Section IV claim: every design sustains > 100 Mbit/s (1 bit/cycle)."""
+        for design in list_designs():
+            block = UnifiedTestingBlock(design.parameters, tests=design.tests)
+            estimate = estimate_fpga(block.resources())
+            assert estimate.max_frequency_mhz > 100, design.name
+
+    def test_slices_ordering_light_medium_high(self):
+        light = estimate_fpga(_resources("n65536_light")).slices
+        medium = estimate_fpga(_resources("n65536_medium")).slices
+        high = estimate_fpga(_resources("n65536_high")).slices
+        assert light < medium < high
+
+    def test_slices_grow_with_sequence_length(self):
+        assert (
+            estimate_fpga(_resources("n128_light")).slices
+            < estimate_fpga(_resources("n65536_light")).slices
+            < estimate_fpga(_resources("n1048576_light")).slices
+        )
+
+    def test_fmax_decreases_with_design_size(self):
+        small = estimate_fpga(_resources("n128_light")).max_frequency_mhz
+        large = estimate_fpga(_resources("n1048576_high")).max_frequency_mhz
+        assert large < small
+
+    def test_smallest_design_close_to_paper(self):
+        """The 128-bit light design lands near the published 52 slices."""
+        slices = estimate_fpga(_resources("n128_light")).slices
+        assert 40 <= slices <= 70
+
+    def test_custom_technology_model(self):
+        loose = FpgaTechnologyModel(name="loose", luts_per_slice=2.0)
+        default = estimate_fpga(_resources("n128_light"))
+        custom = estimate_fpga(_resources("n128_light"), model=loose)
+        assert custom.slices >= default.slices
+
+    def test_throughput_equals_fmax(self):
+        estimate = estimate_fpga(_resources("n128_light"))
+        assert throughput_mbit_per_s(estimate) == estimate.max_frequency_mhz
+
+
+class TestAsicEstimation:
+    def test_positive_and_ordered(self):
+        light = estimate_asic(_resources("n65536_light")).gate_equivalents
+        high = estimate_asic(_resources("n65536_high")).gate_equivalents
+        assert 0 < light < high
+
+    def test_smallest_design_near_paper_value(self):
+        """Paper: 1210 GE for the 128-bit light design."""
+        ge = estimate_asic(_resources("n128_light")).gate_equivalents
+        assert 900 <= ge <= 1700
+
+    def test_largest_design_near_paper_value(self):
+        """Paper: 12416 GE for the 2^20-bit high design."""
+        ge = estimate_asic(_resources("n1048576_high")).gate_equivalents
+        assert 9000 <= ge <= 16000
+
+    def test_as_row(self):
+        row = estimate_asic(_resources("n128_light")).as_row()
+        assert {"design", "ge", "ff"} <= set(row)
+
+
+class TestCycleModels:
+    def test_profiles_available(self):
+        assert {"openmsp430_hw_mult", "openmsp430_sw_mult", "embedded_32bit"} <= set(CYCLE_PROFILES)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_cycles(InstructionCounts(), profile="z80")
+
+    def test_software_multiplier_is_much_slower(self):
+        counts = InstructionCounts(add=100, mul=50, sqr=20, read=30)
+        hw = estimate_cycles(counts, "openmsp430_hw_mult")
+        sw = estimate_cycles(counts, "openmsp430_sw_mult")
+        assert sw > 3 * hw
+
+    def test_zero_counts_zero_cycles(self):
+        assert estimate_cycles(InstructionCounts()) == 0.0
+
+
+class TestLatencyReport:
+    def test_report_fields_and_ratio(self):
+        counts = InstructionCounts(add=300, sub=50, mul=60, sqr=60, shift=20, comp=50, lut=24, read=60)
+        report = latency_report("n65536_medium", 65536, counts)
+        assert report.instruction_total == counts.total()
+        assert report.software_cycles > 0
+        assert report.latency_ratio < 1.0  # SW latency far below generation time
+        assert {"design", "sw_cycles", "generation_time_us"} <= set(report.as_row())
+
+    def test_invalid_profile(self):
+        with pytest.raises(ValueError):
+            latency_report("x", 128, InstructionCounts(), profile="unknown")
+
+
+class TestStandaloneBaseline:
+    def test_per_test_estimates(self):
+        params = DesignParameters.for_length(65536)
+        estimates = standalone_baseline(params, (1, 2, 3, 4, 7, 13))
+        assert len(estimates) == 6
+        assert all(item.fpga.slices > 0 for item in estimates)
+        # Tests needing a multiplier datapath carry extra evaluation logic.
+        by_test = {item.test_number: item for item in estimates}
+        assert by_test[2].evaluation_luts > by_test[1].evaluation_luts
+
+    def test_unified_saves_area(self):
+        """Table IV shape: the unified design uses fewer slices than the sum
+        of standalone implementations."""
+        params = DesignParameters.for_length(65536)
+        comparison = unified_vs_standalone(
+            params, (1, 2, 3, 4, 7, 13), software_latency_cycles=5000.0
+        )
+        assert comparison["unified_slices"] < comparison["standalone_slices_total"]
+        assert comparison["slice_saving_percent"] > 10.0
+        assert comparison["unified_latency_cycles"] > comparison["standalone_latency_cycles"]
+
+    def test_unsupported_test_rejected(self):
+        params = DesignParameters.for_length(65536)
+        with pytest.raises(ValueError):
+            standalone_baseline(params, (5,))

@@ -1,0 +1,61 @@
+"""Tests of the detection-power (type-2 error) evaluation helpers."""
+
+import pytest
+
+from repro.eval.power import (
+    PowerPoint,
+    bias_power_curve,
+    correlation_power_curve,
+    detection_rate,
+    false_alarm_rate,
+)
+from repro.trng import StuckAtSource
+
+
+class TestPowerPoint:
+    def test_detection_rate(self):
+        point = PowerPoint("d", 0.6, trials=20, detections=15)
+        assert point.detection_rate == 0.75
+
+    def test_zero_trials(self):
+        assert PowerPoint("d", 0.6, 0, 0).detection_rate == 0.0
+
+
+class TestDetectionRate:
+    def test_total_failure_always_detected(self):
+        rate = detection_rate("n128_light", lambda trial: StuckAtSource(0), trials=5)
+        assert rate == 1.0
+
+    def test_trials_validation(self):
+        with pytest.raises(ValueError):
+            detection_rate("n128_light", lambda trial: StuckAtSource(0), trials=0)
+
+    def test_false_alarm_rate_is_small(self):
+        # 9 decisions per sequence at alpha=0.01; expect only occasional flags.
+        rate = false_alarm_rate("n128_light", trials=30, seed=500)
+        assert rate <= 0.2
+
+
+class TestPowerCurves:
+    def test_bias_power_increases_with_bias(self):
+        points = bias_power_curve("n128_light", (0.5, 0.75), trials=12, seed=600)
+        assert points[0].detection_rate <= points[1].detection_rate
+        assert points[1].detection_rate >= 0.9
+
+    def test_longer_design_detects_smaller_bias(self):
+        """The motivation for the 65536/2^20 designs: sensitivity grows with n."""
+        small = bias_power_curve("n128_light", (0.55,), trials=12, seed=700)[0]
+        large = bias_power_curve("n65536_light", (0.55,), trials=12, seed=700)[0]
+        assert large.detection_rate >= small.detection_rate
+        assert large.detection_rate >= 0.9
+
+    def test_correlation_power_curve(self):
+        points = correlation_power_curve("n128_medium", (0.5, 0.9), trials=10, seed=800)
+        assert points[0].detection_rate <= 0.4
+        assert points[1].detection_rate >= 0.9
+
+    def test_points_record_parameters(self):
+        points = bias_power_curve("n128_light", (0.6,), trials=3, seed=900)
+        assert points[0].design == "n128_light"
+        assert points[0].parameter == 0.6
+        assert points[0].trials == 3

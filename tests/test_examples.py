@@ -1,0 +1,60 @@
+"""The example scripts run end to end (smoke tests).
+
+The examples double as documentation; these tests keep them working.  The two
+quick ones are executed in-process, the longer ones as subprocesses with a
+generous timeout and are marked slow.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 600) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExampleScripts:
+    def test_examples_directory_contents(self):
+        names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "attack_detection.py",
+            "design_space_exploration.py",
+            "continuous_monitoring.py",
+        } <= names
+
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "Healthy source" in result.stdout
+        assert "Biased source" in result.stdout
+        assert "FAIL" in result.stdout
+
+    def test_design_space_exploration(self):
+        result = run_example("design_space_exploration.py")
+        assert result.returncode == 0, result.stderr
+        assert "n1048576_high" in result.stdout
+        assert "Design selection" in result.stdout
+
+    @pytest.mark.slow
+    def test_attack_detection(self):
+        result = run_example("attack_detection.py")
+        assert result.returncode == 0, result.stderr
+        assert "Frequency-injection attack" in result.stdout
+        assert "value-based reporting" in result.stdout.lower()
+
+    @pytest.mark.slow
+    def test_continuous_monitoring(self):
+        result = run_example("continuous_monitoring.py")
+        assert result.returncode == 0, result.stderr
+        assert "final state: failed" in result.stdout

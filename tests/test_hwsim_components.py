@@ -1,0 +1,311 @@
+"""Tests of the hardware primitives and resource accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hwsim import (
+    Counter,
+    EqualityComparator,
+    PatternCounterBank,
+    PatternDetector,
+    Register,
+    RegisterFile,
+    ResourceReport,
+    ShiftRegister,
+    UpDownCounter,
+    component_inventory,
+)
+
+
+class TestRegister:
+    def test_load_and_read(self):
+        reg = Register("r", 8)
+        reg.load(0xAB)
+        assert reg.value == 0xAB
+
+    def test_wraps_to_width(self):
+        reg = Register("r", 4)
+        reg.load(0x1F)
+        assert reg.value == 0xF
+
+    def test_reset_value(self):
+        reg = Register("r", 8, reset_value=0x55)
+        reg.load(0)
+        reg.reset()
+        assert reg.value == 0x55
+
+    def test_force_is_load(self):
+        reg = Register("r", 8)
+        reg.force(7)
+        assert reg.value == 7
+
+    def test_resources(self):
+        reg = Register("r", 12)
+        assert reg.flip_flops == 12
+        assert reg.lut_estimate == 0.0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            Register("r", 0)
+
+
+class TestCounter:
+    def test_counts_only_when_enabled(self):
+        counter = Counter("c", 8)
+        counter.increment(True)
+        counter.increment(False)
+        counter.increment(True)
+        assert counter.value == 2
+
+    def test_wraps_at_width(self):
+        counter = Counter("c", 2)
+        for _ in range(5):
+            counter.increment()
+        assert counter.value == 1
+
+    def test_clear(self):
+        counter = Counter("c", 4)
+        counter.increment()
+        counter.clear()
+        assert counter.value == 0
+
+    def test_force_range_checked(self):
+        counter = Counter("c", 4)
+        counter.force(15)
+        assert counter.value == 15
+        with pytest.raises(ValueError):
+            counter.force(16)
+
+    def test_resources(self):
+        counter = Counter("c", 10)
+        assert counter.flip_flops == 10
+        assert counter.lut_estimate == 10.0
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_counts_match_increments(self, increments):
+        counter = Counter("c", 16)
+        for _ in range(increments):
+            counter.increment()
+        assert counter.value == increments
+
+
+class TestUpDownCounter:
+    def test_signed_counting(self):
+        counter = UpDownCounter("u", 8)
+        counter.count(up=False)
+        counter.count(up=False)
+        counter.count(up=True)
+        assert counter.value == -1
+
+    def test_range_properties(self):
+        counter = UpDownCounter("u", 8)
+        assert counter.min_value == -128
+        assert counter.max_value == 127
+
+    def test_force_signed(self):
+        counter = UpDownCounter("u", 8)
+        counter.force(-5)
+        assert counter.value == -5
+        with pytest.raises(ValueError):
+            counter.force(200)
+
+    def test_resources(self):
+        counter = UpDownCounter("u", 8)
+        assert counter.flip_flops == 8
+        assert counter.lut_estimate == 12.0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_tracks_walk_exactly(self, ups):
+        counter = UpDownCounter("u", 12)
+        expected = 0
+        for up in ups:
+            counter.count(up)
+            expected += 1 if up else -1
+        assert counter.value == expected
+
+
+class TestShiftRegister:
+    def test_shift_in_msb_is_oldest(self):
+        sr = ShiftRegister("s", 4)
+        for bit in (1, 0, 1, 1):
+            sr.shift_in(bit)
+        assert sr.value == 0b1011
+        assert sr.bits() == [1, 0, 1, 1]
+
+    def test_full_flag(self):
+        sr = ShiftRegister("s", 3)
+        assert not sr.full
+        for _ in range(3):
+            sr.shift_in(1)
+        assert sr.full
+
+    def test_old_bits_fall_off(self):
+        sr = ShiftRegister("s", 2)
+        for bit in (1, 1, 0, 0):
+            sr.shift_in(bit)
+        assert sr.value == 0b00
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            ShiftRegister("s", 2).shift_in(2)
+
+    def test_clear(self):
+        sr = ShiftRegister("s", 4)
+        sr.shift_in(1)
+        sr.clear()
+        assert sr.value == 0
+        assert not sr.full
+
+
+class TestComparatorAndDetector:
+    def test_equality_comparator(self):
+        cmp = EqualityComparator("eq", 4, 0b1010)
+        assert cmp.matches(0b1010)
+        assert not cmp.matches(0b1011)
+
+    def test_comparator_constant_range(self):
+        with pytest.raises(ValueError):
+            EqualityComparator("eq", 3, 8)
+
+    def test_comparator_resources(self):
+        assert EqualityComparator("eq", 9, 1).flip_flops == 0
+        assert EqualityComparator("eq", 9, 1).lut_estimate >= 1
+
+    def test_pattern_detector_own_register(self):
+        detector = PatternDetector("d", (1, 0, 1))
+        results = [detector.shift_in(b) for b in (1, 0, 1)]
+        assert results == [False, False, True]
+        assert detector.flip_flops == 3
+
+    def test_pattern_detector_shared_register(self):
+        shared = ShiftRegister("shared", 3)
+        detector = PatternDetector("d", (1, 1, 1), shared_shift_register=shared)
+        for _ in range(3):
+            shared.shift_in(1)
+        assert detector.matches()
+        assert detector.flip_flops == 0  # shared register not accounted here
+
+    def test_pattern_detector_width_mismatch(self):
+        shared = ShiftRegister("shared", 4)
+        with pytest.raises(ValueError):
+            PatternDetector("d", (1, 1, 1), shared_shift_register=shared)
+
+    def test_pattern_detector_invalid_pattern(self):
+        with pytest.raises(ValueError):
+            PatternDetector("d", ())
+
+
+class TestPatternCounterBank:
+    def test_records_by_value(self):
+        bank = PatternCounterBank("b", 2, 8)
+        bank.record(0b10)
+        bank.record(0b10)
+        bank.record(0b01)
+        assert bank.counts() == [0, 1, 2, 0]
+
+    def test_value_out_of_range(self):
+        bank = PatternCounterBank("b", 2, 8)
+        with pytest.raises(ValueError):
+            bank.record(4)
+
+    def test_reset(self):
+        bank = PatternCounterBank("b", 2, 8)
+        bank.record(1)
+        bank.reset()
+        assert bank.counts() == [0, 0, 0, 0]
+
+    def test_resources_scale_with_size(self):
+        small = PatternCounterBank("s", 2, 8)
+        large = PatternCounterBank("l", 4, 8)
+        assert large.flip_flops == 4 * small.flip_flops
+        assert small.flip_flops == 4 * 8
+
+
+class TestResourceReport:
+    def test_from_components(self):
+        components = [Counter("a", 8), Register("b", 4), ShiftRegister("c", 9)]
+        report = ResourceReport.from_components(components, label="x", readout_values=3)
+        assert report.flip_flops == 21
+        assert report.max_counter_width == 8
+        assert report.readout_values == 3
+        assert report.components == {"counter": 1, "register": 1, "shift_register": 1}
+        assert report.total_components() == 3
+
+    def test_merge(self):
+        a = ResourceReport(flip_flops=10, lut_estimate=5.0, max_counter_width=8,
+                           readout_values=2, components={"counter": 1}, label="a")
+        b = ResourceReport(flip_flops=20, lut_estimate=7.0, max_counter_width=12,
+                           readout_values=3, components={"counter": 2, "register": 1})
+        merged = a.merge(b)
+        assert merged.flip_flops == 30
+        assert merged.lut_estimate == 12.0
+        assert merged.max_counter_width == 12
+        assert merged.readout_values == 5
+        assert merged.components == {"counter": 3, "register": 1}
+        assert merged.label == "a"
+
+    def test_component_inventory(self):
+        rows = component_inventory([Counter("a", 8)])
+        assert rows[0]["name"] == "a"
+        assert rows[0]["kind"] == "counter"
+        assert rows[0]["flip_flops"] == 8
+
+
+class TestRegisterFile:
+    def _make(self):
+        regfile = RegisterFile(bus_width=16)
+        counter = Counter("c", 20)
+        counter.force(123456)
+        regfile.add("wide", 20, lambda: counter.value)
+        regfile.add("narrow", 8, lambda: 42)
+        return regfile
+
+    def test_read_by_name_and_address(self):
+        regfile = self._make()
+        assert regfile.read("wide") == 123456
+        assert regfile.read_by_address(1) == 42
+
+    def test_duplicate_name_rejected(self):
+        regfile = self._make()
+        with pytest.raises(ValueError):
+            regfile.add("wide", 8, lambda: 0)
+
+    def test_unknown_reads_raise(self):
+        regfile = self._make()
+        with pytest.raises(KeyError):
+            regfile.read("missing")
+        with pytest.raises(KeyError):
+            regfile.read_by_address(99)
+
+    def test_dump_and_names(self):
+        regfile = self._make()
+        assert regfile.names() == ["wide", "narrow"]
+        assert regfile.dump() == {"wide": 123456, "narrow": 42}
+
+    def test_words_required(self):
+        regfile = self._make()
+        assert regfile.words_required("wide") == 2
+        assert regfile.words_required("narrow") == 1
+        assert regfile.total_read_words() == 3
+
+    def test_memory_map(self):
+        rows = self._make().memory_map()
+        assert rows[0] == {"address": 0, "name": "wide", "width": 20}
+
+    def test_mux_component_cost_scales(self):
+        small = RegisterFile()
+        small.add("a", 8, lambda: 0)
+        big = RegisterFile()
+        for i in range(20):
+            big.add(f"v{i}", 16, lambda: 0)
+        assert big.mux_component().lut_estimate > small.mux_component().lut_estimate
+
+    def test_address_space_exhaustion(self):
+        regfile = RegisterFile(address_bits=2)
+        for i in range(4):
+            regfile.add(f"v{i}", 8, lambda: 0)
+        with pytest.raises(ValueError):
+            regfile.add("overflow", 8, lambda: 0)

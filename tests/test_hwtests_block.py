@@ -1,0 +1,234 @@
+"""Tests of the unified testing block (Fig. 2): construction, sharing, I/O."""
+
+import numpy as np
+import pytest
+
+from repro.core.configs import list_designs
+from repro.hwtests import DesignParameters, SharingOptions, UnifiedTestingBlock
+from repro.hwtests.parameters import is_power_of_two, clog2, counter_width
+from repro.trng import IdealSource
+
+ALL_TESTS = (1, 2, 3, 4, 7, 8, 11, 12, 13)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return DesignParameters.for_length(4096)
+
+
+@pytest.fixture(scope="module")
+def bits():
+    return IdealSource(seed=404).generate(4096).bits
+
+
+@pytest.fixture(scope="module")
+def full_block(params, bits):
+    block = UnifiedTestingBlock(params, tests=ALL_TESTS)
+    block.process_sequence(bits)
+    return block
+
+
+class TestParametersHelpers:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(65536)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(96)
+
+    def test_clog2(self):
+        assert clog2(2) == 1
+        assert clog2(1024) == 10
+        assert clog2(1025) == 11
+        with pytest.raises(ValueError):
+            clog2(0)
+
+    def test_counter_width(self):
+        assert counter_width(0) == 1
+        assert counter_width(1) == 1
+        assert counter_width(255) == 8
+        assert counter_width(256) == 9
+
+    def test_design_parameters_validation(self):
+        with pytest.raises(ValueError):
+            DesignParameters(n=100)  # not a power of two
+        with pytest.raises(ValueError):
+            DesignParameters(n=128, block_frequency_num_blocks=3)
+        with pytest.raises(ValueError):
+            DesignParameters(n=128, longest_run_block_length=64)
+        with pytest.raises(ValueError):
+            DesignParameters.for_length(64)
+
+    def test_derived_values(self):
+        params = DesignParameters.for_length(65536)
+        assert params.block_frequency_block_length == 8192
+        assert params.longest_run_num_blocks == 512
+        assert params.nonoverlapping_block_length == 8192
+        assert params.overlapping_num_blocks == 64
+
+    def test_for_length_all_paper_lengths(self):
+        assert DesignParameters.for_length(128).longest_run_block_length == 8
+        assert DesignParameters.for_length(65536).longest_run_block_length == 128
+        assert DesignParameters.for_length(1048576).longest_run_block_length == 512
+
+    def test_sharing_all_disabled(self):
+        options = SharingOptions.all_disabled()
+        assert not options.omit_ones_counter
+        assert not options.shared_shift_register
+
+
+class TestBlockConstruction:
+    def test_rejects_unsupported_tests(self, params):
+        with pytest.raises(ValueError):
+            UnifiedTestingBlock(params, tests=[5])
+        with pytest.raises(ValueError):
+            UnifiedTestingBlock(params, tests=[])
+
+    def test_all_standard_designs_construct(self):
+        for design in list_designs():
+            block = UnifiedTestingBlock(design.parameters, tests=design.tests)
+            assert block.resources().flip_flops > 0
+
+    def test_frequency_counter_omitted_when_shared(self, params):
+        shared = UnifiedTestingBlock(params, tests=[1, 13])
+        assert 1 not in shared.units  # ones derived from the cusum counter
+        assert 13 in shared.units
+
+    def test_frequency_counter_present_without_cusum(self, params):
+        block = UnifiedTestingBlock(params, tests=[1])
+        assert 1 in block.units
+
+    def test_frequency_counter_present_when_sharing_disabled(self, params):
+        block = UnifiedTestingBlock(
+            params, tests=[1, 13], sharing=SharingOptions(omit_ones_counter=False)
+        )
+        assert 1 in block.units
+
+    def test_apen_shares_serial_counters(self, params):
+        block = UnifiedTestingBlock(params, tests=[11, 12])
+        assert block.units[12].shares_serial_counters
+        assert block.units[12].resources().flip_flops == 0
+
+    def test_apen_standalone_when_sharing_disabled(self, params):
+        block = UnifiedTestingBlock(
+            params,
+            tests=[11, 12],
+            sharing=SharingOptions(unified_approximate_entropy=False),
+        )
+        assert not block.units[12].shares_serial_counters
+        assert block.units[12].resources().flip_flops > 0
+
+    def test_template_tests_share_one_shift_register(self, params):
+        block = UnifiedTestingBlock(params, tests=[7, 8])
+        inventory = block.component_inventory()
+        shift_registers = [row for row in inventory if row["kind"] == "shift_register"]
+        assert len(shift_registers) == 1
+
+    def test_separate_shift_registers_when_sharing_disabled(self, params):
+        block = UnifiedTestingBlock(
+            params, tests=[7, 8], sharing=SharingOptions(shared_shift_register=False)
+        )
+        inventory = block.component_inventory()
+        shift_registers = [row for row in inventory if row["kind"] == "shift_register"]
+        assert len(shift_registers) == 2
+
+    def test_register_map_addresses_are_unique(self, full_block):
+        addresses = [row["address"] for row in full_block.memory_map()]
+        assert len(addresses) == len(set(addresses))
+
+    def test_repr(self, full_block):
+        assert "UnifiedTestingBlock" in repr(full_block)
+
+
+class TestBlockSharingSavings:
+    def test_sharing_reduces_flip_flops(self, params):
+        unified = UnifiedTestingBlock(params, tests=ALL_TESTS).resources()
+        separate = UnifiedTestingBlock(
+            params, tests=ALL_TESTS, sharing=SharingOptions.all_disabled()
+        ).resources()
+        assert unified.flip_flops < separate.flip_flops
+        assert unified.lut_estimate < separate.lut_estimate
+
+    @pytest.mark.parametrize(
+        "disabled_field",
+        [
+            "omit_ones_counter",
+            "unified_approximate_entropy",
+            "shared_shift_register",
+        ],
+    )
+    def test_each_trick_saves_flip_flops(self, params, disabled_field):
+        unified = UnifiedTestingBlock(params, tests=ALL_TESTS).resources()
+        kwargs = {disabled_field: False}
+        ablated = UnifiedTestingBlock(
+            params, tests=ALL_TESTS, sharing=SharingOptions(**kwargs)
+        ).resources()
+        assert unified.flip_flops <= ablated.flip_flops
+
+
+class TestBlockProcessing:
+    def test_rejects_invalid_bit(self, params):
+        block = UnifiedTestingBlock(params, tests=[13])
+        with pytest.raises(ValueError):
+            block.process_bit(2)
+
+    def test_rejects_wrong_sequence_length(self, params):
+        block = UnifiedTestingBlock(params, tests=[13])
+        with pytest.raises(ValueError):
+            block.process_sequence([0, 1, 0])
+
+    def test_rejects_bits_after_completion(self, params, bits):
+        block = UnifiedTestingBlock(params, tests=[13]).process_sequence(bits)
+        with pytest.raises(RuntimeError):
+            block.process_bit(1)
+
+    def test_reset_allows_reuse(self, params, bits):
+        block = UnifiedTestingBlock(params, tests=[1, 2, 3, 4, 13])
+        first = dict(block.process_sequence(bits).hardware_values())
+        block.reset()
+        assert block.bits_processed == 0
+        second = dict(block.process_sequence(bits).hardware_values())
+        assert first == second
+
+    def test_bits_processed_counter(self, params):
+        block = UnifiedTestingBlock(params, tests=[13])
+        for bit in (0, 1, 1):
+            block.process_bit(bit)
+        assert block.bits_processed == 3
+        assert not block.sequence_complete
+
+    def test_finalize_idempotent(self, params, bits):
+        block = UnifiedTestingBlock(params, tests=ALL_TESTS).process_sequence(bits)
+        values = block.hardware_values()
+        block.finalize()
+        assert block.hardware_values() == values
+
+
+class TestBlockResources:
+    def test_resources_scale_with_sequence_length(self):
+        small = UnifiedTestingBlock(DesignParameters.for_length(128), tests=(1, 2, 3, 4, 13))
+        large = UnifiedTestingBlock(DesignParameters.for_length(65536), tests=(1, 2, 3, 4, 13))
+        assert large.resources().flip_flops > small.resources().flip_flops
+
+    def test_resources_scale_with_test_count(self, params):
+        light = UnifiedTestingBlock(params, tests=(1, 2, 3, 4, 13))
+        high = UnifiedTestingBlock(params, tests=ALL_TESTS)
+        assert high.resources().flip_flops > light.resources().flip_flops
+        assert high.resources().readout_values > light.resources().readout_values
+
+    def test_readout_values_match_register_file(self, full_block):
+        assert full_block.resources().readout_values == len(full_block.register_file)
+
+    def test_paper_flip_flop_budgets_shape(self):
+        """FF counts stay within ~25% of the published Table III values."""
+        published = {
+            "n128_light": 110,
+            "n65536_light": 307,
+            "n65536_medium": 375,
+            "n1048576_high": 1156,
+        }
+        for design in list_designs():
+            if design.name not in published:
+                continue
+            block = UnifiedTestingBlock(design.parameters, tests=design.tests)
+            measured = block.resources().flip_flops
+            assert measured == pytest.approx(published[design.name], rel=0.25)

@@ -1,0 +1,80 @@
+"""Equivalence of the functional (vectorised) and cycle-accurate hardware models."""
+
+import numpy as np
+import pytest
+
+from repro.hwtests import DesignParameters, SharingOptions, UnifiedTestingBlock
+from repro.hwtests.functional import fast_load_block, fast_load_unit
+from repro.hwtests.runs import RunsHW
+from repro.trng import BiasedSource, CorrelatedSource, IdealSource, StuckAtSource
+
+ALL_TESTS = (1, 2, 3, 4, 7, 8, 11, 12, 13)
+
+
+def _sources():
+    return {
+        "ideal": IdealSource(seed=31),
+        "biased": BiasedSource(0.65, seed=32),
+        "correlated": CorrelatedSource(0.8, seed=33),
+        "stuck": StuckAtSource(1),
+    }
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("source_name", ["ideal", "biased", "correlated", "stuck"])
+    def test_register_file_identical(self, source_name):
+        params = DesignParameters.for_length(2048)
+        bits = _sources()[source_name].generate(2048).bits
+        cycle = UnifiedTestingBlock(params, tests=ALL_TESTS).process_sequence(bits)
+        functional = UnifiedTestingBlock(params, tests=ALL_TESTS).accelerated_process_sequence(bits)
+        assert cycle.hardware_values() == functional.hardware_values()
+
+    def test_equivalence_without_sharing(self):
+        params = DesignParameters.for_length(2048)
+        bits = IdealSource(seed=34).generate(2048).bits
+        sharing = SharingOptions.all_disabled()
+        cycle = UnifiedTestingBlock(params, tests=ALL_TESTS, sharing=sharing).process_sequence(bits)
+        functional = UnifiedTestingBlock(
+            params, tests=ALL_TESTS, sharing=sharing
+        ).accelerated_process_sequence(bits)
+        assert cycle.hardware_values() == functional.hardware_values()
+
+    def test_equivalence_at_n128(self):
+        params = DesignParameters.for_length(128)
+        bits = IdealSource(seed=35).generate(128).bits
+        tests = (1, 2, 3, 4, 11, 12, 13)
+        cycle = UnifiedTestingBlock(params, tests=tests).process_sequence(bits)
+        functional = UnifiedTestingBlock(params, tests=tests).accelerated_process_sequence(bits)
+        assert cycle.hardware_values() == functional.hardware_values()
+
+    def test_wrong_length_rejected(self):
+        params = DesignParameters.for_length(2048)
+        block = UnifiedTestingBlock(params, tests=[13])
+        with pytest.raises(ValueError):
+            block.accelerated_process_sequence([0, 1, 0])
+
+    def test_fast_load_unknown_unit_rejected(self):
+        class FakeUnit:
+            pass
+
+        with pytest.raises(TypeError):
+            fast_load_unit(FakeUnit(), np.zeros(16, dtype=np.uint8))
+
+    def test_fast_load_marks_block_complete(self):
+        params = DesignParameters.for_length(2048)
+        bits = IdealSource(seed=36).generate(2048).bits
+        block = UnifiedTestingBlock(params, tests=ALL_TESTS)
+        fast_load_block(block, bits)
+        assert block.sequence_complete
+        with pytest.raises(RuntimeError):
+            block.process_bit(0)
+
+    def test_fast_load_single_unit(self):
+        params = DesignParameters.for_length(2048)
+        bits = IdealSource(seed=37).generate(2048).bits
+        unit = RunsHW(params)
+        fast_load_unit(unit, bits)
+        reference = RunsHW(params)
+        for index, bit in enumerate(bits):
+            reference.process_bit(int(bit), index)
+        assert unit.runs == reference.runs

@@ -1,0 +1,156 @@
+"""End-to-end integration scenarios crossing all subsystems.
+
+These follow the threat catalogue of Section II-B: an attack or failure is
+applied to a modelled TRNG, the platform monitors it on the fly, and the
+failure must be flagged — while a healthy source keeps passing.
+"""
+
+import pytest
+
+from repro.core.monitor import HealthState, OnTheFlyMonitor
+from repro.core.platform import OnTheFlyPlatform
+from repro.core.reporting import compare_reporting_under_probing
+from repro.eval import estimate_fpga, latency_report
+from repro.nist import NistSuite
+from repro.trng import (
+    AlternatingSource,
+    BiasedSource,
+    CorrelatedSource,
+    EMInjectionAttack,
+    FrequencyInjectionAttack,
+    IdealSource,
+    ProbingAttack,
+    RingOscillatorTRNG,
+    StuckAtSource,
+)
+
+
+class TestFullDetectionChain:
+    def test_frequency_injection_attack_detected_mid_stream(self):
+        """A frequency-injection attack that locks the RO mid-sequence is
+        caught by the platform within one monitored sequence of the attack
+        becoming active."""
+        platform = OnTheFlyPlatform("n128_medium")
+        trng = RingOscillatorTRNG(seed=80)
+        attack = FrequencyInjectionAttack(trng, start_bit=3 * 128)
+        monitor = OnTheFlyMonitor(platform, suspect_after=1, fail_after=2)
+        events = monitor.monitor(attack, num_sequences=8)
+        # Healthy before the attack starts...
+        assert events[0].report.passed
+        assert events[1].report.passed
+        # ...and flagged after it becomes active.
+        assert monitor.state is HealthState.FAILED
+        assert monitor.detection_latency_bits() is not None
+
+    def test_em_injection_detected(self):
+        platform = OnTheFlyPlatform("n128_medium")
+        attack = EMInjectionAttack(IdealSource(seed=81), coupling=0.9, carrier_period=2, seed=82)
+        report = platform.evaluate_source(attack)
+        assert not report.passed
+
+    def test_wire_cut_detected_immediately(self):
+        platform = OnTheFlyPlatform("n128_light")
+        monitor = OnTheFlyMonitor(platform, suspect_after=1, fail_after=1)
+        monitor.monitor(StuckAtSource(0), num_sequences=1)
+        assert monitor.state is HealthState.FAILED
+        assert monitor.detection_latency_bits() == 128
+
+    def test_probing_the_readout_does_not_hide_a_dead_source(self):
+        platform = OnTheFlyPlatform("n128_light")
+        comparison = compare_reporting_under_probing(
+            platform, StuckAtSource(0), ProbingAttack("ground")
+        )
+        assert not comparison.alarm_wire_detects_under_probing
+        assert comparison.value_based_detects_under_probing
+
+    def test_healthy_oscillator_keeps_passing(self):
+        platform = OnTheFlyPlatform("n128_medium")
+        monitor = OnTheFlyMonitor(platform, suspect_after=2, fail_after=3)
+        monitor.monitor(RingOscillatorTRNG(seed=83), num_sequences=10)
+        assert monitor.state is HealthState.HEALTHY
+
+
+class TestPlatformAgainstReferenceSuite:
+    def test_platform_and_reference_agree_on_verdict(self, platform_65536_high, ideal_bits_65536,
+                                                      report_65536_high_ideal):
+        """The full 65536-bit design and the reference suite agree on an
+        ideal sequence (both accept), using the same parameters."""
+        params = platform_65536_high.design.parameters
+        suite = NistSuite(
+            tests=[1, 2, 3, 4, 7, 8, 11, 13],
+            parameters={
+                2: {"block_length": params.block_frequency_block_length},
+                4: {"block_length": params.longest_run_block_length},
+                7: {
+                    "template": params.nonoverlapping_template,
+                    "num_blocks": params.nonoverlapping_num_blocks,
+                },
+                8: {
+                    "template": params.overlapping_template,
+                    "block_length": params.overlapping_block_length,
+                },
+                11: {"m": params.serial_m},
+            },
+        )
+        reference = suite.run(ideal_bits_65536)
+        assert report_65536_high_ideal.passed
+        assert reference.passed(alpha=0.01)
+        for number, result in reference.results.items():
+            assert report_65536_high_ideal.verdicts[number].passed == result.passed(0.01)
+
+    def test_instruction_counts_populated(self, report_65536_high_ideal):
+        counts = report_65536_high_ideal.instruction_counts
+        assert counts.lut == 24  # the ApEn PWL terms
+        assert counts.read > 50
+        assert counts.total() > 500
+
+
+class TestDesignSpaceConsistency:
+    def test_bigger_designs_cost_more_and_check_more(self):
+        weak = BiasedSource(0.53, seed=84)
+        light = OnTheFlyPlatform("n128_light")
+        heavy = OnTheFlyPlatform("n65536_light")
+        light_report = light.evaluate_source(weak)
+        weak.reset()
+        heavy_report = heavy.evaluate_sequence(weak.generate(65536), accelerated=True)
+        # The small quick design misses a 3% bias that the longer test catches.
+        assert light_report.passed
+        assert not heavy_report.passed
+        # And the longer design costs more area.
+        assert (
+            estimate_fpga(heavy.hardware.resources()).slices
+            > estimate_fpga(light.hardware.resources()).slices
+        )
+
+    def test_software_latency_stays_below_generation_time(self, report_65536_high_ideal):
+        report = latency_report(
+            "n65536_high", 65536, report_65536_high_ideal.instruction_counts
+        )
+        assert report.latency_ratio < 0.5
+
+    @pytest.mark.slow
+    def test_type1_error_rate_is_small(self):
+        """False-alarm rate of the whole 5-test platform stays near the level
+        implied by alpha (9 decisions per sequence at alpha = 0.01)."""
+        platform = OnTheFlyPlatform("n65536_light", alpha=0.01)
+        failures = 0
+        trials = 40
+        for seed in range(trials):
+            bits = IdealSource(seed=7000 + seed).generate(65536)
+            if not platform.evaluate_sequence(bits, accelerated=True).passed:
+                failures += 1
+        assert failures <= 5
+
+    def test_detection_matrix_of_failure_modes(self):
+        """Every catalogued failure mode is caught by the full design."""
+        platform = OnTheFlyPlatform("n65536_high")
+        sources = [
+            BiasedSource(0.6, seed=85),
+            CorrelatedSource(0.75, seed=86),
+            AlternatingSource(),
+            StuckAtSource(1),
+        ]
+        for source in sources:
+            bits = source.generate(65536)
+            report = platform.evaluate_sequence(bits, accelerated=True)
+            assert not report.passed, source.name

@@ -1,0 +1,318 @@
+"""Unit tests for repro.nist.common (bit handling and shared statistics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nist.common import (
+    BitSequence,
+    TestResult,
+    berlekamp_massey,
+    binary_matrix_rank,
+    bits_from_bytes,
+    bits_from_int,
+    bits_to_int,
+    chunk,
+    erfc,
+    igamc,
+    normal_cdf,
+    pattern_counts,
+    psi_squared,
+    to_bits,
+)
+
+
+class TestToBits:
+    def test_from_string(self):
+        assert to_bits("1011").tolist() == [1, 0, 1, 1]
+
+    def test_from_string_with_whitespace(self):
+        assert to_bits("10 11\n01").tolist() == [1, 0, 1, 1, 0, 1]
+
+    def test_from_invalid_string(self):
+        with pytest.raises(ValueError):
+            to_bits("10201")
+
+    def test_from_list(self):
+        assert to_bits([0, 1, 1, 0]).tolist() == [0, 1, 1, 0]
+
+    def test_from_bool_array(self):
+        assert to_bits(np.array([True, False, True])).tolist() == [1, 0, 1]
+
+    def test_from_bytes_msb_first(self):
+        assert to_bits(b"\x80").tolist() == [1, 0, 0, 0, 0, 0, 0, 0]
+        assert to_bits(b"\x01").tolist() == [0, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_rejects_non_binary_values(self):
+        with pytest.raises(ValueError):
+            to_bits([0, 1, 2])
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            to_bits([0, -1])
+
+    def test_from_bitsequence_is_passthrough(self):
+        seq = BitSequence("1100")
+        assert to_bits(seq) is seq.bits
+
+    def test_empty_sequence(self):
+        assert to_bits("").size == 0
+
+
+class TestBitConversions:
+    def test_bits_from_int_round_trip(self):
+        assert bits_to_int(bits_from_int(0b10110, 5)) == 0b10110
+
+    def test_bits_from_int_width_check(self):
+        with pytest.raises(ValueError):
+            bits_from_int(16, 4)
+
+    def test_bits_from_int_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits_from_int(-1, 4)
+
+    def test_bits_from_bytes_length(self):
+        assert bits_from_bytes(b"\x00\xff").size == 16
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_round_trip_property(self, value):
+        assert bits_to_int(bits_from_int(value, 20)) == value
+
+
+class TestBitSequence:
+    def test_basic_properties(self):
+        seq = BitSequence("1101")
+        assert len(seq) == 4
+        assert seq.ones == 3
+        assert seq.zeros == 1
+        assert seq.proportion == 0.75
+
+    def test_pm1_mapping(self):
+        seq = BitSequence("10")
+        assert seq.as_pm1().tolist() == [1, -1]
+
+    def test_to01(self):
+        assert BitSequence([1, 0, 0, 1]).to01() == "1001"
+
+    def test_slicing_returns_bitsequence(self):
+        seq = BitSequence("110010")
+        assert isinstance(seq[1:4], BitSequence)
+        assert seq[1:4].to01() == "100"
+
+    def test_indexing_returns_int(self):
+        assert BitSequence("10")[0] == 1
+
+    def test_equality_and_hash(self):
+        a = BitSequence("1010")
+        b = BitSequence([1, 0, 1, 0])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_concat(self):
+        assert BitSequence("10").concat("01").to01() == "1001"
+
+    def test_immutable(self):
+        seq = BitSequence("1010")
+        with pytest.raises(ValueError):
+            seq.bits[0] = 0
+
+    def test_empty(self):
+        seq = BitSequence("")
+        assert len(seq) == 0
+        assert seq.proportion == 0.0
+
+
+class TestTestResult:
+    def test_passed_threshold(self):
+        result = TestResult("x", 1.0, 0.05)
+        assert result.passed(0.01)
+        assert not result.passed(0.10)
+
+    def test_multiple_p_values_all_must_pass(self):
+        result = TestResult("x", 1.0, 0.5, p_values=[0.5, 0.005])
+        assert not result.passed(0.01)
+        assert result.min_p_value == 0.005
+
+    def test_invalid_alpha(self):
+        result = TestResult("x", 1.0, 0.5)
+        with pytest.raises(ValueError):
+            result.passed(0.0)
+
+    def test_default_p_values_populated(self):
+        result = TestResult("x", 1.0, 0.3)
+        assert result.p_values == [0.3]
+
+
+class TestSpecialFunctions:
+    def test_igamc_limits(self):
+        assert igamc(1.0, 0.0) == pytest.approx(1.0)
+        assert igamc(1.0, 50.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_igamc_known_value(self):
+        # Q(a=1, x) = exp(-x).
+        assert igamc(1.0, 1.0) == pytest.approx(np.exp(-1.0), rel=1e-12)
+
+    def test_igamc_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            igamc(0.0, 1.0)
+        with pytest.raises(ValueError):
+            igamc(1.0, -1.0)
+
+    def test_erfc_symmetry(self):
+        assert erfc(0.0) == pytest.approx(1.0)
+        assert erfc(1.0) + erfc(-1.0) == pytest.approx(2.0)
+
+    def test_normal_cdf(self):
+        assert normal_cdf(0.0) == pytest.approx(0.5)
+        assert normal_cdf(10.0) == pytest.approx(1.0)
+        assert normal_cdf(-10.0) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestPatternCounts:
+    def test_simple_cyclic(self):
+        # 0011 cyclically: windows 00,01,11,10 each once.
+        counts = pattern_counts("0011", 2, cyclic=True)
+        assert counts.tolist() == [1, 1, 1, 1]
+
+    def test_non_cyclic(self):
+        counts = pattern_counts("0011", 2, cyclic=False)
+        # windows: 00, 01, 11 -> indices 0, 1, 3.
+        assert counts.tolist() == [1, 1, 0, 1]
+
+    def test_counts_sum_to_n_cyclic(self):
+        bits = np.random.default_rng(0).integers(0, 2, 200)
+        for m in (1, 2, 3, 4):
+            assert pattern_counts(bits, m, cyclic=True).sum() == 200
+
+    def test_m_zero(self):
+        assert pattern_counts("1010", 0).tolist() == [4]
+
+    def test_m_larger_than_n_raises(self):
+        with pytest.raises(ValueError):
+            pattern_counts("10", 3)
+
+    def test_negative_m_raises(self):
+        with pytest.raises(ValueError):
+            pattern_counts("10", -1)
+
+    def test_all_ones(self):
+        counts = pattern_counts("1111", 2, cyclic=True)
+        assert counts.tolist() == [0, 0, 0, 4]
+
+    @given(st.lists(st.integers(0, 1), min_size=8, max_size=64), st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_cyclic_sum_property(self, bits, m):
+        assert pattern_counts(bits, m, cyclic=True).sum() == len(bits)
+
+    @given(st.lists(st.integers(0, 1), min_size=8, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_marginalisation_property(self, bits):
+        """Cyclic (m+1)-bit counts marginalise exactly to m-bit counts."""
+        c3 = pattern_counts(bits, 3, cyclic=True)
+        c4 = pattern_counts(bits, 4, cyclic=True)
+        for prefix in range(8):
+            assert c3[prefix] == c4[2 * prefix] + c4[2 * prefix + 1]
+
+
+class TestPsiSquared:
+    def test_zero_for_m_zero(self):
+        assert psi_squared("1010", 0) == 0.0
+
+    def test_uniform_patterns_give_zero(self):
+        # 0011 has each 2-bit pattern exactly once cyclically -> psi2 = 0.
+        assert psi_squared("0011", 2) == pytest.approx(0.0)
+
+    def test_constant_sequence_maximal(self):
+        # all-ones: one pattern appears n times: psi2 = 2^m*n - n.
+        n = 32
+        assert psi_squared("1" * n, 2) == pytest.approx(4 * n - n)
+
+    def test_nist_example(self):
+        # SP 800-22 serial-test example: eps = 0011011101, m = 3.
+        bits = "0011011101"
+        assert psi_squared(bits, 3) == pytest.approx(2.8, abs=1e-9)
+        assert psi_squared(bits, 2) == pytest.approx(1.2, abs=1e-9)
+        assert psi_squared(bits, 1) == pytest.approx(0.4, abs=1e-9)
+
+
+class TestBerlekampMassey:
+    def test_zero_sequence(self):
+        assert berlekamp_massey([0, 0, 0, 0]) == 0
+
+    def test_single_one(self):
+        # 0001 requires an LFSR of length 4.
+        assert berlekamp_massey([0, 0, 0, 1]) == 4
+
+    def test_alternating(self):
+        assert berlekamp_massey([1, 0, 1, 0, 1, 0, 1, 0]) == 2
+
+    def test_lfsr_sequence(self):
+        # x^4 + x + 1 LFSR (period 15) has linear complexity 4.
+        state = [1, 0, 0, 0]
+        out = []
+        for _ in range(30):
+            out.append(state[-1])
+            feedback = state[3] ^ state[0]
+            state = [feedback] + state[:-1]
+        assert berlekamp_massey(out) == 4
+
+    def test_empty(self):
+        assert berlekamp_massey([]) == 0
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_complexity_bounds(self, bits):
+        complexity = berlekamp_massey(bits)
+        assert 0 <= complexity <= len(bits)
+
+
+class TestBinaryMatrixRank:
+    def test_identity_full_rank(self):
+        assert binary_matrix_rank(np.eye(5, dtype=int)) == 5
+
+    def test_zero_matrix(self):
+        assert binary_matrix_rank(np.zeros((4, 4), dtype=int)) == 0
+
+    def test_duplicate_rows(self):
+        matrix = np.array([[1, 0, 1], [1, 0, 1], [0, 1, 0]])
+        assert binary_matrix_rank(matrix) == 2
+
+    def test_gf2_not_real_rank(self):
+        # Over the reals this matrix has rank 2; over GF(2) row1+row2=row3.
+        matrix = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]])
+        assert binary_matrix_rank(matrix) == 2
+
+    def test_rectangular(self):
+        matrix = np.array([[1, 0, 0, 1], [0, 1, 0, 1]])
+        assert binary_matrix_rank(matrix) == 2
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            binary_matrix_rank(np.array([1, 0, 1]))
+
+    @given(st.integers(0, 2**16 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_rank_bounds_property(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(0, 2, (6, 4))
+        rank = binary_matrix_rank(matrix)
+        assert 0 <= rank <= 4
+
+
+class TestChunk:
+    def test_even_split(self):
+        blocks = chunk("110100", 2)
+        assert [b.tolist() for b in blocks] == [[1, 1], [0, 1], [0, 0]]
+
+    def test_discard_partial(self):
+        assert len(chunk("11010", 2)) == 2
+
+    def test_keep_partial(self):
+        blocks = chunk("11010", 2, discard_partial=False)
+        assert len(blocks) == 3
+        assert blocks[-1].tolist() == [0]
+
+    def test_invalid_block_length(self):
+        with pytest.raises(ValueError):
+            chunk("1101", 0)

@@ -1,0 +1,160 @@
+"""Known-answer tests of the reference NIST implementations.
+
+The expected values are the worked examples from NIST SP 800-22 (rev 1a),
+sections 2.1.4–2.15.4.  Where the spec's example uses parameters our
+implementation computes on the fly (e.g. the overlapping-template
+probabilities), the example is reproduced only when the derivation matches.
+"""
+
+import pytest
+
+from repro.nist import (
+    approximate_entropy_test,
+    block_frequency_test,
+    cumulative_sums_test,
+    frequency_test,
+    longest_run_test,
+    non_overlapping_template_test,
+    random_excursions_test,
+    random_excursions_variant_test,
+    runs_test,
+    serial_test,
+)
+
+#: First 100 bits of the binary expansion of pi's fractional part, the sample
+#: sequence used throughout SP 800-22 section 2 examples.
+PI_100 = (
+    "11001001000011111101101010100010001000010110100011"
+    "00001000110100110001001100011001100010100010111000"
+)
+
+
+class TestFrequencyKnownAnswers:
+    def test_small_example(self):
+        # SP 800-22 2.1.4: eps = 1011010101, S = 2, P-value = 0.527089.
+        result = frequency_test("1011010101")
+        assert result.details["partial_sum"] == 2
+        assert result.p_value == pytest.approx(0.527089, abs=1e-6)
+
+    def test_pi_100_example(self):
+        # SP 800-22 2.1.8: 100 bits of pi, P-value = 0.109599.
+        result = frequency_test(PI_100)
+        assert result.p_value == pytest.approx(0.109599, abs=1e-5)
+
+
+class TestBlockFrequencyKnownAnswers:
+    def test_small_example(self):
+        # SP 800-22 2.2.4: eps = 0110011010, M = 3, chi2 = 1, P = 0.801252.
+        result = block_frequency_test("0110011010", block_length=3)
+        assert result.statistic == pytest.approx(1.0, abs=1e-9)
+        assert result.p_value == pytest.approx(0.801252, abs=1e-6)
+
+    def test_pi_100_example(self):
+        # SP 800-22 2.2.8: 100 bits of pi, M = 10, P = 0.706438.
+        result = block_frequency_test(PI_100, block_length=10)
+        assert result.p_value == pytest.approx(0.706438, abs=1e-5)
+
+
+class TestRunsKnownAnswers:
+    def test_small_example(self):
+        # SP 800-22 2.3.4: eps = 1001101011, V = 7, P = 0.147232.
+        result = runs_test("1001101011")
+        assert result.details["runs"] == 7
+        assert result.p_value == pytest.approx(0.147232, abs=1e-6)
+
+    def test_pi_100_example(self):
+        # SP 800-22 2.3.8: 100 bits of pi, P = 0.500798.
+        result = runs_test(PI_100)
+        assert result.p_value == pytest.approx(0.500798, abs=1e-5)
+
+
+class TestLongestRunKnownAnswer:
+    def test_128_bit_example(self):
+        # SP 800-22 2.4.8: the 128-bit example sequence, M = 8, P ≈ 0.180609.
+        eps = (
+            "11001100000101010110110001001100111000000000001001"
+            "00110101010001000100111101011010000000110101111100"
+            "1100111001101101100010110010"
+        )
+        result = longest_run_test(eps, block_length=8)
+        assert result.details["categories"] == [4, 9, 3, 0]
+        assert result.p_value == pytest.approx(0.180609, abs=1e-4)
+
+
+class TestNonOverlappingKnownAnswer:
+    def test_small_example(self):
+        # SP 800-22 2.7.4: eps = 10100100101110010110 (n=20), B = 001,
+        # N = 2 blocks of M = 10: W1 = 2, W2 = 1, P = 0.344154.
+        result = non_overlapping_template_test(
+            "10100100101110010110", template=(0, 0, 1), num_blocks=2
+        )
+        assert result.details["counts"] == [2, 1]
+        assert result.p_value == pytest.approx(0.344154, abs=1e-4)
+
+
+class TestSerialKnownAnswers:
+    def test_small_example(self):
+        # SP 800-22 2.11.4: eps = 0011011101, m = 3:
+        # del-psi2 = 1.6, del2-psi2 = 0.8, P1 = 0.808792, P2 = 0.670320.
+        result = serial_test("0011011101", m=3)
+        assert result.details["del1"] == pytest.approx(1.6, abs=1e-9)
+        assert result.details["del2"] == pytest.approx(0.8, abs=1e-9)
+        assert result.p_values[0] == pytest.approx(0.808792, abs=1e-5)
+        assert result.p_values[1] == pytest.approx(0.670320, abs=1e-5)
+
+    def test_pi_100_consistency(self):
+        # For the 100-bit pi prefix the serial test should comfortably accept
+        # the randomness hypothesis at every NIST-recommended alpha.
+        result = serial_test(PI_100, m=3)
+        assert result.passed(0.01)
+        assert all(0.0 <= p <= 1.0 for p in result.p_values)
+
+
+class TestApproximateEntropyKnownAnswers:
+    def test_small_example(self):
+        # SP 800-22 2.12.4: eps = 0100110101, m = 3, P = 0.261961.
+        result = approximate_entropy_test("0100110101", m=3)
+        assert result.p_value == pytest.approx(0.261961, abs=1e-4)
+
+    def test_pi_100_example(self):
+        # SP 800-22 2.12.8: 100 bits of pi, m = 2, P = 0.235301.
+        result = approximate_entropy_test(PI_100, m=2)
+        assert result.p_value == pytest.approx(0.235301, abs=1e-4)
+
+
+class TestCusumKnownAnswers:
+    def test_small_example_forward(self):
+        # SP 800-22 2.13.4: eps = 1011010111, z = 4, P = 0.4116588.
+        result = cumulative_sums_test("1011010111", mode=0)
+        assert result.details["z"] == 4
+        assert result.p_value == pytest.approx(0.4116588, abs=1e-6)
+
+    def test_pi_100_example_both_modes(self):
+        # SP 800-22 2.13.8: 100 bits of pi: forward P = 0.219194,
+        # backward P = 0.114866.
+        forward = cumulative_sums_test(PI_100, mode=0)
+        backward = cumulative_sums_test(PI_100, mode=1)
+        assert forward.p_value == pytest.approx(0.219194, abs=1e-5)
+        assert backward.p_value == pytest.approx(0.114866, abs=1e-5)
+
+
+class TestRandomExcursionsKnownAnswers:
+    def test_small_example_state_plus_one(self):
+        # SP 800-22 2.14.4: eps = 0110110101, J = 3; for state x = +1 the
+        # chi-squared is 4.333033 with P = 0.502529.
+        result = random_excursions_test("0110110101")
+        assert result.details["num_cycles"] == 3
+        index = result.details["states"].index(1)
+        # The spec's worked example uses the rounded pi table (0.0312 instead
+        # of 0.03125), hence the loose tolerance against exact probabilities.
+        assert result.details["statistics"][index] == pytest.approx(4.333033, abs=1e-3)
+        assert result.p_values[index] == pytest.approx(0.502529, abs=1e-3)
+
+    def test_variant_small_example_state_plus_one(self):
+        # SP 800-22 2.15.4: same eps; for state x = +1, count = 4, J = 3,
+        # P = 0.683091.
+        result = random_excursions_variant_test("0110110101")
+        assert result.details["num_cycles"] == 3
+        assert result.details["counts"][1] == 4
+        index = result.details["states"].index(1)
+        assert result.p_values[index] == pytest.approx(0.683091, abs=1e-4)

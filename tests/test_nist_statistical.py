@@ -1,0 +1,133 @@
+"""Statistical behaviour of the reference tests (beyond known answers).
+
+Two families of checks:
+
+* under the null hypothesis (ideal source) the P-values are roughly uniform
+  on [0, 1] — verified with a coarse Kolmogorov–Smirnov bound over a few
+  hundred sequences, which is enough to catch systematic biases such as a
+  mis-scaled statistic or a wrong degrees-of-freedom parameter;
+* the empirical type-1 error rate at α = 0.01 stays near 1 %.
+
+The sample counts are deliberately modest to keep the suite fast; the bounds
+are loose accordingly (they would catch factor-level errors, not subtle
+mis-calibration).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nist import (
+    approximate_entropy_test,
+    block_frequency_test,
+    cumulative_sums_test,
+    frequency_test,
+    longest_run_test,
+    runs_test,
+    serial_test,
+)
+
+NUM_SEQUENCES = 200
+SEQUENCE_BITS = 1024
+
+
+@pytest.fixture(scope="module")
+def null_sequences():
+    rng = np.random.default_rng(123456)
+    return [rng.integers(0, 2, SEQUENCE_BITS, dtype=np.uint8) for _ in range(NUM_SEQUENCES)]
+
+
+def _p_values(test, sequences, **kwargs):
+    return np.array([test(bits, **kwargs).p_value for bits in sequences])
+
+
+def _ks_distance(p_values):
+    """Kolmogorov-Smirnov distance of a sample against the uniform CDF."""
+    sorted_p = np.sort(p_values)
+    n = sorted_p.size
+    cdf = np.arange(1, n + 1) / n
+    return float(np.max(np.abs(cdf - sorted_p)))
+
+
+# A very loose KS bound: for n = 200 the 1% critical value is ~0.115; allow
+# 0.20 so that discreteness of some statistics does not trip the check while
+# factor-level errors (which push the distance towards 0.5+) still do.
+KS_BOUND = 0.20
+
+
+class TestPValueUniformity:
+    @pytest.mark.parametrize(
+        "test,kwargs",
+        [
+            (frequency_test, {}),
+            (block_frequency_test, {"block_length": 128}),
+            (runs_test, {}),
+            (serial_test, {"m": 4}),
+            (approximate_entropy_test, {"m": 3}),
+            (cumulative_sums_test, {}),
+        ],
+        ids=["frequency", "block_frequency", "runs", "serial", "approximate_entropy", "cusum"],
+    )
+    def test_null_p_values_look_uniform(self, null_sequences, test, kwargs):
+        p_values = _p_values(test, null_sequences, **kwargs)
+        assert np.all((p_values >= 0.0) & (p_values <= 1.0))
+        assert _ks_distance(p_values) < KS_BOUND
+
+    def test_longest_run_p_values_bounded(self, null_sequences):
+        # The longest-run statistic is strongly discrete at M=8 / 128 blocks,
+        # so only the range and the mean are checked.
+        p_values = _p_values(longest_run_test, null_sequences, block_length=8)
+        assert np.all((p_values >= 0.0) & (p_values <= 1.0))
+        assert 0.3 < p_values.mean() < 0.7
+
+
+class TestTypeOneError:
+    @pytest.mark.parametrize(
+        "test,kwargs",
+        [
+            (frequency_test, {}),
+            (runs_test, {}),
+            (serial_test, {"m": 4}),
+            (cumulative_sums_test, {}),
+        ],
+        ids=["frequency", "runs", "serial", "cusum"],
+    )
+    def test_rejection_rate_near_alpha(self, null_sequences, test, kwargs):
+        alpha = 0.01
+        rejections = sum(
+            0 if test(bits, **kwargs).passed(alpha) else 1 for bits in null_sequences
+        )
+        # Expected 2 rejections out of 200; allow up to 9 (binomial 99.9th
+        # percentile is ~8) and require that the test is not trivially
+        # rejecting everything or nothing pathologically.
+        assert rejections <= 9
+
+    def test_smaller_alpha_rejects_less(self, null_sequences):
+        strict = sum(0 if frequency_test(b).passed(0.01) else 1 for b in null_sequences)
+        loose = sum(0 if frequency_test(b).passed(0.001) else 1 for b in null_sequences)
+        assert loose <= strict
+
+
+class TestMonotoneSensitivity:
+    def test_frequency_p_value_decreases_with_bias(self):
+        rng = np.random.default_rng(777)
+        p_values = []
+        for bias in (0.50, 0.55, 0.60, 0.70):
+            bits = (rng.random(SEQUENCE_BITS) < bias).astype(np.uint8)
+            p_values.append(frequency_test(bits).p_value)
+        assert p_values[0] > p_values[-1]
+        assert p_values[-1] < 1e-6
+
+    def test_serial_p_value_decreases_with_correlation(self):
+        rng = np.random.default_rng(778)
+        p_values = []
+        for repeat in (0.5, 0.7, 0.9):
+            bits = np.empty(SEQUENCE_BITS, dtype=np.uint8)
+            bits[0] = rng.integers(0, 2)
+            for i in range(1, SEQUENCE_BITS):
+                if rng.random() < repeat:
+                    bits[i] = bits[i - 1]
+                else:
+                    bits[i] = 1 - bits[i - 1]
+            p_values.append(serial_test(bits, m=4).min_p_value)
+        assert p_values[0] > p_values[2]
+        assert p_values[2] < 1e-6

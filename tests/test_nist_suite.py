@@ -1,0 +1,306 @@
+"""Tests of the NIST suite driver and the individual tests' edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.nist import (
+    NistSuite,
+    binary_matrix_rank_test,
+    block_frequency_test,
+    cumulative_sums_test,
+    dft_test,
+    frequency_test,
+    linear_complexity_test,
+    longest_run_test,
+    non_overlapping_template_test,
+    overlapping_template_test,
+    run_all_tests,
+    runs_test,
+    serial_test,
+    universal_test,
+)
+from repro.nist.nonoverlapping import aperiodic_templates, count_non_overlapping
+from repro.nist.overlapping import count_overlapping, overlapping_probabilities
+from repro.nist.rank import rank_probabilities
+from repro.nist.suite import HW_SUITABLE_TESTS, NIST_TEST_NAMES
+from repro.trng.ideal import IdealSource
+
+
+class TestSuiteDriver:
+    def test_all_fifteen_registered(self):
+        assert sorted(NIST_TEST_NAMES) == list(range(1, 16))
+
+    def test_hw_suitable_selection_matches_table1(self):
+        assert HW_SUITABLE_TESTS == (1, 2, 3, 4, 7, 8, 11, 12, 13)
+
+    def test_unknown_test_number_rejected(self):
+        with pytest.raises(ValueError):
+            NistSuite(tests=[1, 99])
+
+    def test_subset_run(self, ideal_bits_1024):
+        report = NistSuite(tests=[1, 3, 13]).run(ideal_bits_1024)
+        assert sorted(report.results) == [1, 3, 13]
+        assert not report.errors
+
+    def test_errors_are_collected_not_raised(self):
+        # 64 bits are far too short for the universal test.
+        report = NistSuite(tests=[9]).run([0, 1] * 32)
+        assert 9 in report.errors
+        assert not report.results
+
+    def test_errors_raised_when_requested(self):
+        with pytest.raises(ValueError):
+            NistSuite(tests=[9], skip_errors=False).run([0, 1] * 32)
+
+    def test_parameters_forwarded(self, ideal_bits_1024):
+        report = NistSuite(tests=[2], parameters={2: {"block_length": 64}}).run(
+            ideal_bits_1024
+        )
+        assert report.results[2].details["block_length"] == 64
+
+    def test_summary_rows(self, ideal_bits_1024):
+        report = run_all_tests(ideal_bits_1024, tests=[1, 2, 3])
+        rows = report.summary_rows()
+        assert len(rows) == 3
+        assert {row["test"] for row in rows} == {1, 2, 3}
+
+    def test_failing_tests_listing(self):
+        report = run_all_tests([1] * 256, tests=[1, 3])
+        assert 1 in report.failing_tests()
+        assert not report.passed()
+
+    def test_ideal_sequence_passes(self, ideal_bits_65536):
+        report = run_all_tests(ideal_bits_65536, tests=[1, 2, 3, 4, 7, 8, 11, 12, 13])
+        assert report.passed(alpha=0.001)
+
+    def test_p_values_dict(self, ideal_bits_1024):
+        report = run_all_tests(ideal_bits_1024, tests=[1, 13])
+        assert set(report.p_values()) == {1, 13}
+
+
+class TestFrequencyEdgeCases:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            frequency_test([])
+
+    def test_all_ones_fails(self):
+        assert not frequency_test([1] * 200).passed(0.01)
+
+    def test_balanced_passes(self):
+        assert frequency_test([0, 1] * 100).passed(0.01)
+
+    def test_details_consistent(self):
+        result = frequency_test("1110")
+        assert result.details["ones"] == 3
+        assert result.details["partial_sum"] == 2
+
+
+class TestBlockFrequencyEdgeCases:
+    def test_block_longer_than_sequence(self):
+        with pytest.raises(ValueError):
+            block_frequency_test("1010", block_length=8)
+
+    def test_invalid_block_length(self):
+        with pytest.raises(ValueError):
+            block_frequency_test("1010", block_length=0)
+
+    def test_partial_block_discarded(self):
+        result = block_frequency_test("101010101", block_length=4)
+        assert result.details["num_blocks"] == 2
+        assert result.details["discarded_bits"] == 1
+
+    def test_alternating_blocks_detected(self):
+        # Blocks of all ones and all zeros: locally very biased.
+        bits = ([1] * 16 + [0] * 16) * 8
+        assert not block_frequency_test(bits, block_length=16).passed(0.01)
+
+
+class TestRunsEdgeCases:
+    def test_pretest_failure_gives_zero_p(self):
+        result = runs_test([1] * 100)
+        assert result.p_value == 0.0
+        assert not result.details["pretest_passed"]
+
+    def test_alternating_fails(self):
+        assert not runs_test([0, 1] * 500).passed(0.01)
+
+    def test_single_bit(self):
+        result = runs_test([1])
+        assert result.details["runs"] == 1
+
+
+class TestLongestRunEdgeCases:
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            longest_run_test([0, 1] * 32)
+
+    def test_invalid_block_length(self):
+        with pytest.raises(ValueError):
+            longest_run_test([0, 1] * 256, block_length=7)
+
+    def test_category_counts_sum_to_blocks(self, ideal_bits_1024):
+        result = longest_run_test(ideal_bits_1024, block_length=8)
+        assert sum(result.details["categories"]) == result.details["num_blocks"]
+
+    def test_all_ones_fails(self):
+        assert not longest_run_test([1] * 1024, block_length=8).passed(0.01)
+
+
+class TestTemplateTests:
+    def test_aperiodic_templates_are_aperiodic(self):
+        templates = aperiodic_templates(4)
+        assert (0, 0, 0, 1) in templates
+        assert (0, 1, 0, 1) not in templates  # period 2
+        assert (1, 1, 1, 1) not in templates  # period 1
+
+    def test_count_non_overlapping_skips_after_match(self):
+        # "111" in "111111": non-overlapping occurrences = 2.
+        assert count_non_overlapping([1] * 6, (1, 1, 1)) == 2
+
+    def test_count_overlapping_slides(self):
+        # "111" in "111111": overlapping occurrences = 4.
+        assert count_overlapping([1] * 6, (1, 1, 1)) == 4
+
+    def test_non_overlapping_block_too_short(self):
+        with pytest.raises(ValueError):
+            non_overlapping_template_test([0, 1] * 8, num_blocks=4)
+
+    def test_non_overlapping_counts_in_details(self, ideal_bits_4096):
+        result = non_overlapping_template_test(ideal_bits_4096, num_blocks=8)
+        assert len(result.details["counts"]) == 8
+
+    def test_overlapping_probabilities_sum_to_one(self):
+        pi = overlapping_probabilities(1024, 9)
+        assert sum(pi) == pytest.approx(1.0, abs=1e-9)
+        assert all(p > 0 for p in pi)
+
+    def test_overlapping_probabilities_close_to_nist_reference(self):
+        # For M = 1032, m = 9 the NIST spec tabulates
+        # (0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865).
+        # The spec's table comes from an exact recursion; the compound-Poisson
+        # closed form used here agrees to a few parts in a thousand, which is
+        # ample for the category expectations of the chi-squared statistic.
+        pi = overlapping_probabilities(1032, 9)
+        reference = [0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865]
+        assert pi == pytest.approx(reference, abs=5e-3)
+
+    def test_overlapping_sequence_too_short(self):
+        with pytest.raises(ValueError):
+            overlapping_template_test([0, 1] * 100, block_length=1024)
+
+    def test_all_ones_fails_overlapping(self):
+        assert not overlapping_template_test(
+            [1] * 8192, block_length=1024
+        ).passed(0.01)
+
+
+class TestSerialAndApEnEdgeCases:
+    def test_serial_m_too_small(self):
+        with pytest.raises(ValueError):
+            serial_test([0, 1] * 16, m=1)
+
+    def test_serial_sequence_too_short(self):
+        with pytest.raises(ValueError):
+            serial_test([0, 1, 1], m=4)
+
+    def test_serial_two_p_values(self, ideal_bits_1024):
+        result = serial_test(ideal_bits_1024, m=4)
+        assert len(result.p_values) == 2
+
+    def test_alternating_fails_serial(self):
+        assert not serial_test([0, 1] * 512, m=4).passed(0.01)
+
+
+class TestCusumEdgeCases:
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            cumulative_sums_test([1, 0, 1], mode=2)
+
+    def test_forward_and_backward_differ_in_general(self, ideal_bits_1024):
+        forward = cumulative_sums_test(ideal_bits_1024, mode=0)
+        backward = cumulative_sums_test(ideal_bits_1024, mode=1)
+        assert forward.details["z"] >= 1
+        assert backward.details["z"] >= 1
+
+    def test_all_ones_fails(self):
+        assert not cumulative_sums_test([1] * 256).passed(0.01)
+
+    def test_walk_extremes_in_details(self):
+        # Walk of 1011010111: 1,0,1,2,1,2,1,2,3,4 -> max 4, min 0, final 4.
+        result = cumulative_sums_test("1011010111")
+        assert result.details["s_max"] == 4
+        assert result.details["s_min"] == 0
+        assert result.details["s_final"] == 4
+
+
+class TestNonHwSuitableTests:
+    """The six tests the paper excludes still work as reference baselines."""
+
+    def test_rank_probabilities_32x32(self):
+        p_full, p_minus1, p_rest = rank_probabilities(32, 32)
+        assert p_full == pytest.approx(0.2888, abs=1e-3)
+        assert p_minus1 == pytest.approx(0.5776, abs=1e-3)
+        assert p_rest == pytest.approx(0.1336, abs=1e-3)
+
+    def test_rank_test_needs_enough_bits(self):
+        with pytest.raises(ValueError):
+            binary_matrix_rank_test([0, 1] * 100)
+
+    def test_rank_test_on_ideal(self, ideal_bits_65536):
+        result = binary_matrix_rank_test(ideal_bits_65536)
+        assert result.details["num_matrices"] == 64
+        assert result.passed(0.001)
+
+    def test_dft_on_ideal(self, ideal_bits_4096):
+        assert dft_test(ideal_bits_4096).passed(0.001)
+
+    def test_dft_on_periodic_fails(self):
+        assert not dft_test([1, 0, 0, 0] * 1024).passed(0.01)
+
+    def test_dft_too_short(self):
+        with pytest.raises(ValueError):
+            dft_test([1])
+
+    def test_universal_too_short(self):
+        with pytest.raises(ValueError):
+            universal_test([0, 1] * 100)
+
+    def test_universal_with_explicit_parameters(self, ideal_bits_65536):
+        result = universal_test(ideal_bits_65536, block_length=6, init_blocks=640)
+        assert result.passed(0.001)
+        assert result.details["L"] == 6
+
+    def test_linear_complexity_block_too_small(self):
+        with pytest.raises(ValueError):
+            linear_complexity_test([0, 1] * 100, block_length=2)
+
+    def test_linear_complexity_on_ideal(self, ideal_bits_65536):
+        result = linear_complexity_test(ideal_bits_65536, block_length=512)
+        assert result.details["num_blocks"] == 128
+        assert result.passed(0.001)
+
+    def test_linear_complexity_on_lfsr_fails(self):
+        # A short-LFSR stream has tiny linear complexity in every block.
+        state = [1, 0, 0, 1, 1]
+        out = []
+        for _ in range(32768):
+            out.append(state[-1])
+            feedback = state[4] ^ state[2]
+            state = [feedback] + state[:-1]
+        result = linear_complexity_test(out, block_length=512)
+        assert not result.passed(0.01)
+
+
+class TestRandomExcursionsSuite:
+    def test_runs_on_ideal(self, ideal_bits_65536):
+        report = run_all_tests(ideal_bits_65536, tests=[14, 15])
+        # With 65536 bits J is usually below the recommendation but the test
+        # still runs; the decision should be an acceptance for an ideal source.
+        for result in report.results.values():
+            assert result.passed(0.001)
+
+    def test_stuck_source_has_no_cycles(self):
+        from repro.nist import random_excursions_test
+
+        with pytest.raises(ValueError):
+            random_excursions_test([1] * 0)

@@ -1,0 +1,125 @@
+"""Tests of the precomputed critical values (design-time constants)."""
+
+import math
+
+import pytest
+from scipy import stats
+
+from repro.hwtests.parameters import DesignParameters
+from repro.nist.cusum import cusum_p_value
+from repro.sw.critical_values import (
+    NIST_ALPHA_RANGE,
+    CriticalValues,
+    approximate_entropy_guard_band,
+    chi_squared_critical,
+)
+
+
+@pytest.fixture(scope="module")
+def cv_65536():
+    return CriticalValues.for_design(DesignParameters.for_length(65536), alpha=0.01)
+
+
+class TestChiSquaredCritical:
+    def test_matches_scipy_isf(self):
+        for df in (3, 5, 8, 16):
+            for alpha in (0.001, 0.01, 0.05):
+                assert chi_squared_critical(alpha, df) == pytest.approx(
+                    stats.chi2.isf(alpha, df), rel=1e-9
+                )
+
+    def test_monotone_in_alpha(self):
+        assert chi_squared_critical(0.001, 8) > chi_squared_critical(0.01, 8)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            chi_squared_critical(0.0, 8)
+        with pytest.raises(ValueError):
+            chi_squared_critical(0.01, 0)
+
+
+class TestCriticalValues:
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            CriticalValues.for_design(DesignParameters.for_length(128), alpha=1.5)
+
+    def test_frequency_threshold_closed_form(self, cv_65536):
+        # |S| <= sqrt(2n)*erfcinv(alpha): check via the inverse relation.
+        from scipy import special
+
+        expected = math.sqrt(2 * 65536) * special.erfcinv(0.01)
+        assert cv_65536.frequency_max_abs_s == pytest.approx(expected, rel=1e-12)
+
+    def test_smaller_alpha_widens_acceptance(self):
+        params = DesignParameters.for_length(65536)
+        strict = CriticalValues.for_design(params, alpha=0.01)
+        loose = CriticalValues.for_design(params, alpha=0.001)
+        assert loose.frequency_max_abs_s > strict.frequency_max_abs_s
+        assert loose.block_frequency_max_sum > strict.block_frequency_max_sum
+        assert loose.cusum_max_z_forward >= strict.cusum_max_z_forward
+        assert loose.serial_max_del1 > strict.serial_max_del1
+
+    def test_thresholds_scale_with_length(self):
+        small = CriticalValues.for_design(DesignParameters.for_length(128), alpha=0.01)
+        large = CriticalValues.for_design(DesignParameters.for_length(65536), alpha=0.01)
+        assert large.frequency_max_abs_s > small.frequency_max_abs_s
+        assert large.cusum_max_z_forward > small.cusum_max_z_forward
+
+    def test_cusum_boundary_is_exact(self, cv_65536):
+        """The stored excursion limit is the last accepted integer value."""
+        z = cv_65536.cusum_max_z_forward
+        assert cusum_p_value(z, 65536) >= 0.01
+        assert cusum_p_value(z + 1, 65536) < 0.01
+
+    def test_longest_run_constants_match_parameters(self, cv_65536):
+        params = DesignParameters.for_length(65536)
+        assert len(cv_65536.longest_run_inverse_pi) == 6  # K=5 for M=128
+        # 1/(N*pi_i) must invert back to positive expectations below N.
+        for inverse in cv_65536.longest_run_inverse_pi:
+            expected = 1.0 / inverse
+            assert 0 < expected < params.longest_run_num_blocks
+
+    def test_nonoverlapping_mean_and_variance(self, cv_65536):
+        params = DesignParameters.for_length(65536)
+        m = params.template_length
+        big_m = params.nonoverlapping_block_length
+        assert cv_65536.nonoverlapping_mean == pytest.approx((big_m - m + 1) / 512)
+        assert cv_65536.nonoverlapping_inverse_variance > 0
+
+    def test_overlapping_pi_constants(self, cv_65536):
+        assert len(cv_65536.overlapping_inverse_pi) == 6
+        total = sum(1.0 / p for p in cv_65536.overlapping_inverse_pi)
+        # Expectations sum to the number of blocks.
+        assert total == pytest.approx(DesignParameters.for_length(65536).overlapping_num_blocks, rel=1e-6)
+
+    def test_as_table_round_trip(self, cv_65536):
+        table = cv_65536.as_table()
+        assert table["alpha"] == 0.01
+        assert "cusum_max_z_forward" in table
+        assert isinstance(table["longest_run_inverse_pi"], list)
+
+    def test_nist_alpha_range_constant(self):
+        assert NIST_ALPHA_RANGE == (0.001, 0.01)
+
+
+class TestApEnGuardBand:
+    def test_positive_and_grows_with_n(self):
+        small = approximate_entropy_guard_band(128, 3)
+        large = approximate_entropy_guard_band(1048576, 3)
+        assert small > 0
+        assert large > small
+
+    def test_shrinks_with_more_segments(self):
+        coarse = approximate_entropy_guard_band(65536, 3, segments=16)
+        fine = approximate_entropy_guard_band(65536, 3, segments=128)
+        assert fine < coarse
+
+    def test_invalid_segments(self):
+        with pytest.raises(ValueError):
+            approximate_entropy_guard_band(65536, 3, segments=0)
+
+    def test_included_in_critical_value(self):
+        params = DesignParameters.for_length(65536)
+        cv = CriticalValues.for_design(params, alpha=0.01)
+        base = chi_squared_critical(0.01, 8)
+        assert cv.approximate_entropy_max_chi2 > base

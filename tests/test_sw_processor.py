@@ -1,0 +1,163 @@
+"""Tests of the 16-bit software-platform model (instruction counting)."""
+
+import pytest
+
+from repro.hwsim.register_file import RegisterFile
+from repro.sw.processor import InstructionCounts, SoftwareProcessor, SWValue
+
+
+class TestInstructionCounts:
+    def test_total(self):
+        counts = InstructionCounts(add=2, mul=3, read=5)
+        assert counts.total() == 10
+
+    def test_as_dict_keys(self):
+        assert set(InstructionCounts().as_dict()) == {
+            "ADD", "SUB", "MUL", "SQR", "SHIFT", "COMP", "LUT", "READ"
+        }
+
+    def test_merge(self):
+        merged = InstructionCounts(add=1, lut=2).merge(InstructionCounts(add=3, read=4))
+        assert merged.add == 4
+        assert merged.lut == 2
+        assert merged.read == 4
+
+
+class TestSWValue:
+    def test_words(self):
+        assert SWValue(0, 16).words == 1
+        assert SWValue(0, 17).words == 2
+        assert SWValue(0, 48).words == 3
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            SWValue(0, 0)
+
+
+class TestSoftwareProcessor:
+    def test_word_size_validation(self):
+        with pytest.raises(ValueError):
+            SoftwareProcessor(word_bits=12)
+
+    def test_add_single_word(self):
+        cpu = SoftwareProcessor()
+        result = cpu.add(cpu.constant(5, 8), cpu.constant(7, 8))
+        assert result.value == 12
+        assert cpu.counts.add == 1
+
+    def test_add_multi_word(self):
+        cpu = SoftwareProcessor()
+        cpu.add(cpu.constant(1, 30), cpu.constant(2, 30))
+        assert cpu.counts.add == 2  # 31-bit result needs two 16-bit words
+
+    def test_sub(self):
+        cpu = SoftwareProcessor()
+        result = cpu.sub(cpu.constant(5, 8), cpu.constant(9, 8))
+        assert result.value == -4
+        assert cpu.counts.sub == 1
+
+    def test_mul_counts_schoolbook(self):
+        cpu = SoftwareProcessor()
+        result = cpu.mul(cpu.constant(300, 24), cpu.constant(70000, 24))
+        assert result.value == 300 * 70000
+        # 24-bit operands are 2 words each: 4 word multiplies, 3 accumulations.
+        assert cpu.counts.mul == 4
+        assert cpu.counts.add == 3
+
+    def test_square_cheaper_than_mul(self):
+        mul_cpu = SoftwareProcessor()
+        mul_cpu.mul(mul_cpu.constant(1000, 32), mul_cpu.constant(1000, 32))
+        sqr_cpu = SoftwareProcessor()
+        sqr_cpu.square(sqr_cpu.constant(1000, 32))
+        assert sqr_cpu.counts.sqr < mul_cpu.counts.mul
+        assert sqr_cpu.counts.sqr == 3  # 2-word operand: w(w+1)/2
+
+    def test_shift_counts(self):
+        cpu = SoftwareProcessor()
+        value = cpu.shift_left(cpu.constant(3, 20), 4)
+        assert value.value == 48
+        assert cpu.counts.shift == 2
+        back = cpu.shift_right(value, 4)
+        assert back.value == 3
+
+    def test_shift_negative_amount_rejected(self):
+        cpu = SoftwareProcessor()
+        with pytest.raises(ValueError):
+            cpu.shift_left(cpu.constant(1, 8), -1)
+
+    def test_comparisons(self):
+        cpu = SoftwareProcessor()
+        a, b = cpu.constant(3, 8), cpu.constant(5, 8)
+        assert cpu.compare_le(a, b)
+        assert not cpu.compare_ge(a, b)
+        assert cpu.compare_lt(a, b)
+        assert cpu.counts.comp == 3
+
+    def test_absolute(self):
+        cpu = SoftwareProcessor()
+        assert cpu.absolute(cpu.constant(-5, 8)).value == 5
+        assert cpu.absolute(cpu.constant(5, 8)).value == 5
+        assert cpu.counts.comp == 2
+        assert cpu.counts.sub == 1  # only the negative case negates
+
+    def test_maximum(self):
+        cpu = SoftwareProcessor()
+        assert cpu.maximum(cpu.constant(3, 8), cpu.constant(9, 8)).value == 9
+        assert cpu.counts.comp == 1
+
+    def test_accumulate(self):
+        cpu = SoftwareProcessor()
+        values = [cpu.constant(i, 8) for i in range(5)]
+        assert cpu.accumulate(values).value == 10
+        assert cpu.counts.add == 4
+
+    def test_accumulate_empty(self):
+        cpu = SoftwareProcessor()
+        assert cpu.accumulate([]).value == 0
+        assert cpu.counts.add == 0
+
+    def test_lut_lookup(self):
+        cpu = SoftwareProcessor()
+        assert cpu.lut_lookup([1.5, 2.5], 1).value == 2.5
+        assert cpu.counts.lut == 1
+        with pytest.raises(IndexError):
+            cpu.lut_lookup([1.0], 3)
+
+    def test_constants_are_free(self):
+        cpu = SoftwareProcessor()
+        cpu.constant(123, 16)
+        assert cpu.counts.total() == 0
+
+    def test_read_counts_bus_words(self):
+        regfile = RegisterFile(bus_width=16)
+        regfile.add("narrow", 8, lambda: 17)
+        regfile.add("wide", 21, lambda: 100000)
+        cpu = SoftwareProcessor()
+        assert cpu.read(regfile, "narrow").value == 17
+        assert cpu.counts.read == 1
+        assert cpu.read(regfile, "wide").value == 100000
+        assert cpu.counts.read == 3  # 21 bits -> 2 extra bus words
+
+    def test_read_all(self):
+        regfile = RegisterFile(bus_width=16)
+        regfile.add("a", 8, lambda: 1)
+        regfile.add("b", 8, lambda: 2)
+        cpu = SoftwareProcessor()
+        values = cpu.read_all(regfile, ["a", "b"])
+        assert values["a"].value == 1 and values["b"].value == 2
+        assert cpu.counts.read == 2
+
+    def test_reset_counts(self):
+        cpu = SoftwareProcessor()
+        cpu.add(cpu.constant(1, 8), cpu.constant(1, 8))
+        cpu.reset_counts()
+        assert cpu.counts.total() == 0
+
+    def test_wider_word_size_reduces_counts(self):
+        cpu16 = SoftwareProcessor(word_bits=16)
+        cpu32 = SoftwareProcessor(word_bits=32)
+        a16 = cpu16.constant(10**7, 32)
+        a32 = cpu32.constant(10**7, 32)
+        cpu16.mul(a16, a16)
+        cpu32.mul(a32, a32)
+        assert cpu32.counts.mul < cpu16.counts.mul

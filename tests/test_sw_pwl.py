@@ -1,0 +1,95 @@
+"""Tests of the 32-segment PWL approximation of x·log(x) (Fig. 3)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sw.processor import SoftwareProcessor
+from repro.sw.pwl import PiecewiseLinearXLogX, xlogx
+
+
+class TestExactFunction:
+    def test_endpoints(self):
+        assert xlogx(0.0) == 0.0
+        assert xlogx(1.0) == 0.0
+
+    def test_peak_at_one_over_e(self):
+        assert xlogx(1.0 / math.e) == pytest.approx(1.0 / math.e)
+
+    def test_domain_check(self):
+        with pytest.raises(ValueError):
+            xlogx(-0.1)
+        with pytest.raises(ValueError):
+            xlogx(1.5)
+
+
+class TestPWL:
+    def test_exact_at_breakpoints(self):
+        pwl = PiecewiseLinearXLogX(segments=32)
+        for x in pwl.breakpoints:
+            assert pwl.evaluate(float(x)) == pytest.approx(xlogx(float(x)), abs=1e-12)
+
+    def test_segment_index(self):
+        pwl = PiecewiseLinearXLogX(segments=32)
+        assert pwl.segment_index(0.0) == 0
+        assert pwl.segment_index(1.0) == 31
+        assert pwl.segment_index(1.0 / 16.0) == 2
+        with pytest.raises(ValueError):
+            pwl.segment_index(1.5)
+
+    def test_paper_error_claim(self):
+        """Fig. 3: the 32-segment approximation has a small error.
+
+        The measured maximum error is ≈ 3 % of the function's peak (attained
+        inside the first segment); outside the first segment it is far below
+        1 % of the peak.
+        """
+        profile = PiecewiseLinearXLogX(segments=32).error_profile()
+        assert profile["max_error_relative_to_peak"] < 0.035
+        assert profile["max_abs_error_outside_first_segment"] < 0.004
+        assert profile["argmax"] < 1.0 / 32.0
+
+    def test_more_segments_reduce_error(self):
+        coarse = PiecewiseLinearXLogX(segments=8).error_profile()
+        fine = PiecewiseLinearXLogX(segments=64).error_profile()
+        assert fine["max_abs_error"] < coarse["max_abs_error"]
+
+    def test_custom_breakpoints(self):
+        points = [0.0, 0.01, 0.05, 0.25, 1.0]
+        pwl = PiecewiseLinearXLogX(segments=4, breakpoints=points)
+        assert pwl.evaluate(0.25) == pytest.approx(xlogx(0.25), abs=1e-12)
+
+    def test_invalid_breakpoints(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearXLogX(segments=2, breakpoints=[0.0, 1.0])
+        with pytest.raises(ValueError):
+            PiecewiseLinearXLogX(segments=2, breakpoints=[0.0, 0.9, 0.8])
+        with pytest.raises(ValueError):
+            PiecewiseLinearXLogX(segments=0)
+
+    def test_evaluate_counted_charges_lut_mul_add(self):
+        pwl = PiecewiseLinearXLogX(segments=32)
+        cpu = SoftwareProcessor()
+        value = pwl.evaluate_counted(0.3, cpu)
+        assert value == pytest.approx(pwl.evaluate(0.3), abs=1e-9)
+        assert cpu.counts.lut == 1
+        assert cpu.counts.mul >= 1
+        assert cpu.counts.add >= 1
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_error_bound_property(self, x):
+        pwl = PiecewiseLinearXLogX(segments=32)
+        assert abs(pwl.evaluate(x) - xlogx(x)) <= 0.012
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_approximation_is_nonnegative_underestimate(self, x):
+        """Chords of a concave function never exceed it (and stay >= 0 on the
+        uniform grid because the endpoints are non-negative)."""
+        pwl = PiecewiseLinearXLogX(segments=32)
+        assert pwl.evaluate(x) <= xlogx(x) + 1e-12
+        assert pwl.evaluate(x) >= -1e-12

@@ -1,0 +1,236 @@
+"""Tests of the software verification routines.
+
+The central property is *decision equivalence*: for every test the paper
+implements (except the approximate-entropy test, whose hardware-friendly
+statistic intentionally deviates through the PWL approximation and its guard
+band), the decision taken by (hardware counters → software routine →
+precomputed critical value) must equal the decision of the full-precision
+reference NIST implementation at the same level of significance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hwtests import DesignParameters, UnifiedTestingBlock
+from repro.nist import (
+    block_frequency_test,
+    cumulative_sums_test,
+    frequency_test,
+    longest_run_test,
+    non_overlapping_template_test,
+    overlapping_template_test,
+    runs_test,
+    serial_test,
+)
+from repro.sw.routines import SoftwareVerifier
+from repro.trng import BiasedSource, CorrelatedSource, IdealSource, StuckAtSource
+
+ALL_TESTS = (1, 2, 3, 4, 7, 8, 11, 12, 13)
+N = 4096
+
+
+@pytest.fixture(scope="module")
+def params():
+    return DesignParameters.for_length(N)
+
+
+def evaluate(params, bits, alpha=0.01):
+    """Run the HW block (functional path) and the SW verifier on one sequence."""
+    block = UnifiedTestingBlock(params, tests=ALL_TESTS).accelerated_process_sequence(bits)
+    verifier = SoftwareVerifier(params, tests=ALL_TESTS, alpha=alpha)
+    verdicts = verifier.verify(block.register_file)
+    return block, verifier, verdicts
+
+
+def reference_decisions(params, bits, alpha=0.01):
+    """Reference NIST decisions with the same parameters as the hardware."""
+    decisions = {
+        1: frequency_test(bits).passed(alpha),
+        2: block_frequency_test(bits, params.block_frequency_block_length).passed(alpha),
+        3: runs_test(bits).passed(alpha),
+        4: longest_run_test(bits, params.longest_run_block_length).passed(alpha),
+        7: non_overlapping_template_test(
+            bits, params.nonoverlapping_template, params.nonoverlapping_num_blocks
+        ).passed(alpha),
+        8: overlapping_template_test(
+            bits, params.overlapping_template, params.overlapping_block_length
+        ).passed(alpha),
+        11: serial_test(bits, params.serial_m).passed(alpha),
+        13: (
+            cumulative_sums_test(bits, mode=0).passed(alpha)
+            and cumulative_sums_test(bits, mode=1).passed(alpha)
+        ),
+    }
+    return decisions
+
+
+WORKLOADS = [
+    ("ideal-0", IdealSource(seed=900)),
+    ("ideal-1", IdealSource(seed=901)),
+    ("ideal-2", IdealSource(seed=902)),
+    ("biased-0.55", BiasedSource(0.55, seed=903)),
+    ("biased-0.65", BiasedSource(0.65, seed=904)),
+    ("correlated-0.7", CorrelatedSource(0.7, seed=905)),
+    ("correlated-0.55", CorrelatedSource(0.55, seed=906)),
+    ("stuck", StuckAtSource(1)),
+]
+
+
+class TestDecisionEquivalence:
+    @pytest.mark.parametrize("label,source", WORKLOADS, ids=[w[0] for w in WORKLOADS])
+    @pytest.mark.parametrize("alpha", [0.01, 0.001])
+    def test_matches_reference(self, params, label, source, alpha):
+        source.reset()
+        bits = source.generate(N).bits
+        _, _, verdicts = evaluate(params, bits, alpha)
+        expected = reference_decisions(params, bits, alpha)
+        for test_number, expected_decision in expected.items():
+            assert verdicts[test_number].passed == expected_decision, (
+                f"test {test_number} on {label} at alpha={alpha}: "
+                f"hw/sw={verdicts[test_number].passed} reference={expected_decision}"
+            )
+
+    def test_statistics_match_reference_values(self, params):
+        """Beyond the decision, the χ²-style statistics agree numerically."""
+        bits = IdealSource(seed=910).generate(N).bits
+        _, _, verdicts = evaluate(params, bits)
+        assert verdicts[2].statistic == pytest.approx(
+            params.block_frequency_block_length
+            * block_frequency_test(bits, params.block_frequency_block_length).statistic,
+            rel=1e-9,
+        )
+        assert verdicts[4].statistic == pytest.approx(
+            longest_run_test(bits, params.longest_run_block_length).statistic, rel=1e-9
+        )
+        assert verdicts[7].statistic == pytest.approx(
+            non_overlapping_template_test(
+                bits, params.nonoverlapping_template, params.nonoverlapping_num_blocks
+            ).statistic,
+            rel=1e-9,
+        )
+        assert verdicts[11].details["del1"] == pytest.approx(
+            serial_test(bits, params.serial_m).details["del1"], rel=1e-9
+        )
+        assert verdicts[13].details["z_forward"] == cumulative_sums_test(bits).details["z"]
+
+
+class TestApproximateEntropyRoutine:
+    def test_accepts_ideal_sources(self, params):
+        for seed in (920, 921, 922, 923):
+            bits = IdealSource(seed=seed).generate(N).bits
+            _, _, verdicts = evaluate(params, bits)
+            assert verdicts[12].passed
+
+    def test_rejects_gross_failures(self, params):
+        for source in (StuckAtSource(0), CorrelatedSource(0.85, seed=924)):
+            bits = source.generate(N).bits
+            _, _, verdicts = evaluate(params, bits)
+            assert not verdicts[12].passed
+
+    def test_statistic_close_to_reference_for_moderate_n(self, params):
+        from repro.nist import approximate_entropy_test
+
+        bits = IdealSource(seed=925).generate(N).bits
+        _, _, verdicts = evaluate(params, bits)
+        reference = approximate_entropy_test(bits, m=params.serial_m - 1).statistic
+        # PWL-induced deviation stays well below the guard band.
+        assert abs(verdicts[12].statistic - reference) < 100.0
+
+
+class TestVerifierMechanics:
+    def test_unknown_test_rejected(self, params):
+        with pytest.raises(ValueError):
+            SoftwareVerifier(params, tests=[5])
+
+    def test_per_test_instruction_breakdown(self, params):
+        bits = IdealSource(seed=930).generate(N).bits
+        _, verifier, verdicts = evaluate(params, bits)
+        for verdict in verdicts.values():
+            assert "instructions" in verdict.details
+        total = verifier.instruction_counts()
+        assert total.total() == sum(
+            sum(v.details["instructions"].values()) for v in verdicts.values()
+        )
+
+    def test_lut_count_is_24_with_apen(self, params):
+        bits = IdealSource(seed=931).generate(N).bits
+        _, verifier, _ = evaluate(params, bits)
+        assert verifier.instruction_counts().lut == 24
+
+    def test_no_lut_without_apen(self, params):
+        bits = IdealSource(seed=932).generate(N).bits
+        block = UnifiedTestingBlock(params, tests=(1, 2, 3, 4, 13)).accelerated_process_sequence(bits)
+        verifier = SoftwareVerifier(params, tests=(1, 2, 3, 4, 13))
+        verifier.verify(block.register_file)
+        assert verifier.instruction_counts().lut == 0
+
+    def test_reads_are_cached_within_one_pass(self, params):
+        """Each exported word is transferred at most once per verification."""
+        bits = IdealSource(seed=933).generate(N).bits
+        block, verifier, _ = (lambda r: r)(evaluate(params, bits))
+        reads = verifier.instruction_counts().read
+        assert reads <= block.register_file.total_read_words()
+
+    def test_frequency_from_dedicated_counter(self, params):
+        """Designs without the cusum test still verify the frequency test."""
+        bits = IdealSource(seed=934).generate(N).bits
+        block = UnifiedTestingBlock(params, tests=(1, 2)).accelerated_process_sequence(bits)
+        verifier = SoftwareVerifier(params, tests=(1, 2))
+        verdicts = verifier.verify(block.register_file)
+        assert verdicts[1].passed == frequency_test(bits).passed(0.01)
+
+    def test_alpha_only_affects_software(self, params):
+        bits = BiasedSource(0.52, seed=935).generate(N).bits
+        block = UnifiedTestingBlock(params, tests=ALL_TESTS).accelerated_process_sequence(bits)
+        strict = SoftwareVerifier(params, tests=ALL_TESTS, alpha=0.01).verify(block.register_file)
+        loose = SoftwareVerifier(params, tests=ALL_TESTS, alpha=0.001).verify(block.register_file)
+        # A looser alpha can only turn failures into passes, never the reverse.
+        for number in strict:
+            if strict[number].passed:
+                assert loose[number].passed
+
+
+class TestConsistencyCheck:
+    def _verifier_and_block(self, params, bits):
+        block = UnifiedTestingBlock(params, tests=ALL_TESTS).accelerated_process_sequence(bits)
+        return SoftwareVerifier(params, tests=ALL_TESTS), block
+
+    def test_clean_readout_has_no_violations(self, params):
+        bits = IdealSource(seed=940).generate(N).bits
+        verifier, block = self._verifier_and_block(params, bits)
+        assert verifier.consistency_check(block.register_file) == []
+
+    def test_clean_readout_of_failed_source_still_consistent(self, params):
+        """A genuinely bad source fails tests but the read-out is coherent."""
+        bits = StuckAtSource(1).generate(N).bits
+        verifier, block = self._verifier_and_block(params, bits)
+        assert verifier.consistency_check(block.register_file) == []
+
+    def test_grounded_readout_detected(self, params):
+        from repro.core.reporting import TamperedRegisterFile
+        from repro.trng import ProbingAttack
+
+        bits = IdealSource(seed=941).generate(N).bits
+        verifier, block = self._verifier_and_block(params, bits)
+        tampered = TamperedRegisterFile(block.register_file, ProbingAttack("ground"))
+        assert verifier.consistency_check(tampered) != []
+
+    def test_pulled_up_readout_detected(self, params):
+        from repro.core.reporting import TamperedRegisterFile
+        from repro.trng import ProbingAttack
+
+        bits = IdealSource(seed=942).generate(N).bits
+        verifier, block = self._verifier_and_block(params, bits)
+        tampered = TamperedRegisterFile(block.register_file, ProbingAttack("vdd"))
+        assert verifier.consistency_check(tampered) != []
+
+    def test_grounded_readout_detected_in_light_design(self, params):
+        """Even the 5-test light design exposes enough structure to catch probing."""
+        from repro.core.reporting import TamperedRegisterFile
+        from repro.trng import ProbingAttack
+
+        bits = IdealSource(seed=943).generate(N).bits
+        block = UnifiedTestingBlock(params, tests=(1, 2, 3, 4, 13)).accelerated_process_sequence(bits)
+        verifier = SoftwareVerifier(params, tests=(1, 2, 3, 4, 13))
+        tampered = TamperedRegisterFile(block.register_file, ProbingAttack("ground"))
+        assert verifier.consistency_check(tampered) != []

@@ -1,0 +1,118 @@
+"""Tests of the replay / capture adapters."""
+
+import numpy as np
+import pytest
+
+from repro.nist.common import BitSequence
+from repro.trng import CaptureSource, IdealSource, ReplaySource
+from repro.trng.capture import ReplaySource as ReplaySourceDirect
+
+
+class TestReplaySource:
+    def test_replays_bit_string(self):
+        source = ReplaySource("10110")
+        assert [source.next_bit() for _ in range(5)] == [1, 0, 1, 1, 0]
+
+    def test_replays_bytes_msb_first(self):
+        source = ReplaySource(b"\xA0")  # 1010 0000
+        assert [source.next_bit() for _ in range(4)] == [1, 0, 1, 0]
+
+    def test_exhaustion_raises_without_loop(self):
+        source = ReplaySource("10")
+        source.generate(2)
+        with pytest.raises(RuntimeError):
+            source.next_bit()
+
+    def test_loop_recycles(self):
+        source = ReplaySource("10", loop=True)
+        assert source.generate(6).to01() == "101010"
+        assert source.remaining_bits is None
+
+    def test_remaining_bits(self):
+        source = ReplaySource("1010")
+        source.next_bit()
+        assert source.remaining_bits == 3
+        assert source.total_bits == 4
+
+    def test_reset(self):
+        source = ReplaySource("110")
+        source.generate(3)
+        source.reset()
+        assert source.next_bit() == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReplaySource("")
+
+    def test_from_file_round_trip(self, tmp_path):
+        path = tmp_path / "capture.bin"
+        path.write_bytes(b"\xFF\x00")
+        source = ReplaySource.from_file(path)
+        assert source.total_bits == 16
+        assert source.generate(16).to01() == "1111111100000000"
+
+    def test_from_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError):
+            ReplaySource.from_file(path)
+
+    def test_same_class_from_both_import_paths(self):
+        assert ReplaySource is ReplaySourceDirect
+
+
+class TestCaptureSource:
+    def test_captures_what_it_emits(self):
+        capture = CaptureSource(IdealSource(seed=1))
+        bits = capture.generate(64)
+        assert capture.captured_bits == 64
+        assert capture.captured() == bits
+
+    def test_max_bits_limit(self):
+        capture = CaptureSource(IdealSource(seed=2), max_bits=16)
+        capture.generate(64)
+        assert capture.captured_bits == 16
+
+    def test_invalid_max_bits(self):
+        with pytest.raises(ValueError):
+            CaptureSource(IdealSource(seed=3), max_bits=0)
+
+    def test_clear_keeps_source_state(self):
+        capture = CaptureSource(IdealSource(seed=4))
+        first = capture.generate(16)
+        capture.clear()
+        second = capture.generate(16)
+        assert capture.captured_bits == 16
+        assert capture.captured() == second
+        assert first != second or len(first) == len(second)
+
+    def test_save_and_replay_round_trip(self, tmp_path):
+        capture = CaptureSource(IdealSource(seed=5))
+        original = capture.generate(64)
+        path = tmp_path / "dump.bin"
+        written = capture.save(path)
+        assert written == 8
+        replay = ReplaySource.from_file(path)
+        assert replay.generate(64) == original
+
+    def test_save_pads_partial_byte(self, tmp_path):
+        capture = CaptureSource(IdealSource(seed=6))
+        capture.generate(10)
+        path = tmp_path / "dump.bin"
+        assert capture.save(path) == 2  # 10 bits -> 2 bytes
+
+    def test_reset_resets_both(self):
+        capture = CaptureSource(IdealSource(seed=7))
+        first = capture.generate(32)
+        capture.reset()
+        assert capture.captured_bits == 0
+        assert capture.generate(32) == first
+
+    def test_capture_feeds_reference_suite(self):
+        """The certification flow: capture on-the-fly, re-check offline."""
+        from repro.nist import run_all_tests
+
+        capture = CaptureSource(IdealSource(seed=8))
+        capture.generate(2048)
+        report = run_all_tests(capture.captured().bits, tests=[1, 2, 3, 13])
+        assert report.passed(0.001)
