@@ -25,6 +25,9 @@ Sub-packages
 ``repro.sw``
     The 16-bit software platform: verification routines, precomputed critical
     values, PWL x·log(x), instruction and cycle counting.
+``repro.engine``
+    The unified batch test engine: shared-statistic contexts, the uniform
+    test registry (NIST / FIPS / hw-model) and the vectorised batch executor.
 ``repro.nist``
     Reference implementations of all 15 NIST SP 800-22 tests (golden model).
 ``repro.trng``
@@ -46,6 +49,15 @@ from repro.core import (
     get_design,
     list_designs,
 )
+from repro.engine import (
+    BatchContext,
+    DEFAULT_REGISTRY,
+    EngineReport,
+    SequenceContext,
+    TestRegistry,
+    run_batch,
+)
+from repro.fips import FipsBattery
 from repro.hwtests import DesignParameters, SharingOptions, UnifiedTestingBlock
 from repro.nist import BitSequence, NistSuite, TestResult, run_all_tests
 from repro.sw import CriticalValues, InstructionCounts, SoftwareVerifier
@@ -83,6 +95,15 @@ __all__ = [
     "STANDARD_DESIGNS",
     "get_design",
     "list_designs",
+    # engine
+    "BatchContext",
+    "DEFAULT_REGISTRY",
+    "EngineReport",
+    "SequenceContext",
+    "TestRegistry",
+    "run_batch",
+    # fips
+    "FipsBattery",
     # hardware
     "DesignParameters",
     "SharingOptions",

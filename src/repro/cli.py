@@ -10,10 +10,15 @@ Installed as ``repro-trng-test`` (see ``pyproject.toml``); also runnable as
     source — on one design point, printing the per-test verdicts.
 ``monitor``
     Continuously monitor a simulated source for a number of sequences and
-    report the health-state trajectory.
+    report the health-state trajectory (``--batch-size`` evaluates whole
+    batches through the engine instead of one sequence at a time).
 ``suite``
     Run the full reference NIST SP 800-22 suite (all 15 tests) on a captured
-    byte file.
+    byte file through the batch engine (``--processes`` fans the expensive
+    tests out over a process pool).
+``batch``
+    Evaluate a batch of sequences from a simulated source through the
+    unified batch engine and report per-test pass rates and throughput.
 """
 
 from __future__ import annotations
@@ -87,10 +92,29 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--seed", type=int, default=0)
     monitor.add_argument("--parameter", type=float, default=0.0)
     monitor.add_argument("--sequences", type=int, default=8)
+    monitor.add_argument("--batch-size", type=int, default=None,
+                         help="evaluate sequences in engine batches of this size")
+    monitor.add_argument("--max-history", type=int, default=None,
+                         help="bound the in-memory event history (running totals stay exact)")
 
     suite = sub.add_parser("suite", help="run the full reference NIST suite on a capture")
     suite.add_argument("capture", help="raw byte file with the captured TRNG output")
     suite.add_argument("--alpha", type=float, default=0.01)
+    suite.add_argument("--processes", type=int, default=None,
+                       help="fan expensive tests out over this many worker processes")
+
+    batch = sub.add_parser("batch", help="evaluate a batch of sequences through the engine")
+    batch.add_argument("--source", choices=_SIMULATED_SOURCES, default="ideal")
+    batch.add_argument("--seed", type=int, default=0)
+    batch.add_argument("--parameter", type=float, default=0.0)
+    batch.add_argument("--sequences", type=int, default=64, help="number of sequences in the batch")
+    batch.add_argument("--length", type=int, default=4096, help="bits per sequence")
+    batch.add_argument("--alpha", type=float, default=0.01)
+    batch.add_argument("--processes", type=int, default=None,
+                       help="fan expensive tests out over this many worker processes")
+    batch.add_argument("--tests", default="hw",
+                       help="comma-separated NIST test numbers, or 'hw' for the "
+                            "HW-suitable subset, or 'all' for all 15")
 
     return parser
 
@@ -143,9 +167,13 @@ def _cmd_evaluate(args, out) -> int:
 
 def _cmd_monitor(args, out) -> int:
     platform = OnTheFlyPlatform(args.design, alpha=args.alpha)
-    monitor = OnTheFlyMonitor(platform, suspect_after=1, fail_after=2)
+    monitor = OnTheFlyMonitor(
+        platform, suspect_after=1, fail_after=2, max_history=args.max_history
+    )
     source = _make_source(args.source, args.seed, args.parameter)
-    events = monitor.monitor(source, num_sequences=args.sequences)
+    events = monitor.monitor(
+        source, num_sequences=args.sequences, batch_size=args.batch_size
+    )
     for event in events:
         verdict = "pass" if event.report.passed else f"fail {event.report.failing_tests}"
         print(
@@ -159,7 +187,7 @@ def _cmd_monitor(args, out) -> int:
 def _cmd_suite(args, out) -> int:
     source = ReplaySource.from_file(args.capture)
     bits = source.generate(source.total_bits)
-    report = NistSuite().run(bits)
+    report = NistSuite().run_batch([bits], processes=args.processes)[0]
     print(f"reference NIST SP 800-22 suite on {args.capture} ({source.total_bits} bits)", file=out)
     for row in report.summary_rows(args.alpha):
         if row.get("error"):
@@ -171,6 +199,62 @@ def _cmd_suite(args, out) -> int:
                 file=out,
             )
     return 0 if report.passed(args.alpha) else 1
+
+
+def _cmd_batch(args, out) -> int:
+    import time
+
+    from repro.engine import NIST_NUMBER_TO_ID, run_batch
+    from repro.nist.suite import HW_SUITABLE_TESTS, NIST_TEST_NAMES
+
+    if args.tests == "hw":
+        tests = list(HW_SUITABLE_TESTS)
+    elif args.tests == "all":
+        tests = list(range(1, 16))
+    else:
+        try:
+            tests = [int(part) for part in args.tests.split(",") if part.strip()]
+        except ValueError:
+            print(f"error: --tests must be 'hw', 'all' or numbers, got {args.tests!r}", file=out)
+            return 2
+        unknown = [number for number in tests if number not in NIST_TEST_NAMES]
+        if unknown or not tests:
+            print(f"error: unknown test numbers {unknown or args.tests!r} (valid: 1..15)", file=out)
+            return 2
+    source = _make_source(args.source, args.seed, args.parameter)
+    sequences = [source.generate(args.length).bits for _ in range(args.sequences)]
+    start = time.perf_counter()
+    reports = run_batch(sequences, tests=tests, processes=args.processes)
+    elapsed = time.perf_counter() - start
+    print(
+        f"engine batch: {args.sequences} sequences x {args.length} bits from "
+        f"{source.name} ({len(tests)} tests, alpha = {args.alpha})",
+        file=out,
+    )
+    # A healthy source still fails each test with probability ~alpha, so the
+    # exit code flags only gross deviations from the expected pass rate.
+    healthy = True
+    minimum_rate = max(0.0, 1.0 - 10.0 * args.alpha)
+    for number in tests:
+        test_id = NIST_NUMBER_TO_ID[number]
+        outcomes = [r.results[test_id] for r in reports if test_id in r.results]
+        errors = sum(1 for r in reports if test_id in r.errors)
+        passes = sum(1 for result in outcomes if result.passed(args.alpha))
+        rate = passes / len(outcomes) if outcomes else float("nan")
+        healthy = healthy and bool(outcomes) and rate >= minimum_rate
+        suffix = f"  ({errors} skipped)" if errors else ""
+        print(
+            f"  test {number:>2}: {NIST_TEST_NAMES[number]:<44} "
+            f"pass rate {rate:6.1%}{suffix}",
+            file=out,
+        )
+    throughput = args.sequences / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"evaluated in {elapsed:.3f} s  ({throughput:.1f} sequences/s, "
+        f"{args.sequences * args.length / elapsed / 1e6:.1f} Mbit/s)",
+        file=out,
+    )
+    return 0 if healthy else 1
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
@@ -185,6 +269,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_monitor(args, out)
     if args.command == "suite":
         return _cmd_suite(args, out)
+    if args.command == "batch":
+        return _cmd_batch(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

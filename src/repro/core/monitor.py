@@ -12,8 +12,9 @@ integrator would wrap around the raw test outcomes.
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Deque, Iterator, List, Optional
 
 from repro.core.platform import OnTheFlyPlatform
 from repro.core.results import PlatformReport
@@ -56,6 +57,13 @@ class OnTheFlyMonitor:
         disconnected from consumers).
     on_event:
         Optional callback invoked with every :class:`MonitorEvent`.
+    max_history:
+        When set, only the most recent ``max_history`` events are retained
+        in :attr:`history` (a bounded deque), so monitoring millions of
+        sequences runs in constant memory.  The aggregate statistics
+        (:attr:`sequences_monitored`, :meth:`failure_rate`,
+        :meth:`detection_latency_bits`) are kept exact via running totals
+        regardless of the bound.
     """
 
     def __init__(
@@ -64,15 +72,22 @@ class OnTheFlyMonitor:
         suspect_after: int = 1,
         fail_after: int = 2,
         on_event: Optional[Callable[[MonitorEvent], None]] = None,
+        max_history: Optional[int] = None,
     ):
         if suspect_after < 1 or fail_after < suspect_after:
             raise ValueError("need 1 <= suspect_after <= fail_after")
+        if max_history is not None and max_history < 1:
+            raise ValueError("max_history must be positive (or None for unbounded)")
         self.platform = platform
         self.suspect_after = suspect_after
         self.fail_after = fail_after
         self.on_event = on_event
-        self.history: List[MonitorEvent] = []
+        self.max_history = max_history
+        self.history: Deque[MonitorEvent] = deque(maxlen=max_history)
         self._consecutive_failures = 0
+        self._sequences_monitored = 0
+        self._failures_total = 0
+        self._first_failed_index: Optional[int] = None
 
     # ------------------------------------------------------------------ state
     @property
@@ -86,25 +101,34 @@ class OnTheFlyMonitor:
 
     @property
     def sequences_monitored(self) -> int:
-        """Number of sequences evaluated so far."""
-        return len(self.history)
+        """Number of sequences evaluated so far (exact even with bounded history)."""
+        return self._sequences_monitored
 
     def reset(self) -> None:
         """Forget all history (e.g. after the TRNG has been serviced)."""
-        self.history = []
+        self.history = deque(maxlen=self.max_history)
         self._consecutive_failures = 0
+        self._sequences_monitored = 0
+        self._failures_total = 0
+        self._first_failed_index = None
 
     # ------------------------------------------------------------------ monitoring
     def observe(self, report: PlatformReport) -> MonitorEvent:
         """Fold one sequence report into the health state."""
+        index = self._sequences_monitored
+        self._sequences_monitored += 1
         if report.passed:
             self._consecutive_failures = 0
         else:
             self._consecutive_failures += 1
+            self._failures_total += 1
+        state = self.state
+        if state is HealthState.FAILED and self._first_failed_index is None:
+            self._first_failed_index = index
         event = MonitorEvent(
-            sequence_index=len(self.history),
+            sequence_index=index,
             report=report,
-            state=self.state,
+            state=state,
             consecutive_failures=self._consecutive_failures,
         )
         self.history.append(event)
@@ -112,15 +136,44 @@ class OnTheFlyMonitor:
             self.on_event(event)
         return event
 
-    def monitor(self, source: EntropySource, num_sequences: int) -> List[MonitorEvent]:
-        """Monitor ``source`` for ``num_sequences`` consecutive n-bit sequences."""
+    def monitor(
+        self,
+        source: EntropySource,
+        num_sequences: int,
+        batch_size: Optional[int] = None,
+    ) -> List[MonitorEvent]:
+        """Monitor ``source`` for ``num_sequences`` consecutive n-bit sequences.
+
+        With ``batch_size > 1`` the monitor drains the source in batches and
+        evaluates each batch through
+        :meth:`~repro.core.platform.OnTheFlyPlatform.evaluate_batch` (the
+        engine path, vectorised functional hardware model) instead of
+        sequence by sequence; the health-state trajectory is identical.
+
+        With ``max_history`` set, the returned list is bounded to the most
+        recent ``max_history`` events as well, so monitoring millions of
+        sequences really does run in constant memory; use ``on_event`` to
+        stream every event.
+        """
         if num_sequences < 1:
             raise ValueError("num_sequences must be positive")
-        events = []
-        for _ in range(num_sequences):
-            report = self.platform.evaluate_source(source)
-            events.append(self.observe(report))
-        return events
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be positive (or None)")
+        events: "deque[MonitorEvent] | List[MonitorEvent]"
+        events = [] if self.max_history is None else deque(maxlen=self.max_history)
+        if batch_size is None or batch_size <= 1:
+            for _ in range(num_sequences):
+                report = self.platform.evaluate_source(source)
+                events.append(self.observe(report))
+            return list(events)
+        remaining = num_sequences
+        while remaining > 0:
+            take = min(batch_size, remaining)
+            sequences = [source.generate(self.platform.n).bits for _ in range(take)]
+            for report in self.platform.evaluate_batch(sequences):
+                events.append(self.observe(report))
+            remaining -= take
+        return list(events)
 
     def monitor_until_failure(
         self, source: EntropySource, max_sequences: int = 1000
@@ -135,15 +188,17 @@ class OnTheFlyMonitor:
 
     # ------------------------------------------------------------------ reporting
     def failure_rate(self) -> float:
-        """Fraction of monitored sequences with at least one failing test."""
-        if not self.history:
+        """Fraction of monitored sequences with at least one failing test.
+
+        Computed from running totals, so it stays exact when ``max_history``
+        has evicted old events.
+        """
+        if self._sequences_monitored == 0:
             return 0.0
-        failures = sum(1 for event in self.history if not event.report.passed)
-        return failures / len(self.history)
+        return self._failures_total / self._sequences_monitored
 
     def detection_latency_bits(self) -> Optional[int]:
         """Bits consumed until the first FAILED state (None if never failed)."""
-        for event in self.history:
-            if event.state is HealthState.FAILED:
-                return (event.sequence_index + 1) * self.platform.n
-        return None
+        if self._first_failed_index is None:
+            return None
+        return (self._first_failed_index + 1) * self.platform.n

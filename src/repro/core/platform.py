@@ -13,7 +13,7 @@ testing environment:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.configs import DesignPoint, get_design
 from repro.core.results import PlatformReport
@@ -108,6 +108,22 @@ class OnTheFlyPlatform:
         else:
             self.hardware.process_sequence(arr)
         return self._verify()
+
+    def evaluate_batch(self, sequences, accelerated: bool = True) -> List[PlatformReport]:
+        """Evaluate a batch of complete n-bit sequences.
+
+        This is the platform-side entry point of the engine's batch path:
+        continuous monitoring hands over whole batches drawn from the source
+        instead of one sequence at a time, and each sequence runs through the
+        vectorised functional hardware model (``accelerated=True``, the
+        default) rather than the bit-serial one.  The verdicts are identical
+        either way; only the simulation speed differs.
+        """
+        arrays = [to_bits(sequence) for sequence in sequences]
+        for arr in arrays:
+            if arr.size != self.n:
+                raise ValueError(f"expected {self.n} bits, got {arr.size}")
+        return [self.evaluate_sequence(arr, accelerated=accelerated) for arr in arrays]
 
     def evaluate_source(self, source: EntropySource) -> PlatformReport:
         """Draw one n-bit sequence from ``source`` and evaluate it."""

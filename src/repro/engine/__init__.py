@@ -1,0 +1,46 @@
+"""Unified batch test engine with shared-statistic contexts.
+
+The engine is the software embodiment of the paper's resource-sharing idea:
+the hardware testing block derives common sub-statistics (bit counts, block
+sums, pattern counters) once and shares them across the on-the-fly tests.
+Here a :class:`SequenceContext` memoizes those derived statistics for one
+sequence, a :class:`BatchContext` computes them with vectorised 2-D passes
+for a whole batch, the :class:`TestRegistry` puts the NIST, FIPS and
+hardware-model tests behind one ``run(context) -> TestResult`` interface,
+and :func:`run_batch` executes any test selection over many sequences —
+vectorising the cheap tests and fanning the expensive ones out over a
+process pool.
+
+Quickstart::
+
+    from repro.engine import run_batch
+    from repro.trng import IdealSource
+
+    sequences = [IdealSource(seed=i).generate(4096).bits for i in range(256)]
+    reports = run_batch(sequences, tests=[1, 2, 3, 11, 12, 13], processes=4)
+    print(sum(report.passed() for report in reports), "of", len(reports))
+"""
+
+from repro.engine.batch import EngineReport, run_batch
+from repro.engine.context import BatchContext, SequenceContext
+from repro.engine.registry import (
+    DEFAULT_REGISTRY,
+    NIST_NUMBER_TO_ID,
+    RegisteredTest,
+    StatisticalTest,
+    TestRegistry,
+    build_default_registry,
+)
+
+__all__ = [
+    "BatchContext",
+    "DEFAULT_REGISTRY",
+    "EngineReport",
+    "NIST_NUMBER_TO_ID",
+    "RegisteredTest",
+    "SequenceContext",
+    "StatisticalTest",
+    "TestRegistry",
+    "build_default_registry",
+    "run_batch",
+]

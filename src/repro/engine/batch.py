@@ -1,0 +1,166 @@
+"""Batch executor: many sequences, shared statistics, optional process pool.
+
+``run_batch`` is the engine's answer to the ROADMAP's many-sequence
+monitoring traffic: instead of evaluating sequences one at a time (each test
+re-scanning the same bitstream), a batch of equal-length sequences shares a
+:class:`~repro.engine.context.BatchContext` whose statistics are computed
+with single vectorised 2-D passes over the whole bit matrix.  The cheap
+tests (frequency, block frequency, runs, longest run, templates, serial,
+approximate entropy, cusum) then reduce to scalar decision math per
+sequence; the expensive ones (rank, DFT, universal, linear complexity,
+random excursions) can fan out over a process pool with ``processes > 1``.
+
+Results are bit-identical to running each test directly on each sequence —
+asserted by ``tests/test_engine_parity.py``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.context import BatchContext, SequenceContext
+from repro.engine.registry import (
+    DEFAULT_REGISTRY,
+    NIST_NUMBER_TO_ID,
+    RegisteredTest,
+    TestRegistry,
+    TestSpec,
+)
+from repro.nist.common import TestResult, to_bits
+
+__all__ = ["EngineReport", "run_batch"]
+
+
+@dataclass
+class EngineReport:
+    """Per-sequence outcome of a batch run, keyed by canonical test id."""
+
+    n: int
+    results: Dict[str, TestResult] = field(default_factory=dict)
+    errors: Dict[str, str] = field(default_factory=dict)
+
+    def passed(self, alpha: float = 0.01) -> bool:
+        """True when every test that ran accepted the randomness hypothesis."""
+        return all(result.passed(alpha) for result in self.results.values())
+
+    def failing_tests(self, alpha: float = 0.01) -> List[str]:
+        """Ids of tests that rejected the randomness hypothesis."""
+        return [tid for tid, result in self.results.items() if not result.passed(alpha)]
+
+    def p_values(self) -> Dict[str, float]:
+        """Primary P-value per executed test."""
+        return {tid: result.p_value for tid, result in self.results.items()}
+
+
+def _pool_worker(payload):
+    """Run one (test, sequence) pair in a worker process.
+
+    Only tests from the default registry are pooled, so the worker can
+    resolve the test id against its own imported copy.
+    """
+    test_id, raw, kwargs = payload
+    bits = np.frombuffer(raw, dtype=np.uint8)
+    context = SequenceContext(bits)
+    test = DEFAULT_REGISTRY.resolve(test_id)
+    try:
+        return "ok", test.run(context, **kwargs)
+    except ValueError as exc:
+        return "error", str(exc)
+
+
+def run_batch(
+    sequences,
+    tests: Optional[Sequence[TestSpec]] = None,
+    parameters: Optional[Dict[TestSpec, Dict[str, object]]] = None,
+    processes: Optional[int] = None,
+    registry: Optional[TestRegistry] = None,
+    skip_errors: bool = True,
+) -> List[EngineReport]:
+    """Evaluate ``tests`` on every sequence in ``sequences``.
+
+    Parameters
+    ----------
+    sequences:
+        Iterable of bit sequences (any ``BitsLike``).  Equal-length
+        sequences are stacked into one bit matrix and share vectorised
+        statistics; mixed lengths fall back to per-sequence contexts.
+    tests:
+        Test specs resolvable by the registry — canonical ids
+        (``"nist.serial"``, ``"fips.poker"``, ``"hw.platform"``), NIST
+        numbers, or :class:`RegisteredTest` objects.  Defaults to the 15
+        NIST tests.
+    parameters:
+        Optional per-test keyword arguments keyed by any resolvable spec.
+    processes:
+        When > 1, tests marked ``expensive`` in the default registry are
+        fanned out over a process pool of that size.
+    registry:
+        Registry to resolve specs against (default:
+        :data:`~repro.engine.registry.DEFAULT_REGISTRY`).  Pool dispatch is
+        only available for the default registry, since workers re-resolve
+        tests by id.
+    skip_errors:
+        When True (default), a ``ValueError`` from a test is recorded in
+        :attr:`EngineReport.errors` instead of aborting the batch.
+
+    Returns
+    -------
+    list of EngineReport
+        One report per input sequence, in input order.
+    """
+    registry = registry if registry is not None else DEFAULT_REGISTRY
+    arrays = [to_bits(sequence) for sequence in sequences]
+    if not arrays:
+        return []
+    specs = list(tests) if tests is not None else sorted(NIST_NUMBER_TO_ID)
+    resolved = [registry.resolve(spec) for spec in specs]
+    params: Dict[str, Dict[str, object]] = {}
+    for spec, kwargs in (parameters or {}).items():
+        params[registry.resolve(spec).id] = dict(kwargs)
+
+    lengths = {arr.size for arr in arrays}
+    if len(lengths) == 1 and len(arrays) > 1:
+        contexts: List[SequenceContext] = list(BatchContext(np.vstack(arrays)).contexts())
+    else:
+        contexts = [SequenceContext(arr) for arr in arrays]
+    reports = [EngineReport(n=int(arr.size)) for arr in arrays]
+
+    pooled: List[RegisteredTest] = []
+    if processes is not None and processes > 1 and registry is DEFAULT_REGISTRY:
+        pooled = [test for test in resolved if test.expensive]
+    inline = [test for test in resolved if test not in pooled]
+
+    for test in inline:
+        kwargs = params.get(test.id, {})
+        for report, context in zip(reports, contexts):
+            try:
+                report.results[test.id] = test.run(context, **kwargs)
+            except ValueError as exc:
+                if not skip_errors:
+                    raise
+                report.errors[test.id] = str(exc)
+
+    if pooled:
+        payloads = [arr.tobytes() for arr in arrays]
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            futures = {}
+            for test in pooled:
+                kwargs = params.get(test.id, {})
+                for index, payload in enumerate(payloads):
+                    future = pool.submit(_pool_worker, (test.id, payload, kwargs))
+                    futures[future] = (index, test.id)
+            for future in as_completed(futures):
+                index, test_id = futures[future]
+                status, outcome = future.result()
+                if status == "ok":
+                    reports[index].results[test_id] = outcome
+                elif skip_errors:
+                    reports[index].errors[test_id] = outcome
+                else:
+                    raise ValueError(outcome)
+
+    return reports

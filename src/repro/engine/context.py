@@ -1,0 +1,391 @@
+"""Shared-statistic contexts: the software analogue of the paper's counters.
+
+The paper's central resource-sharing idea is that the hardware block derives
+the common sub-statistics of a bit sequence (ones count, run boundaries,
+block sums, cyclic pattern counters) *once* and feeds every on-the-fly test
+from the same registers.  :class:`SequenceContext` reproduces that in
+software: it wraps one bit sequence and lazily computes and memoizes every
+derived statistic the statistical tests draw from, so a suite run touches
+each bit O(1) times instead of once per test.
+
+:class:`BatchContext` lifts the same statistics to a batch of equal-length
+sequences: each statistic is computed with one vectorised 2-D numpy pass
+over the whole ``(num_sequences, n)`` bit matrix, and the per-sequence
+:class:`SequenceContext` views returned by :meth:`BatchContext.context`
+transparently read their row out of the shared result.
+
+Every statistic is integer-valued, so a test that computes its decision
+statistic from context values produces *bit-identical* P-values to the
+reference implementation that re-scans the raw bits (asserted by
+``tests/test_engine_parity.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nist.common import BitsLike, pattern_counts, to_bits
+
+__all__ = ["SequenceContext", "BatchContext"]
+
+
+def _window_weights(m: int) -> np.ndarray:
+    """MSB-first bit weights of an ``m``-bit window."""
+    return 1 << np.arange(m - 1, -1, -1)
+
+
+def _matrix_window_values(matrix: np.ndarray, m: int) -> np.ndarray:
+    """Integer value of every overlapping ``m``-bit window, per row.
+
+    ``matrix`` has shape ``(rows, length)``; the result has shape
+    ``(rows, length - m + 1)``.  Computed with the MSB-first Horner rule
+    ``value = value * 2 + bit`` applied in place so the hot loop touches one
+    narrow accumulator array instead of allocating a temporary per offset.
+    """
+    rows, length = matrix.shape
+    num_windows = length - m + 1
+    if num_windows <= 0:
+        raise ValueError(f"window length m={m} exceeds sequence length n={length}")
+    dtype = np.int32 if m <= 15 else np.int64
+    values = np.zeros((rows, num_windows), dtype=dtype)
+    for offset in range(m):
+        np.left_shift(values, 1, out=values)
+        values += matrix[:, offset : offset + num_windows]
+    return values
+
+
+def _matrix_block_longest_one_runs(matrix: np.ndarray, block_length: int) -> np.ndarray:
+    """Longest run of ones inside each ``block_length``-bit block, per row.
+
+    Works on the flattened zero-padded block matrix: a zero column appended
+    to every block guarantees runs of ones never cross block (or row)
+    boundaries, so one global run-length scan labels every block at once.
+    """
+    rows, length = matrix.shape
+    num_blocks = length // block_length
+    blocks = matrix[:, : num_blocks * block_length].reshape(rows * num_blocks, block_length)
+    padded = np.zeros((rows * num_blocks, block_length + 1), dtype=np.int8)
+    padded[:, :block_length] = blocks
+    flat = np.concatenate([[0], padded.ravel()])
+    edges = np.diff(flat.astype(np.int8))
+    starts = np.flatnonzero(edges == 1)
+    ends = np.flatnonzero(edges == -1)
+    longest = np.zeros(rows * num_blocks, dtype=np.int64)
+    if starts.size:
+        np.maximum.at(longest, starts // (block_length + 1), ends - starts)
+    return longest.reshape(rows, num_blocks)
+
+
+def _run_values_and_lengths(arr: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-run ``(bit value, run length)`` arrays of a 1-D bit sequence."""
+    if arr.size == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    boundaries = np.flatnonzero(np.diff(arr.astype(np.int8))) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [arr.size]])
+    return arr[starts].astype(np.int64), (ends - starts).astype(np.int64)
+
+
+class SequenceContext:
+    """Lazily computed, memoized shared statistics of one bit sequence.
+
+    Tests draw their raw statistics (the values the paper's hardware counters
+    would hold) from the context; each statistic is derived at most once per
+    sequence and shared by every test that needs it — e.g. the serial and
+    approximate-entropy tests share the 3-/4-bit cyclic pattern counters, the
+    two template tests share the 9-bit window values, and the frequency,
+    runs and FIPS monobit tests share the ones count.
+
+    Parameters
+    ----------
+    bits:
+        Any :data:`~repro.nist.common.BitsLike` bit-sequence representation.
+    """
+
+    def __init__(self, bits: BitsLike, *, _batch: Optional["BatchContext"] = None, _row: int = 0):
+        self._batch = _batch
+        self._row = _row
+        if _batch is None:
+            self._bits = to_bits(bits)
+        else:
+            self._bits = _batch.matrix[_row]
+        self._ones: Optional[int] = None
+        self._walk_extremes: Optional[Tuple[int, int, int]] = None
+        self._num_runs: Optional[int] = None
+        self._runs: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._block_sums: Dict[int, np.ndarray] = {}
+        self._block_longest: Dict[int, np.ndarray] = {}
+        self._pattern_counts: Dict[Tuple[int, bool], np.ndarray] = {}
+        self._window_values: Dict[int, np.ndarray] = {}
+        self._block_value_counts: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------- basics
+    @property
+    def bits(self) -> np.ndarray:
+        """The raw uint8 0/1 array (for tests without a shared statistic)."""
+        return self._bits
+
+    @property
+    def n(self) -> int:
+        """Sequence length."""
+        return int(self._bits.size)
+
+    @property
+    def ones(self) -> int:
+        """Total number of ones (the hardware's frequency counter)."""
+        if self._ones is None:
+            if self._batch is not None:
+                self._ones = int(self._batch.ones()[self._row])
+            else:
+                self._ones = int(self._bits.sum())
+        return self._ones
+
+    @property
+    def zeros(self) -> int:
+        """Total number of zeros."""
+        return self.n - self.ones
+
+    # ------------------------------------------------------------- walks / runs
+    def walk_extremes(self) -> Tuple[int, int, int]:
+        """``(S_max, S_min, S_final)`` of the ±1 random walk (cusum test)."""
+        if self._walk_extremes is None:
+            if self._batch is not None:
+                s_max, s_min, s_final = self._batch.walk_extremes()
+                self._walk_extremes = (
+                    int(s_max[self._row]),
+                    int(s_min[self._row]),
+                    int(s_final[self._row]),
+                )
+            elif self.n == 0:
+                self._walk_extremes = (0, 0, 0)
+            else:
+                walk = np.cumsum(2 * self._bits.astype(np.int64) - 1)
+                self._walk_extremes = (int(walk.max()), int(walk.min()), int(walk[-1]))
+        return self._walk_extremes
+
+    def num_runs(self) -> int:
+        """Total number of runs (V_n(obs) of the runs test)."""
+        if self._num_runs is None:
+            if self._batch is not None:
+                self._num_runs = int(self._batch.num_runs()[self._row])
+            elif self.n == 0:
+                self._num_runs = 0
+            else:
+                self._num_runs = int(np.count_nonzero(np.diff(self._bits.astype(np.int8)))) + 1
+        return self._num_runs
+
+    def runs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-run ``(bit values, run lengths)`` arrays, in sequence order."""
+        if self._runs is None:
+            self._runs = _run_values_and_lengths(self._bits)
+        return self._runs
+
+    def run_length_histogram(self, cap: int = 6) -> Dict[int, Dict[int, int]]:
+        """``{bit: {capped length: count}}`` with lengths >= ``cap`` pooled.
+
+        The FIPS runs test reads this directly; the capped layout matches
+        :func:`repro.fips.battery._run_lengths`.
+        """
+        values, lengths = self.runs()
+        histogram = {
+            0: {length: 0 for length in range(1, cap + 1)},
+            1: {length: 0 for length in range(1, cap + 1)},
+        }
+        capped = np.minimum(lengths, cap)
+        for value in (0, 1):
+            counts = np.bincount(capped[values == value], minlength=cap + 1)
+            for length in range(1, cap + 1):
+                histogram[value][length] = int(counts[length]) if length < counts.size else 0
+        return histogram
+
+    def longest_run(self) -> int:
+        """Length of the longest run of identical bits (FIPS long-run test)."""
+        _, lengths = self.runs()
+        return int(lengths.max()) if lengths.size else 0
+
+    # ------------------------------------------------------------- block stats
+    def block_sums(self, block_length: int) -> np.ndarray:
+        """Ones count of each full ``block_length``-bit block (int64)."""
+        if block_length not in self._block_sums:
+            if self._batch is not None:
+                self._block_sums[block_length] = self._batch.block_sums(block_length)[self._row]
+            else:
+                num_blocks = self.n // block_length
+                trimmed = self._bits[: num_blocks * block_length]
+                self._block_sums[block_length] = trimmed.reshape(
+                    num_blocks, block_length
+                ).sum(axis=1, dtype=np.int64)
+        return self._block_sums[block_length]
+
+    def block_longest_one_runs(self, block_length: int) -> np.ndarray:
+        """Longest run of ones within each full block (longest-run test)."""
+        if block_length not in self._block_longest:
+            if self._batch is not None:
+                self._block_longest[block_length] = self._batch.block_longest_one_runs(
+                    block_length
+                )[self._row]
+            else:
+                self._block_longest[block_length] = _matrix_block_longest_one_runs(
+                    self._bits[np.newaxis, :], block_length
+                )[0]
+        return self._block_longest[block_length]
+
+    def block_value_counts(self, block_length: int) -> np.ndarray:
+        """Histogram of non-overlapping block values (FIPS poker test)."""
+        if block_length not in self._block_value_counts:
+            if self._batch is not None:
+                self._block_value_counts[block_length] = self._batch.block_value_counts(
+                    block_length
+                )[self._row]
+            else:
+                num_blocks = self.n // block_length
+                trimmed = self._bits[: num_blocks * block_length].astype(np.int64)
+                values = trimmed.reshape(num_blocks, block_length) @ _window_weights(block_length)
+                self._block_value_counts[block_length] = np.bincount(
+                    values, minlength=1 << block_length
+                ).astype(np.int64)
+        return self._block_value_counts[block_length]
+
+    # ------------------------------------------------------------- pattern stats
+    def pattern_counts(self, m: int, *, cyclic: bool = True) -> np.ndarray:
+        """Occurrences of every overlapping ``m``-bit pattern (2^m entries)."""
+        key = (m, cyclic)
+        if key not in self._pattern_counts:
+            if self._batch is not None and m > 0:
+                self._pattern_counts[key] = self._batch.pattern_counts(m, cyclic=cyclic)[self._row]
+            else:
+                self._pattern_counts[key] = pattern_counts(self._bits, m, cyclic=cyclic)
+        return self._pattern_counts[key]
+
+    def window_values(self, m: int) -> np.ndarray:
+        """Integer value of every (non-cyclic) ``m``-bit window (template tests)."""
+        if m not in self._window_values:
+            if self._batch is not None:
+                self._window_values[m] = self._batch.window_values(m)[self._row]
+            else:
+                self._window_values[m] = _matrix_window_values(self._bits[np.newaxis, :], m)[0]
+        return self._window_values[m]
+
+
+class BatchContext:
+    """Shared statistics of a batch of equal-length sequences.
+
+    Every statistic is computed lazily with one vectorised pass over the
+    ``(num_sequences, n)`` bit matrix and cached; per-sequence contexts
+    created with :meth:`context` read their row from the shared arrays.
+    """
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.ascontiguousarray(matrix, dtype=np.uint8)
+        if matrix.ndim != 2:
+            raise ValueError("BatchContext expects a 2-D (num_sequences, n) bit matrix")
+        self.matrix = matrix
+        self._ones: Optional[np.ndarray] = None
+        self._walk_extremes: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._num_runs: Optional[np.ndarray] = None
+        self._block_sums: Dict[int, np.ndarray] = {}
+        self._block_longest: Dict[int, np.ndarray] = {}
+        self._pattern_counts: Dict[Tuple[int, bool], np.ndarray] = {}
+        self._window_values: Dict[int, np.ndarray] = {}
+        self._block_value_counts: Dict[int, np.ndarray] = {}
+
+    @property
+    def num_sequences(self) -> int:
+        return int(self.matrix.shape[0])
+
+    @property
+    def n(self) -> int:
+        return int(self.matrix.shape[1])
+
+    def context(self, row: int) -> SequenceContext:
+        """A per-sequence context backed by this batch's shared statistics."""
+        if not 0 <= row < self.num_sequences:
+            raise IndexError(f"row {row} out of range for batch of {self.num_sequences}")
+        return SequenceContext(None, _batch=self, _row=row)
+
+    def contexts(self) -> Tuple[SequenceContext, ...]:
+        """One batch-backed context per sequence."""
+        return tuple(self.context(i) for i in range(self.num_sequences))
+
+    # ------------------------------------------------------------- statistics
+    def ones(self) -> np.ndarray:
+        if self._ones is None:
+            self._ones = self.matrix.sum(axis=1, dtype=np.int64)
+        return self._ones
+
+    def walk_extremes(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._walk_extremes is None:
+            walk = np.cumsum(2 * self.matrix.astype(np.int64) - 1, axis=1)
+            self._walk_extremes = (walk.max(axis=1), walk.min(axis=1), walk[:, -1])
+        return self._walk_extremes
+
+    def num_runs(self) -> np.ndarray:
+        if self._num_runs is None:
+            changes = np.count_nonzero(np.diff(self.matrix.astype(np.int8), axis=1), axis=1)
+            self._num_runs = (changes + 1).astype(np.int64)
+        return self._num_runs
+
+    def block_sums(self, block_length: int) -> np.ndarray:
+        if block_length not in self._block_sums:
+            num_blocks = self.n // block_length
+            trimmed = self.matrix[:, : num_blocks * block_length]
+            self._block_sums[block_length] = trimmed.reshape(
+                self.num_sequences, num_blocks, block_length
+            ).sum(axis=2, dtype=np.int64)
+        return self._block_sums[block_length]
+
+    def block_longest_one_runs(self, block_length: int) -> np.ndarray:
+        if block_length not in self._block_longest:
+            self._block_longest[block_length] = _matrix_block_longest_one_runs(
+                self.matrix, block_length
+            )
+        return self._block_longest[block_length]
+
+    def block_value_counts(self, block_length: int) -> np.ndarray:
+        if block_length not in self._block_value_counts:
+            num_blocks = self.n // block_length
+            trimmed = self.matrix[:, : num_blocks * block_length].astype(np.int64)
+            values = trimmed.reshape(
+                self.num_sequences, num_blocks, block_length
+            ) @ _window_weights(block_length)
+            self._block_value_counts[block_length] = self._bincount_rows(
+                values, 1 << block_length
+            )
+        return self._block_value_counts[block_length]
+
+    def pattern_counts(self, m: int, *, cyclic: bool = True) -> np.ndarray:
+        key = (m, cyclic)
+        if key not in self._pattern_counts:
+            if m <= 0:
+                raise ValueError("pattern length m must be positive for batch counts")
+            counts = self._bincount_rows(self.window_values(m), 1 << m)
+            if cyclic and m > 1:
+                # The cyclic convention adds the m-1 windows wrapping from the
+                # tail into the head; their values come from the narrow
+                # (rows, 2(m-1)) seam matrix instead of a full extended copy.
+                seam = np.concatenate(
+                    [self.matrix[:, -(m - 1) :], self.matrix[:, : m - 1]], axis=1
+                )
+                counts = counts + self._bincount_rows(
+                    _matrix_window_values(seam, m), 1 << m
+                )
+            self._pattern_counts[key] = counts
+        return self._pattern_counts[key]
+
+    def window_values(self, m: int) -> np.ndarray:
+        if m not in self._window_values:
+            self._window_values[m] = _matrix_window_values(self.matrix, m)
+        return self._window_values[m]
+
+    def _bincount_rows(self, values: np.ndarray, num_bins: int) -> np.ndarray:
+        """Per-row bincount via one flat bincount with row offsets."""
+        rows = values.shape[0]
+        dtype = np.int32 if rows * num_bins < (1 << 31) else np.int64
+        offsets = np.arange(rows, dtype=dtype)[:, np.newaxis] * num_bins
+        flat = np.bincount(
+            (values.astype(dtype, copy=False) + offsets).ravel(),
+            minlength=rows * num_bins,
+        )
+        return flat.reshape(rows, num_bins).astype(np.int64)

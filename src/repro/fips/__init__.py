@@ -19,7 +19,10 @@ acceptance intervals (no configurable α), exactly as specified in FIPS 140-2
 
 from repro.fips.battery import (
     FIPS_BLOCK_BITS,
+    FIPS_TEST_NAMES,
+    FipsBattery,
     FipsReport,
+    FipsTestResult,
     fips_battery,
     long_run_test,
     monobit_test,
@@ -29,7 +32,10 @@ from repro.fips.battery import (
 
 __all__ = [
     "FIPS_BLOCK_BITS",
+    "FIPS_TEST_NAMES",
+    "FipsBattery",
     "FipsReport",
+    "FipsTestResult",
     "fips_battery",
     "monobit_test",
     "poker_test",

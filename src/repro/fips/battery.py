@@ -18,14 +18,23 @@ from repro.nist.common import BitsLike, to_bits
 
 __all__ = [
     "FIPS_BLOCK_BITS",
+    "FIPS_TEST_NAMES",
     "FipsTestResult",
     "FipsReport",
+    "FipsBattery",
     "monobit_test",
+    "monobit_test_from_context",
     "poker_test",
+    "poker_test_from_context",
     "runs_test",
+    "runs_test_from_context",
     "long_run_test",
+    "long_run_test_from_context",
     "fips_battery",
 ]
+
+#: Canonical short names of the four FIPS tests, in battery order.
+FIPS_TEST_NAMES = ("monobit", "poker", "runs", "long_run")
 
 #: The FIPS battery always evaluates exactly 20 000 bits.
 FIPS_BLOCK_BITS = 20000
@@ -80,23 +89,48 @@ class FipsReport:
 
 def _check_block(bits: BitsLike) -> np.ndarray:
     arr = to_bits(bits)
-    if arr.size != FIPS_BLOCK_BITS:
-        raise ValueError(
-            f"the FIPS battery requires exactly {FIPS_BLOCK_BITS} bits, got {arr.size}"
-        )
+    _check_length(arr.size)
     return arr
 
 
-def monobit_test(bits: BitsLike) -> FipsTestResult:
-    """FIPS monobit test: the number of ones must lie in (9725, 10275)."""
-    arr = _check_block(bits)
-    ones = int(arr.sum())
+def _check_length(n: int) -> None:
+    if n != FIPS_BLOCK_BITS:
+        raise ValueError(
+            f"the FIPS battery requires exactly {FIPS_BLOCK_BITS} bits, got {n}"
+        )
+
+
+def _monobit_result(ones: int) -> FipsTestResult:
     low, high = MONOBIT_BOUNDS
     return FipsTestResult(
         name="FIPS monobit",
         passed=low < ones < high,
         statistic=float(ones),
         details={"ones": ones, "bounds": MONOBIT_BOUNDS},
+    )
+
+
+def monobit_test(bits: BitsLike) -> FipsTestResult:
+    """FIPS monobit test: the number of ones must lie in (9725, 10275)."""
+    arr = _check_block(bits)
+    return _monobit_result(int(arr.sum()))
+
+
+def monobit_test_from_context(context) -> FipsTestResult:
+    """Context-aware monobit test reading the shared ones counter."""
+    _check_length(context.n)
+    return _monobit_result(context.ones)
+
+
+def _poker_result(counts: np.ndarray) -> FipsTestResult:
+    num_nibbles = FIPS_BLOCK_BITS // 4
+    statistic = float(16.0 / num_nibbles * np.sum(counts ** 2) - num_nibbles)
+    low, high = POKER_BOUNDS
+    return FipsTestResult(
+        name="FIPS poker",
+        passed=low < statistic < high,
+        statistic=statistic,
+        details={"counts": counts.astype(int).tolist(), "bounds": POKER_BOUNDS},
     )
 
 
@@ -107,15 +141,13 @@ def poker_test(bits: BitsLike) -> FipsTestResult:
     weights = np.array([8, 4, 2, 1])
     values = nibbles @ weights
     counts = np.bincount(values, minlength=16).astype(np.float64)
-    num_nibbles = FIPS_BLOCK_BITS // 4
-    statistic = float(16.0 / num_nibbles * np.sum(counts ** 2) - num_nibbles)
-    low, high = POKER_BOUNDS
-    return FipsTestResult(
-        name="FIPS poker",
-        passed=low < statistic < high,
-        statistic=statistic,
-        details={"counts": counts.astype(int).tolist(), "bounds": POKER_BOUNDS},
-    )
+    return _poker_result(counts)
+
+
+def poker_test_from_context(context) -> FipsTestResult:
+    """Context-aware poker test reading the shared nibble-value histogram."""
+    _check_length(context.n)
+    return _poker_result(context.block_value_counts(4).astype(np.float64))
 
 
 def _run_lengths(arr: np.ndarray) -> Dict[int, Dict[int, int]]:
@@ -137,10 +169,7 @@ def _run_lengths(arr: np.ndarray) -> Dict[int, Dict[int, int]]:
     return histogram
 
 
-def runs_test(bits: BitsLike) -> FipsTestResult:
-    """FIPS runs test: per-length run counts within the tabulated intervals."""
-    arr = _check_block(bits)
-    histogram = _run_lengths(arr)
+def _runs_result(histogram: Dict[int, Dict[int, int]]) -> FipsTestResult:
     violations = []
     for value in (0, 1):
         for length, (low, high) in RUNS_BOUNDS.items():
@@ -152,6 +181,27 @@ def runs_test(bits: BitsLike) -> FipsTestResult:
         passed=not violations,
         statistic=float(len(violations)),
         details={"histogram": histogram, "violations": violations},
+    )
+
+
+def runs_test(bits: BitsLike) -> FipsTestResult:
+    """FIPS runs test: per-length run counts within the tabulated intervals."""
+    arr = _check_block(bits)
+    return _runs_result(_run_lengths(arr))
+
+
+def runs_test_from_context(context) -> FipsTestResult:
+    """Context-aware runs test reading the shared run-length histogram."""
+    _check_length(context.n)
+    return _runs_result(context.run_length_histogram(cap=6))
+
+
+def _long_run_result(longest: int) -> FipsTestResult:
+    return FipsTestResult(
+        name="FIPS long run",
+        passed=longest < LONG_RUN_LIMIT,
+        statistic=float(longest),
+        details={"longest_run": longest, "limit": LONG_RUN_LIMIT},
     )
 
 
@@ -167,12 +217,13 @@ def long_run_test(bits: BitsLike) -> FipsTestResult:
             longest = max(longest, current)
             current = 1
     longest = max(longest, current) if arr.size else 0
-    return FipsTestResult(
-        name="FIPS long run",
-        passed=longest < LONG_RUN_LIMIT,
-        statistic=float(longest),
-        details={"longest_run": longest, "limit": LONG_RUN_LIMIT},
-    )
+    return _long_run_result(longest)
+
+
+def long_run_test_from_context(context) -> FipsTestResult:
+    """Context-aware long-run test reading the shared longest-run value."""
+    _check_length(context.n)
+    return _long_run_result(context.longest_run())
 
 
 def fips_battery(bits: BitsLike) -> FipsReport:
@@ -186,3 +237,43 @@ def fips_battery(bits: BitsLike) -> FipsReport:
             long_run_test(arr),
         ]
     )
+
+
+class FipsBattery:
+    """Engine-backed runner of the FIPS battery over shared-statistic contexts.
+
+    Uniform counterpart of :class:`repro.nist.suite.NistSuite`: each FIPS
+    test draws its raw statistic (ones count, nibble histogram, run-length
+    histogram, longest run) from a
+    :class:`~repro.engine.context.SequenceContext`, so the four tests share
+    one scan of the block instead of four — and :meth:`run_batch` shares one
+    vectorised pass across a whole batch of 20 000-bit blocks.
+    """
+
+    _CONTEXT_TESTS = (
+        monobit_test_from_context,
+        poker_test_from_context,
+        runs_test_from_context,
+        long_run_test_from_context,
+    )
+
+    def run(self, bits: BitsLike) -> FipsReport:
+        """Run the battery on one 20 000-bit block via a shared context."""
+        from repro.engine.context import SequenceContext
+
+        context = bits if isinstance(bits, SequenceContext) else SequenceContext(bits)
+        _check_length(context.n)
+        return FipsReport(results=[test(context) for test in self._CONTEXT_TESTS])
+
+    def run_batch(self, blocks) -> List[FipsReport]:
+        """Run the battery on many blocks with one vectorised statistics pass."""
+        from repro.engine.context import BatchContext, SequenceContext
+
+        arrays = [to_bits(block) for block in blocks]
+        for arr in arrays:
+            _check_length(arr.size)
+        if len(arrays) > 1:
+            contexts = BatchContext(np.vstack(arrays)).contexts()
+        else:
+            contexts = [SequenceContext(arr) for arr in arrays]
+        return [self.run(context) for context in contexts]

@@ -13,9 +13,9 @@ import math
 
 import numpy as np
 
-from repro.nist.common import BitsLike, TestResult, igamc, pattern_counts, to_bits
+from repro.nist.common import BitsLike, TestResult, igamc, pattern_counts, phi_from_counts, to_bits
 
-__all__ = ["approximate_entropy_test", "phi_statistic"]
+__all__ = ["approximate_entropy_test", "approximate_entropy_test_from_context", "phi_statistic"]
 
 
 def phi_statistic(bits: BitsLike, m: int) -> float:
@@ -29,10 +29,33 @@ def phi_statistic(bits: BitsLike, m: int) -> float:
     n = arr.size
     if m == 0:
         return 0.0
-    counts = pattern_counts(arr, m, cyclic=True).astype(np.float64)
-    nonzero = counts[counts > 0]
-    proportions = nonzero / n
-    return float(np.sum(proportions * np.log(proportions)))
+    return phi_from_counts(pattern_counts(arr, m, cyclic=True), n)
+
+
+def _apen_result(n: int, m: int, counts_m: np.ndarray, counts_m1: np.ndarray) -> TestResult:
+    """Decision math shared by the direct and context-aware entry points."""
+    phi_m = phi_from_counts(counts_m, n)
+    phi_m1 = phi_from_counts(counts_m1, n)
+    apen = phi_m - phi_m1
+    chi_squared = 2.0 * n * (math.log(2.0) - apen)
+    # Numerical guard: for strongly non-random inputs ApEn can marginally
+    # exceed ln 2 due to floating point, making chi_squared slightly negative.
+    chi_squared = max(chi_squared, 0.0)
+    p_value = igamc(2 ** (m - 1), chi_squared / 2.0)
+    return TestResult(
+        name="Approximate Entropy Test",
+        statistic=chi_squared,
+        p_value=p_value,
+        details={
+            "n": n,
+            "m": m,
+            "phi_m": phi_m,
+            "phi_m1": phi_m1,
+            "apen": apen,
+            "counts_m": counts_m.tolist(),
+            "counts_m1": counts_m1.tolist(),
+        },
+    )
 
 
 def approximate_entropy_test(bits: BitsLike, m: int = 3) -> TestResult:
@@ -57,25 +80,25 @@ def approximate_entropy_test(bits: BitsLike, m: int = 3) -> TestResult:
         raise ValueError("approximate entropy test requires m >= 1")
     if n < m + 2:
         raise ValueError(f"sequence too short (n={n}) for block length m={m}")
-    phi_m = phi_statistic(arr, m)
-    phi_m1 = phi_statistic(arr, m + 1)
-    apen = phi_m - phi_m1
-    chi_squared = 2.0 * n * (math.log(2.0) - apen)
-    # Numerical guard: for strongly non-random inputs ApEn can marginally
-    # exceed ln 2 due to floating point, making chi_squared slightly negative.
-    chi_squared = max(chi_squared, 0.0)
-    p_value = igamc(2 ** (m - 1), chi_squared / 2.0)
-    return TestResult(
-        name="Approximate Entropy Test",
-        statistic=chi_squared,
-        p_value=p_value,
-        details={
-            "n": n,
-            "m": m,
-            "phi_m": phi_m,
-            "phi_m1": phi_m1,
-            "apen": apen,
-            "counts_m": pattern_counts(arr, m).tolist(),
-            "counts_m1": pattern_counts(arr, m + 1).tolist(),
-        },
+    return _apen_result(
+        n,
+        m,
+        pattern_counts(arr, m, cyclic=True),
+        pattern_counts(arr, m + 1, cyclic=True),
+    )
+
+
+def approximate_entropy_test_from_context(context, m: int = 3) -> TestResult:
+    """Context-aware entry point: reads the shared cyclic pattern counters
+    (the same ones the serial test uses — the paper's unified counters)."""
+    n = context.n
+    if m < 1:
+        raise ValueError("approximate entropy test requires m >= 1")
+    if n < m + 2:
+        raise ValueError(f"sequence too short (n={n}) for block length m={m}")
+    return _apen_result(
+        n,
+        m,
+        context.pattern_counts(m, cyclic=True),
+        context.pattern_counts(m + 1, cyclic=True),
     )

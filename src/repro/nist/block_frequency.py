@@ -10,7 +10,34 @@ import numpy as np
 
 from repro.nist.common import BitsLike, TestResult, chunk, igamc, to_bits
 
-__all__ = ["block_frequency_test"]
+__all__ = ["block_frequency_test", "block_frequency_test_from_context"]
+
+
+def _validate(n: int, block_length: int) -> None:
+    if block_length <= 0:
+        raise ValueError("block_length must be positive")
+    if block_length > n:
+        raise ValueError(f"block_length M={block_length} exceeds sequence length n={n}")
+
+
+def _block_frequency_result(n: int, block_length: int, ones_per_block: np.ndarray) -> TestResult:
+    """Decision math shared by the direct and context-aware entry points."""
+    num_blocks = int(ones_per_block.size)
+    proportions = ones_per_block / block_length
+    chi_squared = 4.0 * block_length * float(np.sum((proportions - 0.5) ** 2))
+    p_value = igamc(num_blocks / 2.0, chi_squared / 2.0)
+    return TestResult(
+        name="Frequency Test within a Block",
+        statistic=chi_squared,
+        p_value=p_value,
+        details={
+            "n": n,
+            "block_length": block_length,
+            "num_blocks": num_blocks,
+            "ones_per_block": ones_per_block.tolist(),
+            "discarded_bits": n - num_blocks * block_length,
+        },
+    )
 
 
 def block_frequency_test(bits: BitsLike, block_length: int = 128) -> TestResult:
@@ -34,25 +61,14 @@ def block_frequency_test(bits: BitsLike, block_length: int = 128) -> TestResult:
     """
     arr = to_bits(bits)
     n = arr.size
-    if block_length <= 0:
-        raise ValueError("block_length must be positive")
-    if block_length > n:
-        raise ValueError(f"block_length M={block_length} exceeds sequence length n={n}")
+    _validate(n, block_length)
     blocks = chunk(arr, block_length)
-    num_blocks = len(blocks)
     ones_per_block = np.array([int(b.sum()) for b in blocks], dtype=np.int64)
-    proportions = ones_per_block / block_length
-    chi_squared = 4.0 * block_length * float(np.sum((proportions - 0.5) ** 2))
-    p_value = igamc(num_blocks / 2.0, chi_squared / 2.0)
-    return TestResult(
-        name="Frequency Test within a Block",
-        statistic=chi_squared,
-        p_value=p_value,
-        details={
-            "n": n,
-            "block_length": block_length,
-            "num_blocks": num_blocks,
-            "ones_per_block": ones_per_block.tolist(),
-            "discarded_bits": n - num_blocks * block_length,
-        },
-    )
+    return _block_frequency_result(n, block_length, ones_per_block)
+
+
+def block_frequency_test_from_context(context, block_length: int = 128) -> TestResult:
+    """Context-aware entry point: per-block ones counts come from the shared
+    context's memoized block sums instead of a fresh block scan."""
+    _validate(context.n, block_length)
+    return _block_frequency_result(context.n, block_length, context.block_sums(block_length))

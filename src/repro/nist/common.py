@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 from scipy import special as _special
@@ -27,7 +27,9 @@ __all__ = [
     "erfc",
     "normal_cdf",
     "pattern_counts",
+    "phi_from_counts",
     "psi_squared",
+    "psi_squared_from_counts",
     "berlekamp_massey",
     "binary_matrix_rank",
     "chunk",
@@ -84,16 +86,20 @@ def bits_from_int(value: int, width: int) -> np.ndarray:
         raise ValueError("width must be positive")
     if value >= (1 << width):
         raise ValueError(f"value {value} does not fit in {width} bits")
-    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)], dtype=np.uint8)
+    num_bytes = (width + 7) // 8
+    raw = np.frombuffer(value.to_bytes(num_bytes, "big"), dtype=np.uint8)
+    return np.unpackbits(raw)[num_bytes * 8 - width :].copy()
 
 
 def bits_to_int(bits: BitsLike) -> int:
     """Interpret a bit sequence as an unsigned integer, MSB first."""
     arr = to_bits(bits)
-    value = 0
-    for bit in arr:
-        value = (value << 1) | int(bit)
-    return value
+    if arr.size == 0:
+        return 0
+    # packbits pads the final byte on the right with zeros, so the packed
+    # integer is the wanted value shifted left by the pad width.
+    value = int.from_bytes(np.packbits(arr).tobytes(), "big")
+    return value >> ((-arr.size) % 8)
 
 
 class BitSequence:
@@ -105,12 +111,13 @@ class BitSequence:
     without re-deriving them at every call site.
     """
 
-    __slots__ = ("_bits",)
+    __slots__ = ("_bits", "_ones")
 
     def __init__(self, bits: BitsLike):
         arr = to_bits(bits)
         arr.setflags(write=False)
         self._bits = arr
+        self._ones: Optional[int] = None
 
     # -- basic protocol ----------------------------------------------------
     def __len__(self) -> int:
@@ -154,8 +161,10 @@ class BitSequence:
 
     @property
     def ones(self) -> int:
-        """Total number of ones in the sequence."""
-        return int(self._bits.sum())
+        """Total number of ones in the sequence (computed once, then cached)."""
+        if self._ones is None:
+            self._ones = int(self._bits.sum())
+        return self._ones
 
     @property
     def zeros(self) -> int:
@@ -302,6 +311,28 @@ def pattern_counts(bits: BitsLike, m: int, *, cyclic: bool = True) -> np.ndarray
     return np.bincount(values, minlength=1 << m).astype(np.int64)
 
 
+def psi_squared_from_counts(counts: np.ndarray, n: int) -> float:
+    """ψ²_m from precomputed cyclic pattern counts (``len(counts) == 2^m``).
+
+    Shared by the reference :func:`psi_squared` and the engine's
+    context-aware serial test so both produce bit-identical values.
+    """
+    counts = np.asarray(counts)
+    return float(len(counts) / n * np.sum(counts.astype(np.float64) ** 2) - n)
+
+
+def phi_from_counts(counts: np.ndarray, n: int) -> float:
+    """NIST's φ^(m) = Σ (ν_i/n)·ln(ν_i/n) from precomputed cyclic counts.
+
+    Shared by the reference approximate-entropy test and the engine's
+    context-aware entry point so both produce bit-identical values.
+    """
+    counts = np.asarray(counts).astype(np.float64)
+    nonzero = counts[counts > 0]
+    proportions = nonzero / n
+    return float(np.sum(proportions * np.log(proportions)))
+
+
 def psi_squared(bits: BitsLike, m: int) -> float:
     """NIST's ψ²_m statistic used by the serial test.
 
@@ -312,8 +343,7 @@ def psi_squared(bits: BitsLike, m: int) -> float:
     n = arr.size
     if m <= 0:
         return 0.0
-    counts = pattern_counts(arr, m, cyclic=True)
-    return float((1 << m) / n * np.sum(counts.astype(np.float64) ** 2) - n)
+    return psi_squared_from_counts(pattern_counts(arr, m, cyclic=True), n)
 
 
 # ---------------------------------------------------------------------------

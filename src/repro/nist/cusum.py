@@ -14,7 +14,12 @@ import numpy as np
 
 from repro.nist.common import BitsLike, TestResult, normal_cdf, to_bits
 
-__all__ = ["cumulative_sums_test", "cusum_p_value", "random_walk_extremes"]
+__all__ = [
+    "cumulative_sums_test",
+    "cumulative_sums_test_from_context",
+    "cusum_p_value",
+    "random_walk_extremes",
+]
 
 
 def random_walk_extremes(bits: BitsLike) -> tuple[int, int, int]:
@@ -82,7 +87,21 @@ def cumulative_sums_test(bits: BitsLike, mode: int = 0) -> TestResult:
         raise ValueError("cumulative sums test requires a non-empty sequence")
     if mode not in (0, 1):
         raise ValueError("mode must be 0 (forward) or 1 (backward)")
-    s_max, s_min, s_final = random_walk_extremes(arr)
+    return _cusum_result(n, mode, *random_walk_extremes(arr))
+
+
+def cumulative_sums_test_from_context(context, mode: int = 0) -> TestResult:
+    """Context-aware entry point: the walk extremes come from the shared
+    context's memoized ±1 cumulative sums instead of a re-scan."""
+    if context.n == 0:
+        raise ValueError("cumulative sums test requires a non-empty sequence")
+    if mode not in (0, 1):
+        raise ValueError("mode must be 0 (forward) or 1 (backward)")
+    return _cusum_result(context.n, mode, *context.walk_extremes())
+
+
+def _cusum_result(n: int, mode: int, s_max: int, s_min: int, s_final: int) -> TestResult:
+    """Decision math shared by the direct and context-aware entry points."""
     if mode == 0:
         z = max(abs(s_max), abs(s_min))
     else:

@@ -11,7 +11,25 @@ import math
 
 from repro.nist.common import BitsLike, TestResult, erfc, to_bits
 
-__all__ = ["frequency_test"]
+__all__ = ["frequency_test", "frequency_test_from_context"]
+
+
+def _frequency_result(n: int, ones: int) -> TestResult:
+    """Decision math shared by the direct and context-aware entry points."""
+    partial_sum = 2 * ones - n
+    s_obs = abs(partial_sum) / math.sqrt(n)
+    p_value = erfc(s_obs / math.sqrt(2.0))
+    return TestResult(
+        name="Frequency (Monobit) Test",
+        statistic=s_obs,
+        p_value=p_value,
+        details={
+            "n": n,
+            "ones": ones,
+            "zeros": n - ones,
+            "partial_sum": partial_sum,
+        },
+    )
 
 
 def frequency_test(bits: BitsLike) -> TestResult:
@@ -36,18 +54,12 @@ def frequency_test(bits: BitsLike) -> TestResult:
     n = arr.size
     if n == 0:
         raise ValueError("frequency test requires a non-empty sequence")
-    ones = int(arr.sum())
-    partial_sum = 2 * ones - n
-    s_obs = abs(partial_sum) / math.sqrt(n)
-    p_value = erfc(s_obs / math.sqrt(2.0))
-    return TestResult(
-        name="Frequency (Monobit) Test",
-        statistic=s_obs,
-        p_value=p_value,
-        details={
-            "n": n,
-            "ones": ones,
-            "zeros": n - ones,
-            "partial_sum": partial_sum,
-        },
-    )
+    return _frequency_result(n, int(arr.sum()))
+
+
+def frequency_test_from_context(context) -> TestResult:
+    """Context-aware entry point: the ones count comes from the shared
+    :class:`~repro.engine.context.SequenceContext` instead of a re-scan."""
+    if context.n == 0:
+        raise ValueError("frequency test requires a non-empty sequence")
+    return _frequency_result(context.n, context.ones)

@@ -15,6 +15,7 @@ from repro.nist.common import BitsLike, TestResult, chunk, igamc, to_bits
 
 __all__ = [
     "longest_run_test",
+    "longest_run_test_from_context",
     "longest_run_of_ones",
     "LONGEST_RUN_TABLES",
     "category_index",
@@ -94,18 +95,28 @@ def longest_run_test(bits: BitsLike, block_length: int | None = None) -> TestRes
     n = arr.size
     if block_length is None:
         block_length = recommended_block_length(n)
+    _validate_block_length(n, block_length)
+    blocks = chunk(arr, block_length)
+    k, v_values, _pi = LONGEST_RUN_TABLES[block_length]
+    categories = np.zeros(k + 1, dtype=np.int64)
+    for block in blocks:
+        categories[category_index(longest_run_of_ones(block), v_values)] += 1
+    return _longest_run_result(n, block_length, categories)
+
+
+def _validate_block_length(n: int, block_length: int) -> None:
     if block_length not in LONGEST_RUN_TABLES:
         raise ValueError(
             f"block_length must be one of {sorted(LONGEST_RUN_TABLES)}, got {block_length}"
         )
     if block_length > n:
         raise ValueError(f"block_length M={block_length} exceeds sequence length n={n}")
+
+
+def _longest_run_result(n: int, block_length: int, categories: np.ndarray) -> TestResult:
+    """Decision math shared by the direct and context-aware entry points."""
     k, v_values, pi = LONGEST_RUN_TABLES[block_length]
-    blocks = chunk(arr, block_length)
-    num_blocks = len(blocks)
-    categories = np.zeros(k + 1, dtype=np.int64)
-    for block in blocks:
-        categories[category_index(longest_run_of_ones(block), v_values)] += 1
+    num_blocks = int(categories.sum())
     expected = num_blocks * np.array(pi)
     chi_squared = float(np.sum((categories - expected) ** 2 / expected))
     p_value = igamc(k / 2.0, chi_squared / 2.0)
@@ -123,3 +134,22 @@ def longest_run_test(bits: BitsLike, block_length: int | None = None) -> TestRes
             "pi": list(pi),
         },
     )
+
+
+def longest_run_test_from_context(context, block_length: int | None = None) -> TestResult:
+    """Context-aware entry point: per-block longest runs of ones come from
+    the shared context's vectorised block scan.
+
+    The NIST category boundaries v_0..v_K are consecutive integers for every
+    tabulated block length, so the category of a block is simply its longest
+    run clipped into ``[v_0, v_K]`` minus ``v_0``.
+    """
+    n = context.n
+    if block_length is None:
+        block_length = recommended_block_length(n)
+    _validate_block_length(n, block_length)
+    k, v_values, _pi = LONGEST_RUN_TABLES[block_length]
+    per_block = context.block_longest_one_runs(block_length)
+    indices = np.clip(per_block - v_values[0], 0, k)
+    categories = np.bincount(indices, minlength=k + 1).astype(np.int64)
+    return _longest_run_result(n, block_length, categories)

@@ -11,10 +11,11 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.nist.common import BitsLike, TestResult, bits_from_int, igamc, to_bits
+from repro.nist.common import BitsLike, TestResult, bits_from_int, bits_to_int, igamc, to_bits
 
 __all__ = [
     "non_overlapping_template_test",
+    "non_overlapping_template_test_from_context",
     "count_non_overlapping",
     "aperiodic_templates",
     "DEFAULT_TEMPLATE_9",
@@ -97,7 +98,49 @@ def non_overlapping_template_test(
         the theoretical mean/variance.
     """
     arr = to_bits(bits)
-    n = arr.size
+    template, block_length = _validate(arr.size, template, num_blocks)
+    counts = []
+    for i in range(num_blocks):
+        block = arr[i * block_length : (i + 1) * block_length]
+        counts.append(count_non_overlapping(block, template))
+    return _non_overlapping_result(arr.size, template, num_blocks, block_length, counts)
+
+
+def non_overlapping_template_test_from_context(
+    context,
+    template: Sequence[int] = DEFAULT_TEMPLATE_9,
+    num_blocks: int = 8,
+) -> TestResult:
+    """Context-aware entry point.
+
+    For an aperiodic template — the only kind NIST uses — no two occurrences
+    can overlap, so the greedy non-overlapping count equals the plain number
+    of matching windows; those are read off the shared ``m``-bit window
+    values (also used by the overlapping test and pattern counters).
+    Periodic templates fall back to the reference greedy scan.
+    """
+    n = context.n
+    template, block_length = _validate(n, template, num_blocks)
+    m = len(template)
+    if _is_aperiodic(template):
+        values = context.window_values(m)
+        target = bits_to_int(template)
+        windows_per_block = block_length - m + 1
+        counts = [
+            int(np.count_nonzero(values[i * block_length : i * block_length + windows_per_block] == target))
+            for i in range(num_blocks)
+        ]
+    else:
+        counts = [
+            count_non_overlapping(
+                context.bits[i * block_length : (i + 1) * block_length], template
+            )
+            for i in range(num_blocks)
+        ]
+    return _non_overlapping_result(n, template, num_blocks, block_length, counts)
+
+
+def _validate(n: int, template: Sequence[int], num_blocks: int):
     template = tuple(int(b) for b in template)
     m = len(template)
     if m <= 1:
@@ -109,10 +152,14 @@ def non_overlapping_template_test(
         raise ValueError(
             f"block length M={block_length} is shorter than the template (m={m})"
         )
-    counts = []
-    for i in range(num_blocks):
-        block = arr[i * block_length : (i + 1) * block_length]
-        counts.append(count_non_overlapping(block, template))
+    return template, block_length
+
+
+def _non_overlapping_result(
+    n: int, template: tuple, num_blocks: int, block_length: int, counts: List[int]
+) -> TestResult:
+    """Decision math shared by the direct and context-aware entry points."""
+    m = len(template)
     counts_arr = np.array(counts, dtype=np.float64)
     mean = (block_length - m + 1) / (1 << m)
     variance = block_length * (1.0 / (1 << m) - (2.0 * m - 1.0) / (1 << (2 * m)))

@@ -13,10 +13,11 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.nist.common import BitsLike, TestResult, igamc, to_bits
+from repro.nist.common import BitsLike, TestResult, bits_to_int, igamc, to_bits
 
 __all__ = [
     "overlapping_template_test",
+    "overlapping_template_test_from_context",
     "count_overlapping",
     "overlapping_probabilities",
     "DEFAULT_TEMPLATE_ONES_9",
@@ -109,18 +110,56 @@ def overlapping_template_test(
     """
     arr = to_bits(bits)
     n = arr.size
-    template = tuple(int(b) for b in template)
-    m = len(template)
-    if block_length < m:
-        raise ValueError("block_length must be at least the template length")
-    num_blocks = n // block_length
-    if num_blocks < 1:
-        raise ValueError("sequence too short for a single block")
+    template, num_blocks = _validate(n, template, block_length)
     categories = np.zeros(k + 1, dtype=np.int64)
     for i in range(num_blocks):
         block = arr[i * block_length : (i + 1) * block_length]
         occurrences = count_overlapping(block, template)
         categories[min(occurrences, k)] += 1
+    return _overlapping_result(n, template, block_length, num_blocks, k, categories)
+
+
+def overlapping_template_test_from_context(
+    context,
+    template: Sequence[int] = DEFAULT_TEMPLATE_ONES_9,
+    block_length: int = 1032,
+    k: int = 5,
+) -> TestResult:
+    """Context-aware entry point: per-block occurrence counts are read off
+    the shared ``m``-bit window values (also used by the non-overlapping
+    test) instead of a per-window template comparison scan."""
+    n = context.n
+    template, num_blocks = _validate(n, template, block_length)
+    m = len(template)
+    values = context.window_values(m)
+    target = bits_to_int(template)
+    windows_per_block = block_length - m + 1
+    categories = np.zeros(k + 1, dtype=np.int64)
+    for i in range(num_blocks):
+        occurrences = int(
+            np.count_nonzero(
+                values[i * block_length : i * block_length + windows_per_block] == target
+            )
+        )
+        categories[min(occurrences, k)] += 1
+    return _overlapping_result(n, template, block_length, num_blocks, k, categories)
+
+
+def _validate(n: int, template: Sequence[int], block_length: int):
+    template = tuple(int(b) for b in template)
+    if block_length < len(template):
+        raise ValueError("block_length must be at least the template length")
+    num_blocks = n // block_length
+    if num_blocks < 1:
+        raise ValueError("sequence too short for a single block")
+    return template, num_blocks
+
+
+def _overlapping_result(
+    n: int, template: tuple, block_length: int, num_blocks: int, k: int, categories: np.ndarray
+) -> TestResult:
+    """Decision math shared by the direct and context-aware entry points."""
+    m = len(template)
     pi = overlapping_probabilities(block_length, m, k)
     expected = num_blocks * np.array(pi)
     chi_squared = float(np.sum((categories - expected) ** 2 / expected))

@@ -13,7 +13,35 @@ import numpy as np
 
 from repro.nist.common import BitsLike, TestResult, erfc, to_bits
 
-__all__ = ["runs_test", "count_runs"]
+__all__ = ["runs_test", "runs_test_from_context", "count_runs"]
+
+
+def _runs_result(n: int, ones: int, v_obs: int) -> TestResult:
+    """Decision math shared by the direct and context-aware entry points."""
+    pi = ones / n
+    tau = 2.0 / math.sqrt(n)
+    pretest_passed = abs(pi - 0.5) < tau
+    if not pretest_passed:
+        p_value = 0.0
+        statistic = float("inf")
+    else:
+        numerator = abs(v_obs - 2.0 * n * pi * (1.0 - pi))
+        denominator = 2.0 * math.sqrt(2.0 * n) * pi * (1.0 - pi)
+        statistic = numerator / denominator if denominator > 0 else float("inf")
+        p_value = erfc(statistic) if math.isfinite(statistic) else 0.0
+    return TestResult(
+        name="Runs Test",
+        statistic=statistic,
+        p_value=p_value,
+        details={
+            "n": n,
+            "ones": ones,
+            "runs": v_obs,
+            "proportion": pi,
+            "pretest_passed": pretest_passed,
+            "tau": tau,
+        },
+    )
 
 
 def count_runs(bits: BitsLike) -> int:
@@ -42,29 +70,12 @@ def runs_test(bits: BitsLike) -> TestResult:
     n = arr.size
     if n == 0:
         raise ValueError("runs test requires a non-empty sequence")
-    ones = int(arr.sum())
-    pi = ones / n
-    tau = 2.0 / math.sqrt(n)
-    pretest_passed = abs(pi - 0.5) < tau
-    v_obs = count_runs(arr)
-    if not pretest_passed:
-        p_value = 0.0
-        statistic = float("inf")
-    else:
-        numerator = abs(v_obs - 2.0 * n * pi * (1.0 - pi))
-        denominator = 2.0 * math.sqrt(2.0 * n) * pi * (1.0 - pi)
-        statistic = numerator / denominator if denominator > 0 else float("inf")
-        p_value = erfc(statistic) if math.isfinite(statistic) else 0.0
-    return TestResult(
-        name="Runs Test",
-        statistic=statistic,
-        p_value=p_value,
-        details={
-            "n": n,
-            "ones": ones,
-            "runs": v_obs,
-            "proportion": pi,
-            "pretest_passed": pretest_passed,
-            "tau": tau,
-        },
-    )
+    return _runs_result(n, int(arr.sum()), count_runs(arr))
+
+
+def runs_test_from_context(context) -> TestResult:
+    """Context-aware entry point: the ones count and run count come from the
+    shared context's memoized statistics instead of a re-scan."""
+    if context.n == 0:
+        raise ValueError("runs test requires a non-empty sequence")
+    return _runs_result(context.n, context.ones, context.num_runs())

@@ -9,9 +9,53 @@ with critical values.
 
 from __future__ import annotations
 
-from repro.nist.common import BitsLike, TestResult, igamc, pattern_counts, psi_squared, to_bits
+import numpy as np
 
-__all__ = ["serial_test"]
+from repro.nist.common import (
+    BitsLike,
+    TestResult,
+    igamc,
+    pattern_counts,
+    psi_squared_from_counts,
+    to_bits,
+)
+
+__all__ = ["serial_test", "serial_test_from_context"]
+
+
+def _serial_result(
+    n: int, m: int, counts_m: np.ndarray, counts_m1: np.ndarray, counts_m2: np.ndarray
+) -> TestResult:
+    """Decision math shared by the direct and context-aware entry points.
+
+    ``counts_m2`` are the cyclic ``(m-2)``-bit pattern counts; for ``m == 2``
+    that is the single count ``[n]`` and ψ²_0 is 0 by definition.
+    """
+    psi_m = psi_squared_from_counts(counts_m, n)
+    psi_m1 = psi_squared_from_counts(counts_m1, n)
+    psi_m2 = psi_squared_from_counts(counts_m2, n) if m > 2 else 0.0
+    del1 = psi_m - psi_m1
+    del2 = psi_m - 2.0 * psi_m1 + psi_m2
+    p_value1 = igamc(2 ** (m - 2), del1 / 2.0)
+    p_value2 = igamc(2 ** (m - 3), del2 / 2.0)
+    return TestResult(
+        name="Serial Test",
+        statistic=del1,
+        p_value=p_value1,
+        p_values=[p_value1, p_value2],
+        details={
+            "n": n,
+            "m": m,
+            "psi_m": psi_m,
+            "psi_m1": psi_m1,
+            "psi_m2": psi_m2,
+            "del1": del1,
+            "del2": del2,
+            "counts_m": counts_m.tolist(),
+            "counts_m1": counts_m1.tolist(),
+            "counts_m2": counts_m2.tolist(),
+        },
+    )
 
 
 def serial_test(bits: BitsLike, m: int = 4) -> TestResult:
@@ -38,28 +82,27 @@ def serial_test(bits: BitsLike, m: int = 4) -> TestResult:
         raise ValueError("serial test requires m >= 2")
     if n < (1 << m):
         raise ValueError(f"sequence too short (n={n}) for pattern length m={m}")
-    psi_m = psi_squared(arr, m)
-    psi_m1 = psi_squared(arr, m - 1)
-    psi_m2 = psi_squared(arr, m - 2)
-    del1 = psi_m - psi_m1
-    del2 = psi_m - 2.0 * psi_m1 + psi_m2
-    p_value1 = igamc(2 ** (m - 2), del1 / 2.0)
-    p_value2 = igamc(2 ** (m - 3), del2 / 2.0)
-    return TestResult(
-        name="Serial Test",
-        statistic=del1,
-        p_value=p_value1,
-        p_values=[p_value1, p_value2],
-        details={
-            "n": n,
-            "m": m,
-            "psi_m": psi_m,
-            "psi_m1": psi_m1,
-            "psi_m2": psi_m2,
-            "del1": del1,
-            "del2": del2,
-            "counts_m": pattern_counts(arr, m).tolist(),
-            "counts_m1": pattern_counts(arr, m - 1).tolist(),
-            "counts_m2": pattern_counts(arr, m - 2).tolist() if m >= 2 else [],
-        },
+    return _serial_result(
+        n,
+        m,
+        pattern_counts(arr, m, cyclic=True),
+        pattern_counts(arr, m - 1, cyclic=True),
+        pattern_counts(arr, m - 2, cyclic=True),
+    )
+
+
+def serial_test_from_context(context, m: int = 4) -> TestResult:
+    """Context-aware entry point: the cyclic pattern counters are the shared
+    context's (the same counters the approximate-entropy test reads)."""
+    n = context.n
+    if m < 2:
+        raise ValueError("serial test requires m >= 2")
+    if n < (1 << m):
+        raise ValueError(f"sequence too short (n={n}) for pattern length m={m}")
+    return _serial_result(
+        n,
+        m,
+        context.pattern_counts(m, cyclic=True),
+        context.pattern_counts(m - 1, cyclic=True),
+        context.pattern_counts(m - 2, cyclic=True),
     )

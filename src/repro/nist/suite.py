@@ -3,29 +3,23 @@
 The suite is parameterised so it can be run both in its standard (PRNG
 evaluation) configuration and in the reduced, hardware-friendly
 configurations used by the paper's design points.
+
+Since the unified batch engine refactor the suite no longer dispatches to
+the per-test reference functions through a hard-coded dict: tests are
+resolved from the engine's :data:`~repro.engine.registry.DEFAULT_REGISTRY`
+and evaluated on a shared :class:`~repro.engine.context.SequenceContext`,
+so tests that need the same sub-statistic (ones count, pattern counters,
+window values, block sums) compute it once — the software analogue of the
+paper's shared hardware counters.  :meth:`NistSuite.run_batch` extends the
+sharing across the sequence axis of a whole batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.nist.approximate_entropy import approximate_entropy_test
-from repro.nist.block_frequency import block_frequency_test
 from repro.nist.common import BitsLike, TestResult, to_bits
-from repro.nist.cusum import cumulative_sums_test
-from repro.nist.dft import dft_test
-from repro.nist.frequency import frequency_test
-from repro.nist.linear_complexity import linear_complexity_test
-from repro.nist.longest_run import longest_run_test
-from repro.nist.nonoverlapping import non_overlapping_template_test
-from repro.nist.overlapping import overlapping_template_test
-from repro.nist.random_excursions import random_excursions_test
-from repro.nist.random_excursions_variant import random_excursions_variant_test
-from repro.nist.rank import binary_matrix_rank_test
-from repro.nist.runs import runs_test
-from repro.nist.serial import serial_test
-from repro.nist.universal import universal_test
 
 __all__ = ["NIST_TEST_NAMES", "NistSuite", "SuiteReport", "run_all_tests"]
 
@@ -128,41 +122,66 @@ class NistSuite:
         self.parameters = dict(parameters or {})
         self.skip_errors = skip_errors
 
-    # -- dispatch ----------------------------------------------------------
-    def _runner(self, number: int) -> Callable[..., TestResult]:
-        dispatch = {
-            1: frequency_test,
-            2: block_frequency_test,
-            3: runs_test,
-            4: longest_run_test,
-            5: binary_matrix_rank_test,
-            6: dft_test,
-            7: non_overlapping_template_test,
-            8: overlapping_template_test,
-            9: universal_test,
-            10: linear_complexity_test,
-            11: serial_test,
-            12: approximate_entropy_test,
-            13: cumulative_sums_test,
-            14: random_excursions_test,
-            15: random_excursions_variant_test,
-        }
-        return dispatch[number]
-
     def run(self, bits: BitsLike) -> SuiteReport:
-        """Run the configured tests on ``bits`` and return a report."""
-        arr = to_bits(bits)
-        report = SuiteReport(n=int(arr.size))
+        """Run the configured tests on ``bits`` and return a report.
+
+        ``bits`` may also be a pre-built
+        :class:`~repro.engine.context.SequenceContext`, in which case its
+        memoized statistics are reused across this run.
+        """
+        # Imported here (not at module level): the engine registry imports
+        # this module for the canonical test names.
+        from repro.engine.context import SequenceContext
+        from repro.engine.registry import DEFAULT_REGISTRY
+
+        if isinstance(bits, SequenceContext):
+            context = bits
+        else:
+            context = SequenceContext(to_bits(bits))
+        report = SuiteReport(n=context.n)
         for number in self.tests:
-            runner = self._runner(number)
+            test = DEFAULT_REGISTRY.resolve(number)
             kwargs = self.parameters.get(number, {})
             try:
-                report.results[number] = runner(arr, **kwargs)
+                report.results[number] = test.run(context, **kwargs)
             except ValueError as exc:
                 if not self.skip_errors:
                     raise
                 report.errors[number] = str(exc)
         return report
+
+    def run_batch(
+        self, sequences, processes: Optional[int] = None
+    ) -> List[SuiteReport]:
+        """Run the configured tests over a batch of sequences.
+
+        Cheap tests are vectorised across the sequence axis through a shared
+        :class:`~repro.engine.context.BatchContext`; with ``processes > 1``
+        the expensive tests fan out over a process pool.  Returns one
+        :class:`SuiteReport` per input sequence, with results bit-identical
+        to calling :meth:`run` on each sequence individually.
+        """
+        from repro.engine.batch import run_batch
+        from repro.engine.registry import NIST_NUMBER_TO_ID
+
+        engine_reports = run_batch(
+            sequences,
+            tests=list(self.tests),
+            parameters=self.parameters,
+            processes=processes,
+            skip_errors=self.skip_errors,
+        )
+        reports: List[SuiteReport] = []
+        for engine_report in engine_reports:
+            report = SuiteReport(n=engine_report.n)
+            for number in self.tests:
+                test_id = NIST_NUMBER_TO_ID[number]
+                if test_id in engine_report.results:
+                    report.results[number] = engine_report.results[test_id]
+                elif test_id in engine_report.errors:
+                    report.errors[number] = engine_report.errors[test_id]
+            reports.append(report)
+        return reports
 
 
 def run_all_tests(

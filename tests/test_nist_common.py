@@ -79,6 +79,26 @@ class TestBitConversions:
     def test_round_trip_property(self, value):
         assert bits_to_int(bits_from_int(value, 20)) == value
 
+    def test_wide_values_beyond_64_bits(self):
+        # The vectorised conversions must handle arbitrary-precision ints.
+        value = (1 << 200) | (1 << 67) | 5
+        bits = bits_from_int(value, 201)
+        assert bits.size == 201
+        assert bits_to_int(bits) == value
+
+    def test_non_byte_aligned_widths(self):
+        for width in (1, 3, 7, 9, 13):
+            for value in (0, 1, (1 << width) - 1):
+                assert bits_to_int(bits_from_int(value, width)) == value
+
+    def test_bits_to_int_empty_is_zero(self):
+        assert bits_to_int([]) == 0
+
+    def test_bits_from_int_result_is_writable(self):
+        bits = bits_from_int(5, 4)
+        bits[0] = 1  # must be an owned, writable array
+        assert bits.tolist() == [1, 1, 0, 1]
+
 
 class TestBitSequence:
     def test_basic_properties(self):
@@ -121,6 +141,14 @@ class TestBitSequence:
         seq = BitSequence("")
         assert len(seq) == 0
         assert seq.proportion == 0.0
+
+    def test_ones_cached(self):
+        seq = BitSequence("110110")
+        assert seq.ones == 4
+        # Repeated accessors reuse the cached count (and stay consistent).
+        assert seq.ones == 4
+        assert seq.zeros == 2
+        assert seq.proportion == pytest.approx(4 / 6)
 
 
 class TestTestResult:
