@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Detection campaign: sweep the whole threat catalogue across design points.
+
+The paper's purpose is *detection* — catching total failures, degradation
+and active attacks on the fly.  This example runs the campaign subsystem
+over both 128-bit design points: every scenario in the default catalogue
+(healthy controls, total failures, bias/correlation sweeps, staged
+frequency/EM injection, aging trajectories) is monitored for a few
+sequences per trial through the engine's batch path, and the resulting
+report tabulates detection probability, detection latency and which test
+caught which threat.
+
+Run with:  python examples/detection_campaign.py
+"""
+
+from repro.campaign import CampaignConfig, run_campaign
+from repro.eval.attribution import format_attribution_table
+
+
+def main() -> None:
+    config = CampaignConfig(
+        designs=("n128_light", "n128_medium"),
+        trials=3,
+        sequences_per_trial=8,
+        seed=2015,
+    )
+    report = run_campaign(config)
+
+    print("=" * 72)
+    print("Detection campaign over the Section II-B threat catalogue")
+    print("=" * 72)
+    print(report.format_table())
+
+    print()
+    print("Which test caught which threat (trials flagged / trials run):")
+    print(format_attribution_table(report.threat_cells()))
+
+    print()
+    for design in report.designs:
+        rate = report.control_false_alarm_rate(design)
+        print(f"healthy-control false-alarm rate [{design}]: {rate:.3f}")
+
+    detected = report.detected_everywhere()
+    threats = {cell.scenario for cell in report.threat_cells()}
+    print(f"threats detected in every trial on every design: "
+          f"{len(detected)}/{len(threats)}")
+    print("  (weak biases legitimately escape the 128-bit quick tests; the")
+    print("   65536-bit and 2^20-bit designs exist to catch exactly those.)")
+
+
+if __name__ == "__main__":
+    main()

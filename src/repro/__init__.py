@@ -16,6 +16,10 @@ Top-level quickstart::
 
 Sub-packages
 ------------
+``repro.campaign``
+    Detection-evaluation campaigns: the threat-scenario catalogue and the
+    (scenario x design) sweep measuring detection probability, latency and
+    per-test attribution through the batch engine.
 ``repro.core``
     The HW/SW co-designed platform (design points, per-sequence evaluation,
     continuous monitoring, value-based reporting).
@@ -37,6 +41,15 @@ Sub-packages
     baseline used for the Table IV comparison.
 """
 
+from repro.campaign import (
+    CampaignCell,
+    CampaignConfig,
+    CampaignReport,
+    DEFAULT_CATALOG,
+    ScenarioCatalog,
+    ScenarioSpec,
+    run_campaign,
+)
 from repro.core import (
     DesignPoint,
     FlexibleLengthPlatform,
@@ -84,6 +97,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # campaign
+    "CampaignCell",
+    "CampaignConfig",
+    "CampaignReport",
+    "DEFAULT_CATALOG",
+    "ScenarioCatalog",
+    "ScenarioSpec",
+    "run_campaign",
     # core
     "DesignPoint",
     "FlexibleLengthPlatform",

@@ -1,0 +1,52 @@
+"""Detection-evaluation campaigns over the Section II-B threat catalogue.
+
+The paper's core claim is not throughput but *detection*: the on-the-fly
+platform must catch total failures, aging degradation and active attacks
+quickly, across design points.  This subpackage evaluates that claim
+systematically: a :class:`ScenarioCatalog` registers the full threat
+catalogue as seeded source builders, :func:`run_campaign` sweeps every
+(scenario x design) cell through the batch engine with a configurable number
+of trials, and the resulting :class:`CampaignReport` tabulates detection
+probability, detection latency (sequences and bits), per-test attribution
+(which test caught which threat) and the healthy-control false-alarm rate,
+with JSON/CSV export.
+
+Quickstart::
+
+    from repro.campaign import CampaignConfig, run_campaign
+
+    report = run_campaign(CampaignConfig(
+        designs=("n128_light", "n128_medium"),
+        trials=3, sequences_per_trial=8, seed=42,
+    ))
+    print(report.format_table())
+    report.save_json("campaign.json")
+"""
+
+from repro.campaign.report import CampaignCell, CampaignReport, format_rows
+from repro.campaign.runner import (
+    CampaignConfig,
+    DEFAULT_CAMPAIGN_DESIGNS,
+    run_campaign,
+)
+from repro.campaign.scenarios import (
+    DEFAULT_CATALOG,
+    SCENARIO_CATEGORIES,
+    ScenarioCatalog,
+    ScenarioSpec,
+    build_default_catalog,
+)
+
+__all__ = [
+    "CampaignCell",
+    "CampaignConfig",
+    "CampaignReport",
+    "DEFAULT_CAMPAIGN_DESIGNS",
+    "DEFAULT_CATALOG",
+    "SCENARIO_CATEGORIES",
+    "ScenarioCatalog",
+    "ScenarioSpec",
+    "build_default_catalog",
+    "format_rows",
+    "run_campaign",
+]

@@ -1,0 +1,274 @@
+"""Threat-scenario catalogue for detection campaigns.
+
+Section II-B's threat catalogue lives in three modules — total failures
+(:mod:`repro.trng.failures`), active attacks (:mod:`repro.trng.attacks`) and
+aging (:mod:`repro.trng.aging`) — plus the parametric weakness models
+(biased / correlated sources).  Each was exercised ad hoc by examples and
+benchmarks.  :class:`ScenarioCatalog` unifies them behind one registry of
+:class:`ScenarioSpec` *builders*: a scenario is a factory producing a fresh,
+seeded :class:`~repro.trng.source.EntropySource`, parameterised by the
+design's sequence length so that staged attacks and aging trajectories scale
+with the design point (an injection that starts "two sequences in" starts at
+``2 * n`` bits regardless of n).
+
+The existing :class:`~repro.trng.attacks.AttackScenario` dataclass (a label
+bound to one concrete, stateful source) stays the per-run bridge:
+``spec.scenario(seed, n)`` instantiates one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.trng.aging import AgingSource
+from repro.trng.attacks import AttackScenario, EMInjectionAttack, FrequencyInjectionAttack
+from repro.trng.biased import BiasedSource
+from repro.trng.correlated import CorrelatedSource
+from repro.trng.failures import AlternatingSource, BurstFailureSource, DeadSource, StuckAtSource
+from repro.trng.ideal import IdealSource
+from repro.trng.oscillator import RingOscillatorTRNG
+from repro.trng.source import EntropySource
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioCatalog",
+    "SCENARIO_CATEGORIES",
+    "DEFAULT_CATALOG",
+    "build_default_catalog",
+]
+
+#: The threat classes of Section II-B (plus the healthy controls every
+#: campaign needs for its false-alarm baseline).
+SCENARIO_CATEGORIES = ("healthy", "failure", "parametric", "attack", "aging")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One registered threat scenario: a seeded source factory.
+
+    Attributes
+    ----------
+    label:
+        Unique catalogue key (e.g. ``"wire-cut"``, ``"freq-injection-staged"``).
+    category:
+        One of :data:`SCENARIO_CATEGORIES`.
+    builder:
+        ``builder(seed, n) -> EntropySource`` producing a *fresh* source;
+        ``n`` is the sequence length of the design under evaluation, so
+        staged attacks and drift rates can scale with the design point.
+    description:
+        Human-readable threat description (shows up in campaign tables).
+    expected_detectable:
+        False for healthy controls — their failures are false alarms.
+    """
+
+    label: str
+    category: str
+    builder: Callable[[int, int], EntropySource]
+    description: str = ""
+    expected_detectable: bool = True
+
+    def __post_init__(self):
+        if self.category not in SCENARIO_CATEGORIES:
+            raise ValueError(
+                f"category must be one of {SCENARIO_CATEGORIES}, got {self.category!r}"
+            )
+
+    @property
+    def is_control(self) -> bool:
+        """True for healthy references whose alarms count as false alarms."""
+        return not self.expected_detectable
+
+    def build(self, seed: int, n: int) -> EntropySource:
+        """A fresh source for one campaign trial."""
+        return self.builder(seed, n)
+
+    def scenario(self, seed: int, n: int) -> AttackScenario:
+        """Bridge to the legacy :class:`AttackScenario` (one bound source)."""
+        return AttackScenario(
+            label=self.label,
+            source=self.build(seed, n),
+            description=self.description,
+            expected_detectable=self.expected_detectable,
+        )
+
+
+class ScenarioCatalog:
+    """Registry of threat scenarios, keyed by label."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, ScenarioSpec] = {}
+
+    def register(self, spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+        """Add a scenario; labels must not collide unless ``replace`` is set."""
+        if not replace and spec.label in self._specs:
+            raise ValueError(f"scenario {spec.label!r} already registered")
+        self._specs[spec.label] = spec
+        return spec
+
+    def get(self, label: str) -> ScenarioSpec:
+        """Look up one scenario by label."""
+        if label not in self._specs:
+            raise ValueError(
+                f"unknown scenario {label!r}; available: {', '.join(self.labels())}"
+            )
+        return self._specs[label]
+
+    def labels(self) -> Tuple[str, ...]:
+        """All labels, in registration order."""
+        return tuple(self._specs)
+
+    def select(
+        self,
+        labels: Optional[Sequence[str]] = None,
+        categories: Optional[Sequence[str]] = None,
+    ) -> List[ScenarioSpec]:
+        """Scenarios filtered by explicit labels and/or categories."""
+        specs = [self.get(label) for label in labels] if labels is not None else list(self)
+        if categories is not None:
+            unknown = set(categories) - set(SCENARIO_CATEGORIES)
+            if unknown:
+                raise ValueError(f"unknown categories {sorted(unknown)}")
+            specs = [spec for spec in specs if spec.category in categories]
+        return specs
+
+    def threats(self) -> List[ScenarioSpec]:
+        """Scenarios a working platform is expected to detect."""
+        return [spec for spec in self if spec.expected_detectable]
+
+    def controls(self) -> List[ScenarioSpec]:
+        """Healthy references used to measure the false-alarm rate."""
+        return [spec for spec in self if spec.is_control]
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._specs
+
+    def __iter__(self) -> Iterator[ScenarioSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+# ---------------------------------------------------------------------------
+# Default catalogue: the full Section II-B threat catalogue + healthy controls
+# ---------------------------------------------------------------------------
+
+
+def build_default_catalog() -> ScenarioCatalog:
+    """The standard campaign catalogue.
+
+    Two healthy controls, the four total-failure models, parametric
+    bias/correlation sweeps, the staged frequency/EM injection attacks of
+    [15]/[16] and two aging trajectories.  Every builder scales its
+    interesting time constants with the design's sequence length ``n``:
+    staged injections begin two sequences in, aging drifts are sized so the
+    bias becomes blatant within a handful of sequences.
+    """
+    catalog = ScenarioCatalog()
+    register = catalog.register
+
+    # -- healthy controls --------------------------------------------------
+    register(ScenarioSpec(
+        "healthy-ideal", "healthy",
+        lambda seed, n: IdealSource(seed=seed),
+        "ideal unbiased independent source (false-alarm baseline)",
+        expected_detectable=False,
+    ))
+    register(ScenarioSpec(
+        "healthy-oscillator", "healthy",
+        lambda seed, n: RingOscillatorTRNG(seed=seed),
+        "healthy jitter-sampling ring-oscillator TRNG",
+        expected_detectable=False,
+    ))
+
+    # -- total failures ----------------------------------------------------
+    register(ScenarioSpec(
+        "wire-cut", "failure",
+        lambda seed, n: DeadSource(),
+        "cut TRNG output wire (constant 0)",
+    ))
+    register(ScenarioSpec(
+        "stuck-at-1", "failure",
+        lambda seed, n: StuckAtSource(1),
+        "latched sampling flip-flop (constant 1)",
+    ))
+    register(ScenarioSpec(
+        "alternating", "failure",
+        lambda seed, n: AlternatingSource(),
+        "oscillator locked to the sample clock (0101...)",
+    ))
+    register(ScenarioSpec(
+        "burst-failure", "failure",
+        lambda seed, n: BurstFailureSource(
+            burst_rate=2.0 / n, burst_length=max(32, n // 4), seed=seed
+        ),
+        "intermittent total failure (stuck bursts of n/4 bits)",
+    ))
+
+    # -- parametric weakness sweeps ---------------------------------------
+    for p_one in (0.52, 0.60, 0.70):
+        register(ScenarioSpec(
+            f"biased-{p_one:.2f}", "parametric",
+            lambda seed, n, p=p_one: BiasedSource(p, seed=seed),
+            f"supply/temperature induced bias, P(1) = {p_one:.2f}",
+        ))
+    for p_repeat in (0.60, 0.75):
+        register(ScenarioSpec(
+            f"correlated-{p_repeat:.2f}", "parametric",
+            lambda seed, n, p=p_repeat: CorrelatedSource(p, seed=seed),
+            f"under-sampled oscillator, P(repeat) = {p_repeat:.2f}",
+        ))
+
+    # -- active attacks ----------------------------------------------------
+    register(ScenarioSpec(
+        "freq-injection", "attack",
+        lambda seed, n: FrequencyInjectionAttack(
+            RingOscillatorTRNG(seed=seed), lock_strength=1.0, start_bit=0
+        ),
+        "power-supply frequency injection, active from the first bit [15]",
+    ))
+    register(ScenarioSpec(
+        "freq-injection-staged", "attack",
+        lambda seed, n: FrequencyInjectionAttack(
+            RingOscillatorTRNG(seed=seed), lock_strength=1.0, start_bit=2 * n
+        ),
+        "frequency injection staged two sequences into the run [15]",
+    ))
+    register(ScenarioSpec(
+        "em-injection", "attack",
+        lambda seed, n: EMInjectionAttack(
+            RingOscillatorTRNG(seed=seed), coupling=0.85, carrier_period=4,
+            start_bit=0, seed=seed + 1,
+        ),
+        "contactless EM injection, 85% coupling to a 4-bit carrier [16]",
+    ))
+    register(ScenarioSpec(
+        "em-injection-staged", "attack",
+        lambda seed, n: EMInjectionAttack(
+            RingOscillatorTRNG(seed=seed), coupling=0.85, carrier_period=4,
+            start_bit=2 * n, seed=seed + 1,
+        ),
+        "EM injection staged two sequences into the run [16]",
+    ))
+
+    # -- aging -------------------------------------------------------------
+    register(ScenarioSpec(
+        "aging-drift", "aging",
+        lambda seed, n: AgingSource(drift_per_bit=1.0 / (4.0 * n), seed=seed),
+        "NBTI/HCI-style bias drift, blatant after ~2 sequences",
+    ))
+    register(ScenarioSpec(
+        "aging-aged", "aging",
+        lambda seed, n: AgingSource(
+            drift_per_bit=1.0 / (8.0 * n), initial_bias=0.68, seed=seed
+        ),
+        "already-degraded source that keeps drifting",
+    ))
+
+    return catalog
+
+
+#: The shared default catalogue used by the campaign runner, CLI and bench.
+DEFAULT_CATALOG = build_default_catalog()

@@ -19,6 +19,12 @@ Installed as ``repro-trng-test`` (see ``pyproject.toml``); also runnable as
 ``batch``
     Evaluate a batch of sequences from a simulated source through the
     unified batch engine and report per-test pass rates and throughput.
+``campaign``
+    Sweep the Section II-B threat catalogue (failures, bias/correlation
+    sweeps, staged injection attacks, aging) across design points through
+    the batch engine; report detection probability, detection latency and
+    per-test attribution, with the healthy-control false-alarm rate per
+    design and optional JSON/CSV export.
 """
 
 from __future__ import annotations
@@ -27,8 +33,15 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.campaign import (
+    CampaignConfig,
+    DEFAULT_CAMPAIGN_DESIGNS,
+    DEFAULT_CATALOG,
+    SCENARIO_CATEGORIES,
+    run_campaign,
+)
 from repro.core.configs import get_design, list_designs
-from repro.core.monitor import OnTheFlyMonitor
+from repro.core.monitor import HealthState, OnTheFlyMonitor
 from repro.core.platform import OnTheFlyPlatform
 from repro.eval.asic import estimate_asic
 from repro.eval.fpga import estimate_fpga
@@ -79,6 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--design", default="n65536_high", help="design point name")
     evaluate.add_argument("--alpha", type=float, default=0.01, help="level of significance")
     evaluate.add_argument("--capture", help="raw byte file with the captured TRNG output")
+    evaluate.add_argument("--bits", type=int, default=None,
+                          help="exact bit count of the capture (as returned by "
+                               "CaptureSource.save); drops the zero-pad bits of the "
+                               "last byte")
     evaluate.add_argument("--source", choices=_SIMULATED_SOURCES, default="ideal",
                           help="simulated source (ignored when --capture is given)")
     evaluate.add_argument("--seed", type=int, default=0, help="seed of the simulated source")
@@ -99,6 +116,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     suite = sub.add_parser("suite", help="run the full reference NIST suite on a capture")
     suite.add_argument("capture", help="raw byte file with the captured TRNG output")
+    suite.add_argument("--bits", type=int, default=None,
+                       help="exact bit count of the capture (as returned by "
+                            "CaptureSource.save); drops the zero-pad bits of the "
+                            "last byte")
     suite.add_argument("--alpha", type=float, default=0.01)
     suite.add_argument("--processes", type=int, default=None,
                        help="fan expensive tests out over this many worker processes")
@@ -115,6 +136,31 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--tests", default="hw",
                        help="comma-separated NIST test numbers, or 'hw' for the "
                             "HW-suitable subset, or 'all' for all 15")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="sweep the threat catalogue across design points (detection evaluation)",
+    )
+    campaign.add_argument("--designs", default=",".join(DEFAULT_CAMPAIGN_DESIGNS),
+                          help="comma-separated design point names")
+    campaign.add_argument("--scenarios", default="all",
+                          help="comma-separated catalogue labels, or 'all', or a "
+                               "category (healthy/failure/parametric/attack/aging)")
+    campaign.add_argument("--trials", type=int, default=3,
+                          help="independent monitoring trials per cell")
+    campaign.add_argument("--sequences", type=int, default=8,
+                          help="sequences monitored per trial (= engine batch size)")
+    campaign.add_argument("--alpha", type=float, default=0.01)
+    campaign.add_argument("--suspect-after", type=int, default=1)
+    campaign.add_argument("--fail-after", type=int, default=2)
+    campaign.add_argument("--seed", type=int, default=0,
+                          help="base seed; the whole campaign is reproducible from it")
+    campaign.add_argument("--processes", type=int, default=None,
+                          help="fan campaign cells out over this many worker processes")
+    campaign.add_argument("--json", dest="json_path", default=None,
+                          help="write the full campaign report as JSON to this path")
+    campaign.add_argument("--csv", dest="csv_path", default=None,
+                          help="write the summary table as CSV to this path")
 
     return parser
 
@@ -138,7 +184,11 @@ def _cmd_designs(out) -> int:
 def _cmd_evaluate(args, out) -> int:
     platform = OnTheFlyPlatform(args.design, alpha=args.alpha)
     if args.capture:
-        source: EntropySource = ReplaySource.from_file(args.capture)
+        try:
+            source: EntropySource = ReplaySource.from_file(args.capture, bit_length=args.bits)
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
         if source.total_bits < platform.n:
             print(
                 f"error: capture holds {source.total_bits} bits but design "
@@ -181,11 +231,18 @@ def _cmd_monitor(args, out) -> int:
             file=out,
         )
     print(f"final state: {monitor.state.value}  failure rate: {monitor.failure_rate():.2f}", file=out)
-    return 0 if monitor.failure_rate() == 0 else 1
+    # Exit code keyed off the final health state, not the failure rate: a
+    # healthy source loses individual sequences at rate ~alpha, and a single
+    # recovered blip must not make the whole monitoring run report failure.
+    return 0 if monitor.state is HealthState.HEALTHY else 1
 
 
 def _cmd_suite(args, out) -> int:
-    source = ReplaySource.from_file(args.capture)
+    try:
+        source = ReplaySource.from_file(args.capture, bit_length=args.bits)
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
     bits = source.generate(source.total_bits)
     report = NistSuite().run_batch([bits], processes=args.processes)[0]
     print(f"reference NIST SP 800-22 suite on {args.capture} ({source.total_bits} bits)", file=out)
@@ -257,6 +314,70 @@ def _cmd_batch(args, out) -> int:
     return 0 if healthy else 1
 
 
+def _cmd_campaign(args, out) -> int:
+    from repro.eval.attribution import format_attribution_table
+
+    designs = tuple(name.strip() for name in args.designs.split(",") if name.strip())
+    selector = args.scenarios.strip()
+    if selector == "all":
+        scenarios: tuple = ()
+    elif selector in SCENARIO_CATEGORIES:
+        scenarios = tuple(
+            spec.label for spec in DEFAULT_CATALOG.select(categories=[selector])
+        )
+    else:
+        scenarios = tuple(label.strip() for label in selector.split(",") if label.strip())
+    config = CampaignConfig(
+        designs=designs,
+        scenarios=scenarios,
+        trials=args.trials,
+        sequences_per_trial=args.sequences,
+        alpha=args.alpha,
+        suspect_after=args.suspect_after,
+        fail_after=args.fail_after,
+        seed=args.seed,
+        processes=args.processes,
+    )
+    try:
+        config.validate()
+        for label in scenarios:
+            DEFAULT_CATALOG.get(label)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    report = run_campaign(config)
+    print(
+        f"detection campaign: {len(report.scenarios)} scenarios x "
+        f"{len(report.designs)} designs, {args.trials} trials x "
+        f"{args.sequences} sequences per cell (alpha = {args.alpha}, "
+        f"seed = {args.seed})",
+        file=out,
+    )
+    print("", file=out)
+    print(report.format_table(), file=out)
+    print("", file=out)
+    print("per-test attribution (trials in which each test flagged the threat):", file=out)
+    print(format_attribution_table(report.threat_cells()), file=out)
+    print("", file=out)
+    for design in report.designs:
+        rate = report.control_false_alarm_rate(design)
+        shown = f"{rate:.3f}" if rate is not None else "n/a (no healthy controls run)"
+        print(f"healthy-control false-alarm rate [{design}]: {shown}", file=out)
+    detected = report.detected_everywhere()
+    print(
+        f"threats detected in every trial on every design: "
+        f"{len(detected)}/{len(set(c.scenario for c in report.threat_cells()))}",
+        file=out,
+    )
+    if args.json_path:
+        report.save_json(args.json_path)
+        print(f"JSON report written to {args.json_path}", file=out)
+    if args.csv_path:
+        report.save_csv(args.csv_path)
+        print(f"CSV summary written to {args.csv_path}", file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -271,6 +392,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_suite(args, out)
     if args.command == "batch":
         return _cmd_batch(args, out)
+    if args.command == "campaign":
+        return _cmd_campaign(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

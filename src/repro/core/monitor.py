@@ -14,7 +14,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Iterator, List, Optional
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.platform import OnTheFlyPlatform
 from repro.core.results import PlatformReport
@@ -88,6 +88,9 @@ class OnTheFlyMonitor:
         self._sequences_monitored = 0
         self._failures_total = 0
         self._first_failed_index: Optional[int] = None
+        self._first_suspect_index: Optional[int] = None
+        self._first_failing_tests: Optional[Tuple[int, ...]] = None
+        self._failing_test_counts: Dict[int, int] = {}
 
     # ------------------------------------------------------------------ state
     @property
@@ -111,6 +114,9 @@ class OnTheFlyMonitor:
         self._sequences_monitored = 0
         self._failures_total = 0
         self._first_failed_index = None
+        self._first_suspect_index = None
+        self._first_failing_tests = None
+        self._failing_test_counts = {}
 
     # ------------------------------------------------------------------ monitoring
     def observe(self, report: PlatformReport) -> MonitorEvent:
@@ -122,7 +128,16 @@ class OnTheFlyMonitor:
         else:
             self._consecutive_failures += 1
             self._failures_total += 1
+            failing = tuple(report.failing_tests)
+            if self._first_failing_tests is None:
+                self._first_failing_tests = failing
+            for number in failing:
+                self._failing_test_counts[number] = (
+                    self._failing_test_counts.get(number, 0) + 1
+                )
         state = self.state
+        if state is not HealthState.HEALTHY and self._first_suspect_index is None:
+            self._first_suspect_index = index
         if state is HealthState.FAILED and self._first_failed_index is None:
             self._first_failed_index = index
         event = MonitorEvent(
@@ -196,6 +211,40 @@ class OnTheFlyMonitor:
         if self._sequences_monitored == 0:
             return 0.0
         return self._failures_total / self._sequences_monitored
+
+    @property
+    def first_failed_index(self) -> Optional[int]:
+        """Index of the sequence at which the source first became FAILED."""
+        return self._first_failed_index
+
+    @property
+    def first_suspect_index(self) -> Optional[int]:
+        """Index of the sequence at which the source first left HEALTHY."""
+        return self._first_suspect_index
+
+    @property
+    def first_failing_tests(self) -> Optional[Tuple[int, ...]]:
+        """NIST test numbers that flagged the first failing sequence.
+
+        These are the detection campaign's "first detectors": the tests whose
+        verdicts raised the initial alarm (None while no sequence has failed).
+        """
+        return self._first_failing_tests
+
+    def failing_test_counts(self) -> Dict[int, int]:
+        """Per-test attribution: test number -> number of failing sequences
+        in which that test rejected the randomness hypothesis.
+
+        Kept as running totals, so it stays exact when ``max_history`` has
+        evicted old events.
+        """
+        return dict(self._failing_test_counts)
+
+    def detection_latency_sequences(self) -> Optional[int]:
+        """Sequences consumed until the first FAILED state (None if never)."""
+        if self._first_failed_index is None:
+            return None
+        return self._first_failed_index + 1
 
     def detection_latency_bits(self) -> Optional[int]:
         """Bits consumed until the first FAILED state (None if never failed)."""

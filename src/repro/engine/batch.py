@@ -68,8 +68,22 @@ def _pool_worker(payload):
     test = DEFAULT_REGISTRY.resolve(test_id)
     try:
         return "ok", test.run(context, **kwargs)
-    except ValueError as exc:
-        return "error", str(exc)
+    except Exception as exc:  # noqa: BLE001 - any test failure becomes a report entry
+        # Return the exception itself so skip_errors=False can re-raise the
+        # original type, exactly like the inline path.
+        return "error", exc
+
+
+def _describe_error(exc: Exception) -> str:
+    """Error string recorded in :attr:`EngineReport.errors`.
+
+    ``ValueError`` messages (parameter/length constraints) are self-
+    explanatory; anything else keeps its exception type so an unexpected
+    crash inside a test stays distinguishable from a rejected input.
+    """
+    if isinstance(exc, ValueError):
+        return str(exc)
+    return f"{type(exc).__name__}: {exc}"
 
 
 def run_batch(
@@ -104,8 +118,9 @@ def run_batch(
         only available for the default registry, since workers re-resolve
         tests by id.
     skip_errors:
-        When True (default), a ``ValueError`` from a test is recorded in
-        :attr:`EngineReport.errors` instead of aborting the batch.
+        When True (default), any exception from a test is recorded in
+        :attr:`EngineReport.errors` instead of aborting the batch, so one
+        misbehaving test cannot leave the other reports partially filled.
 
     Returns
     -------
@@ -117,10 +132,25 @@ def run_batch(
     if not arrays:
         return []
     specs = list(tests) if tests is not None else sorted(NIST_NUMBER_TO_ID)
-    resolved = [registry.resolve(spec) for spec in specs]
+    # Dedupe after resolution (first occurrence wins): the same test given
+    # twice — e.g. by number and by id alias — would otherwise run twice and
+    # silently overwrite its own result.
+    resolved: List[RegisteredTest] = []
+    seen_ids = set()
+    for spec in specs:
+        test = registry.resolve(spec)
+        if test.id not in seen_ids:
+            seen_ids.add(test.id)
+            resolved.append(test)
     params: Dict[str, Dict[str, object]] = {}
     for spec, kwargs in (parameters or {}).items():
-        params[registry.resolve(spec).id] = dict(kwargs)
+        test_id = registry.resolve(spec).id
+        if test_id in params and params[test_id] != dict(kwargs):
+            raise ValueError(
+                f"conflicting parameters for test {test_id!r}: "
+                "the same test was keyed under multiple aliases"
+            )
+        params[test_id] = dict(kwargs)
 
     lengths = {arr.size for arr in arrays}
     if len(lengths) == 1 and len(arrays) > 1:
@@ -139,10 +169,10 @@ def run_batch(
         for report, context in zip(reports, contexts):
             try:
                 report.results[test.id] = test.run(context, **kwargs)
-            except ValueError as exc:
+            except Exception as exc:  # noqa: BLE001 - see skip_errors docs
                 if not skip_errors:
                     raise
-                report.errors[test.id] = str(exc)
+                report.errors[test.id] = _describe_error(exc)
 
     if pooled:
         payloads = [arr.tobytes() for arr in arrays]
@@ -159,8 +189,8 @@ def run_batch(
                 if status == "ok":
                     reports[index].results[test_id] = outcome
                 elif skip_errors:
-                    reports[index].errors[test_id] = outcome
+                    reports[index].errors[test_id] = _describe_error(outcome)
                 else:
-                    raise ValueError(outcome)
+                    raise outcome
 
     return reports

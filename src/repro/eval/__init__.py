@@ -4,9 +4,16 @@ These models translate the raw resource reports of the hardware model into
 the quantities Table III and Table IV report (Spartan-6 slices / FFs / LUTs /
 maximum frequency, ASIC gate equivalents, software instruction counts and
 cycle latency), and provide the standalone-implementation baseline of
-Veljković et al. [13] for the Table IV comparison.
+Veljković et al. [13] for the Table IV comparison.  The attribution helpers
+pivot a detection campaign's cells into the complementary comparison: which
+implemented test actually catches which threat.
 """
 
+from repro.eval.attribution import (
+    attribution_rows,
+    attribution_tests,
+    format_attribution_table,
+)
 from repro.eval.fpga import FpgaEstimate, SPARTAN6_MODEL, estimate_fpga
 from repro.eval.asic import AsicEstimate, UMC130_MODEL, estimate_asic
 from repro.eval.latency import LatencyReport, latency_report, throughput_mbit_per_s
@@ -24,6 +31,9 @@ from repro.eval.power import (
 )
 
 __all__ = [
+    "attribution_rows",
+    "attribution_tests",
+    "format_attribution_table",
     "PowerPoint",
     "bias_power_curve",
     "correlation_power_curve",

@@ -1,0 +1,93 @@
+"""Per-test detection-attribution tables (the paper's Table-style comparison).
+
+The design-point tables of the paper (Table I / Table III) say which tests a
+design *implements*; a detection campaign says which tests actually *catch*
+which threat.  These helpers pivot a campaign's cells into that comparison:
+one row per (scenario, design), one column per NIST test number, each entry
+the number of trials in which that test flagged the threat — immediately
+showing, e.g., that the frequency test (1) catches a stuck-at source while
+the runs test (3) is what catches an alternating one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only, keeps eval below campaign
+    from repro.campaign.report import CampaignCell
+
+__all__ = [
+    "attribution_tests",
+    "attribution_rows",
+    "format_attribution_table",
+    "format_rows",
+]
+
+
+def format_rows(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
+    """Render dict rows as a fixed-width text table.
+
+    The shared renderer behind every comparison table in this layer (and the
+    campaign report's summary table).
+    """
+    if not rows:
+        return "(no rows)"
+    widths = {
+        column: max(len(str(column)), max(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def attribution_tests(cells: "Iterable[CampaignCell]") -> Tuple[int, ...]:
+    """All NIST test numbers implemented by any design in the campaign."""
+    numbers = set()
+    for cell in cells:
+        numbers.update(cell.tests)
+    return tuple(sorted(numbers))
+
+
+def attribution_rows(
+    cells: "Sequence[CampaignCell]",
+    tests: Optional[Sequence[int]] = None,
+) -> Tuple[List[Dict[str, object]], List[str]]:
+    """Pivot cells into (rows, columns) for the attribution table.
+
+    Entries read ``flagged/trials`` when a test detected the scenario, ``.``
+    when the design implements the test but it never flagged, and blank when
+    the design does not implement the test at all.  ``first`` lists the tests
+    that raised the initial alarm.
+    """
+    tests = tuple(tests) if tests is not None else attribution_tests(cells)
+    columns = ["scenario", "design", *[f"t{number}" for number in tests], "first"]
+    rows = []
+    for cell in cells:
+        row: Dict[str, object] = {"scenario": cell.scenario, "design": cell.design}
+        for number in tests:
+            if number not in cell.tests:
+                row[f"t{number}"] = ""
+            elif number in cell.attribution:
+                row[f"t{number}"] = f"{cell.attribution[number]}/{cell.trials}"
+            else:
+                row[f"t{number}"] = "."
+        row["first"] = (
+            ",".join(str(number) for number in sorted(cell.first_detectors)) or "-"
+        )
+        rows.append(row)
+    return rows, columns
+
+
+def format_attribution_table(
+    cells: "Sequence[CampaignCell]",
+    tests: Optional[Sequence[int]] = None,
+) -> str:
+    """Render the per-test attribution matrix as a fixed-width table."""
+    rows, columns = attribution_rows(cells, tests)
+    return format_rows(rows, columns)

@@ -35,20 +35,37 @@ class ReplaySource(EntropySource):
         silently recycling data would invalidate the statistics).
     """
 
-    def __init__(self, bits: BitsLike, loop: bool = False):
+    def __init__(self, bits: BitsLike, loop: bool = False, bit_length: Optional[int] = None):
         self._bits = to_bits(bits)
+        if bit_length is not None:
+            if not 0 < bit_length <= self._bits.size:
+                raise ValueError(
+                    f"bit_length must lie in 1..{self._bits.size}, got {bit_length}"
+                )
+            self._bits = self._bits[:bit_length]
         if self._bits.size == 0:
             raise ValueError("cannot replay an empty capture")
         self.loop = loop
         self._position = 0
 
     @classmethod
-    def from_file(cls, path: Union[str, pathlib.Path], loop: bool = False) -> "ReplaySource":
-        """Replay a raw byte file (every byte contributes 8 bits, MSB first)."""
+    def from_file(
+        cls,
+        path: Union[str, pathlib.Path],
+        loop: bool = False,
+        bit_length: Optional[int] = None,
+    ) -> "ReplaySource":
+        """Replay a raw byte file (every byte contributes 8 bits, MSB first).
+
+        Byte files cannot represent a bit count that is not a multiple of 8:
+        :meth:`CaptureSource.save` zero-pads the last byte.  Pass the exact
+        ``bit_length`` (as returned by ``save``) to drop that padding so a
+        capture round-trips bit-identically regardless of its length.
+        """
         data = pathlib.Path(path).read_bytes()
         if not data:
             raise ValueError(f"capture file {path} is empty")
-        return cls(data, loop=loop)
+        return cls(data, loop=loop, bit_length=bit_length)
 
     @property
     def total_bits(self) -> int:
@@ -113,15 +130,19 @@ class CaptureSource(EntropySource):
         return BitSequence(np.array(self._captured, dtype=np.uint8))
 
     def save(self, path: Union[str, pathlib.Path]) -> int:
-        """Write the capture as packed bytes (MSB first); returns bytes written.
+        """Write the capture as packed bytes (MSB first); returns the exact
+        number of bits captured.
 
-        Trailing bits that do not fill a whole byte are zero-padded, matching
-        the convention of :meth:`ReplaySource.from_file`.
+        Trailing bits that do not fill a whole byte are zero-padded in the
+        file.  The returned bit count is what makes the round-trip lossless:
+        pass it as ``bit_length`` to :meth:`ReplaySource.from_file` so the
+        replay stops at the real data instead of treating the pad bits as
+        captured output.
         """
         bits = np.array(self._captured, dtype=np.uint8)
         packed = np.packbits(bits) if bits.size else np.array([], dtype=np.uint8)
         pathlib.Path(path).write_bytes(packed.tobytes())
-        return int(packed.size)
+        return int(bits.size)
 
     def clear(self) -> None:
         """Drop the recorded bits (the wrapped source is untouched)."""

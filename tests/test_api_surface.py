@@ -31,7 +31,9 @@ class TestSubpackageApi:
     @pytest.mark.parametrize(
         "module_name",
         [
+            "repro.campaign",
             "repro.core",
+            "repro.engine",
             "repro.hwsim",
             "repro.hwtests",
             "repro.sw",

@@ -22,7 +22,7 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for command in ("designs", "evaluate", "monitor"):
+        for command in ("designs", "evaluate", "monitor", "campaign"):
             assert parser.parse_args([command]).command == command
 
     def test_suite_requires_capture(self):
@@ -95,6 +95,91 @@ class TestMonitorCommand:
         assert code == 1
         assert "failed" in text
 
+    def test_recovered_blip_exits_zero(self):
+        """Regression: the exit code used to be keyed off failure_rate() > 0,
+        so a healthy source losing one sequence at rate ~alpha made the whole
+        monitoring run report failure.  Seed 1 fails exactly one of eight
+        sequences and recovers; the final HealthState (and exit code) must be
+        healthy."""
+        code, text = run_cli(
+            ["monitor", "--design", "n128_light", "--source", "ideal",
+             "--sequences", "8", "--seed", "1"]
+        )
+        assert "fail" in text  # the blip really happened...
+        assert "final state: healthy" in text  # ...and was recovered from
+        assert code == 0
+
+    def test_suspect_final_state_exits_nonzero(self):
+        """A run that *ends* degraded (dead source, one sequence => SUSPECT
+        under suspect_after=1) keeps a non-zero exit code."""
+        code, text = run_cli(
+            ["monitor", "--design", "n128_light", "--source", "stuck", "--sequences", "1"]
+        )
+        assert code == 1
+        assert "final state: suspect" in text
+
+
+class TestCampaignCommand:
+    def run_small(self, *extra):
+        return run_cli(
+            ["campaign", "--designs", "n128_light,n128_medium",
+             "--scenarios", "healthy-ideal,wire-cut,alternating,biased-0.70",
+             "--trials", "1", "--sequences", "4", "--seed", "7", *extra]
+        )
+
+    def test_campaign_emits_detection_table(self):
+        code, text = self.run_small()
+        assert code == 0
+        assert "detect_prob" in text and "latency_bits" in text
+        assert "wire-cut" in text and "alternating" in text
+        assert "per-test attribution" in text
+        assert "healthy-control false-alarm rate [n128_light]" in text
+        assert "healthy-control false-alarm rate [n128_medium]" in text
+
+    def test_campaign_reproducible_under_fixed_seed(self):
+        first = self.run_small()
+        second = self.run_small()
+        assert first == second
+
+    def test_campaign_json_and_csv_export(self, tmp_path):
+        import csv as csv_module
+        import json
+
+        json_path = tmp_path / "report.json"
+        csv_path = tmp_path / "summary.csv"
+        code, text = self.run_small("--json", str(json_path), "--csv", str(csv_path))
+        assert code == 0
+        data = json.loads(json_path.read_text())
+        assert len(data["cells"]) == 2 * 4
+        assert data["config"]["seed"] == 7
+        with open(csv_path) as handle:
+            rows = list(csv_module.DictReader(handle))
+        assert len(rows) == 2 * 4
+        assert {row["scenario"] for row in rows} == {
+            "healthy-ideal", "wire-cut", "alternating", "biased-0.70",
+        }
+
+    def test_campaign_category_selector(self):
+        code, text = run_cli(
+            ["campaign", "--designs", "n128_light", "--scenarios", "failure",
+             "--trials", "1", "--sequences", "4"]
+        )
+        assert code == 0
+        assert "wire-cut" in text and "stuck-at-1" in text
+        assert "healthy-ideal" not in text
+
+    def test_campaign_unknown_design_is_an_error(self):
+        code, text = run_cli(["campaign", "--designs", "bogus", "--trials", "1"])
+        assert code == 2
+        assert "error" in text
+
+    def test_campaign_unknown_scenario_is_an_error(self):
+        code, text = run_cli(
+            ["campaign", "--designs", "n128_light", "--scenarios", "bogus-threat"]
+        )
+        assert code == 2
+        assert "error" in text
+
 
 class TestSuiteCommand:
     def test_reference_suite_on_capture(self, tmp_path):
@@ -106,3 +191,41 @@ class TestSuiteCommand:
         assert code in (0, 1)
         assert "Frequency (Monobit) Test" in text
         assert "skipped" in text  # the universal test cannot run on 4096 bits
+
+    def test_suite_bits_flag_drops_byte_padding(self, tmp_path):
+        """Regression: an odd-length capture replayed its zero-pad bits as
+        data; --bits (the count returned by save) restores the exact stream."""
+        capture = CaptureSource(IdealSource(seed=13))
+        capture.generate(2052)
+        path = tmp_path / "odd.bin"
+        bit_count = capture.save(path)
+        assert bit_count == 2052
+        code, text = run_cli(["suite", str(path), "--bits", "2052"])
+        assert code in (0, 1)
+        assert "(2052 bits)" in text
+        code, text = run_cli(["suite", str(path)])
+        assert "(2056 bits)" in text  # without --bits the padding is data
+
+    def test_suite_invalid_bits_is_an_error(self, tmp_path):
+        path = tmp_path / "cap.bin"
+        path.write_bytes(b"\xAA" * 16)
+        code, text = run_cli(["suite", str(path), "--bits", "1000"])
+        assert code == 2
+        assert "error" in text
+
+    def test_evaluate_capture_with_bits(self, tmp_path):
+        capture = CaptureSource(IdealSource(seed=14))
+        capture.generate(130)
+        path = tmp_path / "cap.bin"
+        bit_count = capture.save(path)
+        code, text = run_cli(
+            ["evaluate", "--design", "n128_light", "--capture", str(path),
+             "--bits", str(bit_count)]
+        )
+        assert code in (0, 1)
+        code, text = run_cli(
+            ["evaluate", "--design", "n128_light", "--capture", str(path),
+             "--bits", "999"]
+        )
+        assert code == 2
+        assert "error" in text

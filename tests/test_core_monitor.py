@@ -4,7 +4,13 @@ import pytest
 
 from repro.core.monitor import HealthState, OnTheFlyMonitor
 from repro.core.platform import OnTheFlyPlatform
-from repro.trng import AgingSource, BurstFailureSource, IdealSource, StuckAtSource
+from repro.trng import (
+    AgingSource,
+    BiasedSource,
+    BurstFailureSource,
+    IdealSource,
+    StuckAtSource,
+)
 
 
 @pytest.fixture()
@@ -75,6 +81,80 @@ class TestHealthPolicy:
     def test_num_sequences_validation(self, monitor):
         with pytest.raises(ValueError):
             monitor.monitor(IdealSource(seed=65), num_sequences=0)
+
+
+class TestLatencyAndAttributionHooks:
+    def test_first_indices_and_latency_sequences(self, monitor):
+        monitor.monitor(StuckAtSource(0), num_sequences=4)
+        assert monitor.first_suspect_index == 0  # suspect_after=1
+        assert monitor.first_failed_index == 1  # fail_after=2
+        assert monitor.detection_latency_sequences() == 2
+        assert monitor.detection_latency_bits() == 2 * 128
+
+    def test_hooks_none_while_healthy(self, monitor):
+        monitor.monitor(IdealSource(seed=70), num_sequences=3)
+        assert monitor.first_failed_index is None
+        assert monitor.detection_latency_sequences() is None
+        if monitor.failure_rate() == 0:
+            assert monitor.first_suspect_index is None
+            assert monitor.first_failing_tests is None
+            assert monitor.failing_test_counts() == {}
+
+    def test_first_failing_tests_and_counts(self, monitor):
+        monitor.monitor(StuckAtSource(1), num_sequences=3)
+        # a constant-1 source fails every test of the n128_light design
+        assert monitor.first_failing_tests == (1, 2, 3, 4, 13)
+        assert monitor.failing_test_counts() == {t: 3 for t in (1, 2, 3, 4, 13)}
+
+    def test_counts_survive_history_eviction(self):
+        monitor = OnTheFlyMonitor(
+            OnTheFlyPlatform("n128_light"), fail_after=2, max_history=1
+        )
+        monitor.monitor(StuckAtSource(0), num_sequences=5)
+        assert monitor.failing_test_counts()[1] == 5
+        assert monitor.first_failed_index == 1
+
+    def test_reset_clears_hooks(self, monitor):
+        monitor.monitor(StuckAtSource(0), num_sequences=3)
+        monitor.reset()
+        assert monitor.first_failed_index is None
+        assert monitor.first_suspect_index is None
+        assert monitor.first_failing_tests is None
+        assert monitor.failing_test_counts() == {}
+
+    def test_failing_test_counts_returns_a_copy(self, monitor):
+        monitor.monitor(StuckAtSource(0), num_sequences=2)
+        counts = monitor.failing_test_counts()
+        counts[1] = 999
+        assert monitor.failing_test_counts()[1] != 999
+
+
+class TestBatchedSequentialParity:
+    def test_failing_source_trajectory_parity(self):
+        """Batched and per-sequence monitoring must agree event for event on
+        a source that fails some (but not all) sequences."""
+        per_seq = OnTheFlyMonitor(
+            OnTheFlyPlatform("n128_light"), suspect_after=1, fail_after=2
+        )
+        batched = OnTheFlyMonitor(
+            OnTheFlyPlatform("n128_light"), suspect_after=1, fail_after=2
+        )
+        per_seq.monitor(BiasedSource(0.62, seed=88), num_sequences=8)
+        batched.monitor(BiasedSource(0.62, seed=88), num_sequences=8, batch_size=3)
+        assert per_seq.failure_rate() > 0.0  # the scenario actually fails
+        assert [e.state for e in per_seq.history] == [e.state for e in batched.history]
+        assert [e.report.failing_tests for e in per_seq.history] == [
+            e.report.failing_tests for e in batched.history
+        ]
+        assert per_seq.failure_rate() == batched.failure_rate()
+        assert per_seq.first_failed_index == batched.first_failed_index
+        assert per_seq.first_suspect_index == batched.first_suspect_index
+        assert per_seq.first_failing_tests == batched.first_failing_tests
+        assert per_seq.failing_test_counts() == batched.failing_test_counts()
+        assert (
+            per_seq.detection_latency_sequences()
+            == batched.detection_latency_sequences()
+        )
 
 
 class TestMonitorScenarios:

@@ -96,6 +96,83 @@ class TestRunBatch:
         with pytest.raises(ValueError):
             run_batch([[0, 1] * 32], tests=[9], skip_errors=False)
 
+    def test_duplicate_specs_run_once(self, batch_sequences):
+        """Regression: the same test given by number and id alias used to run
+        twice, silently overwriting its own result."""
+        calls = []
+        registry = TestRegistry()
+        registry.register(
+            RegisteredTest(
+                id="count.frequency",
+                name="Counting",
+                runner=lambda ctx: calls.append(1) or frequency_test(ctx.bits),
+                aliases=("cf",),
+            )
+        )
+        reports = run_batch(
+            batch_sequences[:1], tests=["count.frequency", "cf", "count.frequency"],
+            registry=registry,
+        )
+        assert len(calls) == 1
+        assert set(reports[0].results) == {"count.frequency"}
+
+    def test_duplicate_nist_aliases_dedupe_preserving_order(self, batch_sequences):
+        reports = run_batch(batch_sequences[:1], tests=[3, 1, "nist.runs", "1", 3])
+        assert list(reports[0].results) == ["nist.runs", "nist.frequency"]
+
+    def test_non_valueerror_recorded_not_raised(self, batch_sequences):
+        """Regression: a non-ValueError from a test (here a TypeError from a
+        bogus parameter) used to crash the whole batch despite skip_errors."""
+        reports = run_batch(
+            batch_sequences[:2], tests=[1, 3], parameters={1: {"bogus_kwarg": 1}}
+        )
+        for report in reports:
+            assert "nist.frequency" in report.errors
+            assert "TypeError" in report.errors["nist.frequency"]
+            assert "nist.runs" in report.results  # the rest of the batch ran
+
+    def test_non_valueerror_raised_without_skip_errors(self, batch_sequences):
+        with pytest.raises(TypeError):
+            run_batch(batch_sequences[:1], tests=[1],
+                      parameters={1: {"bogus_kwarg": 1}}, skip_errors=False)
+
+    def test_pooled_error_reraised_with_original_type(self, batch_sequences):
+        """skip_errors=False must surface the worker's original exception
+        type, matching the inline path."""
+        with pytest.raises(TypeError):
+            run_batch(batch_sequences[:1], tests=[5], processes=2,
+                      parameters={5: {"bogus_kwarg": 1}}, skip_errors=False)
+
+    def test_conflicting_parameter_aliases_rejected(self, batch_sequences):
+        """The same test keyed under two aliases with different kwargs must be
+        an error, not a silent overwrite."""
+        with pytest.raises(ValueError, match="conflicting parameters"):
+            run_batch(
+                batch_sequences[:1], tests=[2],
+                parameters={2: {"block_length": 16},
+                            "nist.block_frequency": {"block_length": 32}},
+            )
+        # identical kwargs under two aliases are harmless
+        reports = run_batch(
+            batch_sequences[:1], tests=[2],
+            parameters={2: {"block_length": 64},
+                        "nist.block_frequency": {"block_length": 64}},
+        )
+        assert reports[0].results["nist.block_frequency"].details["block_length"] == 64
+
+    def test_pooled_non_valueerror_recorded_not_raised(self, batch_sequences):
+        """Regression: _pool_worker only caught ValueError, so any other
+        exception from an expensive test crashed the batch via
+        future.result() even with skip_errors=True."""
+        reports = run_batch(
+            batch_sequences, tests=[1, 5], processes=2,
+            parameters={5: {"bogus_kwarg": 1}},
+        )
+        for report in reports:
+            assert "nist.rank" in report.errors
+            assert "TypeError" in report.errors["nist.rank"]
+            assert "nist.frequency" in report.results
+
     def test_report_helpers(self, batch_sequences):
         report = run_batch([np.ones(256, dtype=np.uint8)], tests=[1, 3])[0]
         assert not report.passed()

@@ -31,6 +31,7 @@ class TestExampleScripts:
             "attack_detection.py",
             "design_space_exploration.py",
             "continuous_monitoring.py",
+            "detection_campaign.py",
         } <= names
 
     def test_quickstart(self):
@@ -52,6 +53,13 @@ class TestExampleScripts:
         assert result.returncode == 0, result.stderr
         assert "Frequency-injection attack" in result.stdout
         assert "value-based reporting" in result.stdout.lower()
+
+    def test_detection_campaign(self):
+        result = run_example("detection_campaign.py")
+        assert result.returncode == 0, result.stderr
+        assert "Detection campaign" in result.stdout
+        assert "false-alarm rate" in result.stdout
+        assert "wire-cut" in result.stdout
 
     @pytest.mark.slow
     def test_continuous_monitoring(self):

@@ -91,15 +91,48 @@ class TestCaptureSource:
         original = capture.generate(64)
         path = tmp_path / "dump.bin"
         written = capture.save(path)
-        assert written == 8
+        assert written == 64  # exact bit count, not bytes
         replay = ReplaySource.from_file(path)
         assert replay.generate(64) == original
 
-    def test_save_pads_partial_byte(self, tmp_path):
+    def test_save_reports_exact_bits_of_partial_byte(self, tmp_path):
         capture = CaptureSource(IdealSource(seed=6))
         capture.generate(10)
         path = tmp_path / "dump.bin"
-        assert capture.save(path) == 2  # 10 bits -> 2 bytes
+        assert capture.save(path) == 10  # 10 bits (stored as 2 padded bytes)
+        assert path.stat().st_size == 2
+
+    def test_partial_byte_round_trip_is_lossless(self, tmp_path):
+        """Regression: the zero-pad bits of the last byte must not replay as
+        data — a 13-bit capture used to come back as 16 bits."""
+        capture = CaptureSource(IdealSource(seed=9))
+        original = capture.generate(13)
+        path = tmp_path / "dump.bin"
+        bit_count = capture.save(path)
+        assert bit_count == 13
+        replay = ReplaySource.from_file(path, bit_length=bit_count)
+        assert replay.total_bits == 13
+        assert replay.generate(13) == original
+        with pytest.raises(RuntimeError):
+            replay.next_bit()  # the pad bits are gone, not replayable
+
+    def test_from_file_without_bit_length_keeps_padded_bits(self, tmp_path):
+        capture = CaptureSource(IdealSource(seed=10))
+        capture.generate(13)
+        path = tmp_path / "dump.bin"
+        capture.save(path)
+        assert ReplaySource.from_file(path).total_bits == 16
+
+    def test_bit_length_validation(self, tmp_path):
+        path = tmp_path / "dump.bin"
+        path.write_bytes(b"\xFF")
+        with pytest.raises(ValueError):
+            ReplaySource.from_file(path, bit_length=0)
+        with pytest.raises(ValueError):
+            ReplaySource.from_file(path, bit_length=9)
+        with pytest.raises(ValueError):
+            ReplaySource("1010", bit_length=5)
+        assert ReplaySource("1010", bit_length=3).total_bits == 3
 
     def test_reset_resets_both(self):
         capture = CaptureSource(IdealSource(seed=7))
