@@ -4,11 +4,16 @@ Every benchmark regenerates one table or figure of the paper.  Besides the
 pytest-benchmark timing, each benchmark renders its table both to stdout and
 to ``benchmarks/results/<name>.txt`` so the artefacts referenced by
 EXPERIMENTS.md can be reproduced with a single ``pytest benchmarks/
---benchmark-only`` run.
+--benchmark-only`` run.  Every saved table also lands as machine-readable
+``benchmarks/results/<name>.json`` (title + columns + rows), so the perf
+trajectory — engine batch speedup, campaign throughput, stream throughput —
+can be tracked across PRs by diffing/plotting the JSON artefacts instead of
+scraping text tables.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 from typing import Dict, List, Sequence
 
@@ -18,6 +23,25 @@ from repro.core.configs import list_designs
 from repro.trng.ideal import IdealSource
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _jsonable(value):
+    """Best-effort JSON conversion for numpy scalars and other odd cells."""
+    try:
+        json.dumps(value)
+        return value
+    except TypeError:
+        if hasattr(value, "item"):
+            return value.item()
+        return str(value)
+
+
+def save_json_result(name: str, payload: Dict[str, object]) -> pathlib.Path:
+    """Persist a machine-readable benchmark artefact under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=_jsonable) + "\n")
+    return path
 
 
 def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
@@ -39,13 +63,28 @@ def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> s
 
 
 @pytest.fixture(scope="session")
+def save_json():
+    """Persist a machine-readable benchmark artefact under results/."""
+    return save_json_result
+
+
+@pytest.fixture(scope="session")
 def save_table():
-    """Persist a rendered table under benchmarks/results/ and echo it."""
+    """Persist a rendered table under benchmarks/results/ (as both ``.txt``
+    and machine-readable ``.json``) and echo it."""
 
     def _save(name: str, title: str, rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
         RESULTS_DIR.mkdir(exist_ok=True)
         text = f"{title}\n\n{format_table(rows, columns)}\n"
         (RESULTS_DIR / f"{name}.txt").write_text(text)
+        save_json_result(
+            name,
+            {
+                "title": title,
+                "columns": list(columns),
+                "rows": [{k: _jsonable(v) for k, v in row.items()} for row in rows],
+            },
+        )
         print("\n" + text)
         return text
 

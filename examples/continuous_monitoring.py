@@ -20,7 +20,14 @@ from repro.trng import BurstFailureSource
 
 
 class AgingWithBursts(AgingSource):
-    """An aging source that additionally collapses for short bursts."""
+    """An aging source that additionally collapses for short bursts.
+
+    Overriding ``next_bit`` below a block-native source is the legacy
+    extension pattern: bulk generation (``generate_block``) detects the
+    bit-serial override and honours it by falling back to the per-bit loop,
+    so the platform's vectorised hardware path still sees the combined
+    burst+aging stream.
+    """
 
     def __init__(self, drift_per_bit: float, burst_rate: float, seed: int):
         super().__init__(drift_per_bit=drift_per_bit, seed=seed)

@@ -4,12 +4,15 @@ For every (scenario x design) cell, :func:`run_campaign` runs ``trials``
 independent monitoring trials.  Each trial builds a fresh seeded source from
 the scenario's builder, wraps the design's platform in an
 :class:`~repro.core.monitor.OnTheFlyMonitor` and drains the source in whole
-batches (``batch_size = sequences_per_trial``), so every sequence is
-evaluated through the engine's batch path
+trial matrices (``batch_size = sequences_per_trial``): the monitor pulls a
+``(sequences, n)`` uint8 matrix straight from the source's block-native
+stream (:meth:`~repro.trng.source.EntropySource.generate_matrix`) and every
+sequence is evaluated through the engine's batch path
 (:meth:`~repro.core.platform.OnTheFlyPlatform.evaluate_batch`, vectorised
-functional hardware model) rather than bit-serially.  The monitor's latency
-and attribution hooks (first failed index, first failing tests, per-test
-failure counts) provide the per-cell metrics.
+functional hardware model).  No per-bit Python runs anywhere on the
+campaign hot path — neither for generation nor for evaluation.  The
+monitor's latency and attribution hooks (first failed index, first failing
+tests, per-test failure counts) provide the per-cell metrics.
 
 Cells are independent, so with ``processes > 1`` they fan out over a process
 pool — the campaign-level analogue of :func:`repro.engine.batch.run_batch`'s
@@ -106,15 +109,18 @@ def _evaluate_cell(
     attribution = {}
     first_detectors = {}
     for trial in range(config.trials):
-        source = spec.build(_trial_seed(config.seed, design, spec.label, trial), platform.n)
         monitor = OnTheFlyMonitor(
             platform, suspect_after=config.suspect_after, fail_after=config.fail_after
         )
-        monitor.monitor(
-            source,
-            num_sequences=config.sequences_per_trial,
-            batch_size=config.sequences_per_trial,
+        # One block-native pull per trial: the whole trial matrix streams out
+        # of the scenario source and through the engine batch path at once.
+        matrix = spec.build_matrix(
+            _trial_seed(config.seed, design, spec.label, trial),
+            platform.n,
+            config.sequences_per_trial,
         )
+        for report in platform.evaluate_batch(matrix):
+            monitor.observe(report)
         failing_sequences += sum(
             1 for event in monitor.history if not event.report.passed
         )

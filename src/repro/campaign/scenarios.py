@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.trng.aging import AgingSource
 from repro.trng.attacks import AttackScenario, EMInjectionAttack, FrequencyInjectionAttack
 from repro.trng.biased import BiasedSource
@@ -83,6 +85,19 @@ class ScenarioSpec:
     def build(self, seed: int, n: int) -> EntropySource:
         """A fresh source for one campaign trial."""
         return self.builder(seed, n)
+
+    def build_matrix(self, seed: int, n: int, num_sequences: int) -> np.ndarray:
+        """One trial's bit matrix: ``num_sequences`` consecutive n-bit
+        sequences from a fresh source, as a ``(num_sequences, n)`` uint8
+        array drawn block-natively
+        (:meth:`~repro.trng.source.EntropySource.generate_matrix`).
+
+        Rows are consecutive stretches of one stream, so staged attacks and
+        aging trajectories unfold across the rows exactly as they do in a
+        monitoring run.  This is the shape the engine's batch path consumes
+        directly.
+        """
+        return self.build(seed, n).generate_matrix(num_sequences, n)
 
     def scenario(self, seed: int, n: int) -> AttackScenario:
         """Bridge to the legacy :class:`AttackScenario` (one bound source)."""

@@ -113,6 +113,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="evaluate sequences in engine batches of this size")
     monitor.add_argument("--max-history", type=int, default=None,
                          help="bound the in-memory event history (running totals stay exact)")
+    monitor.add_argument("--rtl-fidelity", action="store_true",
+                         help="drive the cycle-accurate bit-serial hardware model "
+                              "bit by bit instead of the vectorized block path "
+                              "(slow; for RTL-fidelity runs)")
 
     suite = sub.add_parser("suite", help="run the full reference NIST suite on a capture")
     suite.add_argument("capture", help="raw byte file with the captured TRNG output")
@@ -196,12 +200,12 @@ def _cmd_evaluate(args, out) -> int:
                 file=out,
             )
             return 2
-        bits = source.generate(platform.n)
+        bits = source.generate_block(platform.n)
         report = platform.evaluate_sequence(bits, accelerated=True)
         origin = args.capture
     else:
         simulated = _make_source(args.source, args.seed, args.parameter)
-        bits = simulated.generate(platform.n)
+        bits = simulated.generate_block(platform.n)
         report = platform.evaluate_sequence(bits, accelerated=True)
         origin = simulated.name
     print(f"design   : {args.design} (n = {platform.n}, alpha = {args.alpha})", file=out)
@@ -221,8 +225,16 @@ def _cmd_monitor(args, out) -> int:
         platform, suspect_after=1, fail_after=2, max_history=args.max_history
     )
     source = _make_source(args.source, args.seed, args.parameter)
+    if args.rtl_fidelity:
+        path = "bit-serial RTL model (--rtl-fidelity)"
+    else:
+        path = "vectorized block streaming (default)"
+    print(f"hardware path: {path}", file=out)
     events = monitor.monitor(
-        source, num_sequences=args.sequences, batch_size=args.batch_size
+        source,
+        num_sequences=args.sequences,
+        batch_size=args.batch_size,
+        accelerated=not args.rtl_fidelity,
     )
     for event in events:
         verdict = "pass" if event.report.passed else f"fail {event.report.failing_tests}"
@@ -279,9 +291,9 @@ def _cmd_batch(args, out) -> int:
             print(f"error: unknown test numbers {unknown or args.tests!r} (valid: 1..15)", file=out)
             return 2
     source = _make_source(args.source, args.seed, args.parameter)
-    sequences = [source.generate(args.length).bits for _ in range(args.sequences)]
+    matrix = source.generate_matrix(args.sequences, args.length)
     start = time.perf_counter()
-    reports = run_batch(sequences, tests=tests, processes=args.processes)
+    reports = run_batch(matrix, tests=tests, processes=args.processes)
     elapsed = time.perf_counter() - start
     print(
         f"engine batch: {args.sequences} sequences x {args.length} bits from "

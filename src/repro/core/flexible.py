@@ -133,9 +133,14 @@ class FlexibleLengthPlatform:
         """Evaluate one sequence of the currently configured length."""
         return self._platform().evaluate_sequence(bits, accelerated=accelerated)
 
-    def evaluate_source(self, source: EntropySource) -> PlatformReport:
-        """Draw and evaluate one sequence of the currently configured length."""
-        return self._platform().evaluate_source(source)
+    def evaluate_source(self, source: EntropySource, accelerated: bool = True) -> PlatformReport:
+        """Draw and evaluate one sequence of the currently configured length.
+
+        The default pulls one whole block from the source and runs the
+        vectorised functional hardware model; ``accelerated=False`` selects
+        the bit-serial RTL-fidelity path.
+        """
+        return self._platform().evaluate_source(source, accelerated=accelerated)
 
     # ------------------------------------------------------------------ resources
     def configuration_overhead(self) -> ResourceReport:

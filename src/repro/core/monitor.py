@@ -156,14 +156,22 @@ class OnTheFlyMonitor:
         source: EntropySource,
         num_sequences: int,
         batch_size: Optional[int] = None,
+        accelerated: bool = True,
     ) -> List[MonitorEvent]:
         """Monitor ``source`` for ``num_sequences`` consecutive n-bit sequences.
 
-        With ``batch_size > 1`` the monitor drains the source in batches and
+        Sequences are pulled from the source block-natively
+        (:meth:`~repro.trng.source.EntropySource.generate_block`) and run
+        through the vectorised functional hardware model by default;
+        ``accelerated=False`` selects the RTL-fidelity path (the hardware
+        observes the source one bit per clock cycle).  With
+        ``batch_size > 1`` the monitor additionally drains the source in
+        whole trial matrices
+        (:meth:`~repro.trng.source.EntropySource.generate_matrix`) and
         evaluates each batch through
         :meth:`~repro.core.platform.OnTheFlyPlatform.evaluate_batch` (the
-        engine path, vectorised functional hardware model) instead of
-        sequence by sequence; the health-state trajectory is identical.
+        engine path).  The health-state trajectory is identical on every
+        path.
 
         With ``max_history`` set, the returned list is bounded to the most
         recent ``max_history`` events as well, so monitoring millions of
@@ -178,24 +186,27 @@ class OnTheFlyMonitor:
         events = [] if self.max_history is None else deque(maxlen=self.max_history)
         if batch_size is None or batch_size <= 1:
             for _ in range(num_sequences):
-                report = self.platform.evaluate_source(source)
+                report = self.platform.evaluate_source(source, accelerated=accelerated)
                 events.append(self.observe(report))
             return list(events)
         remaining = num_sequences
         while remaining > 0:
             take = min(batch_size, remaining)
-            sequences = [source.generate(self.platform.n).bits for _ in range(take)]
-            for report in self.platform.evaluate_batch(sequences):
+            matrix = source.generate_matrix(take, self.platform.n)
+            for report in self.platform.evaluate_batch(matrix, accelerated=accelerated):
                 events.append(self.observe(report))
             remaining -= take
         return list(events)
 
     def monitor_until_failure(
-        self, source: EntropySource, max_sequences: int = 1000
+        self,
+        source: EntropySource,
+        max_sequences: int = 1000,
+        accelerated: bool = True,
     ) -> Iterator[MonitorEvent]:
         """Yield events until the source is FAILED or the budget is exhausted."""
         for _ in range(max_sequences):
-            report = self.platform.evaluate_source(source)
+            report = self.platform.evaluate_source(source, accelerated=accelerated)
             event = self.observe(report)
             yield event
             if event.state is HealthState.FAILED:

@@ -15,8 +15,11 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.configs import DesignPoint, get_design
 from repro.core.results import PlatformReport
+from repro.engine.context import BatchContext
 from repro.hwtests.block import UnifiedTestingBlock
 from repro.hwtests.parameters import SharingOptions
 from repro.nist.common import BitsLike, to_bits
@@ -90,14 +93,15 @@ class OnTheFlyPlatform:
         )
 
     # ------------------------------------------------------------------ evaluation
-    def evaluate_sequence(self, bits: BitsLike, accelerated: bool = False) -> PlatformReport:
+    def evaluate_sequence(self, bits: BitsLike, accelerated: bool = True) -> PlatformReport:
         """Run one complete n-bit sequence through hardware and software.
 
-        ``accelerated=True`` uses the functional (vectorised) hardware model
-        instead of the cycle-accurate bit-serial model; the final register
-        contents — and therefore the verdicts — are identical (see
+        The default feeds the functional (vectorised) hardware model;
+        ``accelerated=False`` selects the cycle-accurate bit-serial model
+        for RTL-fidelity runs.  The final register contents — and therefore
+        the verdicts — are identical (see
         ``UnifiedTestingBlock.accelerated_process_sequence``), only the
-        simulation speed differs.  Recommended for the 2^20-bit designs.
+        simulation speed differs.
         """
         arr = to_bits(bits)
         if arr.size != self.n:
@@ -118,15 +122,34 @@ class OnTheFlyPlatform:
         vectorised functional hardware model (``accelerated=True``, the
         default) rather than the bit-serial one.  The verdicts are identical
         either way; only the simulation speed differs.
+
+        ``sequences`` may be any iterable of ``BitsLike`` sequences or —
+        the zero-copy fast path used by the monitor and campaign runner — a
+        2-D ``(num_sequences, n)`` uint8 matrix straight from
+        :meth:`~repro.trng.source.EntropySource.generate_matrix`.
         """
-        arrays = [to_bits(sequence) for sequence in sequences]
+        if isinstance(sequences, np.ndarray):
+            arrays: List[np.ndarray] = list(BatchContext.as_matrix(sequences))
+        else:
+            arrays = [to_bits(sequence) for sequence in sequences]
         for arr in arrays:
             if arr.size != self.n:
                 raise ValueError(f"expected {self.n} bits, got {arr.size}")
         return [self.evaluate_sequence(arr, accelerated=accelerated) for arr in arrays]
 
-    def evaluate_source(self, source: EntropySource) -> PlatformReport:
-        """Draw one n-bit sequence from ``source`` and evaluate it."""
+    def evaluate_source(self, source: EntropySource, accelerated: bool = True) -> PlatformReport:
+        """Draw one n-bit sequence from ``source`` and evaluate it.
+
+        The default pulls a whole n-bit block from the source
+        (:meth:`~repro.trng.source.EntropySource.generate_block`) and feeds
+        it to the vectorised functional hardware model.
+        ``accelerated=False`` selects the RTL-fidelity path instead — the
+        hardware observes the source one bit per clock cycle, exactly like
+        the paper's deployment — at per-bit Python cost.  Both paths
+        consume the same source stream and produce identical verdicts.
+        """
+        if accelerated:
+            return self.evaluate_sequence(source.generate_block(self.n), accelerated=True)
         self.hardware.reset()
         for _ in range(self.n):
             self.hardware.process_bit(source.next_bit())

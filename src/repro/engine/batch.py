@@ -99,9 +99,13 @@ def run_batch(
     Parameters
     ----------
     sequences:
-        Iterable of bit sequences (any ``BitsLike``).  Equal-length
-        sequences are stacked into one bit matrix and share vectorised
-        statistics; mixed lengths fall back to per-sequence contexts.
+        Iterable of bit sequences (any ``BitsLike``), or a 2-D
+        ``(num_sequences, n)`` uint8 matrix straight from
+        :meth:`~repro.trng.source.EntropySource.generate_matrix` — the
+        zero-copy fast path used by the block-native source layer.
+        Equal-length sequences are stacked into one bit matrix and share
+        vectorised statistics; mixed lengths fall back to per-sequence
+        contexts.
     tests:
         Test specs resolvable by the registry — canonical ids
         (``"nist.serial"``, ``"fips.poker"``, ``"hw.platform"``), NIST
@@ -128,7 +132,12 @@ def run_batch(
         One report per input sequence, in input order.
     """
     registry = registry if registry is not None else DEFAULT_REGISTRY
-    arrays = [to_bits(sequence) for sequence in sequences]
+    matrix: Optional[np.ndarray] = None
+    if isinstance(sequences, np.ndarray) and sequences.ndim == 2:
+        matrix = BatchContext.as_matrix(sequences)
+        arrays: List[np.ndarray] = list(matrix)
+    else:
+        arrays = [to_bits(sequence) for sequence in sequences]
     if not arrays:
         return []
     specs = list(tests) if tests is not None else sorted(NIST_NUMBER_TO_ID)
@@ -153,8 +162,10 @@ def run_batch(
         params[test_id] = dict(kwargs)
 
     lengths = {arr.size for arr in arrays}
-    if len(lengths) == 1 and len(arrays) > 1:
-        contexts: List[SequenceContext] = list(BatchContext(np.vstack(arrays)).contexts())
+    if matrix is not None and len(arrays) > 1:
+        contexts: List[SequenceContext] = list(BatchContext(matrix).contexts())
+    elif len(lengths) == 1 and len(arrays) > 1:
+        contexts = list(BatchContext(np.vstack(arrays)).contexts())
     else:
         contexts = [SequenceContext(arr) for arr in arrays]
     reports = [EngineReport(n=int(arr.size)) for arr in arrays]

@@ -277,6 +277,27 @@ class BatchContext:
     created with :meth:`context` read their row from the shared arrays.
     """
 
+    @staticmethod
+    def as_matrix(sequences) -> np.ndarray:
+        """Normalise ``sequences`` to a validated 2-D uint8 bit matrix.
+
+        A uint8 array that already has the right shape — e.g. one produced
+        by :meth:`~repro.trng.source.EntropySource.generate_matrix` — is
+        passed through without copying, so source blocks flow into the
+        engine with no intermediate :class:`BitSequence` materialisation.
+        """
+        matrix = np.ascontiguousarray(sequences, dtype=np.uint8)
+        if matrix.ndim != 2:
+            raise ValueError("expected a 2-D (num_sequences, n) bit matrix")
+        if matrix.size and int(matrix.max()) > 1:
+            raise ValueError("bit matrix must contain only 0 and 1 values")
+        return matrix
+
+    @classmethod
+    def from_blocks(cls, blocks) -> "BatchContext":
+        """Batch context over equal-length source blocks (1-D uint8 arrays)."""
+        return cls(np.vstack([np.atleast_1d(block) for block in blocks]))
+
     def __init__(self, matrix: np.ndarray):
         matrix = np.ascontiguousarray(matrix, dtype=np.uint8)
         if matrix.ndim != 2:

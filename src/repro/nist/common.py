@@ -56,6 +56,13 @@ def to_bits(bits: BitsLike) -> np.ndarray:
     """
     if isinstance(bits, BitSequence):
         return bits.bits
+    if isinstance(bits, np.ndarray) and bits.dtype == np.uint8 and bits.ndim == 1:
+        # Zero-copy fast path for source blocks: a 1-D uint8 array is the
+        # native stream representation, so it is validated and passed
+        # through as-is instead of round-tripping through int64.
+        if bits.size and int(bits.max()) > 1:
+            raise ValueError("bit sequence must contain only 0 and 1 values")
+        return bits
     if isinstance(bits, str):
         cleaned = "".join(bits.split())
         if cleaned and set(cleaned) - {"0", "1"}:

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.trng.source import SeededSource
 
 __all__ = ["AgingSource"]
@@ -18,6 +20,10 @@ __all__ = ["AgingSource"]
 
 class AgingSource(SeededSource):
     """A source whose bias drifts linearly with the number of emitted bits.
+
+    ``block_bits`` stays 1: :attr:`age_bits` and :meth:`current_bias` are
+    observables that must track the bits the consumer has actually seen, so
+    the ``next_bit`` shim may not read ahead.
 
     Parameters
     ----------
@@ -58,10 +64,13 @@ class AgingSource(SeededSource):
         bias = self.initial_bias + self.drift_per_bit * self._emitted
         return min(max(bias, self.min_bias), self.max_bias)
 
-    def next_bit(self) -> int:
-        bit = int(self._uniform() < self.current_bias())
-        self._emitted += 1
-        return bit
+    def _generate_block(self, n: int) -> np.ndarray:
+        u = self._rng.random(n)
+        ages = np.arange(self._emitted, self._emitted + n, dtype=np.int64)
+        bias = self.initial_bias + self.drift_per_bit * ages
+        np.clip(bias, self.min_bias, self.max_bias, out=bias)
+        self._emitted += n
+        return (u < bias).astype(np.uint8)
 
     def reset(self) -> None:
         super().reset()

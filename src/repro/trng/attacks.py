@@ -7,12 +7,19 @@ hardware* — probing/grounding of the alarm signal (the motivation for the
 paper's value-based reporting).  Each threat is modelled here either as a
 wrapper that degrades an underlying entropy source or, for the probing
 attack, as a tampering model applied to the reporting channel.
+
+The wrappers are block-native like every other source: they transform whole
+blocks pulled from their target (splitting a block at the staged attack
+onset where needed) instead of falling back to bit loops, so an attacked
+source streams at the same vectorised rate as a healthy one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Optional
+
+import numpy as np
 
 from repro.trng.oscillator import RingOscillatorTRNG
 from repro.trng.source import EntropySource, SeededSource
@@ -32,6 +39,10 @@ class FrequencyInjectionAttack(EntropySource):
     ring-oscillator frequency through the supply locks the oscillator and
     collapses its jitter.  The attack wraps a :class:`RingOscillatorTRNG`
     and, once activated, locks it with the requested strength.
+
+    ``block_bits`` stays 1: :attr:`active` is an observable that must track
+    the bits the consumer has actually seen, so the ``next_bit`` shim may
+    not read ahead of the staged lock.
 
     Parameters
     ----------
@@ -57,13 +68,26 @@ class FrequencyInjectionAttack(EntropySource):
         self.start_bit = int(start_bit)
         self._emitted = 0
 
-    def next_bit(self) -> int:
-        if self._emitted == self.start_bit:
-            self.target.lock(self.lock_strength)
-        self._emitted += 1
-        return self.target.next_bit()
+    def _generate_block(self, n: int) -> np.ndarray:
+        pieces = []
+        remaining = n
+        if self._emitted < self.start_bit and remaining:
+            # Pre-injection stretch: pass the free-running target through.
+            pre = min(remaining, self.start_bit - self._emitted)
+            pieces.append(self.target.generate_block(pre))
+            self._emitted += pre
+            remaining -= pre
+        if remaining:
+            if self._emitted == self.start_bit:
+                self.target.lock(self.lock_strength)
+            pieces.append(self.target.generate_block(remaining))
+            self._emitted += remaining
+        if not pieces:
+            return np.zeros(0, dtype=np.uint8)
+        return pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
 
     def reset(self) -> None:
+        super().reset()
         self.target.unlock()
         self.target.reset()
         self._emitted = 0
@@ -101,6 +125,10 @@ class EMInjectionAttack(SeededSource):
         Seed for the coupling randomness.
     """
 
+    # block_bits stays 1: a wrapper must never read ahead of its target —
+    # buffering would advance finite targets (replay captures) and the
+    # target's own position observables past what the consumer has seen.
+
     def __init__(
         self,
         target: EntropySource,
@@ -122,17 +150,23 @@ class EMInjectionAttack(SeededSource):
         self.start_bit = int(start_bit)
         self._emitted = 0
 
-    def next_bit(self) -> int:
-        source_bit = self.target.next_bit()
-        position = self._emitted
-        self._emitted += 1
-        if position < self.start_bit:
-            return source_bit
-        if self._uniform() < self.coupling:
-            # The carrier imposes its own waveform: high for the first half
-            # of each carrier period.
-            return int((position % self.carrier_period) < self.carrier_period / 2)
-        return source_bit
+    def _generate_block(self, n: int) -> np.ndarray:
+        source_bits = np.ascontiguousarray(self.target.generate_block(n), dtype=np.uint8)
+        positions = np.arange(self._emitted, self._emitted + n, dtype=np.int64)
+        self._emitted += n
+        past_onset = positions >= self.start_bit
+        count = int(np.count_nonzero(past_onset))
+        if count == 0:
+            return source_bits
+        # One coupling uniform per post-onset bit (the coupling stream and
+        # the target stream are independent generators, so pulling each in
+        # bulk preserves both streams' draw order).
+        overridden = np.zeros(n, dtype=bool)
+        overridden[past_onset] = self._rng.random(count) < self.coupling
+        # The carrier imposes its own waveform: high for the first half of
+        # each carrier period.
+        carrier = (positions % self.carrier_period) < self.carrier_period / 2
+        return np.where(overridden, carrier.astype(np.uint8), source_bits)
 
     def reset(self) -> None:
         super().reset()

@@ -6,7 +6,6 @@ from typing import Optional
 
 import numpy as np
 
-from repro.nist.common import BitSequence
 from repro.trng.source import SeededSource
 
 __all__ = ["BiasedSource"]
@@ -28,19 +27,17 @@ class BiasedSource(SeededSource):
         Seed of the backing pseudo-random generator.
     """
 
+    block_bits = 1024
+
     def __init__(self, p_one: float, seed: Optional[int] = None):
         super().__init__(seed)
         if not 0.0 <= p_one <= 1.0:
             raise ValueError("p_one must lie in [0, 1]")
         self.p_one = float(p_one)
 
-    def next_bit(self) -> int:
-        return int(self._uniform() < self.p_one)
-
-    def generate(self, n: int) -> BitSequence:
-        if n < 0:
-            raise ValueError("n must be non-negative")
-        return BitSequence((self._rng.random(n) < self.p_one).astype(np.uint8))
+    def _generate_block(self, n: int) -> np.ndarray:
+        # One uniform draw per bit, exactly like the bit-serial path.
+        return (self._rng.random(n) < self.p_one).astype(np.uint8)
 
     @property
     def name(self) -> str:

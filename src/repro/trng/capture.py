@@ -5,12 +5,18 @@ certification, engineers also need to replay *captured* bit streams (from a
 logic analyser dump, a raw byte file, or a previous run) through exactly the
 same testing pipeline.  These adapters bridge stored data and the
 :class:`repro.trng.source.EntropySource` interface used everywhere else.
+
+Both adapters are block-native: :class:`ReplaySource` serves whole slices of
+its stored array and :class:`CaptureSource` records whole blocks as they
+pass through, so neither reintroduces a per-bit Python loop on the hot
+path.  ``CaptureSource`` deliberately bypasses the base class's read-ahead
+buffer — what it records must be exactly what the consumer has seen.
 """
 
 from __future__ import annotations
 
 import pathlib
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -79,19 +85,36 @@ class ReplaySource(EntropySource):
             return None
         return self.total_bits - self._position
 
+    def _exhausted_error(self) -> RuntimeError:
+        return RuntimeError(
+            f"replay exhausted after {self.total_bits} bits; "
+            "construct with loop=True to recycle the capture"
+        )
+
     def next_bit(self) -> int:
         if self._position >= self._bits.size:
             if not self.loop:
-                raise RuntimeError(
-                    f"replay exhausted after {self.total_bits} bits; "
-                    "construct with loop=True to recycle the capture"
-                )
+                raise self._exhausted_error()
             self._position = 0
         bit = int(self._bits[self._position])
         self._position += 1
         return bit
 
+    def _generate_block(self, n: int) -> np.ndarray:
+        if n == 0:
+            return np.zeros(0, dtype=np.uint8)
+        if not self.loop:
+            if self._position + n > self._bits.size:
+                raise self._exhausted_error()
+            out = self._bits[self._position : self._position + n].copy()
+            self._position += n
+            return out
+        indices = (self._position + np.arange(n, dtype=np.int64)) % self._bits.size
+        self._position = int((self._position + n) % self._bits.size)
+        return self._bits[indices]
+
     def reset(self) -> None:
+        super().reset()
         self._position = 0
 
     @property
@@ -105,6 +128,12 @@ class CaptureSource(EntropySource):
     Useful for post-mortem analysis: when the on-the-fly monitor flags a
     sequence, the captured bits can be re-examined with the full reference
     NIST suite (including the six tests the hardware cannot run).
+
+    ``next_bit`` and :meth:`generate_block` are both overridden directly —
+    the capture must never read ahead of the consumer, and the recorded
+    stream is exactly the consumer-visible one even when bit-serial and
+    block access are interleaved (the wrapped source's own buffering keeps
+    the underlying stream contiguous).
     """
 
     def __init__(self, source: EntropySource, max_bits: Optional[int] = None):
@@ -112,22 +141,50 @@ class CaptureSource(EntropySource):
             raise ValueError("max_bits must be positive when given")
         self.source = source
         self.max_bits = max_bits
-        self._captured: list = []
+        # Recorded blocks in consumer order; bit-serial bits accumulate in a
+        # plain int list appended as the trailing "chunk" so the per-bit
+        # path stays a cheap list append.
+        self._chunks: List[Union[np.ndarray, List[int]]] = []
+        self._captured_bits = 0
+
+    def _room(self) -> Optional[int]:
+        if self.max_bits is None:
+            return None
+        return self.max_bits - self._captured_bits
 
     def next_bit(self) -> int:
         bit = self.source.next_bit()
-        if self.max_bits is None or len(self._captured) < self.max_bits:
-            self._captured.append(bit)
+        room = self._room()
+        if room is None or room > 0:
+            if not self._chunks or not isinstance(self._chunks[-1], list):
+                self._chunks.append([])
+            self._chunks[-1].append(bit)
+            self._captured_bits += 1
         return bit
+
+    def generate_block(self, n: int) -> np.ndarray:
+        block = self.source.generate_block(n)
+        recorded = block
+        room = self._room()
+        if room is not None:
+            recorded = block[:room]
+        if recorded.size:
+            self._chunks.append(recorded.copy())
+            self._captured_bits += int(recorded.size)
+        return block
 
     @property
     def captured_bits(self) -> int:
         """Number of bits recorded so far."""
-        return len(self._captured)
+        return self._captured_bits
 
     def captured(self) -> BitSequence:
         """The recorded bits as a :class:`BitSequence`."""
-        return BitSequence(np.array(self._captured, dtype=np.uint8))
+        if not self._chunks:
+            return BitSequence(np.zeros(0, dtype=np.uint8))
+        return BitSequence(
+            np.concatenate([np.asarray(chunk, dtype=np.uint8) for chunk in self._chunks])
+        )
 
     def save(self, path: Union[str, pathlib.Path]) -> int:
         """Write the capture as packed bytes (MSB first); returns the exact
@@ -139,16 +196,18 @@ class CaptureSource(EntropySource):
         replay stops at the real data instead of treating the pad bits as
         captured output.
         """
-        bits = np.array(self._captured, dtype=np.uint8)
+        bits = self.captured().bits
         packed = np.packbits(bits) if bits.size else np.array([], dtype=np.uint8)
         pathlib.Path(path).write_bytes(packed.tobytes())
         return int(bits.size)
 
     def clear(self) -> None:
         """Drop the recorded bits (the wrapped source is untouched)."""
-        self._captured = []
+        self._chunks = []
+        self._captured_bits = 0
 
     def reset(self) -> None:
+        super().reset()
         self.source.reset()
         self.clear()
 

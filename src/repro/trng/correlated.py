@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+import numpy as np
+
 from repro.trng.source import SeededSource
 
 __all__ = ["CorrelatedSource", "OscillatingBiasSource"]
@@ -28,6 +30,8 @@ class CorrelatedSource(SeededSource):
         Seed of the backing pseudo-random generator.
     """
 
+    block_bits = 1024
+
     def __init__(self, p_repeat: float, seed: Optional[int] = None):
         super().__init__(seed)
         if not 0.0 <= p_repeat <= 1.0:
@@ -35,15 +39,28 @@ class CorrelatedSource(SeededSource):
         self.p_repeat = float(p_repeat)
         self._previous: Optional[int] = None
 
-    def next_bit(self) -> int:
+    def _generate_block(self, n: int) -> np.ndarray:
+        if n == 0:
+            return np.zeros(0, dtype=np.uint8)
         if self._previous is None:
-            bit = int(self._rng.integers(0, 2))
-        elif self._uniform() < self.p_repeat:
-            bit = self._previous
+            # The very first bit of the stream is one bounded integer draw;
+            # every later bit is one uniform draw deciding repeat vs flip.
+            first = int(self._rng.integers(0, 2))
+            flips = (self._rng.random(n - 1) >= self.p_repeat).astype(np.int64)
         else:
-            bit = 1 - self._previous
-        self._previous = bit
-        return bit
+            first = None
+            flips = (self._rng.random(n) >= self.p_repeat).astype(np.int64)
+        # bit_k = anchor XOR parity(flips up to k): the Markov chain reduced
+        # to a cumulative XOR, one vectorised pass instead of n branches.
+        parity = (np.cumsum(flips) & 1).astype(np.uint8)
+        bits = np.empty(n, dtype=np.uint8)
+        if first is None:
+            bits[:] = self._previous ^ parity
+        else:
+            bits[0] = first
+            bits[1:] = first ^ parity
+        self._previous = int(bits[-1])
+        return bits
 
     def reset(self) -> None:
         super().reset()
@@ -61,6 +78,10 @@ class OscillatingBiasSource(SeededSource):
     of the entropy source.  The long-sequence block-frequency test is the one
     expected to catch it: individual short blocks see an almost constant but
     wrong bias, while the global ones count can still average out to n/2.
+
+    ``block_bits`` stays 1: :meth:`current_bias` is an observable that must
+    track the bits the consumer has actually seen, so the ``next_bit`` shim
+    may not read ahead.
 
     Parameters
     ----------
@@ -86,10 +107,12 @@ class OscillatingBiasSource(SeededSource):
         """Instantaneous P(1) at the current position in the stream."""
         return 0.5 + self.amplitude * math.sin(2.0 * math.pi * self._t / self.period)
 
-    def next_bit(self) -> int:
-        bit = int(self._uniform() < self.current_bias())
-        self._t += 1
-        return bit
+    def _generate_block(self, n: int) -> np.ndarray:
+        u = self._rng.random(n)
+        t = np.arange(self._t, self._t + n, dtype=np.int64)
+        bias = 0.5 + self.amplitude * np.sin(2.0 * math.pi * t / self.period)
+        self._t += n
+        return (u < bias).astype(np.uint8)
 
     def reset(self) -> None:
         super().reset()

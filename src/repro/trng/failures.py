@@ -12,7 +12,6 @@ from typing import Optional
 
 import numpy as np
 
-from repro.nist.common import BitSequence
 from repro.trng.source import EntropySource, SeededSource
 
 __all__ = ["StuckAtSource", "DeadSource", "AlternatingSource", "BurstFailureSource"]
@@ -33,10 +32,8 @@ class StuckAtSource(EntropySource):
     def next_bit(self) -> int:
         return self.value
 
-    def generate(self, n: int) -> BitSequence:
-        if n < 0:
-            raise ValueError("n must be non-negative")
-        return BitSequence(np.full(n, self.value, dtype=np.uint8))
+    def _generate_block(self, n: int) -> np.ndarray:
+        return np.full(n, self.value, dtype=np.uint8)
 
     @property
     def name(self) -> str:
@@ -79,6 +76,7 @@ class AlternatingSource(EntropySource):
         if set(pattern) - {0, 1}:
             raise ValueError("pattern may only contain bits")
         self.pattern = pattern
+        self._pattern_array = np.asarray(pattern, dtype=np.uint8)
         self._index = 0
 
     def next_bit(self) -> int:
@@ -86,7 +84,13 @@ class AlternatingSource(EntropySource):
         self._index = (self._index + 1) % len(self.pattern)
         return bit
 
+    def _generate_block(self, n: int) -> np.ndarray:
+        indices = (np.arange(n, dtype=np.int64) + self._index) % self._pattern_array.size
+        self._index = int((self._index + n) % self._pattern_array.size)
+        return self._pattern_array[indices]
+
     def reset(self) -> None:
+        super().reset()
         self._index = 0
 
     @property
@@ -100,6 +104,17 @@ class BurstFailureSource(SeededSource):
     Models aging-related intermittent failures or a marginal source that
     occasionally collapses for a stretch of ``burst_length`` bits.  The
     probability that any given bit starts a burst is ``burst_rate``.
+
+    Two independent child streams are derived from the seed: a *trigger*
+    stream consuming exactly one uniform per output bit (burst or not), and
+    a *data* stream consuming one draw per healthy bit.  Decoupling them
+    keeps the emitted stream split-invariant — the burst pattern depends
+    only on absolute bit positions, never on block boundaries — which is
+    what lets :meth:`_generate_block` vectorise the healthy stretches.
+
+    ``block_bits`` stays 1: the remaining-burst state is observable (e.g.
+    ``examples/continuous_monitoring.py`` gates on it), so the ``next_bit``
+    shim may not read ahead.
 
     Parameters
     ----------
@@ -131,18 +146,38 @@ class BurstFailureSource(SeededSource):
         self.burst_length = int(burst_length)
         self.stuck_value = int(stuck_value)
         self._remaining_burst = 0
+        self._spawn_rngs()
 
-    def next_bit(self) -> int:
-        if self._remaining_burst > 0:
-            self._remaining_burst -= 1
-            return self.stuck_value
-        if self._uniform() < self.burst_rate:
-            self._remaining_burst = self.burst_length - 1
-            return self.stuck_value
-        return int(self._rng.integers(0, 2))
+    def _spawn_rngs(self) -> None:
+        data_seq, trigger_seq = np.random.SeedSequence(self._seed).spawn(2)
+        self._rng = np.random.default_rng(data_seq)
+        self._trigger_rng = np.random.default_rng(trigger_seq)
+
+    def _generate_block(self, n: int) -> np.ndarray:
+        triggers = self._trigger_rng.random(n) < self.burst_rate
+        burst = np.zeros(n, dtype=bool)
+        end = self._remaining_burst  # burst carried in from the last block
+        burst[: min(end, n)] = True
+        # Bursts are sparse, so resolving overlaps iterates only the few
+        # trigger positions (triggers inside an active burst are ignored,
+        # matching the bit-serial semantics).
+        for idx in np.flatnonzero(triggers):
+            if idx < end:
+                continue
+            stop = min(idx + self.burst_length, n)
+            burst[idx:stop] = True
+            end = idx + self.burst_length
+        self._remaining_burst = max(0, end - n)
+        out = np.full(n, self.stuck_value, dtype=np.uint8)
+        healthy = ~burst
+        count = int(np.count_nonzero(healthy))
+        if count:
+            out[healthy] = self._rng.integers(0, 2, size=count).astype(np.uint8)
+        return out
 
     def reset(self) -> None:
         super().reset()
+        self._spawn_rngs()
         self._remaining_burst = 0
 
     @property

@@ -2,11 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
-from repro.nist.common import BitSequence
 from repro.trng.source import SeededSource
 
 __all__ = ["IdealSource"]
@@ -19,12 +16,10 @@ class IdealSource(SeededSource):
     must accept its output with probability ≈ 1 − α per test.
     """
 
-    def next_bit(self) -> int:
-        return int(self._rng.integers(0, 2))
+    block_bits = 1024
 
-    def generate(self, n: int) -> BitSequence:
-        # Vectorised override for speed; behaviour identical to the bit-serial
-        # path (both consume the generator's integer stream).
-        if n < 0:
-            raise ValueError("n must be non-negative")
-        return BitSequence(self._rng.integers(0, 2, size=n, dtype=np.uint8))
+    def _generate_block(self, n: int) -> np.ndarray:
+        # One bounded int64 draw per bit: the same stream n successive
+        # single-bit draws produced (the default-dtype bounded-integer path
+        # is chunk-invariant, unlike the uint8 one), cast down afterwards.
+        return self._rng.integers(0, 2, size=n).astype(np.uint8)

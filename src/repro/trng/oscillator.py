@@ -16,9 +16,17 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+import numpy as np
+
 from repro.trng.source import SeededSource
 
 __all__ = ["RingOscillatorTRNG"]
+
+#: Absolute sample indices at which the accumulated phase is reduced mod 1.
+#: Reduction points are fixed in the stream (not at block boundaries) so the
+#: emitted bits stay split-invariant while the accumulator never grows far
+#: enough for float64 to lose the sub-period phase resolution.
+_RENORM_INTERVAL = 1 << 16
 
 
 class RingOscillatorTRNG(SeededSource):
@@ -48,6 +56,8 @@ class RingOscillatorTRNG(SeededSource):
         Seed of the backing pseudo-random generator.
     """
 
+    block_bits = 1024
+
     def __init__(
         self,
         ratio: float = 200.25,
@@ -67,18 +77,24 @@ class RingOscillatorTRNG(SeededSource):
         self.jitter = float(jitter)
         self.locked = bool(locked)
         self.lock_strength = float(lock_strength)
-        self._phase = self._uniform()  # phase of the RO at the first sample, in periods
+        # Phase of the RO at the next sample, in periods.  Accumulated
+        # *unreduced* between the fixed renormalisation points above, so the
+        # stream does not depend on how it is chopped into blocks.
+        self._phase = self._uniform()
+        self._sample_index = 0
 
     # -- attack hooks ------------------------------------------------------
     def lock(self, strength: float = 1.0) -> None:
         """Lock the oscillator to an injected frequency (attack effect)."""
         if not 0.0 <= strength <= 1.0:
             raise ValueError("strength must lie in [0, 1]")
+        self._drop_buffer()  # buffered bits were sampled before the lock
         self.locked = True
         self.lock_strength = float(strength)
 
     def unlock(self) -> None:
         """Remove the injection lock."""
+        self._drop_buffer()
         self.locked = False
 
     # -- entropy source protocol -------------------------------------------
@@ -89,16 +105,32 @@ class RingOscillatorTRNG(SeededSource):
             sigma *= 1.0 - self.lock_strength
         return sigma
 
-    def next_bit(self) -> int:
-        sigma = self.effective_jitter()
-        noise = float(self._rng.normal(0.0, sigma)) if sigma > 0 else 0.0
-        self._phase = (self._phase + self.ratio + noise) % 1.0
-        # Sample the RO output: high for the first half of its period.
-        return int(self._phase < 0.5)
+    def _generate_block(self, n: int) -> np.ndarray:
+        out = np.empty(n, dtype=np.uint8)
+        pos = 0
+        while pos < n:
+            to_renorm = _RENORM_INTERVAL - (self._sample_index % _RENORM_INTERVAL)
+            k = min(n - pos, to_renorm)
+            sigma = self.effective_jitter()
+            steps = np.full(k, self.ratio)
+            if sigma > 0:
+                steps += self._rng.normal(0.0, sigma, size=k)
+            # Seeding the cumulative sum with the carried phase keeps the
+            # left-to-right accumulation identical across any block split.
+            phases = np.cumsum(np.concatenate(([self._phase], steps)))[1:]
+            # Sample the RO output: high for the first half of its period.
+            out[pos : pos + k] = (phases % 1.0) < 0.5
+            self._phase = float(phases[-1])
+            self._sample_index += k
+            if self._sample_index % _RENORM_INTERVAL == 0:
+                self._phase %= 1.0
+            pos += k
+        return out
 
     def reset(self) -> None:
         super().reset()
         self._phase = self._uniform()
+        self._sample_index = 0
 
     @property
     def name(self) -> str:

@@ -1,0 +1,266 @@
+"""Bit-exactness parity tests for the block-native source layer.
+
+Every entropy source must satisfy two stream invariants:
+
+* ``generate_block(n)`` from a given seed equals ``n`` successive
+  ``next_bit()`` calls from the same seed (the shim serves the same stream);
+* the stream is split-invariant — chopping it into blocks of any sizes, or
+  interleaving bit-serial and block access, never changes the emitted bits.
+
+The parametrised factories cover every source class in ``repro.trng``
+including wrapper chains (attack-on-source, capture-on-source, stacked
+wrappers), so a vectorised implementation that silently diverges from the
+bit-serial semantics fails here immediately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.trng import (
+    AgingSource,
+    AlternatingSource,
+    BiasedSource,
+    BurstFailureSource,
+    CaptureSource,
+    CorrelatedSource,
+    DeadSource,
+    EMInjectionAttack,
+    FrequencyInjectionAttack,
+    IdealSource,
+    OscillatingBiasSource,
+    ReplaySource,
+    RingOscillatorTRNG,
+    StuckAtSource,
+)
+from repro.trng.source import EntropySource, SeededSource
+
+#: label -> factory(seed) covering every source class and wrapper chain.
+SOURCE_FACTORIES = {
+    "ideal": lambda s: IdealSource(seed=s),
+    "biased": lambda s: BiasedSource(0.6, seed=s),
+    "correlated": lambda s: CorrelatedSource(0.7, seed=s),
+    "oscillating-bias": lambda s: OscillatingBiasSource(0.3, period=97, seed=s),
+    "ring-oscillator": lambda s: RingOscillatorTRNG(seed=s),
+    "aging": lambda s: AgingSource(drift_per_bit=1e-4, seed=s),
+    "stuck-at-1": lambda s: StuckAtSource(1),
+    "dead": lambda s: DeadSource(),
+    "alternating": lambda s: AlternatingSource((1, 1, 0)),
+    "burst-failure": lambda s: BurstFailureSource(burst_rate=0.02, burst_length=7, seed=s),
+    "freq-injection-staged": lambda s: FrequencyInjectionAttack(
+        RingOscillatorTRNG(seed=s), start_bit=40
+    ),
+    "em-on-biased": lambda s: EMInjectionAttack(
+        BiasedSource(0.6, seed=s), coupling=0.7, carrier_period=4, start_bit=10, seed=s + 1
+    ),
+    "capture-on-correlated": lambda s: CaptureSource(CorrelatedSource(0.7, seed=s)),
+    "replay-looped": lambda s: ReplaySource(IdealSource(seed=s).generate_block(500), loop=True),
+    "em-on-attacked-oscillator": lambda s: EMInjectionAttack(
+        FrequencyInjectionAttack(RingOscillatorTRNG(seed=s), start_bit=30),
+        coupling=0.5, start_bit=5, seed=s + 2,
+    ),
+    "capture-on-em-attack": lambda s: CaptureSource(
+        EMInjectionAttack(IdealSource(seed=s), coupling=0.8, start_bit=20, seed=s + 3)
+    ),
+}
+
+#: Long enough to cross every buffer refill granularity (max block_bits is
+#: 1024) and the staged-attack onsets above several times.
+N = 2500
+
+
+def _cases():
+    return sorted(SOURCE_FACTORIES.items())
+
+
+@pytest.mark.parametrize("label,factory", _cases())
+def test_block_equals_bitserial(label, factory):
+    block = factory(3).generate_block(N)
+    source = factory(3)
+    serial = np.fromiter((source.next_bit() for _ in range(N)), dtype=np.uint8, count=N)
+    assert block.dtype == np.uint8 and block.size == N
+    assert np.array_equal(block, serial)
+
+
+@pytest.mark.parametrize("label,factory", _cases())
+def test_stream_is_split_invariant(label, factory):
+    whole = factory(3).generate_block(N)
+    source = factory(3)
+    sizes = (1, 7, 64, 129, 512, 1024)
+    chunks = [source.generate_block(k) for k in sizes]
+    chunks.append(source.generate_block(N - sum(sizes)))
+    assert np.array_equal(whole, np.concatenate(chunks))
+
+
+@pytest.mark.parametrize("label,factory", _cases())
+def test_interleaved_bitserial_and_block_access(label, factory):
+    whole = factory(3).generate_block(N)
+    source = factory(3)
+    pieces = [
+        np.fromiter((source.next_bit() for _ in range(13)), dtype=np.uint8, count=13),
+        source.generate_block(700),
+        np.fromiter((source.next_bit() for _ in range(87)), dtype=np.uint8, count=87),
+        source.generate_block(N - 800),
+    ]
+    assert np.array_equal(whole, np.concatenate(pieces))
+
+
+@pytest.mark.parametrize("label,factory", _cases())
+def test_generate_delegates_to_generate_block(label, factory):
+    assert np.array_equal(factory(3).generate(N).bits, factory(3).generate_block(N))
+
+
+def test_generate_matrix_rows_are_consecutive_stream_chunks():
+    matrix = IdealSource(seed=9).generate_matrix(5, 128)
+    assert matrix.shape == (5, 128) and matrix.dtype == np.uint8
+    assert np.array_equal(matrix.ravel(), IdealSource(seed=9).generate_block(5 * 128))
+
+
+class TestWrapperLockstep:
+    """Satellite regression: wrappers stay in lockstep with their targets
+    across interleaved ``next_bit()`` / ``generate_block()`` calls (buffer-
+    boundary correctness)."""
+
+    def test_capture_records_exactly_the_consumer_stream(self):
+        capture = CaptureSource(CorrelatedSource(0.7, seed=3))
+        seen = [
+            np.fromiter((capture.next_bit() for _ in range(10)), dtype=np.uint8, count=10),
+            capture.generate_block(90),
+            np.fromiter((capture.next_bit() for _ in range(5)), dtype=np.uint8, count=5),
+            capture.generate_block(45),
+        ]
+        seen = np.concatenate(seen)
+        assert capture.captured_bits == seen.size
+        assert np.array_equal(capture.captured().bits, seen)
+        # ... and the consumer stream is exactly the target's own stream.
+        assert np.array_equal(seen, CorrelatedSource(0.7, seed=3).generate_block(150))
+
+    def test_attack_wrapper_tracks_staged_onset_across_interleaving(self):
+        def build(seed):
+            return FrequencyInjectionAttack(RingOscillatorTRNG(seed=seed), start_bit=100)
+
+        whole = build(11).generate_block(400)
+        attack = build(11)
+        mixed = [np.fromiter((attack.next_bit() for _ in range(97)), dtype=np.uint8, count=97)]
+        assert not attack.active  # 97 < start_bit: the lock is still staged
+        mixed.append(attack.generate_block(103))
+        assert attack.active and attack.target.locked
+        mixed.append(attack.generate_block(200))
+        assert np.array_equal(whole, np.concatenate(mixed))
+
+    def test_em_attack_interleaving_matches_whole_stream(self):
+        def build(seed):
+            return EMInjectionAttack(
+                BiasedSource(0.55, seed=seed), coupling=0.6, carrier_period=4,
+                start_bit=50, seed=seed + 1,
+            )
+
+        whole = build(13).generate_block(600)
+        attack = build(13)
+        mixed = [
+            attack.generate_block(30),
+            np.fromiter((attack.next_bit() for _ in range(40)), dtype=np.uint8, count=40),
+            attack.generate_block(530),
+        ]
+        assert np.array_equal(whole, np.concatenate(mixed))
+
+    def test_capture_max_bits_truncates_block_recording(self):
+        capture = CaptureSource(IdealSource(seed=4), max_bits=64)
+        capture.generate_block(100)
+        assert capture.captured_bits == 64
+        assert np.array_equal(
+            capture.captured().bits, IdealSource(seed=4).generate_block(100)[:64]
+        )
+
+
+class TestLegacyBitSerialSubclasses:
+    """Subclasses that only override ``next_bit`` keep working: bulk
+    generation falls back to looping the bit-serial override."""
+
+    def test_next_bit_only_subclass(self):
+        class Inverted(EntropySource):
+            def __init__(self):
+                self._inner = IdealSource(seed=21)
+
+            def next_bit(self):
+                return 1 - self._inner.next_bit()
+
+        expected = 1 - IdealSource(seed=21).generate_block(300)
+        assert np.array_equal(Inverted().generate_block(300), expected)
+
+    def test_next_bit_override_below_block_native_source(self):
+        # The examples/continuous_monitoring.py pattern: overriding next_bit
+        # below a block-native source must make blocks honour the override.
+        class Inverted(AgingSource):
+            def next_bit(self):
+                return 1 - super().next_bit()
+
+        expected = 1 - AgingSource(drift_per_bit=1e-4, seed=5).generate_block(300)
+        got = Inverted(drift_per_bit=1e-4, seed=5).generate_block(300)
+        assert np.array_equal(got, expected)
+
+    def test_source_with_neither_hook_raises(self):
+        class Hollow(SeededSource):
+            pass
+
+        with pytest.raises(TypeError, match="_generate_block"):
+            Hollow(seed=1).generate_block(4)
+
+    def test_buffered_parent_bits_are_not_drained_raw(self):
+        # A legacy override below a *buffering* source: super().next_bit()
+        # stages raw parent bits in the shim buffer, and a following
+        # generate_block must keep routing through the override instead of
+        # draining those raw bits.
+        class Inverted(IdealSource):
+            def next_bit(self):
+                return 1 - super().next_bit()
+
+        expected = 1 - IdealSource(seed=31).generate_block(6)
+        source = Inverted(seed=31)
+        got = np.concatenate([[source.next_bit()], source.generate_block(5)])
+        assert np.array_equal(got, expected)
+
+
+class TestPositionObservables:
+    """Sources with position-dependent observables must not read ahead."""
+
+    def test_aging_age_tracks_consumed_bits(self):
+        source = AgingSource(drift_per_bit=1e-4, seed=23)
+        for _ in range(40):
+            source.next_bit()
+        assert source.age_bits == 40
+
+    def test_oscillating_bias_tracks_consumed_bits(self):
+        source = OscillatingBiasSource(0.4, period=100, seed=9)
+        for _ in range(25):
+            source.next_bit()
+        assert source.current_bias() == pytest.approx(0.9, abs=1e-6)
+
+    def test_burst_state_visible_bit_by_bit(self):
+        source = BurstFailureSource(burst_rate=1.0, burst_length=3, stuck_value=0, seed=1)
+        source.next_bit()
+        assert source._remaining_burst == 2
+
+    def test_replay_remaining_bits_track_consumption(self):
+        replay = ReplaySource([1, 0, 1, 1, 0, 0, 1, 0])
+        replay.next_bit()
+        replay.generate_block(3)
+        assert replay.remaining_bits == 4
+
+    def test_replay_block_overrun_raises(self):
+        replay = ReplaySource([1, 0, 1, 1], loop=False)
+        replay.generate_block(2)
+        with pytest.raises(RuntimeError, match="exhausted"):
+            replay.generate_block(3)
+
+    def test_wrappers_do_not_read_ahead_of_their_target(self):
+        # An EM attack on a finite replay must serve all stored bits
+        # bit-serially instead of exhausting the capture by buffering ahead.
+        attack = EMInjectionAttack(
+            ReplaySource([1, 0, 1, 1, 0, 1, 0, 0]), coupling=0.0, seed=2
+        )
+        assert [attack.next_bit() for _ in range(8)] == [1, 0, 1, 1, 0, 1, 0, 0]
+        # ... and a position-observable target only advances by what the
+        # consumer has actually seen.
+        aging = AgingSource(drift_per_bit=1e-4, seed=3)
+        EMInjectionAttack(aging, coupling=0.5, seed=4).next_bit()
+        assert aging.age_bits == 1
