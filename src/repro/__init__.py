@@ -32,6 +32,10 @@ Sub-packages
 ``repro.engine``
     The unified batch test engine: shared-statistic contexts, the uniform
     test registry (NIST / FIPS / hw-model) and the vectorised batch executor.
+``repro.fleet``
+    Fleet monitoring: a registry of many simulated devices, the multiplexed
+    scheduler pushing whole fleets through the engine per round, fleet-level
+    reporting and the stdlib HTTP/JSON service front-end.
 ``repro.nist``
     Reference implementations of all 15 NIST SP 800-22 tests (golden model).
 ``repro.trng``
@@ -71,6 +75,13 @@ from repro.engine import (
     run_batch,
 )
 from repro.fips import FipsBattery
+from repro.fleet import (
+    DeviceRegistry,
+    FleetMix,
+    FleetReport,
+    FleetScheduler,
+    FleetService,
+)
 from repro.hwtests import DesignParameters, SharingOptions, UnifiedTestingBlock
 from repro.nist import BitSequence, NistSuite, TestResult, run_all_tests
 from repro.sw import CriticalValues, InstructionCounts, SoftwareVerifier
@@ -125,6 +136,12 @@ __all__ = [
     "run_batch",
     # fips
     "FipsBattery",
+    # fleet
+    "DeviceRegistry",
+    "FleetMix",
+    "FleetReport",
+    "FleetScheduler",
+    "FleetService",
     # hardware
     "DesignParameters",
     "SharingOptions",

@@ -10,12 +10,10 @@ control scenarios *is* the false-alarm rate.
 
 from __future__ import annotations
 
-import csv
-import io
-import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.export import JsonCsvExportMixin
 from repro.eval.attribution import format_rows
 
 __all__ = ["CampaignCell", "CampaignReport", "format_rows"]
@@ -119,7 +117,7 @@ SUMMARY_COLUMNS = (
 
 
 @dataclass
-class CampaignReport:
+class CampaignReport(JsonCsvExportMixin):
     """Everything one detection campaign produced.
 
     Cells are ordered design-major in the configured design order, scenario
@@ -127,6 +125,8 @@ class CampaignReport:
     seed serialise identically (the reproducibility contract of the
     campaign's golden tests).
     """
+
+    SUMMARY_COLUMNS = SUMMARY_COLUMNS
 
     seed: int
     alpha: float
@@ -224,25 +224,5 @@ class CampaignReport:
             cells=[CampaignCell.from_dict(cell) for cell in data["cells"]],
         )
 
-    def to_json(self, indent: int = 2) -> str:
-        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
-
-    @classmethod
-    def from_json(cls, text: str) -> "CampaignReport":
-        return cls.from_dict(json.loads(text))
-
-    def save_json(self, path) -> None:
-        with open(path, "w") as handle:
-            handle.write(self.to_json() + "\n")
-
-    def to_csv(self) -> str:
-        buffer = io.StringIO()
-        writer = csv.DictWriter(buffer, fieldnames=list(SUMMARY_COLUMNS))
-        writer.writeheader()
-        for row in self.summary_rows():
-            writer.writerow(row)
-        return buffer.getvalue()
-
-    def save_csv(self, path) -> None:
-        with open(path, "w", newline="") as handle:
-            handle.write(self.to_csv())
+    # to_json / from_json / save_json / to_csv / save_csv come from
+    # JsonCsvExportMixin, shared with the fleet report.

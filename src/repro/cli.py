@@ -25,6 +25,11 @@ Installed as ``repro-trng-test`` (see ``pyproject.toml``); also runnable as
     the batch engine; report detection probability, detection latency and
     per-test attribution, with the healthy-control false-alarm rate per
     design and optional JSON/CSV export.
+``fleet``
+    Many-device fleet monitoring.  ``fleet run`` instantiates a fleet from a
+    scenario mix and advances it in multiplexed engine rounds (one fleet-wide
+    batch per round); ``fleet serve`` additionally exposes the fleet over the
+    stdlib HTTP/JSON service (ingest, per-device health, fleet summary).
 """
 
 from __future__ import annotations
@@ -57,12 +62,37 @@ from repro.trng.source import EntropySource
 
 __all__ = ["main", "build_parser"]
 
-#: Built-in simulated sources selectable from the command line.
+#: Built-in simulated sources selectable from the command line.  Any
+#: registered campaign scenario is additionally reachable as
+#: ``scenario:<label>`` — one source model, CLI and campaigns alike.
 _SIMULATED_SOURCES = ("ideal", "biased", "correlated", "oscillator", "stuck", "alternating")
 
+#: Which knobs each built-in source honours (surfaced in ``--help`` so a
+#: ``--seed``/``--parameter`` that silently does nothing is documented, not a
+#: surprise): deterministic sources (stuck, alternating) ignore ``--seed``;
+#: only biased / correlated / stuck read ``--parameter``.
+_SOURCE_HELP = (
+    "simulated source: ideal | oscillator (seeded, no parameter), "
+    "biased (parameter = P(1), default 0.6) | correlated (parameter = "
+    "P(repeat), default 0.7), stuck (parameter = stuck bit value, 0 or 1) | "
+    "alternating (deterministic: --seed and --parameter ignored), or "
+    "scenario:<label> for any campaign-catalogue scenario (seeded, "
+    "--parameter ignored; labels: %s)"
+) % ", ".join(DEFAULT_CATALOG.labels())
 
-def _make_source(name: str, seed: int, parameter: float) -> EntropySource:
-    """Instantiate one of the built-in simulated sources."""
+
+def _make_source(name: str, seed: int, parameter: float, n: int) -> EntropySource:
+    """Instantiate a built-in simulated source or a catalogue scenario.
+
+    ``scenario:<label>`` defers to the campaign
+    :class:`~repro.campaign.scenarios.ScenarioCatalog` builders, scaled by
+    the design's sequence length ``n`` (staged attacks and aging
+    trajectories unfold at the same relative point regardless of n).
+    """
+    if name.startswith("scenario:"):
+        label = name[len("scenario:"):]
+        # ScenarioCatalog.get already raises a ValueError listing the labels.
+        return DEFAULT_CATALOG.get(label).build(seed, n)
     if name == "ideal":
         return IdealSource(seed=seed)
     if name == "biased":
@@ -72,10 +102,20 @@ def _make_source(name: str, seed: int, parameter: float) -> EntropySource:
     if name == "oscillator":
         return RingOscillatorTRNG(seed=seed)
     if name == "stuck":
-        return StuckAtSource(int(parameter) if parameter in (0, 1) else 0)
+        # The stuck value is exactly the parameter; anything but 0/1 used to
+        # be silently coerced to 0, turning a typo into the wrong experiment.
+        if parameter not in (0, 1):
+            raise ValueError(
+                f"stuck source needs --parameter 0 or 1 (the stuck bit value), "
+                f"got {parameter}"
+            )
+        return StuckAtSource(int(parameter))
     if name == "alternating":
         return AlternatingSource()
-    raise ValueError(f"unknown simulated source {name!r}")
+    raise ValueError(
+        f"unknown simulated source {name!r}; available: "
+        f"{', '.join(_SIMULATED_SOURCES)} or scenario:<label>"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -96,18 +136,27 @@ def build_parser() -> argparse.ArgumentParser:
                           help="exact bit count of the capture (as returned by "
                                "CaptureSource.save); drops the zero-pad bits of the "
                                "last byte")
-    evaluate.add_argument("--source", choices=_SIMULATED_SOURCES, default="ideal",
-                          help="simulated source (ignored when --capture is given)")
-    evaluate.add_argument("--seed", type=int, default=0, help="seed of the simulated source")
+    evaluate.add_argument("--source", default="ideal",
+                          help=_SOURCE_HELP + " (ignored when --capture is given)")
+    evaluate.add_argument("--seed", type=int, default=0,
+                          help="seed of the simulated source (deterministic sources "
+                               "stuck/alternating ignore it)")
     evaluate.add_argument("--parameter", type=float, default=0.0,
-                          help="source parameter (bias / repeat probability / stuck value)")
+                          help="source parameter: bias P(1) for biased, repeat "
+                               "probability for correlated, stuck bit value (0/1) "
+                               "for stuck; other sources ignore it")
 
     monitor = sub.add_parser("monitor", help="continuously monitor a simulated source")
     monitor.add_argument("--design", default="n128_light")
     monitor.add_argument("--alpha", type=float, default=0.01)
-    monitor.add_argument("--source", choices=_SIMULATED_SOURCES, default="ideal")
-    monitor.add_argument("--seed", type=int, default=0)
-    monitor.add_argument("--parameter", type=float, default=0.0)
+    monitor.add_argument("--source", default="ideal", help=_SOURCE_HELP)
+    monitor.add_argument("--seed", type=int, default=0,
+                         help="seed of the simulated source (deterministic sources "
+                              "stuck/alternating ignore it)")
+    monitor.add_argument("--parameter", type=float, default=0.0,
+                         help="source parameter: bias P(1) for biased, repeat "
+                              "probability for correlated, stuck bit value (0/1) "
+                              "for stuck; other sources ignore it")
     monitor.add_argument("--sequences", type=int, default=8)
     monitor.add_argument("--batch-size", type=int, default=None,
                          help="evaluate sequences in engine batches of this size")
@@ -129,7 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fan expensive tests out over this many worker processes")
 
     batch = sub.add_parser("batch", help="evaluate a batch of sequences through the engine")
-    batch.add_argument("--source", choices=_SIMULATED_SOURCES, default="ideal")
+    batch.add_argument("--source", default="ideal", help=_SOURCE_HELP)
     batch.add_argument("--seed", type=int, default=0)
     batch.add_argument("--parameter", type=float, default=0.0)
     batch.add_argument("--sequences", type=int, default=64, help="number of sequences in the batch")
@@ -165,6 +214,39 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the full campaign report as JSON to this path")
     campaign.add_argument("--csv", dest="csv_path", default=None,
                           help="write the summary table as CSV to this path")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="multiplexed many-device fleet monitoring (run rounds or serve HTTP)",
+    )
+    fleet.add_argument("mode", choices=("run", "serve"),
+                       help="run: advance the fleet for --rounds and report; "
+                            "serve: also expose the fleet over the HTTP/JSON service")
+    fleet.add_argument("--devices", type=int, default=256,
+                       help="number of simulated devices in the fleet")
+    fleet.add_argument("--rounds", type=int, default=8,
+                       help="fleet rounds to run (one sequence per device per round)")
+    fleet.add_argument("--design", default="n128_light", help="shared design point")
+    fleet.add_argument("--alpha", type=float, default=0.01)
+    fleet.add_argument("--mix", default=None,
+                       help="scenario mix as <label>:<weight>,... over the campaign "
+                            "catalogue (default: 95%% healthy-ideal, 5%% spread over "
+                            "wire-cut, biased-0.60, freq-injection, aging-drift)")
+    fleet.add_argument("--suspect-after", type=int, default=1)
+    fleet.add_argument("--fail-after", type=int, default=2)
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="fleet seed; device placement and streams derive from it")
+    fleet.add_argument("--processes", type=int, default=None,
+                       help="shard each round's fleet matrix over this many worker "
+                            "processes; fleets under 256 devices stay inline (the "
+                            "pool's serialisation overhead would dominate)")
+    fleet.add_argument("--json", dest="json_path", default=None,
+                       help="write the full fleet report as JSON to this path")
+    fleet.add_argument("--csv", dest="csv_path", default=None,
+                       help="write the per-scenario summary as CSV to this path")
+    fleet.add_argument("--host", default="127.0.0.1", help="serve: bind address")
+    fleet.add_argument("--port", type=int, default=8080,
+                       help="serve: TCP port (0 picks a free one)")
 
     return parser
 
@@ -204,7 +286,11 @@ def _cmd_evaluate(args, out) -> int:
         report = platform.evaluate_sequence(bits, accelerated=True)
         origin = args.capture
     else:
-        simulated = _make_source(args.source, args.seed, args.parameter)
+        try:
+            simulated = _make_source(args.source, args.seed, args.parameter, platform.n)
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
         bits = simulated.generate_block(platform.n)
         report = platform.evaluate_sequence(bits, accelerated=True)
         origin = simulated.name
@@ -224,7 +310,11 @@ def _cmd_monitor(args, out) -> int:
     monitor = OnTheFlyMonitor(
         platform, suspect_after=1, fail_after=2, max_history=args.max_history
     )
-    source = _make_source(args.source, args.seed, args.parameter)
+    try:
+        source = _make_source(args.source, args.seed, args.parameter, platform.n)
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
     if args.rtl_fidelity:
         path = "bit-serial RTL model (--rtl-fidelity)"
     else:
@@ -290,7 +380,11 @@ def _cmd_batch(args, out) -> int:
         if unknown or not tests:
             print(f"error: unknown test numbers {unknown or args.tests!r} (valid: 1..15)", file=out)
             return 2
-    source = _make_source(args.source, args.seed, args.parameter)
+    try:
+        source = _make_source(args.source, args.seed, args.parameter, args.length)
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
     matrix = source.generate_matrix(args.sequences, args.length)
     start = time.perf_counter()
     reports = run_batch(matrix, tests=tests, processes=args.processes)
@@ -390,6 +484,86 @@ def _cmd_campaign(args, out) -> int:
     return 0
 
 
+def _cmd_fleet(args, out) -> int:
+    from repro.fleet import DeviceRegistry, FleetMix, FleetScheduler, serve
+
+    try:
+        # serve mode may start with zero simulated rounds; run mode without
+        # rounds would silently produce no report (and no --json/--csv).
+        minimum_rounds = 0 if args.mode == "serve" else 1
+        if args.rounds < minimum_rounds:
+            raise ValueError(
+                f"--rounds must be >= {minimum_rounds} for fleet {args.mode}"
+            )
+        if args.rounds == 0 and (args.json_path or args.csv_path):
+            raise ValueError(
+                "--json/--csv need at least one round to report on "
+                "(serve with --rounds >= 1)"
+            )
+        if args.mix:
+            mix = FleetMix.parse(args.mix)
+        else:
+            mix = FleetMix.healthy_with_threats(0.95)
+        registry = DeviceRegistry(
+            args.design,
+            alpha=args.alpha,
+            suspect_after=args.suspect_after,
+            fail_after=args.fail_after,
+        )
+        registry.populate(args.devices, mix, seed=args.seed)
+        scheduler = FleetScheduler(registry, processes=args.processes)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    print(
+        f"fleet: {args.devices} devices on {args.design} "
+        f"(n = {registry.n}, alpha = {args.alpha}, seed = {args.seed})",
+        file=out,
+    )
+    counts = registry.scenario_counts()
+    print("mix: " + ", ".join(f"{label}: {count}" for label, count in counts.items()),
+          file=out)
+    if args.rounds > 0:
+        for _ in range(args.rounds):
+            fleet_round = scheduler.run_round()
+            health = fleet_round.health
+            print(
+                f"round {fleet_round.index:>3}  healthy {health.get('healthy', 0):>5}  "
+                f"suspect {health.get('suspect', 0):>4}  failed {health.get('failed', 0):>4}  "
+                f"({fleet_round.devices_per_s:,.0f} devices/s)",
+                file=out,
+            )
+        report = scheduler.report()
+        print("", file=out)
+        print(report.format_table(), file=out)
+        rate = report.false_alarm_rate()
+        shown = f"{rate:.3f}" if rate is not None else "n/a (no healthy controls)"
+        print(f"healthy-device false-alarm rate: {shown}", file=out)
+        throughput = report.devices_per_second()
+        if throughput is not None:
+            print(f"scheduler throughput: {throughput:,.0f} devices/s", file=out)
+        if args.json_path:
+            report.save_json(args.json_path)
+            print(f"JSON report written to {args.json_path}", file=out)
+        if args.csv_path:
+            report.save_csv(args.csv_path)
+            print(f"CSV summary written to {args.csv_path}", file=out)
+    if args.mode == "serve":
+        server = serve(scheduler, host=args.host, port=args.port)
+        host, port = server.server_address
+        print(f"fleet service listening on http://{host}:{port}", file=out)
+        print("endpoints: POST /devices, POST /ingest, "
+              "GET /devices/<id>/health, GET /fleet/summary", file=out)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+            pass
+        finally:
+            server.server_close()
+    scheduler.close()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -406,6 +580,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_batch(args, out)
     if args.command == "campaign":
         return _cmd_campaign(args, out)
+    if args.command == "fleet":
+        return _cmd_fleet(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

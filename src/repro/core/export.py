@@ -1,0 +1,67 @@
+"""Shared JSON/CSV export surface of report containers.
+
+The campaign and fleet reports ship the same artefact contract — a full
+JSON round-trip (``to_dict``/``from_dict`` driven) plus a flat CSV summary
+table under stable columns — and benchmark/CI tooling diffs those artefacts
+across PRs.  :class:`JsonCsvExportMixin` keeps the serialisation in one
+place so a format tweak (indentation, quoting, trailing newline) cannot be
+applied to one report and silently missed in the other.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["JsonCsvExportMixin"]
+
+
+class JsonCsvExportMixin:
+    """JSON + CSV export for report dataclasses.
+
+    Consumers provide ``to_dict()`` / ``from_dict()`` (the full-fidelity
+    round trip), ``summary_rows()`` (flat dict rows) and the class attribute
+    :attr:`SUMMARY_COLUMNS` (the stable CSV column contract); the mixin
+    derives the artefact I/O from those.
+    """
+
+    #: CSV column contract; consumers bind this to their summary schema.
+    SUMMARY_COLUMNS: Tuple[str, ...] = ()
+
+    # ---- provided by the consumer --------------------------------------
+    def to_dict(self) -> Dict[str, object]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def summary_rows(self) -> List[Dict[str, object]]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # ---- JSON ----------------------------------------------------------
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str):
+        return cls.from_dict(json.loads(text))
+
+    def save_json(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+    # ---- CSV -----------------------------------------------------------
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(self.SUMMARY_COLUMNS))
+        writer.writeheader()
+        for row in self.summary_rows():
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def save_csv(self, path) -> None:
+        with open(path, "w", newline="") as handle:
+            handle.write(self.to_csv())

@@ -107,6 +107,11 @@ class OnTheFlyMonitor:
         """Number of sequences evaluated so far (exact even with bounded history)."""
         return self._sequences_monitored
 
+    @property
+    def failures_total(self) -> int:
+        """Number of failing sequences so far (exact even with bounded history)."""
+        return self._failures_total
+
     def reset(self) -> None:
         """Forget all history (e.g. after the TRNG has been serviced)."""
         self.history = deque(maxlen=self.max_history)

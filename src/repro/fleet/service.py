@@ -1,0 +1,250 @@
+"""Stdlib HTTP/JSON front-end over a fleet: ingest, health, summary.
+
+The thin service tier the ROADMAP's production system puts in front of the
+engine — deliberately ``http.server``-based so the repository gains a real
+network-facing API without a single new dependency.  Endpoints:
+
+``POST /devices``
+    Register a device.  Body ``{"device_id": "...", "scenario": "<label>"}``;
+    omit ``scenario`` to register an externally-fed device whose bits arrive
+    only through ingest.
+``POST /ingest``
+    Evaluate raw bits for a registered device.  Body ``{"device_id": "...",
+    "bits": "0101..."}`` where ``bits`` is an ASCII 0/1 string holding a
+    positive multiple of the design's sequence length; every n-bit sequence
+    runs through the engine's batch path and folds into the device's health
+    machine.  Responds with the per-sequence verdicts and the new state.
+``GET /devices/<id>/health``
+    Health snapshot of one device.
+``GET /fleet/summary``
+    Fleet-wide summary: health mix, scenario mix, throughput, the
+    per-scenario detection table of :class:`~repro.fleet.report.FleetReport`.
+
+The server is a :class:`~http.server.ThreadingHTTPServer`; every request
+takes the scheduler's re-entrant lock — the same lock
+:meth:`~repro.fleet.scheduler.FleetScheduler.run_round` holds — so service
+traffic and owner-driven fleet rounds serialise against each other.  That is
+plenty for a monitoring control plane (the heavy lifting — fleet rounds —
+happens in the scheduler, not per request).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Tuple
+from urllib.parse import unquote, urlsplit
+
+from repro.fleet.registry import DeviceRegistry
+from repro.fleet.scheduler import FleetScheduler
+
+__all__ = ["FleetService", "ServiceError", "serve"]
+
+#: Cap on accepted request bodies (a 2^20-bit design ingest is ~1 MiB of
+#: ASCII bits; anything far beyond that is a client error, not traffic).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Service-registered device ids must be URL-safe so ``GET
+#: /devices/<id>/health`` can always address them (a "/" or space in the id
+#: would make the device unreachable through the path-segment router).
+_DEVICE_ID_RE = re.compile(r"^[A-Za-z0-9._~-]+$")
+
+
+class ServiceError(Exception):
+    """An error with an HTTP status code attached."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class FleetService:
+    """The service facade: JSON dict in, JSON dict out, no HTTP types.
+
+    Keeping the endpoint logic free of ``http.server`` machinery makes it
+    unit-testable without sockets; the handler below is a thin shell.
+    """
+
+    def __init__(self, scheduler: FleetScheduler):
+        self.scheduler = scheduler
+        self.registry: DeviceRegistry = scheduler.registry
+        # The scheduler's re-entrant lock, shared so service requests and
+        # owner-driven fleet rounds serialise against each other even when
+        # the owner keeps advancing rounds while the server is live.
+        self._lock = scheduler.lock
+
+    # ------------------------------------------------------------- endpoints
+    def register_device(self, payload: Dict[str, object]) -> Dict[str, object]:
+        device_id = payload.get("device_id")
+        if not isinstance(device_id, str) or not device_id:
+            raise ServiceError(400, "device_id must be a non-empty string")
+        if not _DEVICE_ID_RE.match(device_id):
+            raise ServiceError(
+                400,
+                "device_id must be URL-safe (letters, digits, '.', '_', '~', '-')",
+            )
+        scenario = payload.get("scenario")
+        if scenario is not None and not isinstance(scenario, str):
+            raise ServiceError(400, "scenario must be a catalogue label string")
+        seed = payload.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise ServiceError(400, "seed must be an integer")
+        with self._lock:
+            if device_id in self.registry:
+                raise ServiceError(409, f"device {device_id!r} already registered")
+            try:
+                device = self.registry.register(device_id, scenario=scenario, seed=seed)
+            except ValueError as exc:
+                raise ServiceError(400, str(exc))
+            return device.snapshot()
+
+    def ingest(self, payload: Dict[str, object]) -> Dict[str, object]:
+        device_id = payload.get("device_id")
+        if not isinstance(device_id, str) or not device_id:
+            raise ServiceError(400, "device_id must be a non-empty string")
+        raw = payload.get("bits")
+        if not isinstance(raw, str) or not raw:
+            raise ServiceError(400, "bits must be a non-empty string of 0/1 characters")
+        with self._lock:
+            try:
+                device = self.registry.get(device_id)
+            except KeyError as exc:
+                raise ServiceError(404, str(exc))
+            try:
+                # to_bits (via scheduler.ingest) owns the 0/1-string contract:
+                # one validation path, whitespace tolerated like the library.
+                events = self.scheduler.ingest(device_id, raw)
+            except ValueError as exc:
+                raise ServiceError(400, str(exc))
+            return {
+                "device_id": device_id,
+                "sequences": len(events),
+                "verdicts": [
+                    {
+                        "sequence_index": event.sequence_index,
+                        "passed": event.report.passed,
+                        "failing_tests": list(event.report.failing_tests),
+                        "state": event.state.value,
+                    }
+                    for event in events
+                ],
+                "health": device.snapshot(),
+            }
+
+    def device_health(self, device_id: str) -> Dict[str, object]:
+        with self._lock:
+            try:
+                return self.registry.get(device_id).snapshot()
+            except KeyError as exc:
+                raise ServiceError(404, str(exc))
+
+    def fleet_summary(self) -> Dict[str, object]:
+        with self._lock:
+            report = self.scheduler.report()
+            return {
+                "design": report.design,
+                "n": report.n,
+                "alpha": report.alpha,
+                "num_devices": report.num_devices,
+                "rounds_completed": report.rounds_completed,
+                "health": self.registry.health_counts(),
+                "mix": report.mix,
+                "false_alarm_rate": report.false_alarm_rate(),
+                "devices_per_s": report.devices_per_second(),
+                "scenarios": [stats.to_dict() for stats in report.scenarios],
+            }
+
+    # ------------------------------------------------------------- dispatch
+    def handle_get(self, path: str) -> Tuple[int, Dict[str, object]]:
+        # Drop any query string (?pretty=1 must not 404 a real endpoint)
+        # and percent-decode the segments before routing.
+        parts = [unquote(part) for part in urlsplit(path).path.split("/") if part]
+        if parts == ["fleet", "summary"]:
+            return 200, self.fleet_summary()
+        if len(parts) == 3 and parts[0] == "devices" and parts[2] == "health":
+            return 200, self.device_health(parts[1])
+        raise ServiceError(404, f"unknown path {path!r}")
+
+    def handle_post(self, path: str, payload: Dict[str, object]) -> Tuple[int, Dict[str, object]]:
+        parts = [unquote(part) for part in urlsplit(path).path.split("/") if part]
+        if parts == ["devices"]:
+            return 201, self.register_device(payload)
+        if parts == ["ingest"]:
+            return 200, self.ingest(payload)
+        raise ServiceError(404, f"unknown path {path!r}")
+
+
+class _FleetRequestHandler(BaseHTTPRequestHandler):
+    """Thin HTTP shell around :class:`FleetService`."""
+
+    server_version = "repro-fleet/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> FleetService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, object]:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise ServiceError(400, "invalid Content-Length header")
+        if length <= 0:
+            raise ServiceError(400, "request body required")
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ServiceError(400, f"invalid JSON body: {exc}")
+        if not isinstance(payload, dict):
+            raise ServiceError(400, "JSON body must be an object")
+        return payload
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            status, payload = self.service.handle_get(self.path)
+        except ServiceError as exc:
+            status, payload = exc.status, {"error": exc.message}
+        self._send_json(status, payload)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            status, payload = self.service.handle_post(self.path, self._read_json())
+        except ServiceError as exc:
+            # The body may not have been consumed (bad/oversized payload); on
+            # a keep-alive connection the leftover bytes would be parsed as
+            # the next request line, so drop the connection after responding.
+            self.close_connection = True
+            status, payload = exc.status, {"error": exc.message}
+        self._send_json(status, payload)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep tests and CLI output clean; the CLI prints its own line
+
+
+def serve(
+    scheduler: FleetScheduler,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+) -> ThreadingHTTPServer:
+    """Build a ready-to-run HTTP server over ``scheduler``.
+
+    Returns the bound (but not yet serving) server; call ``serve_forever()``
+    — possibly in a thread — and ``shutdown()``/``server_close()`` when done.
+    Bind to port 0 to let the OS pick a free port (``server.server_address``
+    then reports the real one).
+    """
+    server = ThreadingHTTPServer((host, port), _FleetRequestHandler)
+    server.service = FleetService(scheduler)  # type: ignore[attr-defined]
+    return server

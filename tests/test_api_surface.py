@@ -34,6 +34,7 @@ class TestSubpackageApi:
             "repro.campaign",
             "repro.core",
             "repro.engine",
+            "repro.fleet",
             "repro.hwsim",
             "repro.hwtests",
             "repro.sw",

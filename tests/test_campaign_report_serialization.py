@@ -1,0 +1,83 @@
+"""Serialization contract of :class:`~repro.campaign.report.CampaignReport`.
+
+The campaign's JSON/CSV artefacts are consumed across PRs (benchmark
+trajectories, dashboards); these tests pin the round-trip and the CSV column
+contract so an export-format regression cannot land silently.
+"""
+
+import csv
+import json
+
+import pytest
+
+from repro.campaign import CampaignConfig, CampaignReport, run_campaign
+from repro.campaign.report import SUMMARY_COLUMNS
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_campaign(CampaignConfig(
+        designs=("n128_light",),
+        scenarios=("healthy-ideal", "wire-cut", "biased-0.70", "aging-drift"),
+        trials=2,
+        sequences_per_trial=4,
+        seed=20150309,
+    ))
+
+
+class TestJsonRoundTrip:
+    def test_from_json_equals_original(self, report):
+        assert CampaignReport.from_json(report.to_json()) == report
+
+    def test_round_trip_preserves_cell_types(self, report):
+        restored = CampaignReport.from_json(report.to_json())
+        for original, loaded in zip(report.cells, restored.cells):
+            assert loaded.tests == original.tests
+            assert isinstance(loaded.tests, tuple)
+            assert loaded.attribution == original.attribution
+            assert all(isinstance(k, int) for k in loaded.attribution)
+            assert all(isinstance(k, int) for k in loaded.first_detectors)
+
+    def test_json_is_deterministic(self, report):
+        assert report.to_json() == CampaignReport.from_json(report.to_json()).to_json()
+
+    def test_config_block_round_trips(self, report):
+        data = json.loads(report.to_json())
+        assert data["config"]["seed"] == 20150309
+        restored = CampaignReport.from_dict(data)
+        assert restored.designs == report.designs
+        assert restored.scenarios == report.scenarios
+
+
+class TestCsvContract:
+    def test_header_matches_summary_columns(self, report):
+        header = report.to_csv().splitlines()[0]
+        assert header == ",".join(SUMMARY_COLUMNS)
+
+    def test_summary_rows_carry_exactly_the_columns(self, report):
+        for row in report.summary_rows():
+            assert tuple(row) == SUMMARY_COLUMNS
+
+    def test_one_csv_row_per_cell(self, report):
+        rows = list(csv.DictReader(report.to_csv().splitlines()))
+        assert len(rows) == len(report.cells)
+        assert [row["scenario"] for row in rows] == [c.scenario for c in report.cells]
+
+
+class TestSavedArtefactsReload:
+    def test_save_json_reloads_cleanly(self, report, tmp_path):
+        path = tmp_path / "campaign.json"
+        report.save_json(path)
+        assert CampaignReport.from_json(path.read_text()) == report
+        # the artefact is plain JSON, loadable without repro imports
+        assert json.loads(path.read_text())["config"]["trials"] == 2
+
+    def test_save_csv_reloads_cleanly(self, report, tmp_path):
+        path = tmp_path / "campaign.csv"
+        report.save_csv(path)
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(report.cells)
+        assert set(rows[0]) == set(SUMMARY_COLUMNS)
+        detect_probs = [float(row["detect_prob"]) for row in rows]
+        assert all(0.0 <= p <= 1.0 for p in detect_probs)

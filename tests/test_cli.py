@@ -24,6 +24,22 @@ class TestParser:
         parser = build_parser()
         for command in ("designs", "evaluate", "monitor", "campaign"):
             assert parser.parse_args([command]).command == command
+        assert parser.parse_args(["fleet", "run"]).command == "fleet"
+
+    def test_source_help_lists_scenario_labels(self, monkeypatch):
+        """Every registered catalogue scenario is documented in --help."""
+        from repro.campaign import DEFAULT_CATALOG
+
+        # argparse wraps help to the terminal width and breaks on hyphens,
+        # which would split labels like "freq-injection"; format wide.
+        monkeypatch.setenv("COLUMNS", "500")
+        parser = build_parser()
+        subcommands = parser._subparsers._group_actions[0].choices
+        for name in ("evaluate", "monitor"):
+            help_text = subcommands[name].format_help()
+            assert "scenario:<label>" in help_text
+            for label in DEFAULT_CATALOG.labels():
+                assert label in help_text, f"{label} missing from {name} --help"
 
     def test_suite_requires_capture(self):
         with pytest.raises(SystemExit):
@@ -78,6 +94,53 @@ class TestEvaluateCommand:
         assert code == 2
         assert "error" in text
 
+    def test_scenario_source_reaches_catalogue_threats(self):
+        code, text = run_cli(
+            ["evaluate", "--design", "n128_light", "--source", "scenario:wire-cut"]
+        )
+        assert code == 1
+        assert "DeadSource" in text and "FAIL" in text
+
+    def test_scenario_source_healthy_control(self):
+        code, text = run_cli(
+            ["evaluate", "--design", "n128_light",
+             "--source", "scenario:healthy-ideal", "--seed", "3"]
+        )
+        assert code == 0
+        assert "PASS" in text
+
+    def test_unknown_scenario_label_is_an_error(self):
+        code, text = run_cli(
+            ["evaluate", "--design", "n128_light", "--source", "scenario:bogus"]
+        )
+        assert code == 2
+        assert "unknown scenario" in text and "wire-cut" in text
+
+    def test_unknown_source_is_an_error(self):
+        code, text = run_cli(
+            ["evaluate", "--design", "n128_light", "--source", "bogus"]
+        )
+        assert code == 2
+        assert "unknown simulated source" in text
+
+    def test_stuck_invalid_parameter_is_an_error(self):
+        """Regression: --parameter 0.5 used to be silently coerced to a
+        stuck-at-0 source; now it is rejected with a clear message."""
+        code, text = run_cli(
+            ["evaluate", "--design", "n128_light", "--source", "stuck",
+             "--parameter", "0.5"]
+        )
+        assert code == 2
+        assert "stuck source needs --parameter 0 or 1" in text
+
+    def test_stuck_parameter_one_is_honoured(self):
+        code, text = run_cli(
+            ["evaluate", "--design", "n128_light", "--source", "stuck",
+             "--parameter", "1"]
+        )
+        assert code == 1
+        assert "FAIL" in text
+
 
 class TestMonitorCommand:
     def test_monitor_ideal_source(self):
@@ -117,6 +180,97 @@ class TestMonitorCommand:
         )
         assert code == 1
         assert "final state: suspect" in text
+
+    def test_monitor_scenario_source(self):
+        code, text = run_cli(
+            ["monitor", "--design", "n128_light",
+             "--source", "scenario:stuck-at-1", "--sequences", "3"]
+        )
+        assert code == 1
+        assert "final state: failed" in text
+
+    def test_monitor_stuck_invalid_parameter_is_an_error(self):
+        code, text = run_cli(
+            ["monitor", "--source", "stuck", "--parameter", "2", "--sequences", "1"]
+        )
+        assert code == 2
+        assert "stuck source needs --parameter 0 or 1" in text
+
+
+class TestFleetCommand:
+    def run_small(self, *extra):
+        return run_cli(
+            ["fleet", "run", "--devices", "24", "--rounds", "3",
+             "--design", "n128_light", "--seed", "9",
+             "--mix", "healthy-ideal:0.8,wire-cut:0.1,biased-0.70:0.1", *extra]
+        )
+
+    def test_fleet_run_reports_rounds_and_table(self):
+        code, text = self.run_small()
+        assert code == 0
+        assert "fleet: 24 devices on n128_light" in text
+        assert "round   0" in text and "round   2" in text
+        assert "wire-cut" in text and "detect_prob" in text
+        assert "healthy-device false-alarm rate" in text
+        assert "devices/s" in text
+
+    def test_fleet_run_reproducible_modulo_timing(self):
+        import re
+
+        def strip_timing(text):
+            return re.sub(r"[\d,.]+ devices/s", "<rate>", text)
+
+        first = self.run_small()
+        second = self.run_small()
+        assert first[0] == second[0] == 0
+        assert strip_timing(first[1]) == strip_timing(second[1])
+
+    def test_fleet_json_and_csv_export(self, tmp_path):
+        import json
+
+        json_path = tmp_path / "fleet.json"
+        csv_path = tmp_path / "fleet.csv"
+        code, text = self.run_small("--json", str(json_path), "--csv", str(csv_path))
+        assert code == 0
+        data = json.loads(json_path.read_text())
+        assert data["config"]["num_devices"] == 24
+        assert len(data["rounds"]) == 3
+        assert csv_path.read_text().splitlines()[0].startswith("scenario,category,")
+
+    def test_fleet_unknown_design_is_an_error(self):
+        code, text = run_cli(["fleet", "run", "--design", "bogus", "--devices", "4"])
+        assert code == 2
+        assert "error" in text
+
+    def test_fleet_bad_mix_is_an_error(self):
+        code, text = run_cli(
+            ["fleet", "run", "--devices", "4", "--mix", "not-a-threat:1.0"]
+        )
+        assert code == 2
+        assert "error" in text
+
+    def test_fleet_run_zero_rounds_is_an_error(self):
+        """Regression: `fleet run --rounds 0` used to succeed silently with
+        no report and no --json/--csv artifacts."""
+        code, text = run_cli(["fleet", "run", "--devices", "4", "--rounds", "0"])
+        assert code == 2
+        assert "--rounds must be >= 1" in text
+
+    def test_fleet_bad_processes_is_an_error(self):
+        code, text = run_cli(
+            ["fleet", "run", "--devices", "4", "--rounds", "1", "--processes", "0"]
+        )
+        assert code == 2
+        assert "processes must be positive" in text
+
+    def test_fleet_serve_zero_rounds_with_export_is_an_error(self):
+        """Regression: serve --rounds 0 --json silently wrote no artifact."""
+        code, text = run_cli(
+            ["fleet", "serve", "--devices", "4", "--rounds", "0",
+             "--json", "/tmp/never-written.json"]
+        )
+        assert code == 2
+        assert "at least one round" in text
 
 
 class TestCampaignCommand:

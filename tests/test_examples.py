@@ -32,6 +32,7 @@ class TestExampleScripts:
             "design_space_exploration.py",
             "continuous_monitoring.py",
             "detection_campaign.py",
+            "fleet_monitoring.py",
         } <= names
 
     def test_quickstart(self):
@@ -60,6 +61,14 @@ class TestExampleScripts:
         assert "Detection campaign" in result.stdout
         assert "false-alarm rate" in result.stdout
         assert "wire-cut" in result.stdout
+
+    def test_fleet_monitoring(self):
+        result = run_example("fleet_monitoring.py")
+        assert result.returncode == 0, result.stderr
+        assert "Fleet monitoring" in result.stdout
+        assert "wire-cut" in result.stdout
+        assert "register -> ingest -> health -> summary" in result.stdout
+        assert "health: failed" in result.stdout
 
     @pytest.mark.slow
     def test_continuous_monitoring(self):
