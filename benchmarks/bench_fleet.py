@@ -18,6 +18,7 @@ import os
 import statistics
 import time
 
+from bench_harness import assert_floors, write_bench_json
 from repro.fleet import DeviceRegistry, FleetMix, FleetScheduler
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
@@ -62,7 +63,7 @@ def _run_multiplexed(scheduler, rounds):
     return durations
 
 
-def test_fleet_multiplexed_vs_naive(benchmark, save_table, save_json):
+def test_fleet_multiplexed_vs_naive(benchmark, save_table):
     naive_registry = _build_fleet()
     naive_durations = _run_naive(naive_registry, ROUNDS)
     naive_round = statistics.median(naive_durations)
@@ -111,23 +112,21 @@ def test_fleet_multiplexed_vs_naive(benchmark, save_table, save_json):
         rows,
         ["path", "devices", "round_ms", "devices_per_s", "speedup"],
     )
-    save_json(
-        "BENCH_fleet",
-        {
-            "design": DESIGN,
-            "num_devices": NUM_DEVICES,
-            "rounds": ROUNDS,
-            "smoke": SMOKE,
-            "naive_round_s": naive_round,
+    write_bench_json(
+        "fleet",
+        smoke=SMOKE,
+        workload={"design": DESIGN, "num_devices": NUM_DEVICES, "rounds": ROUNDS},
+        timings_s={
+            "naive_round": naive_round,
+            "multiplexed_round": multiplexed_round,
+        },
+        speedups={"multiplexed_vs_naive": speedup},
+        floors={"multiplexed_vs_naive": MIN_SPEEDUP},
+        extra={
             "naive_devices_per_s": naive_rate,
-            "multiplexed_round_s": multiplexed_round,
             "multiplexed_devices_per_s": multiplexed_rate,
-            "speedup": speedup,
-            "min_required_speedup": MIN_SPEEDUP,
         },
     )
-
-    assert speedup >= MIN_SPEEDUP, (
-        f"multiplexed fleet round only {speedup:.1f}x over the naive "
-        f"per-device loop at {NUM_DEVICES} devices (required {MIN_SPEEDUP}x)"
+    assert_floors(
+        {"multiplexed_vs_naive": speedup}, {"multiplexed_vs_naive": MIN_SPEEDUP}
     )

@@ -1,0 +1,226 @@
+"""Packed-bitplane backend benchmark: 64-bit word kernels vs uint8 paths.
+
+The engine's byte-per-bit matrices spend 8x the memory traffic the paper's
+word-parallel hardware counters would; the packed backend
+(:mod:`repro.engine.packed`) closes that gap by computing the shared
+statistics on 64-bits-per-word popcount/shift kernels.  This benchmark pins
+the two acceptance floors of the backend:
+
+* shared-statistic batch evaluation (ones, per-block ones, runs, longest
+  run per block, walk extremes over a ``(rows, n)`` batch) must run >= 3x
+  faster on the packed backend than on the uint8 reference paths, and
+* an end-to-end fleet round — generation, engine evaluation, health folding
+  — at a 1024-device fleet on ``n65536_light`` must run >= 2x faster with a
+  packed scheduler than a uint8 one,
+
+with *bit-identical* P-values asserted between the backends before any
+speedup counts.  Machine-readable results land in
+``benchmarks/results/BENCH_packed.json`` through the shared
+``bench_harness`` schema.  ``REPRO_BENCH_SMOKE=1`` shrinks the workloads to
+CI-smoke size; the floors stay pinned.
+"""
+
+import os
+import statistics
+import time
+
+from bench_harness import assert_floors, write_bench_json
+from repro.engine.batch import run_batch
+from repro.engine.context import BatchContext
+from repro.fleet import DeviceRegistry, FleetMix, FleetScheduler
+from repro.trng.ideal import IdealSource
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Shared-statistic workload: a fleet-scale batch of 2^16-bit sequences.
+ROWS = 256 if SMOKE else 1024
+N = 16384 if SMOKE else 65536
+STAT_REPEATS = 3
+#: The statistics every n65536-class design shares (block lengths are the
+#: NIST parameters at this n: block frequency M=128, longest run M=128).
+BLOCK_LENGTH = 128
+MIN_STATS_SPEEDUP = 3.0
+
+#: End-to-end fleet workload: the acceptance bar's 1024 devices on the
+#: quick-test design whose statistics are all packed-covered.
+NUM_DEVICES = 256 if SMOKE else 1024
+FLEET_DESIGN = "n65536_light"
+FLEET_ROUNDS = 2
+FLEET_SEED = 20150309
+MIN_FLEET_SPEEDUP = 2.0
+
+#: The n65536_light test subset, for the P-value parity assertion.
+PARITY_TESTS = [1, 2, 3, 4, 13]
+
+
+def _evaluate_shared_statistics(matrix, backend):
+    """One full shared-statistic pass, timed from a cold context."""
+    start = time.perf_counter()
+    context = BatchContext(matrix, backend=backend)
+    context.ones()
+    context.block_sums(BLOCK_LENGTH)
+    context.num_runs()
+    context.walk_extremes()
+    context.block_longest_one_runs(BLOCK_LENGTH)
+    return time.perf_counter() - start
+
+
+def _median_stat_seconds(matrix, backend):
+    return statistics.median(
+        _evaluate_shared_statistics(matrix, backend) for _ in range(STAT_REPEATS)
+    )
+
+
+def _p_values(reports):
+    return [
+        {test_id: result.p_values for test_id, result in report.results.items()}
+        for report in reports
+    ]
+
+
+def test_packed_shared_statistics_speedup(save_table):
+    matrix = IdealSource(seed=FLEET_SEED).generate_matrix(ROWS, N)
+
+    # Parity gate: identical P-values on both backends before speed counts.
+    parity_rows = matrix[: min(ROWS, 64)]
+    packed_reports = run_batch(parity_rows, tests=PARITY_TESTS, backend="packed")
+    uint8_reports = run_batch(parity_rows, tests=PARITY_TESTS, backend="uint8")
+    assert _p_values(packed_reports) == _p_values(uint8_reports)
+
+    _evaluate_shared_statistics(matrix, "packed")  # warm-up (LUTs, allocator)
+    uint8_seconds = _median_stat_seconds(matrix, "uint8")
+    packed_seconds = _median_stat_seconds(matrix, "packed")
+    speedup = uint8_seconds / packed_seconds
+    bits_per_s = ROWS * N / packed_seconds
+
+    rows = [
+        {
+            "backend": "uint8 (byte per bit)",
+            "matrix": f"{ROWS} x {N}",
+            "seconds": f"{uint8_seconds:.3f}",
+            "speedup": "1.0x",
+        },
+        {
+            "backend": "packed (64 bits per word)",
+            "matrix": f"{ROWS} x {N}",
+            "seconds": f"{packed_seconds:.3f}",
+            "speedup": f"{speedup:.1f}x",
+        },
+    ]
+    save_table(
+        "packed_statistics",
+        f"Shared-statistic batch evaluation, packed vs uint8 backend"
+        f"{' [smoke sizes]' if SMOKE else ''}",
+        rows,
+        ["backend", "matrix", "seconds", "speedup"],
+    )
+    write_bench_json(
+        "packed",
+        smoke=SMOKE,
+        workload={
+            "rows": ROWS,
+            "n": N,
+            "block_length": BLOCK_LENGTH,
+            "statistics": [
+                "ones", "block_sums", "num_runs", "walk_extremes",
+                "block_longest_one_runs",
+            ],
+            "parity_tests": PARITY_TESTS,
+        },
+        timings_s={
+            "uint8_statistics": uint8_seconds,
+            "packed_statistics": packed_seconds,
+        },
+        speedups={"packed_vs_uint8_statistics": speedup},
+        floors={"packed_vs_uint8_statistics": MIN_STATS_SPEEDUP},
+        extra={"packed_bits_per_s": bits_per_s},
+    )
+    assert_floors(
+        {"packed_vs_uint8_statistics": speedup},
+        {"packed_vs_uint8_statistics": MIN_STATS_SPEEDUP},
+    )
+
+
+def _build_fleet(backend):
+    registry = DeviceRegistry(FLEET_DESIGN, alpha=0.01)
+    registry.populate(NUM_DEVICES, FleetMix.healthy_with_threats(0.95), seed=FLEET_SEED)
+    return FleetScheduler(registry, backend=backend)
+
+
+def _run_rounds(scheduler):
+    scheduler.run_round()  # warm-up: imports, allocator, kernel LUTs
+    return statistics.median(
+        scheduler.run_round().elapsed_s for _ in range(FLEET_ROUNDS)
+    )
+
+
+def test_packed_fleet_round_speedup(save_table):
+    uint8_scheduler = _build_fleet("uint8")
+    packed_scheduler = _build_fleet("packed")
+
+    uint8_round = _run_rounds(uint8_scheduler)
+    packed_round = _run_rounds(packed_scheduler)
+    speedup = uint8_round / packed_round
+
+    # Same fleet seed, same streams: the two backends must agree device for
+    # device on everything the health machines derived.
+    for uint8_device, packed_device in zip(
+        uint8_scheduler.registry, packed_scheduler.registry
+    ):
+        assert uint8_device.scenario == packed_device.scenario
+        assert uint8_device.state == packed_device.state
+        assert (
+            uint8_device.monitor.first_failed_index
+            == packed_device.monitor.first_failed_index
+        )
+    assert packed_scheduler.report().backend == "packed"
+
+    rows = [
+        {
+            "backend": "uint8 fleet round",
+            "devices": NUM_DEVICES,
+            "round_ms": f"{uint8_round * 1e3:,.0f}",
+            "devices_per_s": f"{NUM_DEVICES / uint8_round:,.0f}",
+            "speedup": "1.0x",
+        },
+        {
+            "backend": "packed fleet round",
+            "devices": NUM_DEVICES,
+            "round_ms": f"{packed_round * 1e3:,.0f}",
+            "devices_per_s": f"{NUM_DEVICES / packed_round:,.0f}",
+            "speedup": f"{speedup:.1f}x",
+        },
+    ]
+    save_table(
+        "packed_fleet_round",
+        f"End-to-end fleet rounds on {FLEET_DESIGN}, packed vs uint8 backend "
+        f"({NUM_DEVICES} devices{', smoke sizes' if SMOKE else ''})",
+        rows,
+        ["backend", "devices", "round_ms", "devices_per_s", "speedup"],
+    )
+    write_bench_json(
+        "packed_fleet",
+        smoke=SMOKE,
+        workload={
+            "design": FLEET_DESIGN,
+            "num_devices": NUM_DEVICES,
+            "rounds": FLEET_ROUNDS,
+            "mix": "healthy_with_threats(0.95)",
+        },
+        timings_s={
+            "uint8_round": uint8_round,
+            "packed_round": packed_round,
+        },
+        speedups={"packed_vs_uint8_fleet_round": speedup},
+        floors={"packed_vs_uint8_fleet_round": MIN_FLEET_SPEEDUP},
+        extra={
+            "uint8_devices_per_s": NUM_DEVICES / uint8_round,
+            "packed_devices_per_s": NUM_DEVICES / packed_round,
+        },
+    )
+    uint8_scheduler.close()
+    packed_scheduler.close()
+    assert_floors(
+        {"packed_vs_uint8_fleet_round": speedup},
+        {"packed_vs_uint8_fleet_round": MIN_FLEET_SPEEDUP},
+    )

@@ -20,6 +20,7 @@ so the throughput trajectory is tracked across PRs.
 import os
 import time
 
+from bench_harness import assert_floors, write_bench_json
 from repro.campaign import CampaignConfig, run_campaign
 from repro.core.monitor import OnTheFlyMonitor
 from repro.core.platform import OnTheFlyPlatform
@@ -73,7 +74,7 @@ def _run_campaign():
     return elapsed, bits, report
 
 
-def test_stream_throughput_block_vs_per_bit(benchmark, save_table, save_json):
+def test_stream_throughput_block_vs_per_bit(benchmark, save_table):
     platform = OnTheFlyPlatform(DESIGN, alpha=0.01)
 
     per_bit_elapsed, per_bit_monitor = _run_monitor(
@@ -124,29 +125,37 @@ def test_stream_throughput_block_vs_per_bit(benchmark, save_table, save_json):
         rows,
         ["path", "sequences", "bits_per_s", "speedup"],
     )
-    save_json(
-        "BENCH_throughput",
-        {
+    speedups = {
+        "block_vs_per_bit": block_rate / per_bit_rate,
+        "campaign_vs_per_bit": campaign_rate / per_bit_rate,
+    }
+    floors = {
+        "block_vs_per_bit": MIN_SPEEDUP,
+        "campaign_vs_per_bit": MIN_SPEEDUP,
+    }
+    write_bench_json(
+        "throughput",
+        smoke=SMOKE,
+        workload={
             "design": DESIGN,
             "n": N,
-            "smoke": SMOKE,
+            "per_bit_sequences": PER_BIT_SEQUENCES,
+            "block_sequences": BLOCK_SEQUENCES,
+        },
+        timings_s={
+            "per_bit": per_bit_elapsed,
+            "block": block_elapsed,
+            "campaign": campaign_elapsed,
+        },
+        speedups=speedups,
+        floors=floors,
+        extra={
             "per_bit_bits_per_s": per_bit_rate,
             "block_bits_per_s": block_rate,
             "campaign_bits_per_s": campaign_rate,
-            "block_speedup": block_rate / per_bit_rate,
-            "campaign_speedup": campaign_rate / per_bit_rate,
-            "min_required_speedup": MIN_SPEEDUP,
         },
     )
-
-    assert block_rate >= MIN_SPEEDUP * per_bit_rate, (
-        f"block path only {block_rate / per_bit_rate:.1f}x over per-bit "
-        f"(required {MIN_SPEEDUP}x)"
-    )
-    assert campaign_rate >= MIN_SPEEDUP * per_bit_rate, (
-        f"campaign only {campaign_rate / per_bit_rate:.1f}x over per-bit "
-        f"(required {MIN_SPEEDUP}x)"
-    )
+    assert_floors(speedups, floors)
     # Sanity on the campaign content itself: the biased threat is caught,
     # the healthy control is quiet.
     by_scenario = {cell.scenario: cell for cell in campaign_report.cells}

@@ -5,10 +5,11 @@ pytest-benchmark timing, each benchmark renders its table both to stdout and
 to ``benchmarks/results/<name>.txt`` so the artefacts referenced by
 EXPERIMENTS.md can be reproduced with a single ``pytest benchmarks/
 --benchmark-only`` run.  Every saved table also lands as machine-readable
-``benchmarks/results/<name>.json`` (title + columns + rows), so the perf
-trajectory — engine batch speedup, campaign throughput, stream throughput —
-can be tracked across PRs by diffing/plotting the JSON artefacts instead of
-scraping text tables.
+``benchmarks/results/<name>.json`` (title + columns + rows).  The pinned
+perf contracts — the ``BENCH_*.json`` artefacts with floors, timings and
+interpreter versions — go through the shared schema in ``bench_harness.py``
+instead, so the speedup trajectory can be tracked across PRs by diffing one
+uniform layout.
 """
 
 from __future__ import annotations
@@ -60,12 +61,6 @@ def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> s
             " | ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
         )
     return "\n".join(lines)
-
-
-@pytest.fixture(scope="session")
-def save_json():
-    """Persist a machine-readable benchmark artefact under results/."""
-    return save_json_result
 
 
 @pytest.fixture(scope="session")

@@ -137,6 +137,9 @@ class CampaignReport(JsonCsvExportMixin):
     designs: Tuple[str, ...]
     scenarios: Tuple[str, ...]
     cells: List[CampaignCell] = field(default_factory=list)
+    #: Compute backend the engine's shared statistics ran on ("packed" word
+    #: kernels or the "uint8" reference paths); P-values are identical.
+    backend: str = "packed"
 
     # ------------------------------------------------------------- selection
     def cells_for_design(self, design: str) -> List[CampaignCell]:
@@ -205,6 +208,7 @@ class CampaignReport(JsonCsvExportMixin):
                 "fail_after": self.fail_after,
                 "designs": list(self.designs),
                 "scenarios": list(self.scenarios),
+                "backend": self.backend,
             },
             "cells": [cell.to_dict() for cell in self.cells],
         }
@@ -222,6 +226,8 @@ class CampaignReport(JsonCsvExportMixin):
             designs=tuple(config["designs"]),
             scenarios=tuple(config["scenarios"]),
             cells=[CampaignCell.from_dict(cell) for cell in data["cells"]],
+            # Reports saved before the packed backend existed ran on uint8.
+            backend=config.get("backend", "uint8"),
         )
 
     # to_json / from_json / save_json / to_csv / save_csv come from

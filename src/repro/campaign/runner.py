@@ -32,6 +32,7 @@ from repro.campaign.scenarios import DEFAULT_CATALOG, ScenarioCatalog, ScenarioS
 from repro.core.configs import get_design
 from repro.core.monitor import OnTheFlyMonitor
 from repro.core.platform import OnTheFlyPlatform
+from repro.engine.context import DEFAULT_BACKEND, validate_backend
 
 __all__ = ["CampaignConfig", "run_campaign", "DEFAULT_CAMPAIGN_DESIGNS"]
 
@@ -65,6 +66,10 @@ class CampaignConfig:
         deterministically, so a campaign is reproducible cell by cell.
     processes:
         When > 1, cells fan out over a process pool of that size.
+    backend:
+        Compute backend of the engine's shared statistics (``"packed"``
+        64-bit word kernels by default, ``"uint8"`` for the byte-per-bit
+        reference paths); detection outcomes are identical either way.
     """
 
     designs: Tuple[str, ...] = DEFAULT_CAMPAIGN_DESIGNS
@@ -76,10 +81,12 @@ class CampaignConfig:
     fail_after: int = 2
     seed: int = 0
     processes: Optional[int] = None
+    backend: str = DEFAULT_BACKEND
 
     def validate(self) -> None:
         if not self.designs:
             raise ValueError("need at least one design point")
+        validate_backend(self.backend)
         if self.trials < 1:
             raise ValueError("trials must be positive")
         if self.sequences_per_trial < 1:
@@ -167,7 +174,7 @@ def _pool_cell(payload) -> CampaignCell:
     executor's pool workers re-resolve tests by id.
     """
     design, label, config = payload
-    platform = OnTheFlyPlatform(design, alpha=config.alpha)
+    platform = OnTheFlyPlatform(design, alpha=config.alpha, backend=config.backend)
     return _evaluate_cell(platform, design, DEFAULT_CATALOG.get(label), config)
 
 
@@ -223,7 +230,7 @@ def run_campaign(
                     on_cell(cell)
     else:
         for design in config.designs:
-            platform = OnTheFlyPlatform(design, alpha=config.alpha)
+            platform = OnTheFlyPlatform(design, alpha=config.alpha, backend=config.backend)
             for spec in specs:
                 cell = _evaluate_cell(platform, design, spec, config)
                 cells.append(cell)
@@ -240,4 +247,5 @@ def run_campaign(
         designs=tuple(config.designs),
         scenarios=labels,
         cells=cells,
+        backend=config.backend,
     )

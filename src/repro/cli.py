@@ -48,6 +48,7 @@ from repro.campaign import (
 from repro.core.configs import get_design, list_designs
 from repro.core.monitor import HealthState, OnTheFlyMonitor
 from repro.core.platform import OnTheFlyPlatform
+from repro.engine.context import BACKENDS, DEFAULT_BACKEND
 from repro.eval.asic import estimate_asic
 from repro.eval.fpga import estimate_fpga
 from repro.hwtests.block import UnifiedTestingBlock
@@ -115,6 +116,17 @@ def _make_source(name: str, seed: int, parameter: float, n: int) -> EntropySourc
     raise ValueError(
         f"unknown simulated source {name!r}; available: "
         f"{', '.join(_SIMULATED_SOURCES)} or scenario:<label>"
+    )
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--backend`` flag of the engine-driven sub-commands."""
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
+        help="compute backend for the engine's shared statistics: 'packed' "
+             "runs them on 64-bits-per-word popcount kernels, 'uint8' on "
+             "the byte-per-bit reference paths; P-values and verdicts are "
+             "bit-identical either way (default: %(default)s)",
     )
 
 
@@ -189,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--tests", default="hw",
                        help="comma-separated NIST test numbers, or 'hw' for the "
                             "HW-suitable subset, or 'all' for all 15")
+    _add_backend_argument(batch)
 
     campaign = sub.add_parser(
         "campaign",
@@ -214,6 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the full campaign report as JSON to this path")
     campaign.add_argument("--csv", dest="csv_path", default=None,
                           help="write the summary table as CSV to this path")
+    _add_backend_argument(campaign)
 
     fleet = sub.add_parser(
         "fleet",
@@ -247,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--host", default="127.0.0.1", help="serve: bind address")
     fleet.add_argument("--port", type=int, default=8080,
                        help="serve: TCP port (0 picks a free one)")
+    _add_backend_argument(fleet)
 
     return parser
 
@@ -385,13 +400,17 @@ def _cmd_batch(args, out) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=out)
         return 2
-    matrix = source.generate_matrix(args.sequences, args.length)
+    matrix = source.generate_matrix(
+        args.sequences, args.length, packed=args.backend == "packed"
+    )
     start = time.perf_counter()
-    reports = run_batch(matrix, tests=tests, processes=args.processes)
+    reports = run_batch(matrix, tests=tests, processes=args.processes,
+                        backend=args.backend)
     elapsed = time.perf_counter() - start
     print(
         f"engine batch: {args.sequences} sequences x {args.length} bits from "
-        f"{source.name} ({len(tests)} tests, alpha = {args.alpha})",
+        f"{source.name} ({len(tests)} tests, alpha = {args.alpha}, "
+        f"backend = {args.backend})",
         file=out,
     )
     # A healthy source still fails each test with probability ~alpha, so the
@@ -443,6 +462,7 @@ def _cmd_campaign(args, out) -> int:
         fail_after=args.fail_after,
         seed=args.seed,
         processes=args.processes,
+        backend=args.backend,
     )
     try:
         config.validate()
@@ -456,7 +476,7 @@ def _cmd_campaign(args, out) -> int:
         f"detection campaign: {len(report.scenarios)} scenarios x "
         f"{len(report.designs)} designs, {args.trials} trials x "
         f"{args.sequences} sequences per cell (alpha = {args.alpha}, "
-        f"seed = {args.seed})",
+        f"seed = {args.seed}, backend = {report.backend})",
         file=out,
     )
     print("", file=out)
@@ -511,13 +531,16 @@ def _cmd_fleet(args, out) -> int:
             fail_after=args.fail_after,
         )
         registry.populate(args.devices, mix, seed=args.seed)
-        scheduler = FleetScheduler(registry, processes=args.processes)
+        scheduler = FleetScheduler(
+            registry, processes=args.processes, backend=args.backend
+        )
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=out)
         return 2
     print(
         f"fleet: {args.devices} devices on {args.design} "
-        f"(n = {registry.n}, alpha = {args.alpha}, seed = {args.seed})",
+        f"(n = {registry.n}, alpha = {args.alpha}, seed = {args.seed}, "
+        f"backend = {args.backend})",
         file=out,
     )
     counts = registry.scenario_counts()

@@ -19,7 +19,13 @@ import numpy as np
 
 from repro.core.configs import DesignPoint, get_design
 from repro.core.results import PlatformReport
-from repro.engine.context import BatchContext
+from repro.engine.context import (
+    DEFAULT_BACKEND,
+    BatchContext,
+    SequenceContext,
+    validate_backend,
+)
+from repro.engine.packed import PackedMatrix
 from repro.hwtests.block import UnifiedTestingBlock
 from repro.hwtests.parameters import SharingOptions
 from repro.nist.common import BitsLike, to_bits
@@ -45,6 +51,11 @@ class OnTheFlyPlatform:
         default; the ablation benchmark switches them off selectively).
     word_bits:
         Word width of the software platform (16 in the paper).
+    backend:
+        Compute backend of the batch path's shared statistics: ``"packed"``
+        (default) runs them on the 64-bits-per-word kernels of
+        :mod:`repro.engine.packed`; ``"uint8"`` forces the byte-per-bit
+        reference paths.  Verdicts are bit-identical either way.
     """
 
     def __init__(
@@ -53,12 +64,14 @@ class OnTheFlyPlatform:
         alpha: float = 0.01,
         sharing: SharingOptions = SharingOptions(),
         word_bits: int = 16,
+        backend: str = DEFAULT_BACKEND,
     ):
         if isinstance(design, str):
             design = get_design(design)
         self.design = design
         self.alpha = alpha
         self.sharing = sharing
+        self.backend = validate_backend(backend)
         params = design.parameters
         self.hardware = UnifiedTestingBlock(
             params, tests=design.tests, sharing=sharing, bus_width=word_bits
@@ -123,19 +136,52 @@ class OnTheFlyPlatform:
         default) rather than the bit-serial one.  The verdicts are identical
         either way; only the simulation speed differs.
 
-        ``sequences`` may be any iterable of ``BitsLike`` sequences or —
-        the zero-copy fast path used by the monitor and campaign runner — a
+        ``sequences`` may be any iterable of ``BitsLike`` sequences, the
+        zero-copy fast path used by the monitor and campaign runner — a
         2-D ``(num_sequences, n)`` uint8 matrix straight from
-        :meth:`~repro.trng.source.EntropySource.generate_matrix`.
+        :meth:`~repro.trng.source.EntropySource.generate_matrix` — or a
+        prepacked :class:`~repro.engine.packed.PackedMatrix` from
+        ``generate_matrix(..., packed=True)``.
+
+        On the accelerated path the whole batch shares one
+        :class:`~repro.engine.context.BatchContext` (built on the platform's
+        configured :attr:`backend`), so the hardware units' shared
+        statistics are computed in single vectorised passes over the batch
+        instead of once per sequence.
         """
-        if isinstance(sequences, np.ndarray):
-            arrays: List[np.ndarray] = list(BatchContext.as_matrix(sequences))
+        batch: Optional[BatchContext] = None
+        if isinstance(sequences, PackedMatrix):
+            batch = BatchContext(sequences, backend=self.backend)
+        elif isinstance(sequences, np.ndarray):
+            # as_matrix validates shape (2-D) and 0/1 content.
+            batch = BatchContext(BatchContext.as_matrix(sequences), backend=self.backend)
+        if batch is not None:
+            if batch.n != self.n and batch.num_sequences:
+                raise ValueError(f"expected {self.n} bits, got {batch.n}")
+            contexts: List[SequenceContext] = list(batch.contexts())
         else:
             arrays = [to_bits(sequence) for sequence in sequences]
-        for arr in arrays:
-            if arr.size != self.n:
-                raise ValueError(f"expected {self.n} bits, got {arr.size}")
-        return [self.evaluate_sequence(arr, accelerated=accelerated) for arr in arrays]
+            for arr in arrays:
+                if arr.size != self.n:
+                    raise ValueError(f"expected {self.n} bits, got {arr.size}")
+            if len(arrays) > 1 and len({arr.size for arr in arrays}) == 1:
+                batch = BatchContext(np.vstack(arrays), backend=self.backend)
+                contexts = list(batch.contexts())
+            else:
+                contexts = [SequenceContext(arr) for arr in arrays]
+        if not accelerated:
+            return [
+                self.evaluate_sequence(context.bits, accelerated=False)
+                for context in contexts
+            ]
+        from repro.hwtests.functional import fast_load_block_from_context
+
+        reports = []
+        for context in contexts:
+            self.hardware.reset()
+            fast_load_block_from_context(self.hardware, context)
+            reports.append(self._verify())
+        return reports
 
     def evaluate_source(self, source: EntropySource, accelerated: bool = True) -> PlatformReport:
         """Draw one n-bit sequence from ``source`` and evaluate it.

@@ -22,7 +22,8 @@ Quickstart::
 """
 
 from repro.engine.batch import EngineReport, run_batch
-from repro.engine.context import BatchContext, SequenceContext
+from repro.engine.context import BACKENDS, DEFAULT_BACKEND, BatchContext, SequenceContext
+from repro.engine.packed import PackedMatrix, pack_matrix, unpack_matrix
 from repro.engine.registry import (
     DEFAULT_REGISTRY,
     NIST_NUMBER_TO_ID,
@@ -33,14 +34,19 @@ from repro.engine.registry import (
 )
 
 __all__ = [
+    "BACKENDS",
     "BatchContext",
+    "DEFAULT_BACKEND",
     "DEFAULT_REGISTRY",
     "EngineReport",
     "NIST_NUMBER_TO_ID",
+    "PackedMatrix",
     "RegisteredTest",
     "SequenceContext",
     "StatisticalTest",
     "TestRegistry",
     "build_default_registry",
+    "pack_matrix",
     "run_batch",
+    "unpack_matrix",
 ]

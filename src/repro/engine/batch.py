@@ -22,7 +22,13 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.engine.context import BatchContext, SequenceContext
+from repro.engine.context import (
+    DEFAULT_BACKEND,
+    BatchContext,
+    SequenceContext,
+    validate_backend,
+)
+from repro.engine.packed import PackedMatrix
 from repro.engine.registry import (
     DEFAULT_REGISTRY,
     NIST_NUMBER_TO_ID,
@@ -42,6 +48,9 @@ class EngineReport:
     n: int
     results: Dict[str, TestResult] = field(default_factory=dict)
     errors: Dict[str, str] = field(default_factory=dict)
+    #: Compute backend the shared statistics ran on ("packed" word kernels
+    #: or the "uint8" reference paths); P-values are identical either way.
+    backend: str = "uint8"
 
     def passed(self, alpha: float = 0.01) -> bool:
         """True when every test that ran accepted the randomness hypothesis."""
@@ -93,16 +102,21 @@ def run_batch(
     processes: Optional[int] = None,
     registry: Optional[TestRegistry] = None,
     skip_errors: bool = True,
+    backend: str = DEFAULT_BACKEND,
 ) -> List[EngineReport]:
     """Evaluate ``tests`` on every sequence in ``sequences``.
 
     Parameters
     ----------
     sequences:
-        Iterable of bit sequences (any ``BitsLike``), or a 2-D
+        Iterable of bit sequences (any ``BitsLike``), a 2-D
         ``(num_sequences, n)`` uint8 matrix straight from
         :meth:`~repro.trng.source.EntropySource.generate_matrix` — the
-        zero-copy fast path used by the block-native source layer.
+        zero-copy fast path used by the block-native source layer — or a
+        prepacked :class:`~repro.engine.packed.PackedMatrix` (e.g. from
+        ``generate_matrix(..., packed=True)`` or the fleet scheduler), in
+        which case the uint8 matrix is only materialised if a statistic
+        without a packed kernel needs it.
         Equal-length sequences are stacked into one bit matrix and share
         vectorised statistics; mixed lengths fall back to per-sequence
         contexts.
@@ -125,20 +139,34 @@ def run_batch(
         When True (default), any exception from a test is recorded in
         :attr:`EngineReport.errors` instead of aborting the batch, so one
         misbehaving test cannot leave the other reports partially filled.
+    backend:
+        ``"packed"`` (default) computes the cheap shared statistics on the
+        64-bits-per-word kernels of :mod:`repro.engine.packed`; ``"uint8"``
+        forces the byte-per-bit reference paths.  P-values are bit-identical
+        either way (the backend is recorded in
+        :attr:`EngineReport.backend`).
 
     Returns
     -------
     list of EngineReport
         One report per input sequence, in input order.
     """
+    validate_backend(backend)
     registry = registry if registry is not None else DEFAULT_REGISTRY
-    matrix: Optional[np.ndarray] = None
-    if isinstance(sequences, np.ndarray) and sequences.ndim == 2:
-        matrix = BatchContext.as_matrix(sequences)
-        arrays: List[np.ndarray] = list(matrix)
+    batch: Optional[BatchContext] = None
+    if isinstance(sequences, PackedMatrix):
+        batch = BatchContext(sequences, backend=backend)
+    elif isinstance(sequences, np.ndarray) and sequences.ndim == 2:
+        batch = BatchContext(BatchContext.as_matrix(sequences), backend=backend)
+    if batch is not None:
+        if batch.num_sequences == 0:
+            return []
+        arrays: Optional[List[np.ndarray]] = None
+        num_sequences = batch.num_sequences
     else:
         arrays = [to_bits(sequence) for sequence in sequences]
-    if not arrays:
+        num_sequences = len(arrays)
+    if not num_sequences:
         return []
     specs = list(tests) if tests is not None else sorted(NIST_NUMBER_TO_ID)
     # Dedupe after resolution (first occurrence wins): the same test given
@@ -161,14 +189,19 @@ def run_batch(
             )
         params[test_id] = dict(kwargs)
 
-    lengths = {arr.size for arr in arrays}
-    if matrix is not None and len(arrays) > 1:
-        contexts: List[SequenceContext] = list(BatchContext(matrix).contexts())
-    elif len(lengths) == 1 and len(arrays) > 1:
-        contexts = list(BatchContext(np.vstack(arrays)).contexts())
+    if batch is None:
+        lengths = {arr.size for arr in arrays}
+        if len(lengths) == 1 and len(arrays) > 1:
+            batch = BatchContext(np.vstack(arrays), backend=backend)
+    if batch is not None:
+        contexts: List[SequenceContext] = list(batch.contexts())
+        reports = [
+            EngineReport(n=batch.n, backend=batch.backend) for _ in range(num_sequences)
+        ]
     else:
+        # Mixed-length fallback: per-sequence contexts on the uint8 paths.
         contexts = [SequenceContext(arr) for arr in arrays]
-    reports = [EngineReport(n=int(arr.size)) for arr in arrays]
+        reports = [EngineReport(n=int(arr.size), backend="uint8") for arr in arrays]
 
     pooled: List[RegisteredTest] = []
     if processes is not None and processes > 1 and registry is DEFAULT_REGISTRY:
@@ -186,6 +219,10 @@ def run_batch(
                 report.errors[test.id] = _describe_error(exc)
 
     if pooled:
+        if arrays is None:
+            # Pool workers need raw bits; packed-only input is expanded here
+            # (once, memoized on the batch) rather than per worker.
+            arrays = list(batch.matrix)
         payloads = [arr.tobytes() for arr in arrays]
         with ProcessPoolExecutor(max_workers=processes) as pool:
             futures = {}

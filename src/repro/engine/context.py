@@ -26,9 +26,36 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.engine import packed as _packed
+from repro.engine.packed import PackedMatrix, pack_matrix
 from repro.nist.common import BitsLike, pattern_counts, to_bits
 
-__all__ = ["SequenceContext", "BatchContext"]
+__all__ = [
+    "SequenceContext",
+    "BatchContext",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "validate_backend",
+]
+
+#: Recognised compute backends for batch statistics.
+BACKENDS = ("packed", "uint8")
+
+#: The engine default: 64-bits-per-word popcount kernels for the shared
+#: statistics, uint8 reference paths for everything else.  Both backends
+#: produce bit-identical statistics (and therefore P-values).
+DEFAULT_BACKEND = "packed"
+
+
+def validate_backend(backend: str) -> str:
+    """Return ``backend`` if recognised, raise ``ValueError`` otherwise.
+
+    The one validation (and error message) shared by every layer that takes
+    a backend knob — context, batch executor, platform, campaign, fleet.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    return backend
 
 
 def _window_weights(m: int) -> np.ndarray:
@@ -107,10 +134,10 @@ class SequenceContext:
     def __init__(self, bits: BitsLike, *, _batch: Optional["BatchContext"] = None, _row: int = 0):
         self._batch = _batch
         self._row = _row
-        if _batch is None:
-            self._bits = to_bits(bits)
-        else:
-            self._bits = _batch.matrix[_row]
+        # Batch-backed contexts resolve their row lazily: when the batch is
+        # packed and every requested statistic has a packed kernel, the
+        # uint8 matrix is never materialised at all.
+        self._bits: Optional[np.ndarray] = to_bits(bits) if _batch is None else None
         self._ones: Optional[int] = None
         self._walk_extremes: Optional[Tuple[int, int, int]] = None
         self._num_runs: Optional[int] = None
@@ -125,12 +152,24 @@ class SequenceContext:
     @property
     def bits(self) -> np.ndarray:
         """The raw uint8 0/1 array (for tests without a shared statistic)."""
+        if self._bits is None:
+            self._bits = self._batch.matrix[self._row]
         return self._bits
 
     @property
     def n(self) -> int:
         """Sequence length."""
+        if self._batch is not None:
+            return self._batch.n
         return int(self._bits.size)
+
+    def last_bit(self) -> int:
+        """The final bit of the sequence (without unpacking a packed batch)."""
+        if self.n == 0:
+            raise ValueError("empty sequence has no last bit")
+        if self._bits is None:
+            return int(self._batch.last_bits()[self._row])
+        return int(self._bits[-1])
 
     @property
     def ones(self) -> int:
@@ -161,7 +200,7 @@ class SequenceContext:
             elif self.n == 0:
                 self._walk_extremes = (0, 0, 0)
             else:
-                walk = np.cumsum(2 * self._bits.astype(np.int64) - 1)
+                walk = np.cumsum(2 * self.bits.astype(np.int64) - 1)
                 self._walk_extremes = (int(walk.max()), int(walk.min()), int(walk[-1]))
         return self._walk_extremes
 
@@ -173,13 +212,13 @@ class SequenceContext:
             elif self.n == 0:
                 self._num_runs = 0
             else:
-                self._num_runs = int(np.count_nonzero(np.diff(self._bits.astype(np.int8)))) + 1
+                self._num_runs = int(np.count_nonzero(np.diff(self.bits.astype(np.int8)))) + 1
         return self._num_runs
 
     def runs(self) -> Tuple[np.ndarray, np.ndarray]:
         """Per-run ``(bit values, run lengths)`` arrays, in sequence order."""
         if self._runs is None:
-            self._runs = _run_values_and_lengths(self._bits)
+            self._runs = _run_values_and_lengths(self.bits)
         return self._runs
 
     def run_length_histogram(self, cap: int = 6) -> Dict[int, Dict[int, int]]:
@@ -213,7 +252,7 @@ class SequenceContext:
                 self._block_sums[block_length] = self._batch.block_sums(block_length)[self._row]
             else:
                 num_blocks = self.n // block_length
-                trimmed = self._bits[: num_blocks * block_length]
+                trimmed = self.bits[: num_blocks * block_length]
                 self._block_sums[block_length] = trimmed.reshape(
                     num_blocks, block_length
                 ).sum(axis=1, dtype=np.int64)
@@ -228,7 +267,7 @@ class SequenceContext:
                 )[self._row]
             else:
                 self._block_longest[block_length] = _matrix_block_longest_one_runs(
-                    self._bits[np.newaxis, :], block_length
+                    self.bits[np.newaxis, :], block_length
                 )[0]
         return self._block_longest[block_length]
 
@@ -241,7 +280,7 @@ class SequenceContext:
                 )[self._row]
             else:
                 num_blocks = self.n // block_length
-                trimmed = self._bits[: num_blocks * block_length].astype(np.int64)
+                trimmed = self.bits[: num_blocks * block_length].astype(np.int64)
                 values = trimmed.reshape(num_blocks, block_length) @ _window_weights(block_length)
                 self._block_value_counts[block_length] = np.bincount(
                     values, minlength=1 << block_length
@@ -256,7 +295,7 @@ class SequenceContext:
             if self._batch is not None and m > 0:
                 self._pattern_counts[key] = self._batch.pattern_counts(m, cyclic=cyclic)[self._row]
             else:
-                self._pattern_counts[key] = pattern_counts(self._bits, m, cyclic=cyclic)
+                self._pattern_counts[key] = pattern_counts(self.bits, m, cyclic=cyclic)
         return self._pattern_counts[key]
 
     def window_values(self, m: int) -> np.ndarray:
@@ -265,7 +304,7 @@ class SequenceContext:
             if self._batch is not None:
                 self._window_values[m] = self._batch.window_values(m)[self._row]
             else:
-                self._window_values[m] = _matrix_window_values(self._bits[np.newaxis, :], m)[0]
+                self._window_values[m] = _matrix_window_values(self.bits[np.newaxis, :], m)[0]
         return self._window_values[m]
 
 
@@ -275,6 +314,16 @@ class BatchContext:
     Every statistic is computed lazily with one vectorised pass over the
     ``(num_sequences, n)`` bit matrix and cached; per-sequence contexts
     created with :meth:`context` read their row from the shared arrays.
+
+    With the default ``backend="packed"`` the cheap shared statistics (ones,
+    block ones, runs, longest run per block, walk extremes) run on the
+    64-bits-per-word :mod:`repro.engine.packed` kernels over a memoized
+    packed view of the matrix; everything else falls back to the uint8
+    reference paths.  ``backend="uint8"`` forces the reference paths
+    throughout.  The two backends are bit-identical statistic for statistic.
+    The constructor also accepts a prepacked
+    :class:`~repro.engine.packed.PackedMatrix` directly, in which case the
+    uint8 matrix is only materialised if a non-packed statistic needs it.
     """
 
     @staticmethod
@@ -294,16 +343,29 @@ class BatchContext:
         return matrix
 
     @classmethod
-    def from_blocks(cls, blocks) -> "BatchContext":
+    def from_blocks(cls, blocks, backend: str = DEFAULT_BACKEND) -> "BatchContext":
         """Batch context over equal-length source blocks (1-D uint8 arrays)."""
-        return cls(np.vstack([np.atleast_1d(block) for block in blocks]))
+        return cls(np.vstack([np.atleast_1d(block) for block in blocks]), backend=backend)
 
-    def __init__(self, matrix: np.ndarray):
-        matrix = np.ascontiguousarray(matrix, dtype=np.uint8)
-        if matrix.ndim != 2:
-            raise ValueError("BatchContext expects a 2-D (num_sequences, n) bit matrix")
-        self.matrix = matrix
+    def __init__(self, matrix, backend: str = DEFAULT_BACKEND):
+        self.backend = validate_backend(backend)
+        if isinstance(matrix, PackedMatrix):
+            # Prepacked input (e.g. the fleet scheduler's round matrix):
+            # the uint8 view is only materialised if a non-packed statistic
+            # asks for it (or the packer retained its source matrix).
+            self._packed: Optional[PackedMatrix] = matrix
+            self._matrix: Optional[np.ndarray] = matrix.source
+            self._n = matrix.n
+            self._num_sequences = matrix.num_rows
+        else:
+            matrix = np.ascontiguousarray(matrix, dtype=np.uint8)
+            if matrix.ndim != 2:
+                raise ValueError("BatchContext expects a 2-D (num_sequences, n) bit matrix")
+            self._matrix = matrix
+            self._packed = None
+            self._num_sequences, self._n = matrix.shape
         self._ones: Optional[np.ndarray] = None
+        self._last_bits: Optional[np.ndarray] = None
         self._walk_extremes: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         self._num_runs: Optional[np.ndarray] = None
         self._block_sums: Dict[int, np.ndarray] = {}
@@ -313,12 +375,28 @@ class BatchContext:
         self._block_value_counts: Dict[int, np.ndarray] = {}
 
     @property
+    def matrix(self) -> np.ndarray:
+        """The ``(num_sequences, n)`` uint8 bit matrix (unpacked on demand)."""
+        if self._matrix is None:
+            self._matrix = self._packed.unpack()
+        return self._matrix
+
+    def packed(self) -> PackedMatrix:
+        """The memoized packed-word view of the matrix (packed on demand)."""
+        if self._packed is None:
+            self._packed = pack_matrix(self._matrix, keep_source=True)
+        return self._packed
+
+    def _use_packed(self) -> bool:
+        return self.backend == "packed" and self._n > 0
+
+    @property
     def num_sequences(self) -> int:
-        return int(self.matrix.shape[0])
+        return int(self._num_sequences)
 
     @property
     def n(self) -> int:
-        return int(self.matrix.shape[1])
+        return int(self._n)
 
     def context(self, row: int) -> SequenceContext:
         """A per-sequence context backed by this batch's shared statistics."""
@@ -333,35 +411,65 @@ class BatchContext:
     # ------------------------------------------------------------- statistics
     def ones(self) -> np.ndarray:
         if self._ones is None:
-            self._ones = self.matrix.sum(axis=1, dtype=np.int64)
+            if self._use_packed():
+                self._ones = _packed.ones_count(self.packed())
+            else:
+                self._ones = self.matrix.sum(axis=1, dtype=np.int64)
         return self._ones
+
+    def last_bits(self) -> np.ndarray:
+        """The final bit of every sequence (uint8, no unpack on packed input)."""
+        if self._last_bits is None:
+            if self._use_packed():
+                self._last_bits = _packed.last_bits(self.packed())
+            else:
+                self._last_bits = self.matrix[:, -1]
+        return self._last_bits
 
     def walk_extremes(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         if self._walk_extremes is None:
-            walk = np.cumsum(2 * self.matrix.astype(np.int64) - 1, axis=1)
-            self._walk_extremes = (walk.max(axis=1), walk.min(axis=1), walk[:, -1])
+            if self._use_packed():
+                self._walk_extremes = _packed.walk_extremes(self.packed())
+            else:
+                walk = np.cumsum(2 * self.matrix.astype(np.int64) - 1, axis=1)
+                self._walk_extremes = (walk.max(axis=1), walk.min(axis=1), walk[:, -1])
         return self._walk_extremes
 
     def num_runs(self) -> np.ndarray:
         if self._num_runs is None:
-            changes = np.count_nonzero(np.diff(self.matrix.astype(np.int8), axis=1), axis=1)
-            self._num_runs = (changes + 1).astype(np.int64)
+            if self._use_packed():
+                self._num_runs = _packed.transition_counts(self.packed()) + 1
+            else:
+                changes = np.count_nonzero(np.diff(self.matrix.astype(np.int8), axis=1), axis=1)
+                self._num_runs = (changes + 1).astype(np.int64)
         return self._num_runs
 
     def block_sums(self, block_length: int) -> np.ndarray:
         if block_length not in self._block_sums:
-            num_blocks = self.n // block_length
-            trimmed = self.matrix[:, : num_blocks * block_length]
-            self._block_sums[block_length] = trimmed.reshape(
-                self.num_sequences, num_blocks, block_length
-            ).sum(axis=2, dtype=np.int64)
+            if self._use_packed() and _packed.supports_block_ones(block_length, self.n):
+                self._block_sums[block_length] = _packed.block_ones(
+                    self.packed(), block_length
+                )
+            else:
+                num_blocks = self.n // block_length
+                trimmed = self.matrix[:, : num_blocks * block_length]
+                self._block_sums[block_length] = trimmed.reshape(
+                    self.num_sequences, num_blocks, block_length
+                ).sum(axis=2, dtype=np.int64)
         return self._block_sums[block_length]
 
     def block_longest_one_runs(self, block_length: int) -> np.ndarray:
         if block_length not in self._block_longest:
-            self._block_longest[block_length] = _matrix_block_longest_one_runs(
-                self.matrix, block_length
-            )
+            if self._use_packed() and _packed.supports_block_longest_one_runs(
+                block_length, self.n
+            ):
+                self._block_longest[block_length] = _packed.block_longest_one_runs(
+                    self.packed(), block_length
+                )
+            else:
+                self._block_longest[block_length] = _matrix_block_longest_one_runs(
+                    self.matrix, block_length
+                )
         return self._block_longest[block_length]
 
     def block_value_counts(self, block_length: int) -> np.ndarray:

@@ -1,0 +1,417 @@
+"""Packed-bitplane backend: 64-bits-per-word kernels for the shared statistics.
+
+The paper's hardware derives its shared sub-statistics with word-parallel
+logic over the raw bit stream; the software engine historically spent a full
+``uint8`` byte per bit, so every statistic paid 8x the memory traffic the
+hardware would.  This module closes that gap: a bit matrix is packed row by
+row into ``uint64`` words (:func:`pack_matrix`) and the cheap shared
+statistics — ones count, per-block ones, transition count, longest run of
+ones per block, random-walk extremes — are computed directly on the words
+with popcount and shift/mask arithmetic, touching 1/8th of the bytes.
+
+Bit order
+---------
+Words use a *little* bit order end to end: stream bit ``j`` of a row lives
+at bit position ``j % 64`` of word ``j // 64`` (``np.packbits(...,
+bitorder="little")`` viewed as little-endian ``uint64``).  The payoff is
+that bit adjacency survives packing — ``word >> 1`` aligns stream bit
+``j + 1`` with stream bit ``j`` — so transitions and run lengths reduce to
+shift/XOR/AND word ops, stitched across word boundaries explicitly.  Rows
+whose length is not a multiple of 64 are zero-padded at the top of the last
+word; every kernel masks those tail bits out, and :class:`PackedMatrix`
+validates on construction that the padding really is zero.
+
+Every kernel is integer-exact and produces *bit-identical* values to the
+``uint8`` reference paths in :mod:`repro.engine.context` (asserted by
+``tests/test_packed.py``), so backend choice never changes a P-value.
+
+The popcount primitive uses :func:`numpy.bitwise_count` where available
+(numpy >= 2.0) and falls back to a byte lookup table on older numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+# The byte-level (MSB-first, right-zero-padded tail) siblings of the word
+# packers below: the single interchange convention every capture file and
+# integer codec in the library shares.  Defined in :mod:`repro.nist.common`
+# (the dependency-free bottom layer) and re-exported here so both packing
+# families have one documented home.
+from repro.nist.common import pack_bits, unpack_bits
+
+__all__ = [
+    "BITS_PER_WORD",
+    "PackedMatrix",
+    "pack_matrix",
+    "unpack_matrix",
+    "pack_bits",
+    "unpack_bits",
+    "popcount",
+    "ones_count",
+    "block_ones",
+    "supports_block_ones",
+    "transition_counts",
+    "block_longest_one_runs",
+    "supports_block_longest_one_runs",
+    "walk_extremes",
+    "last_bits",
+]
+
+#: Bits per packed word.
+BITS_PER_WORD = 64
+
+#: Storage dtype of packed words: explicit little-endian so the byte/uint16
+#: sub-views used by the kernels line up with stream order on any host.
+WORD_DTYPE = np.dtype("<u8")
+
+_HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+#: All word bits except the top one — the positions where ``w ^ (w >> 1)``
+#: compares two bits of the *same* word.
+_INNER_PAIR_MASK = np.uint64((1 << 63) - 1)
+
+
+class PackedMatrix:
+    """A ``(rows, n)`` bit matrix packed 64 bits per word.
+
+    Attributes
+    ----------
+    words:
+        ``(rows, ceil(n / 64))`` little-endian ``uint64`` array; stream bit
+        ``j`` of a row is bit ``j % 64`` of word ``j // 64``.
+    n:
+        Bits per row.  Tail bits of the last word (``n % 64`` onwards) are
+        zero and are never interpreted by the kernels.
+    source:
+        Optional reference to the original ``uint8`` matrix (kept by
+        ``pack_matrix(..., keep_source=True)``) so consumers that still need
+        per-bit access — template tests, pattern counters — read it back
+        without an unpack pass.
+    """
+
+    __slots__ = ("words", "n", "source")
+
+    def __init__(self, words: np.ndarray, n: int, source: Optional[np.ndarray] = None):
+        words = np.ascontiguousarray(words, dtype=WORD_DTYPE)
+        if words.ndim != 2:
+            raise ValueError("PackedMatrix expects a 2-D (rows, words) array")
+        if n < 0:
+            raise ValueError("bit length n must be non-negative")
+        expected_words = (n + BITS_PER_WORD - 1) // BITS_PER_WORD
+        if words.shape[1] != expected_words:
+            raise ValueError(
+                f"{n} bits per row need {expected_words} words, got {words.shape[1]}"
+            )
+        tail = n % BITS_PER_WORD
+        if tail and words.size and np.any(words[:, -1] >> np.uint64(tail)):
+            raise ValueError(
+                "tail bits beyond n must be zero-padded "
+                f"(n = {n} leaves {BITS_PER_WORD - tail} pad bits in the last word)"
+            )
+        self.words = words
+        self.n = int(n)
+        self.source = source
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.words.shape[0])
+
+    @property
+    def num_words(self) -> int:
+        return int(self.words.shape[1])
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the packed words (1/8th of the uint8 matrix)."""
+        return int(self.words.nbytes)
+
+    def unpack(self) -> np.ndarray:
+        """The ``(rows, n)`` uint8 bit matrix (the retained source if any)."""
+        if self.source is not None:
+            return self.source
+        return unpack_matrix(self)
+
+    def __repr__(self) -> str:
+        return f"PackedMatrix(rows={self.num_rows}, n={self.n}, words={self.num_words})"
+
+
+def pack_matrix(matrix: np.ndarray, *, keep_source: bool = False) -> PackedMatrix:
+    """Pack a validated ``(rows, n)`` uint8 bit matrix into 64-bit words.
+
+    Rows are packed independently (``np.packbits`` along axis 1, little bit
+    order) and right-padded with zero bytes up to a whole number of words;
+    ``keep_source=True`` retains a reference to the input matrix so later
+    per-bit consumers skip the unpack pass.
+    """
+    matrix = np.ascontiguousarray(matrix, dtype=np.uint8)
+    if matrix.ndim != 2:
+        raise ValueError("pack_matrix expects a 2-D (rows, n) bit matrix")
+    if matrix.size and int(matrix.max()) > 1:
+        raise ValueError("bit matrix must contain only 0 and 1 values")
+    rows, n = matrix.shape
+    num_words = (n + BITS_PER_WORD - 1) // BITS_PER_WORD
+    packed_bytes = np.packbits(matrix, axis=1, bitorder="little")
+    if packed_bytes.shape[1] < num_words * 8:
+        padded = np.zeros((rows, num_words * 8), dtype=np.uint8)
+        padded[:, : packed_bytes.shape[1]] = packed_bytes
+        packed_bytes = padded
+    words = packed_bytes.view(WORD_DTYPE)
+    return PackedMatrix(words, n, source=matrix if keep_source else None)
+
+
+def unpack_matrix(packed: PackedMatrix) -> np.ndarray:
+    """Expand a :class:`PackedMatrix` back to its ``(rows, n)`` uint8 form.
+
+    Exact inverse of :func:`pack_matrix` for every ``n`` (tail pad bytes are
+    dropped by unpacking with an explicit bit count).
+    """
+    if packed.n == 0:
+        return np.zeros((packed.num_rows, 0), dtype=np.uint8)
+    as_bytes = np.ascontiguousarray(packed.words).view(np.uint8)
+    return np.unpackbits(as_bytes, axis=1, count=packed.n, bitorder="little")
+
+
+# ---------------------------------------------------------------------------
+# Popcount primitive
+# ---------------------------------------------------------------------------
+
+_POP8_LUT: Optional[np.ndarray] = None
+
+
+def _pop8_lut() -> np.ndarray:
+    """256-entry per-byte popcount table (fallback for old numpy)."""
+    global _POP8_LUT
+    if _POP8_LUT is None:
+        _POP8_LUT = np.unpackbits(
+            np.arange(256, dtype=np.uint8)[:, np.newaxis], axis=1
+        ).sum(axis=1, dtype=np.uint8)
+    return _POP8_LUT
+
+
+def popcount(values: np.ndarray, *, force_lut: bool = False) -> np.ndarray:
+    """Per-element popcount of an unsigned integer array (uint8 result).
+
+    Uses :func:`numpy.bitwise_count` when the running numpy provides it;
+    otherwise each element is split into its bytes and summed through a
+    256-entry lookup table (``force_lut=True`` exercises the fallback in
+    tests regardless of the numpy version).
+    """
+    if _HAVE_BITWISE_COUNT and not force_lut:
+        return np.bitwise_count(values)
+    values = np.ascontiguousarray(values)
+    itemsize = values.dtype.itemsize
+    as_bytes = values.view(np.uint8).reshape(values.shape + (itemsize,))
+    # Max popcount per element is 8 * itemsize <= 64: fits uint8.
+    return _pop8_lut()[as_bytes].sum(axis=-1, dtype=np.uint8)
+
+
+# ---------------------------------------------------------------------------
+# Word-level kernels
+# ---------------------------------------------------------------------------
+
+def ones_count(packed: PackedMatrix) -> np.ndarray:
+    """Per-row ones count — the hardware's frequency counter, 64 bits/op."""
+    return popcount(packed.words).sum(axis=1, dtype=np.int64)
+
+
+def supports_block_ones(block_length: int, n: int) -> bool:
+    """True when :func:`block_ones` has a packed kernel for this geometry."""
+    if block_length <= 0 or block_length > n:
+        return False
+    return block_length % BITS_PER_WORD == 0 or block_length in (8, 16, 32)
+
+
+def block_ones(packed: PackedMatrix, block_length: int) -> np.ndarray:
+    """Ones count of each full ``block_length``-bit block, per row (int64).
+
+    Supported geometries (everything the NIST/FIPS parameter space actually
+    uses on the hot path): block lengths that are a multiple of 64 reduce to
+    a word reshape + popcount; 8/16/32-bit blocks are popcounted on the
+    byte/uint16/uint32 sub-views of the words (stream order is preserved by
+    the little bit order).  Other block lengths raise ``ValueError`` — the
+    caller falls back to the uint8 path.
+    """
+    n = packed.n
+    if not supports_block_ones(block_length, n):
+        raise ValueError(f"no packed kernel for block_length={block_length} at n={n}")
+    rows = packed.num_rows
+    num_blocks = n // block_length
+    if block_length % BITS_PER_WORD == 0:
+        words_per_block = block_length // BITS_PER_WORD
+        usable = packed.words[:, : num_blocks * words_per_block]
+        counts = popcount(usable).reshape(rows, num_blocks, words_per_block)
+        return counts.sum(axis=2, dtype=np.int64)
+    view_dtype = {8: "<u1", 16: "<u2", 32: "<u4"}[block_length]
+    units = np.ascontiguousarray(packed.words).view(view_dtype)[:, :num_blocks]
+    return popcount(units).astype(np.int64)
+
+
+def transition_counts(packed: PackedMatrix) -> np.ndarray:
+    """Number of positions where bit ``j`` differs from bit ``j+1``, per row.
+
+    ``w ^ (w >> 1)`` marks every in-word adjacent pair that differs (the top
+    bit of the XOR compares against the next word's padding and is masked
+    off); word boundaries are stitched by comparing each word's top bit with
+    its successor's bottom bit.  The runs test's ``V_n(obs)`` is this + 1.
+    """
+    if packed.n == 0:
+        return np.zeros(packed.num_rows, dtype=np.int64)
+    words = packed.words
+    num_words = packed.num_words
+    tail = packed.n - (num_words - 1) * BITS_PER_WORD  # 1..64 bits in last word
+    pair_mask = np.full(num_words, _INNER_PAIR_MASK, dtype=WORD_DTYPE)
+    # In the last word only the first tail-1 adjacent pairs are real bits.
+    pair_mask[-1] = np.uint64((1 << (tail - 1)) - 1) if tail < BITS_PER_WORD else _INNER_PAIR_MASK
+    inner = popcount((words ^ (words >> np.uint64(1))) & pair_mask).sum(
+        axis=1, dtype=np.int64
+    )
+    if num_words > 1:
+        seams = (words[:, :-1] >> np.uint64(63)) ^ (words[:, 1:] & np.uint64(1))
+        inner += seams.sum(axis=1, dtype=np.int64)
+    return inner
+
+
+def last_bits(packed: PackedMatrix) -> np.ndarray:
+    """The final stream bit of every row (uint8) without unpacking."""
+    if packed.n == 0:
+        raise ValueError("empty rows have no last bit")
+    word = (packed.n - 1) // BITS_PER_WORD
+    offset = np.uint64((packed.n - 1) % BITS_PER_WORD)
+    return ((packed.words[:, word] >> offset) & np.uint64(1)).astype(np.uint8)
+
+
+# ---------------------------------------------------------------------------
+# Chunk lookup tables (longest-run merge, walk extremes)
+# ---------------------------------------------------------------------------
+#
+# Sub-word statistics that depend on bit *order* (run lengths, walk
+# excursions) are computed per 8- or 16-bit chunk through lookup tables and
+# merged across chunks with a short vectorised recurrence — the software
+# version of the hardware's carry chains.  Tables are built lazily once.
+
+_CHUNK_LUTS: Dict[int, Dict[str, np.ndarray]] = {}
+
+
+def _chunk_bit_matrix(bits: int) -> np.ndarray:
+    """``(2**bits, bits)`` matrix: row v = stream-ordered bits of chunk v."""
+    values = np.arange(1 << bits, dtype="<u2" if bits == 16 else np.uint8)
+    as_bytes = values[:, np.newaxis].view(np.uint8)
+    return np.unpackbits(as_bytes, axis=1, count=bits, bitorder="little")
+
+
+def _chunk_luts(bits: int) -> Dict[str, np.ndarray]:
+    """Per-chunk tables: longest/prefix/suffix one-runs and walk summary."""
+    luts = _CHUNK_LUTS.get(bits)
+    if luts is None:
+        matrix = _chunk_bit_matrix(bits)
+        # Longest run of ones per chunk: append a zero column so runs end
+        # inside each row, then take the max gap between run edges.
+        padded = np.zeros((matrix.shape[0], bits + 1), dtype=np.int8)
+        padded[:, :bits] = matrix
+        flat = np.concatenate([[0], padded.ravel()])
+        edges = np.diff(flat)
+        starts = np.flatnonzero(edges == 1)
+        ends = np.flatnonzero(edges == -1)
+        longest = np.zeros(matrix.shape[0], dtype=np.int16)
+        np.maximum.at(longest, starts // (bits + 1), (ends - starts).astype(np.int16))
+        # Run of ones touching the chunk's start (prefix) and end (suffix).
+        prefix = np.cumprod(matrix, axis=1).sum(axis=1, dtype=np.int16)
+        suffix = np.cumprod(matrix[:, ::-1], axis=1).sum(axis=1, dtype=np.int16)
+        # ±1 walk summary of the chunk: total delta, max/min prefix sum.
+        walk = np.cumsum(2 * matrix.astype(np.int16) - 1, axis=1)
+        luts = {
+            "longest": longest,
+            "prefix": prefix,
+            "suffix": suffix,
+            "delta": walk[:, -1].astype(np.int16),
+            "walk_max": walk.max(axis=1).astype(np.int16),
+            "walk_min": walk.min(axis=1).astype(np.int16),
+        }
+        _CHUNK_LUTS[bits] = luts
+    return luts
+
+
+def _chunk_view(packed: PackedMatrix, bits: int) -> np.ndarray:
+    """The words reinterpreted as stream-ordered ``bits``-wide chunks."""
+    dtype = "<u2" if bits == 16 else np.uint8
+    return np.ascontiguousarray(packed.words).view(dtype)
+
+
+def supports_block_longest_one_runs(block_length: int, n: int) -> bool:
+    """True when :func:`block_longest_one_runs` has a packed kernel."""
+    if block_length <= 0 or block_length > n:
+        return False
+    return block_length % 8 == 0
+
+
+def block_longest_one_runs(packed: PackedMatrix, block_length: int) -> np.ndarray:
+    """Longest run of ones inside each full ``block_length``-bit block.
+
+    Blocks are scanned as 16-bit chunks (8-bit when the block length is not
+    a multiple of 16) through the chunk tables, then merged left to right:
+    a run crossing a chunk seam is the left chunk's suffix plus the right
+    chunk's prefix, and an all-ones chunk extends the carried run whole.
+    Covers every NIST-tabulated block length (8 / 128 / 512 / 1000 / 10000).
+    """
+    n = packed.n
+    if not supports_block_longest_one_runs(block_length, n):
+        raise ValueError(f"no packed kernel for block_length={block_length} at n={n}")
+    chunk_bits = 16 if block_length % 16 == 0 else 8
+    luts = _chunk_luts(chunk_bits)
+    rows = packed.num_rows
+    num_blocks = n // block_length
+    chunks_per_block = block_length // chunk_bits
+    chunks = _chunk_view(packed, chunk_bits)[:, : num_blocks * chunks_per_block]
+    blocks = chunks.reshape(rows, num_blocks, chunks_per_block)
+    all_ones = (1 << chunk_bits) - 1
+    longest = np.zeros((rows, num_blocks), dtype=np.int64)
+    trailing = np.zeros((rows, num_blocks), dtype=np.int64)
+    for index in range(chunks_per_block):
+        chunk = blocks[:, :, index]
+        bridged = trailing + luts["prefix"][chunk]
+        np.maximum(longest, luts["longest"][chunk], out=longest)
+        np.maximum(longest, bridged, out=longest)
+        trailing = np.where(chunk == all_ones, trailing + chunk_bits, luts["suffix"][chunk])
+    return longest
+
+
+def walk_extremes(packed: PackedMatrix) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(S_max, S_min, S_final)`` of the ±1 walk, per row (cusum test).
+
+    The walk is reduced 16 bits at a time: each chunk contributes its total
+    ±1 delta plus its internal max/min excursion from the tables, so the
+    expensive per-bit cumulative sum becomes a 16x narrower cumulative sum
+    over chunk deltas.  Tail bits short of a chunk are finished per bit on
+    the (at most 15-column) remainder.
+    """
+    n = packed.n
+    if n == 0:
+        raise ValueError("walk extremes need at least one bit")
+    luts = _chunk_luts(16)
+    rows = packed.num_rows
+    full = n // 16
+    tail = n % 16
+    lowest = np.iinfo(np.int32).min
+    s_max = np.full(rows, lowest, dtype=np.int64)
+    s_min = np.full(rows, -lowest, dtype=np.int64)
+    s_final = np.zeros(rows, dtype=np.int64)
+    chunks = _chunk_view(packed, 16)
+    if full:
+        body = chunks[:, :full]
+        deltas = luts["delta"][body].astype(np.int32)
+        totals = np.cumsum(deltas, axis=1, dtype=np.int32)
+        before = totals - deltas
+        s_max = (before + luts["walk_max"][body]).max(axis=1).astype(np.int64)
+        s_min = (before + luts["walk_min"][body]).min(axis=1).astype(np.int64)
+        s_final = totals[:, -1].astype(np.int64)
+    if tail:
+        tail_chunk = chunks[:, full].astype(np.int64)
+        tail_bits = (tail_chunk[:, np.newaxis] >> np.arange(tail)) & 1
+        tail_walk = np.cumsum(2 * tail_bits - 1, axis=1) + s_final[:, np.newaxis]
+        np.maximum(s_max, tail_walk.max(axis=1), out=s_max)
+        np.minimum(s_min, tail_walk.min(axis=1), out=s_min)
+        s_final = tail_walk[:, -1]
+    return s_max, s_min, s_final

@@ -180,6 +180,9 @@ class FleetReport(JsonCsvExportMixin):
     mix: Dict[str, int]
     rounds: List[FleetRound] = field(default_factory=list)
     scenarios: List[FleetScenarioStats] = field(default_factory=list)
+    #: Compute backend the scheduler evaluated rounds on ("packed" 64-bit
+    #: word kernels or the "uint8" reference paths); verdicts are identical.
+    backend: str = "packed"
 
     # ------------------------------------------------------------- selection
     @property
@@ -256,6 +259,7 @@ class FleetReport(JsonCsvExportMixin):
                 "fail_after": self.fail_after,
                 "seed": self.seed,
                 "mix": dict(self.mix),
+                "backend": self.backend,
             },
             "rounds": [fleet_round.to_dict() for fleet_round in self.rounds],
             "scenarios": [stats.to_dict() for stats in self.scenarios],
@@ -275,13 +279,17 @@ class FleetReport(JsonCsvExportMixin):
             mix={str(k): v for k, v in config["mix"].items()},
             rounds=[FleetRound.from_dict(r) for r in data["rounds"]],
             scenarios=[FleetScenarioStats.from_dict(s) for s in data["scenarios"]],
+            # Reports saved before the packed backend existed ran on uint8.
+            backend=config.get("backend", "uint8"),
         )
 
     # to_json / from_json / save_json / to_csv / save_csv come from
     # JsonCsvExportMixin, shared with the campaign report.
 
 
-def build_report(registry, rounds: List[FleetRound]) -> FleetReport:
+def build_report(
+    registry, rounds: List[FleetRound], backend: str = "packed"
+) -> FleetReport:
     """Aggregate a registry's device health into a :class:`FleetReport`.
 
     Groups devices by scenario label in registry insertion order (service-
@@ -329,4 +337,5 @@ def build_report(registry, rounds: List[FleetRound]) -> FleetReport:
         mix=registry.scenario_counts(),
         rounds=list(rounds),
         scenarios=scenarios,
+        backend=backend,
     )

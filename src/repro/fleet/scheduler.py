@@ -32,6 +32,8 @@ import numpy as np
 
 from repro.core.monitor import MonitorEvent
 from repro.engine.batch import EngineReport, run_batch
+from repro.engine.context import DEFAULT_BACKEND, validate_backend
+from repro.engine.packed import PackedMatrix, pack_matrix
 from repro.engine.registry import NIST_NUMBER_TO_ID
 from repro.fleet.registry import DeviceRegistry
 from repro.fleet.report import FleetReport, FleetRound, build_report
@@ -76,10 +78,17 @@ def _shard_worker(payload) -> List[FleetVerdict]:
     The shard travels as raw bytes (+ shape) and comes back as reduced
     verdicts; tests resolve against the worker's own default registry, like
     :func:`~repro.engine.batch.run_batch`'s expensive-test pool workers.
+    On the packed backend the bytes are the shard's 64-bit words — 1/8th
+    the serialisation traffic of the uint8 representation.
     """
-    raw, rows, n, tests, alpha = payload
-    matrix = np.frombuffer(raw, dtype=np.uint8).reshape(rows, n)
-    reports = run_batch(matrix, tests=list(tests))
+    raw, rows, n, tests, alpha, backend = payload
+    if backend == "packed":
+        num_words = (n + 63) // 64
+        words = np.frombuffer(raw, dtype="<u8").reshape(rows, num_words)
+        shard = PackedMatrix(words, n)
+    else:
+        shard = np.frombuffer(raw, dtype=np.uint8).reshape(rows, n)
+    reports = run_batch(shard, tests=list(tests), backend=backend)
     return [_reduce_report(report, alpha) for report in reports]
 
 
@@ -98,6 +107,14 @@ class FleetScheduler:
     min_shard_devices:
         Sharding is skipped for rounds smaller than this — below it, the
         pool's serialisation overhead dominates the vectorised evaluation.
+    backend:
+        Compute backend of the engine's shared statistics: ``"packed"``
+        (default) packs each round's fleet matrix into 64-bit words once
+        and evaluates it on the popcount kernels of
+        :mod:`repro.engine.packed`; ``"uint8"`` keeps the byte-per-bit
+        reference paths.  Verdicts are bit-identical either way; the choice
+        is recorded in :attr:`FleetReport.backend
+        <repro.fleet.report.FleetReport.backend>`.
     """
 
     def __init__(
@@ -105,28 +122,47 @@ class FleetScheduler:
         registry: DeviceRegistry,
         processes: Optional[int] = None,
         min_shard_devices: int = 256,
+        backend: str = DEFAULT_BACKEND,
     ):
         if processes is not None and processes < 1:
             raise ValueError("processes must be positive (or None)")
         self.registry = registry
         self.processes = processes
         self.min_shard_devices = min_shard_devices
+        self.backend = validate_backend(backend)
         self.rounds: List[FleetRound] = []
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+        # Guards lazy pool creation/shutdown: ingest evaluation runs outside
+        # the fleet lock, so two large requests (or a request racing close())
+        # may reach the pool concurrently.
+        self._pool_lock = threading.Lock()
         #: Serialises fleet mutations (rounds, ingest, registration) between
         #: the scheduler's owner and the HTTP service threads; re-entrant so
         #: the service can call locked scheduler methods under it.
         self.lock = threading.RLock()
 
     # ------------------------------------------------------------- evaluation
-    def evaluate_matrix(self, matrix: np.ndarray) -> List[FleetVerdict]:
-        """One fleet matrix (``(devices, n)`` uint8) through the engine.
+    def evaluate_matrix(self, matrix) -> List[FleetVerdict]:
+        """One fleet matrix through the engine.
 
-        Shards over the process pool when configured and the round is large
-        enough; the inline and sharded paths produce identical verdicts
-        (asserted in ``tests/test_fleet.py``).
+        ``matrix`` is a ``(devices, n)`` uint8 matrix or a prepacked
+        :class:`~repro.engine.packed.PackedMatrix`; on the packed backend a
+        uint8 input is packed once here, so every downstream consumer —
+        inline evaluation, pool shards, the engine's kernels — reads the
+        64-bit words instead of re-deriving them.  Shards over the process
+        pool when configured and the round is large enough; the inline and
+        sharded paths produce identical verdicts (asserted in
+        ``tests/test_fleet.py``).
         """
-        rows = matrix.shape[0]
+        # Normalise the container to the backend so the inline, shard-encode
+        # and shard-decode paths all agree on the byte layout.
+        if self.backend == "packed" and not isinstance(matrix, PackedMatrix):
+            matrix = pack_matrix(matrix, keep_source=True)
+        elif self.backend == "uint8" and isinstance(matrix, PackedMatrix):
+            matrix = matrix.unpack()
+        rows = matrix.num_rows if isinstance(matrix, PackedMatrix) else matrix.shape[0]
+        n = matrix.n if isinstance(matrix, PackedMatrix) else matrix.shape[1]
         tests = self.registry.tests
         alpha = self.registry.alpha
         pooled = (
@@ -135,27 +171,40 @@ class FleetScheduler:
             and rows >= self.min_shard_devices
         )
         if not pooled:
-            reports = run_batch(matrix, tests=list(tests))
+            reports = run_batch(matrix, tests=list(tests), backend=self.backend)
             return [_reduce_report(report, alpha) for report in reports]
-        shards = np.array_split(np.arange(rows), self.processes)
+        shards = [s for s in np.array_split(np.arange(rows), self.processes) if len(s)]
+        # On the packed backend the shards ship as 64-bit words: 1/8th the
+        # bytes across the pool pipe.
+        shard_rows = matrix.words if isinstance(matrix, PackedMatrix) else matrix
         payloads = [
             (
-                np.ascontiguousarray(matrix[shard]).tobytes(),
+                np.ascontiguousarray(shard_rows[shard]).tobytes(),
                 len(shard),
-                matrix.shape[1],
+                n,
                 tests,
                 alpha,
+                self.backend,
             )
             for shard in shards
-            if len(shard)
         ]
         # The pool is created lazily and reused across rounds: spawning
         # workers (and re-importing numpy + repro in them) per round would
-        # cost more than the sharding saves.
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.processes)
+        # cost more than the sharding saves.  After close() no new pool is
+        # ever spawned (a late request would leak its workers); the rare
+        # request racing shutdown falls back to inline evaluation instead.
+        with self._pool_lock:
+            if self._closed:
+                pool = None
+            else:
+                if self._pool is None:
+                    self._pool = ProcessPoolExecutor(max_workers=self.processes)
+                pool = self._pool
+        if pool is None:
+            reports = run_batch(matrix, tests=list(tests), backend=self.backend)
+            return [_reduce_report(report, alpha) for report in reports]
         verdicts: List[FleetVerdict] = []
-        for shard_verdicts in self._pool.map(_shard_worker, payloads):
+        for shard_verdicts in pool.map(_shard_worker, payloads):
             verdicts.extend(shard_verdicts)
         return verdicts
 
@@ -212,28 +261,39 @@ class FleetScheduler:
         must hold a positive multiple of the design's sequence length; each
         n-bit sequence is evaluated through the engine and folded into the
         device's health machine in order.
+
+        Only the health-machine fold takes the fleet lock: the engine
+        evaluation itself is pure compute over the submitted bits (the
+        design's test subset and alpha are immutable registry config), so a
+        large ingest never stalls concurrent service reads or scheduler
+        rounds while the statistics run.
         """
+        device = self.registry.get(device_id)
+        arr = to_bits(bits)
+        n = self.registry.n
+        if arr.size == 0 or arr.size % n != 0:
+            raise ValueError(
+                f"ingest needs a positive multiple of {n} bits "
+                f"(the {self.registry.design_name} sequence length), got {arr.size}"
+            )
+        verdicts = self.evaluate_matrix(arr.reshape(-1, n))
         with self.lock:
-            device = self.registry.get(device_id)
-            arr = to_bits(bits)
-            n = self.registry.n
-            if arr.size == 0 or arr.size % n != 0:
-                raise ValueError(
-                    f"ingest needs a positive multiple of {n} bits "
-                    f"(the {self.registry.design_name} sequence length), got {arr.size}"
-                )
-            matrix = arr.reshape(-1, n)
-            return [
-                device.monitor.observe(verdict)
-                for verdict in self.evaluate_matrix(matrix)
-            ]
+            return [device.monitor.observe(verdict) for verdict in verdicts]
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Shut down the sharding pool (no-op when none was created)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        """Shut down the sharding pool; later rounds/ingests run inline.
+
+        Waits for in-flight shard maps, so an ingest racing shutdown
+        completes instead of failing mid-evaluation, and marks the
+        scheduler closed so no request can respawn a pool nothing would
+        ever shut down.
+        """
+        with self._pool_lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "FleetScheduler":
         return self
@@ -245,4 +305,4 @@ class FleetScheduler:
     def report(self) -> FleetReport:
         """Aggregate the fleet's current state into a :class:`FleetReport`."""
         with self.lock:
-            return build_report(self.registry, self.rounds)
+            return build_report(self.registry, self.rounds, backend=self.backend)

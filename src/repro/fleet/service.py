@@ -20,12 +20,15 @@ network-facing API without a single new dependency.  Endpoints:
     Fleet-wide summary: health mix, scenario mix, throughput, the
     per-scenario detection table of :class:`~repro.fleet.report.FleetReport`.
 
-The server is a :class:`~http.server.ThreadingHTTPServer`; every request
-takes the scheduler's re-entrant lock — the same lock
-:meth:`~repro.fleet.scheduler.FleetScheduler.run_round` holds — so service
-traffic and owner-driven fleet rounds serialise against each other.  That is
-plenty for a monitoring control plane (the heavy lifting — fleet rounds —
-happens in the scheduler, not per request).
+The server is a :class:`~http.server.ThreadingHTTPServer` (daemon threads,
+one per connection), and lock holds are bounded: requests take the
+scheduler's re-entrant lock — the same lock
+:meth:`~repro.fleet.scheduler.FleetScheduler.run_round` holds — only around
+the registry/health mutations and snapshots, never around engine evaluation
+or response serialisation.  A slow ``GET /fleet/summary`` (large fleet, slow
+client) therefore no longer blocks a concurrent ``POST /ingest`` on another
+connection, and vice versa (pinned by the two-connection e2e test in
+``tests/test_fleet_service.py``).
 """
 
 from __future__ import annotations
@@ -107,31 +110,34 @@ class FleetService:
         raw = payload.get("bits")
         if not isinstance(raw, str) or not raw:
             raise ServiceError(400, "bits must be a non-empty string of 0/1 characters")
+        try:
+            device = self.registry.get(device_id)
+        except KeyError as exc:
+            raise ServiceError(404, str(exc))
+        try:
+            # to_bits (via scheduler.ingest) owns the 0/1-string contract:
+            # one validation path, whitespace tolerated like the library.
+            # The scheduler locks only the health fold, not the engine
+            # evaluation, so concurrent requests proceed meanwhile.
+            events = self.scheduler.ingest(device_id, raw)
+        except ValueError as exc:
+            raise ServiceError(400, str(exc))
         with self._lock:
-            try:
-                device = self.registry.get(device_id)
-            except KeyError as exc:
-                raise ServiceError(404, str(exc))
-            try:
-                # to_bits (via scheduler.ingest) owns the 0/1-string contract:
-                # one validation path, whitespace tolerated like the library.
-                events = self.scheduler.ingest(device_id, raw)
-            except ValueError as exc:
-                raise ServiceError(400, str(exc))
-            return {
-                "device_id": device_id,
-                "sequences": len(events),
-                "verdicts": [
-                    {
-                        "sequence_index": event.sequence_index,
-                        "passed": event.report.passed,
-                        "failing_tests": list(event.report.failing_tests),
-                        "state": event.state.value,
-                    }
-                    for event in events
-                ],
-                "health": device.snapshot(),
-            }
+            health = device.snapshot()
+        return {
+            "device_id": device_id,
+            "sequences": len(events),
+            "verdicts": [
+                {
+                    "sequence_index": event.sequence_index,
+                    "passed": event.report.passed,
+                    "failing_tests": list(event.report.failing_tests),
+                    "state": event.state.value,
+                }
+                for event in events
+            ],
+            "health": health,
+        }
 
     def device_health(self, device_id: str) -> Dict[str, object]:
         with self._lock:
@@ -141,20 +147,24 @@ class FleetService:
                 raise ServiceError(404, str(exc))
 
     def fleet_summary(self) -> Dict[str, object]:
+        # The aggregation snapshot happens under the scheduler's lock
+        # (inside report()); rendering the JSON-ready dict does not.
         with self._lock:
             report = self.scheduler.report()
-            return {
-                "design": report.design,
-                "n": report.n,
-                "alpha": report.alpha,
-                "num_devices": report.num_devices,
-                "rounds_completed": report.rounds_completed,
-                "health": self.registry.health_counts(),
-                "mix": report.mix,
-                "false_alarm_rate": report.false_alarm_rate(),
-                "devices_per_s": report.devices_per_second(),
-                "scenarios": [stats.to_dict() for stats in report.scenarios],
-            }
+            health = self.registry.health_counts()
+        return {
+            "design": report.design,
+            "n": report.n,
+            "alpha": report.alpha,
+            "backend": report.backend,
+            "num_devices": report.num_devices,
+            "rounds_completed": report.rounds_completed,
+            "health": health,
+            "mix": report.mix,
+            "false_alarm_rate": report.false_alarm_rate(),
+            "devices_per_s": report.devices_per_second(),
+            "scenarios": [stats.to_dict() for stats in report.scenarios],
+        }
 
     # ------------------------------------------------------------- dispatch
     def handle_get(self, path: str) -> Tuple[int, Dict[str, object]]:
@@ -243,8 +253,10 @@ def serve(
     Returns the bound (but not yet serving) server; call ``serve_forever()``
     — possibly in a thread — and ``shutdown()``/``server_close()`` when done.
     Bind to port 0 to let the OS pick a free port (``server.server_address``
-    then reports the real one).
+    then reports the real one).  Connections are served on daemon threads,
+    so a stalled client never prevents process exit.
     """
     server = ThreadingHTTPServer((host, port), _FleetRequestHandler)
+    server.daemon_threads = True
     server.service = FleetService(scheduler)  # type: ignore[attr-defined]
     return server

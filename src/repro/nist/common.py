@@ -20,6 +20,8 @@ __all__ = [
     "BitSequence",
     "TestResult",
     "to_bits",
+    "pack_bits",
+    "unpack_bits",
     "bits_from_bytes",
     "bits_from_int",
     "bits_to_int",
@@ -79,10 +81,48 @@ def to_bits(bits: BitsLike) -> np.ndarray:
     return arr.astype(np.uint8)
 
 
+# ---------------------------------------------------------------------------
+# Byte-level packing (the single stream/file tail convention)
+# ---------------------------------------------------------------------------
+#
+# Every byte-level bit container in the library — capture files, replayed
+# logic-analyser dumps, MSB-first integers — goes through this one helper
+# pair instead of hand-rolled ``np.packbits`` calls with divergent tail
+# handling.  The convention: bits map to bytes MSB first, a trailing partial
+# byte is zero-padded on the *right* (low bits), and an explicit ``count``
+# recovers the exact stream on the way back.  (The engine's 64-bit compute
+# words in :mod:`repro.engine.packed` deliberately use the opposite, little,
+# bit order — that is a compute-kernel layout, not an interchange format.)
+
+def pack_bits(bits: BitsLike) -> np.ndarray:
+    """Pack a bit sequence into bytes, MSB of each byte first.
+
+    A trailing partial byte is zero-padded on the right; keep the original
+    bit count alongside the bytes (as :meth:`CaptureSource.save
+    <repro.trng.capture.CaptureSource.save>` does) and hand it to
+    :func:`unpack_bits` for an exact round-trip at any length.
+    """
+    arr = to_bits(bits)
+    if arr.size == 0:
+        return np.zeros(0, dtype=np.uint8)
+    return np.packbits(arr)
+
+
+def unpack_bits(data: Union[bytes, bytearray, np.ndarray], count: Optional[int] = None) -> np.ndarray:
+    """Unpack MSB-first bytes into a uint8 bit array (inverse of :func:`pack_bits`).
+
+    ``count`` keeps only the first ``count`` bits, dropping the zero-pad
+    bits of a trailing partial byte; ``None`` keeps all 8 bits per byte.
+    """
+    raw = np.frombuffer(bytes(data), dtype=np.uint8) if not isinstance(data, np.ndarray) else data
+    if count is not None and not 0 <= count <= raw.size * 8:
+        raise ValueError(f"count must lie in 0..{raw.size * 8}, got {count}")
+    return np.unpackbits(raw, count=count)
+
+
 def bits_from_bytes(data: Union[bytes, bytearray]) -> np.ndarray:
     """Unpack a byte string into a bit array, MSB of each byte first."""
-    raw = np.frombuffer(bytes(data), dtype=np.uint8)
-    return np.unpackbits(raw)
+    return unpack_bits(data)
 
 
 def bits_from_int(value: int, width: int) -> np.ndarray:
@@ -94,8 +134,10 @@ def bits_from_int(value: int, width: int) -> np.ndarray:
     if value >= (1 << width):
         raise ValueError(f"value {value} does not fit in {width} bits")
     num_bytes = (width + 7) // 8
-    raw = np.frombuffer(value.to_bytes(num_bytes, "big"), dtype=np.uint8)
-    return np.unpackbits(raw)[num_bytes * 8 - width :].copy()
+    # Integers pad on the *left* (high bits), so drop the leading pad bits
+    # rather than unpacking with a right-tail count.
+    raw = value.to_bytes(num_bytes, "big")
+    return unpack_bits(raw)[num_bytes * 8 - width :].copy()
 
 
 def bits_to_int(bits: BitsLike) -> int:
@@ -103,9 +145,9 @@ def bits_to_int(bits: BitsLike) -> int:
     arr = to_bits(bits)
     if arr.size == 0:
         return 0
-    # packbits pads the final byte on the right with zeros, so the packed
+    # pack_bits pads the final byte on the right with zeros, so the packed
     # integer is the wanted value shifted left by the pad width.
-    value = int.from_bytes(np.packbits(arr).tobytes(), "big")
+    value = int.from_bytes(pack_bits(arr).tobytes(), "big")
     return value >> ((-arr.size) % 8)
 
 

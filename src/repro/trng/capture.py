@@ -20,7 +20,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-from repro.nist.common import BitsLike, BitSequence, to_bits
+from repro.nist.common import BitsLike, BitSequence, pack_bits, to_bits
 from repro.trng.source import EntropySource
 
 __all__ = ["ReplaySource", "CaptureSource"]
@@ -191,14 +191,14 @@ class CaptureSource(EntropySource):
         number of bits captured.
 
         Trailing bits that do not fill a whole byte are zero-padded in the
-        file.  The returned bit count is what makes the round-trip lossless:
-        pass it as ``bit_length`` to :meth:`ReplaySource.from_file` so the
+        file (the shared :func:`~repro.nist.common.pack_bits` convention).
+        The returned bit count is what makes the round-trip lossless: pass
+        it as ``bit_length`` to :meth:`ReplaySource.from_file` so the
         replay stops at the real data instead of treating the pad bits as
         captured output.
         """
         bits = self.captured().bits
-        packed = np.packbits(bits) if bits.size else np.array([], dtype=np.uint8)
-        pathlib.Path(path).write_bytes(packed.tobytes())
+        pathlib.Path(path).write_bytes(pack_bits(bits).tobytes())
         return int(bits.size)
 
     def clear(self) -> None:

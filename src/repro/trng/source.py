@@ -127,16 +127,29 @@ class EntropySource(abc.ABC):
             return fresh
         return np.concatenate([buffered, fresh])
 
-    def generate_matrix(self, num_sequences: int, n: int) -> np.ndarray:
+    def generate_matrix(self, num_sequences: int, n: int, packed: bool = False):
         """The next ``num_sequences * n`` stream bits as a ``(num_sequences,
         n)`` uint8 matrix (row ``i`` is the ``i``-th consecutive sequence).
 
         This is the shape the engine's batch path and the campaign runner
         consume directly, without intermediate :class:`BitSequence` copies.
+
+        With ``packed=True`` the matrix is returned as a
+        :class:`~repro.engine.packed.PackedMatrix` (64 bits per word, the
+        uint8 source retained) ready for the engine's packed backend — the
+        emitted *stream* is identical either way, only the container
+        changes, so seeded runs stay reproducible across backends.
         """
         if num_sequences < 0:
             raise ValueError("num_sequences must be non-negative")
-        return self.generate_block(num_sequences * n).reshape(num_sequences, n)
+        matrix = self.generate_block(num_sequences * n).reshape(num_sequences, n)
+        if packed:
+            # Imported here: the source layer stays importable without
+            # pulling in the engine package for plain matrix generation.
+            from repro.engine.packed import pack_matrix
+
+            return pack_matrix(matrix, keep_source=True)
+        return matrix
 
     # ---------------------------------------------------------- bit-serial API
     def next_bit(self) -> int:

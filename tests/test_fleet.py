@@ -163,6 +163,27 @@ class TestFleetScheduler:
             assert a.state is b.state
             assert a.monitor.failure_rate() == b.monitor.failure_rate()
 
+    def test_backends_and_containers_agree_on_sharded_verdicts(self):
+        """Any (backend, container) combination yields identical verdicts.
+
+        Regression: a prepacked matrix handed to a sharded uint8-backend
+        scheduler used to ship packed words that the workers decoded as
+        uint8 bytes.
+        """
+        from repro.engine.packed import pack_matrix
+        from repro.trng.ideal import IdealSource
+
+        matrix = IdealSource(seed=21).generate_matrix(8, 128)
+        verdicts = []
+        for backend in ("packed", "uint8"):
+            for container in (matrix, pack_matrix(matrix)):
+                with FleetScheduler(
+                    small_fleet(num_devices=8, seed=6),
+                    processes=2, min_shard_devices=4, backend=backend,
+                ) as scheduler:
+                    verdicts.append(scheduler.evaluate_matrix(container))
+        assert all(v == verdicts[0] for v in verdicts[1:])
+
     def test_evaluate_matrix_verdict_reduction(self):
         registry = DeviceRegistry("n128_light")
         scheduler = FleetScheduler(registry)

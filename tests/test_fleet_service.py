@@ -166,6 +166,72 @@ class TestServiceEndToEnd:
         connection.close()
 
 
+class TestServiceConcurrency:
+    """Two connections at once: threaded serving with bounded lock holds."""
+
+    def test_slow_summary_does_not_block_ingest(self):
+        registry = DeviceRegistry("n128_light", alpha=0.01)
+        registry.populate(8, FleetMix.healthy_with_threats(0.9), seed=4)
+        scheduler = FleetScheduler(registry)
+        scheduler.run(1)
+        server = serve(scheduler, host="127.0.0.1", port=0)
+        service = server.service
+        summary_entered = threading.Event()
+        summary_release = threading.Event()
+        real_summary = service.fleet_summary
+
+        def slow_summary():
+            # Model a slow summary request (huge fleet, slow client): the
+            # aggregation completes, then the handler parks before
+            # responding.  Nothing here holds the scheduler lock.
+            result = real_summary()
+            summary_entered.set()
+            assert summary_release.wait(timeout=10), "never released"
+            return result
+
+        service.fleet_summary = slow_summary
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address
+        base = f"http://{host}:{port}"
+        try:
+            summary_result = {}
+
+            def do_get():
+                summary_result["response"] = call(base, "GET", "/fleet/summary")
+
+            getter = threading.Thread(target=do_get, daemon=True)
+            getter.start()
+            assert summary_entered.wait(timeout=10), "GET /fleet/summary never started"
+
+            # Connection 2, while connection 1 is parked mid-summary: the
+            # full register + ingest + health flow must complete.
+            status, _ = call(base, "POST", "/devices", {"device_id": "edge-conc"})
+            assert status == 201
+            status, body = call(
+                base, "POST", "/ingest",
+                {"device_id": "edge-conc",
+                 "bits": bits_string(IdealSource(seed=5), 256)},
+            )
+            assert status == 200 and body["sequences"] == 2
+            status, body = call(base, "GET", "/devices/edge-conc/health")
+            assert status == 200
+            assert summary_result == {}, "summary should still be parked"
+
+            summary_release.set()
+            getter.join(timeout=10)
+            status, body = summary_result["response"]
+            assert status == 200
+            assert body["rounds_completed"] == 1
+            assert body["backend"] == "packed"
+        finally:
+            summary_release.set()
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            scheduler.close()
+
+
 class TestServiceFacade:
     """The facade is callable without sockets (unit-level checks)."""
 
