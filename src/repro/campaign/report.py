@@ -140,6 +140,11 @@ class CampaignReport(JsonCsvExportMixin):
     #: Compute backend the engine's shared statistics ran on ("packed" word
     #: kernels or the "uint8" reference paths); P-values are identical.
     backend: str = "packed"
+    #: Evaluation layer -> execution path the campaign took for it
+    #: ("hw.platform": "batched"/"inline" per-sequence platform fallback;
+    #: "campaign.cells": "pooled"/"inline" cell dispatch).  Empty for
+    #: reports saved before execution paths were recorded.
+    execution_paths: Dict[str, str] = field(default_factory=dict)
 
     # ------------------------------------------------------------- selection
     def cells_for_design(self, design: str) -> List[CampaignCell]:
@@ -211,6 +216,7 @@ class CampaignReport(JsonCsvExportMixin):
                 "backend": self.backend,
             },
             "cells": [cell.to_dict() for cell in self.cells],
+            "execution_paths": dict(sorted(self.execution_paths.items())),
         }
 
     @classmethod
@@ -228,6 +234,11 @@ class CampaignReport(JsonCsvExportMixin):
             cells=[CampaignCell.from_dict(cell) for cell in data["cells"]],
             # Reports saved before the packed backend existed ran on uint8.
             backend=config.get("backend", "uint8"),
+            # Older reports recorded no execution paths.
+            execution_paths={
+                str(k): str(v)
+                for k, v in data.get("execution_paths", {}).items()
+            },
         )
 
     # to_json / from_json / save_json / to_csv / save_csv come from

@@ -25,7 +25,7 @@ from __future__ import annotations
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.campaign.report import CampaignCell, CampaignReport
 from repro.campaign.scenarios import DEFAULT_CATALOG, ScenarioCatalog, ScenarioSpec
@@ -165,17 +165,20 @@ def _evaluate_cell(
     )
 
 
-def _pool_cell(payload) -> CampaignCell:
+def _pool_cell(payload) -> Tuple[CampaignCell, Optional[str]]:
     """Run one cell in a worker process.
 
     Only default-catalogue campaigns are pooled (scenario builders are
     closures and do not pickle), so the worker re-resolves the scenario by
     label against its own imported catalogue — mirroring how the batch
-    executor's pool workers re-resolve tests by id.
+    executor's pool workers re-resolve tests by id.  Returns the cell plus
+    the worker platform's execution path so the report can still prove the
+    sequences went through the batched engine path.
     """
     design, label, config = payload
     platform = OnTheFlyPlatform(design, alpha=config.alpha, backend=config.backend)
-    return _evaluate_cell(platform, design, DEFAULT_CATALOG.get(label), config)
+    cell = _evaluate_cell(platform, design, DEFAULT_CATALOG.get(label), config)
+    return cell, platform.last_execution_path
 
 
 def run_campaign(
@@ -212,6 +215,10 @@ def run_campaign(
     labels = tuple(spec.label for spec in specs)
 
     cells = []
+    # Evaluation-layer provenance surfaced in the report: how the per-cell
+    # work was dispatched, and which engine path the platform's sequence
+    # evaluations took (should read "batched" — the pool-free batch path).
+    execution_paths: Dict[str, str] = {}
     pooled = (
         config.processes is not None
         and config.processes > 1
@@ -223,12 +230,16 @@ def run_campaign(
             for design in config.designs
             for label in labels
         ]
+        execution_paths["campaign.cells"] = "pooled"
         with ProcessPoolExecutor(max_workers=config.processes) as pool:
-            for cell in pool.map(_pool_cell, payloads):
+            for cell, platform_path in pool.map(_pool_cell, payloads):
+                if platform_path is not None:
+                    execution_paths["hw.platform"] = platform_path
                 cells.append(cell)
                 if on_cell is not None:
                     on_cell(cell)
     else:
+        execution_paths["campaign.cells"] = "inline"
         for design in config.designs:
             platform = OnTheFlyPlatform(design, alpha=config.alpha, backend=config.backend)
             for spec in specs:
@@ -236,6 +247,8 @@ def run_campaign(
                 cells.append(cell)
                 if on_cell is not None:
                     on_cell(cell)
+            if platform.last_execution_path is not None:
+                execution_paths["hw.platform"] = platform.last_execution_path
 
     return CampaignReport(
         seed=config.seed,
@@ -248,4 +261,5 @@ def run_campaign(
         scenarios=labels,
         cells=cells,
         backend=config.backend,
+        execution_paths=execution_paths,
     )

@@ -14,8 +14,9 @@ Installed as ``repro-trng-test`` (see ``pyproject.toml``); also runnable as
     batches through the engine instead of one sequence at a time).
 ``suite``
     Run the full reference NIST SP 800-22 suite (all 15 tests) on a captured
-    byte file through the batch engine (``--processes`` fans the expensive
-    tests out over a process pool).
+    byte file through the batch engine.  The heavyweight tests run pool-free
+    on batch-native kernels; ``--processes`` keeps a process pool available
+    as an explicit opt-in fallback.
 ``batch``
     Evaluate a batch of sequences from a simulated source through the
     unified batch engine and report per-test pass rates and throughput.
@@ -187,7 +188,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "last byte")
     suite.add_argument("--alpha", type=float, default=0.01)
     suite.add_argument("--processes", type=int, default=None,
-                       help="fan expensive tests out over this many worker processes")
+                       help="fallback knob: the heavy tests run pool-free on "
+                            "batch-native kernels; set > 1 only to fan tests "
+                            "without a batch kernel out over worker processes")
 
     batch = sub.add_parser("batch", help="evaluate a batch of sequences through the engine")
     batch.add_argument("--source", default="ideal", help=_SOURCE_HELP)
@@ -197,7 +200,9 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--length", type=int, default=4096, help="bits per sequence")
     batch.add_argument("--alpha", type=float, default=0.01)
     batch.add_argument("--processes", type=int, default=None,
-                       help="fan expensive tests out over this many worker processes")
+                       help="fallback knob: the heavy tests run pool-free on "
+                            "batch-native kernels; set > 1 only to fan tests "
+                            "without a batch kernel out over worker processes")
     batch.add_argument("--tests", default="hw",
                        help="comma-separated NIST test numbers, or 'hw' for the "
                             "HW-suitable subset, or 'all' for all 15")
@@ -222,7 +227,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=0,
                           help="base seed; the whole campaign is reproducible from it")
     campaign.add_argument("--processes", type=int, default=None,
-                          help="fan campaign cells out over this many worker processes")
+                          help="fallback knob: each cell's sequences already run "
+                               "through the pool-free batched engine path; set "
+                               "> 1 only to additionally fan whole cells out "
+                               "over worker processes")
     campaign.add_argument("--json", dest="json_path", default=None,
                           help="write the full campaign report as JSON to this path")
     campaign.add_argument("--csv", dest="csv_path", default=None,
@@ -251,9 +259,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--seed", type=int, default=0,
                        help="fleet seed; device placement and streams derive from it")
     fleet.add_argument("--processes", type=int, default=None,
-                       help="shard each round's fleet matrix over this many worker "
-                            "processes; fleets under 256 devices stay inline (the "
-                            "pool's serialisation overhead would dominate)")
+                       help="fallback knob: rounds already run pool-free on the "
+                            "batched engine path; set > 1 only to shard each "
+                            "round's fleet matrix over worker processes (fleets "
+                            "under 256 devices stay inline — the pool's "
+                            "serialisation overhead would dominate)")
     fleet.add_argument("--json", dest="json_path", default=None,
                        help="write the full fleet report as JSON to this path")
     fleet.add_argument("--csv", dest="csv_path", default=None,

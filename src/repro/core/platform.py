@@ -79,6 +79,12 @@ class OnTheFlyPlatform:
         self.software = SoftwareVerifier(
             params, tests=design.tests, alpha=alpha, word_bits=word_bits
         )
+        #: Execution path of the most recent :meth:`evaluate_batch` call:
+        #: "batched" when the sequences shared one vectorised BatchContext,
+        #: "inline" on the per-sequence fallback (mixed/solo inputs), None
+        #: before the first batch call.  Campaign reports surface this to
+        #: prove the pool-free batch path was taken.
+        self.last_execution_path: Optional[str] = None
 
     # ------------------------------------------------------------------ info
     @property
@@ -169,6 +175,7 @@ class OnTheFlyPlatform:
                 contexts = list(batch.contexts())
             else:
                 contexts = [SequenceContext(arr) for arr in arrays]
+        self.last_execution_path = "batched" if batch is not None else "inline"
         if not accelerated:
             return [
                 self.evaluate_sequence(context.bits, accelerated=False)

@@ -8,8 +8,11 @@ sequence, a :class:`BatchContext` computes them with vectorised 2-D passes
 for a whole batch, the :class:`TestRegistry` puts the NIST, FIPS and
 hardware-model tests behind one ``run(context) -> TestResult`` interface,
 and :func:`run_batch` executes any test selection over many sequences —
-vectorising the cheap tests and fanning the expensive ones out over a
-process pool.
+vectorising the cheap tests on the shared statistics and the five
+heavyweight ones through the batch-native kernels of
+:mod:`repro.engine.heavy`, so the full suite runs pool-free on the packed
+backend (the process pool survives as an explicit ``processes > 1``
+fallback for paths without a batch kernel).
 
 Quickstart::
 
@@ -17,11 +20,12 @@ Quickstart::
     from repro.trng import IdealSource
 
     sequences = [IdealSource(seed=i).generate(4096).bits for i in range(256)]
-    reports = run_batch(sequences, tests=[1, 2, 3, 11, 12, 13], processes=4)
+    reports = run_batch(sequences, tests=[1, 2, 3, 11, 12, 13])
     print(sum(report.passed() for report in reports), "of", len(reports))
 """
 
 from repro.engine.batch import EngineReport, run_batch
+from repro.engine.heavy import BatchFallback
 from repro.engine.context import BACKENDS, DEFAULT_BACKEND, BatchContext, SequenceContext
 from repro.engine.packed import PackedMatrix, pack_matrix, unpack_matrix
 from repro.engine.registry import (
@@ -36,6 +40,7 @@ from repro.engine.registry import (
 __all__ = [
     "BACKENDS",
     "BatchContext",
+    "BatchFallback",
     "DEFAULT_BACKEND",
     "DEFAULT_REGISTRY",
     "EngineReport",

@@ -1,4 +1,4 @@
-"""Batch executor: many sequences, shared statistics, optional process pool.
+"""Batch executor: many sequences, shared statistics, pool-free heavy tests.
 
 ``run_batch`` is the engine's answer to the ROADMAP's many-sequence
 monitoring traffic: instead of evaluating sequences one at a time (each test
@@ -6,12 +6,19 @@ re-scanning the same bitstream), a batch of equal-length sequences shares a
 :class:`~repro.engine.context.BatchContext` whose statistics are computed
 with single vectorised 2-D passes over the whole bit matrix.  The cheap
 tests (frequency, block frequency, runs, longest run, templates, serial,
-approximate entropy, cusum) then reduce to scalar decision math per
-sequence; the expensive ones (rank, DFT, universal, linear complexity,
-random excursions) can fan out over a process pool with ``processes > 1``.
+approximate entropy, cusum) reduce to scalar decision math per sequence; the
+expensive ones (rank, DFT, universal, linear complexity, random excursions)
+run through the batch-native kernels of :mod:`repro.engine.heavy` on the
+packed backend, so the full 15-test suite is pool-free by default.  The
+process pool survives only as an explicit opt-in fallback (``processes >
+1``) for tests without a usable batch kernel — the uint8 backend, mixed
+lengths, or a :class:`~repro.engine.heavy.BatchFallback` geometry.
 
-Results are bit-identical to running each test directly on each sequence —
-asserted by ``tests/test_engine_parity.py``.
+Which path each test actually took is recorded per report in
+:attr:`EngineReport.execution_paths` (``"batched"`` / ``"inline"`` /
+``"pooled"``).  Results are bit-identical to running each test directly on
+each sequence — asserted by ``tests/test_engine_parity.py`` and
+``tests/test_heavy_batch_parity.py``.
 """
 
 from __future__ import annotations
@@ -28,7 +35,8 @@ from repro.engine.context import (
     SequenceContext,
     validate_backend,
 )
-from repro.engine.packed import PackedMatrix
+from repro.engine.heavy import BatchFallback
+from repro.engine.packed import WORD_DTYPE, PackedMatrix
 from repro.engine.registry import (
     DEFAULT_REGISTRY,
     NIST_NUMBER_TO_ID,
@@ -51,6 +59,11 @@ class EngineReport:
     #: Compute backend the shared statistics ran on ("packed" word kernels
     #: or the "uint8" reference paths); P-values are identical either way.
     backend: str = "uint8"
+    #: Execution path per test id: "batched" (batch-native kernel over the
+    #: whole batch), "inline" (per-sequence scalar in this process) or
+    #: "pooled" (per-sequence scalar in a worker process).  Benchmarks and
+    #: the fleet summary read this to prove the pool-free path was taken.
+    execution_paths: Dict[str, str] = field(default_factory=dict)
 
     def passed(self, alpha: float = 0.01) -> bool:
         """True when every test that ran accepted the randomness hypothesis."""
@@ -69,10 +82,17 @@ def _pool_worker(payload):
     """Run one (test, sequence) pair in a worker process.
 
     Only tests from the default registry are pooled, so the worker can
-    resolve the test id against its own imported copy.
+    resolve the test id against its own imported copy.  The sequence ships
+    either as raw uint8 bits (``"bits"``) or — when the parent batch was
+    packed-only — as that row's packed 64-bit words (``"words"``, 1/8th the
+    pickle traffic), unpacked lazily here in the worker.
     """
-    test_id, raw, kwargs = payload
-    bits = np.frombuffer(raw, dtype=np.uint8)
+    test_id, kind, raw, n, kwargs = payload
+    if kind == "words":
+        words = np.frombuffer(raw, dtype=WORD_DTYPE).reshape(1, -1)
+        bits = PackedMatrix(words, n).row(0)
+    else:
+        bits = np.frombuffer(raw, dtype=np.uint8)
     context = SequenceContext(bits)
     test = DEFAULT_REGISTRY.resolve(test_id)
     try:
@@ -128,8 +148,12 @@ def run_batch(
     parameters:
         Optional per-test keyword arguments keyed by any resolvable spec.
     processes:
-        When > 1, tests marked ``expensive`` in the default registry are
-        fanned out over a process pool of that size.
+        Explicit opt-in fallback knob.  When > 1, ``expensive`` tests of the
+        default registry that could *not* take a batch-native kernel (uint8
+        backend, mixed lengths, single sequences, or a
+        :class:`~repro.engine.heavy.BatchFallback` geometry) are fanned out
+        over a process pool of that size; on the default packed batch path
+        the pool is never touched.
     registry:
         Registry to resolve specs against (default:
         :data:`~repro.engine.registry.DEFAULT_REGISTRY`).  Pool dispatch is
@@ -203,14 +227,13 @@ def run_batch(
         contexts = [SequenceContext(arr) for arr in arrays]
         reports = [EngineReport(n=int(arr.size), backend="uint8") for arr in arrays]
 
-    pooled: List[RegisteredTest] = []
-    if processes is not None and processes > 1 and registry is DEFAULT_REGISTRY:
-        pooled = [test for test in resolved if test.expensive]
-    inline = [test for test in resolved if test not in pooled]
+    pool_allowed = (
+        processes is not None and processes > 1 and registry is DEFAULT_REGISTRY
+    )
 
-    for test in inline:
-        kwargs = params.get(test.id, {})
+    def run_inline(test: RegisteredTest, kwargs: Dict[str, object]) -> None:
         for report, context in zip(reports, contexts):
+            report.execution_paths[test.id] = "inline"
             try:
                 report.results[test.id] = test.run(context, **kwargs)
             except Exception as exc:  # noqa: BLE001 - see skip_errors docs
@@ -218,19 +241,68 @@ def run_batch(
                     raise
                 report.errors[test.id] = _describe_error(exc)
 
+    pooled: List[RegisteredTest] = []
+    for test in resolved:
+        kwargs = params.get(test.id, {})
+        if (
+            batch is not None
+            and test.batch_runner is not None
+            and batch.backend == "packed"
+        ):
+            # Batch-native kernel over the whole packed batch: the pool-free
+            # default for the heavyweight tests.
+            try:
+                outcomes = test.run_batch(batch, **kwargs)
+            except BatchFallback:
+                # Parameters outside the kernel's fast path: rerun this one
+                # test per sequence (pooled only if explicitly opted in).
+                if pool_allowed and test.expensive:
+                    pooled.append(test)
+                else:
+                    run_inline(test, kwargs)
+                continue
+            except Exception as exc:  # noqa: BLE001 - see skip_errors docs
+                if not skip_errors:
+                    raise
+                # Batch kernels validate parameters once for the whole
+                # batch (all rows share n), so the error is uniform.
+                message = _describe_error(exc)
+                for report in reports:
+                    report.execution_paths[test.id] = "batched"
+                    report.errors[test.id] = message
+                continue
+            for report, outcome in zip(reports, outcomes):
+                report.execution_paths[test.id] = "batched"
+                report.results[test.id] = outcome
+        elif pool_allowed and test.expensive:
+            pooled.append(test)
+        else:
+            run_inline(test, kwargs)
+
     if pooled:
-        if arrays is None:
-            # Pool workers need raw bits; packed-only input is expanded here
-            # (once, memoized on the batch) rather than per worker.
-            arrays = list(batch.matrix)
-        payloads = [arr.tobytes() for arr in arrays]
+        if arrays is not None:
+            payloads = [("bits", arr.tobytes(), int(arr.size)) for arr in arrays]
+        else:
+            packed = batch.packed_only()
+            if packed is not None:
+                # Packed-only batch: ship each row's 64-bit words (1/8th the
+                # bytes) and let the worker unpack its own row lazily.
+                payloads = [
+                    ("words", np.ascontiguousarray(packed.words[i]).tobytes(), batch.n)
+                    for i in range(num_sequences)
+                ]
+            else:
+                payloads = [("bits", row.tobytes(), batch.n) for row in batch.matrix]
         with ProcessPoolExecutor(max_workers=processes) as pool:
             futures = {}
             for test in pooled:
                 kwargs = params.get(test.id, {})
-                for index, payload in enumerate(payloads):
-                    future = pool.submit(_pool_worker, (test.id, payload, kwargs))
+                for index, (kind, raw, length) in enumerate(payloads):
+                    future = pool.submit(
+                        _pool_worker, (test.id, kind, raw, length, kwargs)
+                    )
                     futures[future] = (index, test.id)
+                    reports[index].execution_paths[test.id] = "pooled"
             for future in as_completed(futures):
                 index, test_id = futures[future]
                 status, outcome = future.result()

@@ -151,9 +151,13 @@ class SequenceContext:
     # ------------------------------------------------------------- basics
     @property
     def bits(self) -> np.ndarray:
-        """The raw uint8 0/1 array (for tests without a shared statistic)."""
+        """The raw uint8 0/1 array (for tests without a shared statistic).
+
+        On a packed-only batch this unpacks just this context's row, so one
+        scalar-path test cannot force the whole batch matrix into memory.
+        """
         if self._bits is None:
-            self._bits = self._batch.matrix[self._row]
+            self._bits = self._batch.row_bits(self._row)
         return self._bits
 
     @property
@@ -386,6 +390,24 @@ class BatchContext:
         if self._packed is None:
             self._packed = pack_matrix(self._matrix, keep_source=True)
         return self._packed
+
+    def packed_only(self) -> Optional[PackedMatrix]:
+        """The packed view when the uint8 matrix is *not* materialised.
+
+        Chunked consumers (the batched heavy kernels) use this to unpack
+        row windows on the fly instead of forcing the full matrix; returns
+        ``None`` when the uint8 matrix already exists (then slicing it is
+        free).
+        """
+        if self._matrix is None:
+            return self._packed
+        return None
+
+    def row_bits(self, row: int) -> np.ndarray:
+        """One sequence's uint8 bits, unpacking only that row when packed."""
+        if self._matrix is not None:
+            return self._matrix[row]
+        return self._packed.row(row)
 
     def _use_packed(self) -> bool:
         return self.backend == "packed" and self._n > 0

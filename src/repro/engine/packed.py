@@ -47,6 +47,7 @@ __all__ = [
     "PackedMatrix",
     "pack_matrix",
     "unpack_matrix",
+    "unpack_rows",
     "pack_bits",
     "unpack_bits",
     "popcount",
@@ -134,6 +135,15 @@ class PackedMatrix:
             return self.source
         return unpack_matrix(self)
 
+    def row(self, index: int) -> np.ndarray:
+        """One row as a 1-D uint8 bit array, without unpacking the rest.
+
+        The lazy per-row escape hatch of the batch executor's scalar
+        fallback paths: a packed-only batch hands a single sequence to a
+        per-bit consumer at ``n`` bytes instead of ``rows * n``.
+        """
+        return unpack_rows(self, index, index + 1)[0]
+
     def __repr__(self) -> str:
         return f"PackedMatrix(rows={self.num_rows}, n={self.n}, words={self.num_words})"
 
@@ -171,6 +181,21 @@ def unpack_matrix(packed: PackedMatrix) -> np.ndarray:
     if packed.n == 0:
         return np.zeros((packed.num_rows, 0), dtype=np.uint8)
     as_bytes = np.ascontiguousarray(packed.words).view(np.uint8)
+    return np.unpackbits(as_bytes, axis=1, count=packed.n, bitorder="little")
+
+
+def unpack_rows(packed: PackedMatrix, start: int, stop: int) -> np.ndarray:
+    """Expand rows ``start:stop`` of a :class:`PackedMatrix` to uint8 bits.
+
+    Slices the retained source when one exists; otherwise only the requested
+    rows' words are unpacked, so chunked consumers (the batched heavy-test
+    kernels, the pooled fallback) never materialise the full matrix.
+    """
+    if packed.source is not None:
+        return packed.source[start:stop]
+    if packed.n == 0:
+        return np.zeros((packed.words[start:stop].shape[0], 0), dtype=np.uint8)
+    as_bytes = np.ascontiguousarray(packed.words[start:stop]).view(np.uint8)
     return np.unpackbits(as_bytes, axis=1, count=packed.n, bitorder="little")
 
 

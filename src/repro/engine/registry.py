@@ -14,9 +14,20 @@ protocol: every test exposes a stable id, a human-readable name and a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, Protocol, Tuple, Union, runtime_checkable
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
 
-from repro.engine.context import SequenceContext
+from repro.engine import heavy as _heavy
+from repro.engine.context import BatchContext, SequenceContext
 from repro.fips import battery as _fips
 from repro.nist.approximate_entropy import approximate_entropy_test_from_context
 from repro.nist.block_frequency import block_frequency_test_from_context
@@ -79,9 +90,17 @@ class RegisteredTest:
     aliases:
         Alternative lookup keys (the NIST number, its string form, ...).
     expensive:
-        True for tests whose work is dominated by per-sequence scalar code
-        (matrix rank, Berlekamp–Massey, ...); the batch executor fans these
-        out over a process pool instead of vectorising them.
+        True for tests whose scalar path is dominated by per-sequence work
+        (matrix rank, Berlekamp–Massey, ...).  When such a test has no
+        usable ``batch_runner`` the executor may fan it out over a process
+        pool as an explicit opt-in fallback (``processes > 1``).
+    batch_runner:
+        Optional batch-native entry point
+        ``batch_runner(batch, **params) -> List[TestResult]`` evaluating the
+        whole :class:`~repro.engine.context.BatchContext` at once (one
+        result per sequence, bit-identical to ``runner``).  May raise
+        :class:`~repro.engine.heavy.BatchFallback` for parameters outside
+        its fast path.
     """
 
     id: str
@@ -89,9 +108,16 @@ class RegisteredTest:
     runner: Callable[..., TestResult]
     aliases: Tuple[TestSpec, ...] = ()
     expensive: bool = False
+    batch_runner: Optional[Callable[..., List[TestResult]]] = None
 
     def run(self, context: SequenceContext, **params) -> TestResult:
         return self.runner(context, **params)
+
+    def run_batch(self, batch: BatchContext, **params) -> List[TestResult]:
+        """Evaluate the whole batch at once (batch-native tests only)."""
+        if self.batch_runner is None:
+            raise ValueError(f"test {self.id!r} has no batch-native runner")
+        return self.batch_runner(batch, **params)
 
 
 class TestRegistry:
@@ -249,9 +275,19 @@ def build_default_registry() -> TestRegistry:
         14: _reference_runner(random_excursions_test),
         15: _reference_runner(random_excursions_variant_test),
     }
-    # Per-sequence scalar work dominates these; the batch executor may fan
-    # them out over worker processes rather than vectorise them.
-    pool_candidates = {5, 6, 9, 10, 14, 15}
+    # The five heavyweight tests: batch-native kernels evaluate a whole
+    # packed batch at once (the pool-free default); the scalar runner stays
+    # the per-sequence reference, and `expensive` keeps the process pool
+    # available as an explicit opt-in fallback.
+    batch_runners: Dict[int, Callable[..., List[TestResult]]] = {
+        5: _heavy.batch_rank,
+        6: _heavy.batch_dft,
+        9: _heavy.batch_universal,
+        10: _heavy.batch_linear_complexity,
+        14: _heavy.batch_random_excursions,
+        15: _heavy.batch_random_excursions_variant,
+    }
+    pool_candidates = set(batch_runners)
     for number, runner in nist_runners.items():
         registry.register(
             RegisteredTest(
@@ -260,6 +296,7 @@ def build_default_registry() -> TestRegistry:
                 runner=runner,
                 aliases=(number, str(number), f"nist.{number}"),
                 expensive=number in pool_candidates,
+                batch_runner=batch_runners.get(number),
             )
         )
 

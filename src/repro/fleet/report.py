@@ -183,6 +183,12 @@ class FleetReport(JsonCsvExportMixin):
     #: Compute backend the scheduler evaluated rounds on ("packed" 64-bit
     #: word kernels or the "uint8" reference paths); verdicts are identical.
     backend: str = "packed"
+    #: Canonical test id -> execution path the engine took for it
+    #: ("batched" batch-native kernel / "inline" per-sequence scalar /
+    #: "pooled" process-pool fallback), as observed on the scheduler's
+    #: most recent evaluations.  Empty for reports saved before the
+    #: batch-native heavy kernels existed.
+    execution_paths: Dict[str, str] = field(default_factory=dict)
 
     # ------------------------------------------------------------- selection
     @property
@@ -263,6 +269,7 @@ class FleetReport(JsonCsvExportMixin):
             },
             "rounds": [fleet_round.to_dict() for fleet_round in self.rounds],
             "scenarios": [stats.to_dict() for stats in self.scenarios],
+            "execution_paths": dict(sorted(self.execution_paths.items())),
         }
 
     @classmethod
@@ -281,6 +288,12 @@ class FleetReport(JsonCsvExportMixin):
             scenarios=[FleetScenarioStats.from_dict(s) for s in data["scenarios"]],
             # Reports saved before the packed backend existed ran on uint8.
             backend=config.get("backend", "uint8"),
+            # Reports saved before the batch-native heavy kernels recorded
+            # no per-test paths.
+            execution_paths={
+                str(k): str(v)
+                for k, v in data.get("execution_paths", {}).items()
+            },
         )
 
     # to_json / from_json / save_json / to_csv / save_csv come from
@@ -288,7 +301,10 @@ class FleetReport(JsonCsvExportMixin):
 
 
 def build_report(
-    registry, rounds: List[FleetRound], backend: str = "packed"
+    registry,
+    rounds: List[FleetRound],
+    backend: str = "packed",
+    execution_paths: Optional[Dict[str, str]] = None,
 ) -> FleetReport:
     """Aggregate a registry's device health into a :class:`FleetReport`.
 
@@ -338,4 +354,5 @@ def build_report(
         rounds=list(rounds),
         scenarios=scenarios,
         backend=backend,
+        execution_paths=dict(execution_paths or {}),
     )

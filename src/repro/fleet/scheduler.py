@@ -26,7 +26,7 @@ import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -72,12 +72,13 @@ def _reduce_report(report: EngineReport, alpha: float) -> FleetVerdict:
     )
 
 
-def _shard_worker(payload) -> List[FleetVerdict]:
+def _shard_worker(payload) -> Tuple[List[FleetVerdict], Dict[str, str]]:
     """Evaluate one device shard in a worker process.
 
     The shard travels as raw bytes (+ shape) and comes back as reduced
-    verdicts; tests resolve against the worker's own default registry, like
-    :func:`~repro.engine.batch.run_batch`'s expensive-test pool workers.
+    verdicts plus the shard's per-test execution paths; tests resolve
+    against the worker's own default registry, like
+    :func:`~repro.engine.batch.run_batch`'s fallback pool workers.
     On the packed backend the bytes are the shard's 64-bit words — 1/8th
     the serialisation traffic of the uint8 representation.
     """
@@ -89,7 +90,10 @@ def _shard_worker(payload) -> List[FleetVerdict]:
     else:
         shard = np.frombuffer(raw, dtype=np.uint8).reshape(rows, n)
     reports = run_batch(shard, tests=list(tests), backend=backend)
-    return [_reduce_report(report, alpha) for report in reports]
+    paths: Dict[str, str] = {}
+    for report in reports:
+        paths.update(report.execution_paths)
+    return [_reduce_report(report, alpha) for report in reports], paths
 
 
 class FleetScheduler:
@@ -131,6 +135,12 @@ class FleetScheduler:
         self.min_shard_devices = min_shard_devices
         self.backend = validate_backend(backend)
         self.rounds: List[FleetRound] = []
+        #: Canonical test id -> execution path ("batched" / "inline" /
+        #: "pooled") observed on the most recent evaluations; surfaced in
+        #: :attr:`FleetReport.execution_paths
+        #: <repro.fleet.report.FleetReport.execution_paths>` to prove the
+        #: heavy tests ran pool-free on the batch kernels.
+        self.execution_paths: Dict[str, str] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
         self._closed = False
         # Guards lazy pool creation/shutdown: ingest evaluation runs outside
@@ -172,6 +182,8 @@ class FleetScheduler:
         )
         if not pooled:
             reports = run_batch(matrix, tests=list(tests), backend=self.backend)
+            for report in reports:
+                self.execution_paths.update(report.execution_paths)
             return [_reduce_report(report, alpha) for report in reports]
         shards = [s for s in np.array_split(np.arange(rows), self.processes) if len(s)]
         # On the packed backend the shards ship as 64-bit words: 1/8th the
@@ -202,10 +214,13 @@ class FleetScheduler:
                 pool = self._pool
         if pool is None:
             reports = run_batch(matrix, tests=list(tests), backend=self.backend)
+            for report in reports:
+                self.execution_paths.update(report.execution_paths)
             return [_reduce_report(report, alpha) for report in reports]
         verdicts: List[FleetVerdict] = []
-        for shard_verdicts in pool.map(_shard_worker, payloads):
+        for shard_verdicts, shard_paths in pool.map(_shard_worker, payloads):
             verdicts.extend(shard_verdicts)
+            self.execution_paths.update(shard_paths)
         return verdicts
 
     # ------------------------------------------------------------- rounds
@@ -305,4 +320,9 @@ class FleetScheduler:
     def report(self) -> FleetReport:
         """Aggregate the fleet's current state into a :class:`FleetReport`."""
         with self.lock:
-            return build_report(self.registry, self.rounds, backend=self.backend)
+            return build_report(
+                self.registry,
+                self.rounds,
+                backend=self.backend,
+                execution_paths=dict(self.execution_paths),
+            )

@@ -157,6 +157,7 @@ class FleetService:
             "n": report.n,
             "alpha": report.alpha,
             "backend": report.backend,
+            "execution_paths": dict(sorted(report.execution_paths.items())),
             "num_devices": report.num_devices,
             "rounds_completed": report.rounds_completed,
             "health": health,

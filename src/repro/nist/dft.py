@@ -14,7 +14,36 @@ import numpy as np
 
 from repro.nist.common import BitsLike, TestResult, erfc, to_bits
 
-__all__ = ["dft_test"]
+__all__ = ["dft_test", "dft_decision", "dft_threshold"]
+
+
+def dft_threshold(n: int) -> float:
+    """The 95 % peak-height threshold ``T = sqrt(n · ln(1/0.05))``."""
+    return math.sqrt(n * math.log(1.0 / 0.05))
+
+
+def dft_decision(n1: float, n: int) -> TestResult:
+    """Decision math of the spectral test from the sub-threshold peak count.
+
+    Shared by the scalar reference and the batched FFT kernel
+    (:func:`repro.engine.heavy.batch_dft`): given the same integer-valued
+    ``n1`` both paths produce bit-identical results.
+    """
+    threshold = dft_threshold(n)
+    n0 = 0.95 * n / 2.0
+    d = (n1 - n0) / math.sqrt(n * 0.95 * 0.05 / 4.0)
+    p_value = erfc(abs(d) / math.sqrt(2.0))
+    return TestResult(
+        name="Discrete Fourier Transform (Spectral) Test",
+        statistic=d,
+        p_value=p_value,
+        details={
+            "n": n,
+            "threshold": threshold,
+            "expected_below": n0,
+            "observed_below": n1,
+        },
+    )
 
 
 def dft_test(bits: BitsLike) -> TestResult:
@@ -37,19 +66,5 @@ def dft_test(bits: BitsLike) -> TestResult:
         raise ValueError("DFT test requires at least 2 bits")
     x = 2 * arr.astype(np.float64) - 1
     spectrum = np.abs(np.fft.fft(x))[: n // 2]
-    threshold = math.sqrt(n * math.log(1.0 / 0.05))
-    n0 = 0.95 * n / 2.0
-    n1 = float(np.count_nonzero(spectrum < threshold))
-    d = (n1 - n0) / math.sqrt(n * 0.95 * 0.05 / 4.0)
-    p_value = erfc(abs(d) / math.sqrt(2.0))
-    return TestResult(
-        name="Discrete Fourier Transform (Spectral) Test",
-        statistic=d,
-        p_value=p_value,
-        details={
-            "n": n,
-            "threshold": threshold,
-            "expected_below": n0,
-            "observed_below": n1,
-        },
-    )
+    n1 = float(np.count_nonzero(spectrum < dft_threshold(n)))
+    return dft_decision(n1, n)

@@ -12,10 +12,54 @@ import numpy as np
 
 from repro.nist.common import BitsLike, TestResult, berlekamp_massey, igamc, to_bits
 
-__all__ = ["linear_complexity_test", "LINEAR_COMPLEXITY_PI"]
+__all__ = [
+    "linear_complexity_test",
+    "linear_complexity_decision",
+    "LINEAR_COMPLEXITY_PI",
+]
 
 #: Category probabilities π_0..π_6 from SP 800-22 section 3.10.
 LINEAR_COMPLEXITY_PI = [0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833]
+
+#: The T-value category edges of section 3.10, binned with
+#: ``np.digitize(..., right=True)`` — identical to the spec's elif chain
+#: (t <= -2.5 -> 0, ..., t > 2.5 -> 6).
+_T_EDGES = np.array([-2.5, -1.5, -0.5, 0.5, 1.5, 2.5])
+
+
+def linear_complexity_decision(
+    complexities, block_length: int, num_blocks: int, n: int
+) -> TestResult:
+    """Decision math of the linear complexity test from the per-block L's.
+
+    Shared by the scalar reference and the bit-sliced batched kernel
+    (:func:`repro.engine.heavy.batch_linear_complexity`): identical integer
+    complexities give bit-identical results.
+    """
+    mean = (
+        block_length / 2.0
+        + (9.0 + (-1.0) ** (block_length + 1)) / 36.0
+        - (block_length / 3.0 + 2.0 / 9.0) / 2.0 ** block_length
+    )
+    complexity_arr = np.asarray(complexities, dtype=np.int64)
+    t = (-1.0) ** block_length * (complexity_arr - mean) + 2.0 / 9.0
+    categories = np.bincount(np.digitize(t, _T_EDGES, right=True), minlength=7)
+    expected = num_blocks * np.array(LINEAR_COMPLEXITY_PI)
+    chi_squared = float(np.sum((categories - expected) ** 2 / expected))
+    p_value = igamc(3.0, chi_squared / 2.0)
+    return TestResult(
+        name="Linear Complexity Test",
+        statistic=chi_squared,
+        p_value=p_value,
+        details={
+            "n": n,
+            "block_length": block_length,
+            "num_blocks": num_blocks,
+            "mean": mean,
+            "categories": categories.tolist(),
+            "complexities": [int(L) for L in complexity_arr],
+        },
+    )
 
 
 def linear_complexity_test(bits: BitsLike, block_length: int = 500) -> TestResult:
@@ -41,45 +85,8 @@ def linear_complexity_test(bits: BitsLike, block_length: int = 500) -> TestResul
     num_blocks = n // block_length
     if num_blocks == 0:
         raise ValueError("sequence shorter than a single block")
-    mean = (
-        block_length / 2.0
-        + (9.0 + (-1.0) ** (block_length + 1)) / 36.0
-        - (block_length / 3.0 + 2.0 / 9.0) / 2.0 ** block_length
-    )
-    categories = np.zeros(7, dtype=np.int64)
-    complexities = []
-    for i in range(num_blocks):
-        block = arr[i * block_length : (i + 1) * block_length]
-        L = berlekamp_massey(block)
-        complexities.append(L)
-        t = (-1.0) ** block_length * (L - mean) + 2.0 / 9.0
-        if t <= -2.5:
-            categories[0] += 1
-        elif t <= -1.5:
-            categories[1] += 1
-        elif t <= -0.5:
-            categories[2] += 1
-        elif t <= 0.5:
-            categories[3] += 1
-        elif t <= 1.5:
-            categories[4] += 1
-        elif t <= 2.5:
-            categories[5] += 1
-        else:
-            categories[6] += 1
-    expected = num_blocks * np.array(LINEAR_COMPLEXITY_PI)
-    chi_squared = float(np.sum((categories - expected) ** 2 / expected))
-    p_value = igamc(3.0, chi_squared / 2.0)
-    return TestResult(
-        name="Linear Complexity Test",
-        statistic=chi_squared,
-        p_value=p_value,
-        details={
-            "n": n,
-            "block_length": block_length,
-            "num_blocks": num_blocks,
-            "mean": mean,
-            "categories": categories.tolist(),
-            "complexities": complexities,
-        },
-    )
+    complexities = [
+        berlekamp_massey(arr[i * block_length : (i + 1) * block_length])
+        for i in range(num_blocks)
+    ]
+    return linear_complexity_decision(complexities, block_length, num_blocks, n)

@@ -15,7 +15,12 @@ import numpy as np
 
 from repro.nist.common import BitsLike, TestResult, igamc, to_bits
 
-__all__ = ["random_excursions_test", "walk_cycles", "EXCURSION_STATES"]
+__all__ = [
+    "random_excursions_test",
+    "excursions_decision",
+    "walk_cycles",
+    "EXCURSION_STATES",
+]
 
 #: The eight states examined by the test.
 EXCURSION_STATES = (-4, -3, -2, -1, 1, 2, 3, 4)
@@ -48,6 +53,41 @@ def _state_probabilities(x: int) -> List[float]:
     return pi
 
 
+def excursions_decision(histograms: Dict[int, np.ndarray], j: int, n: int) -> TestResult:
+    """Decision math of the excursions test from the per-state histograms.
+
+    ``histograms[x][k]`` counts cycles visiting state ``x`` exactly ``k``
+    times (``k = 5`` pools five-or-more).  Shared by the scalar reference and
+    the batched kernel (:func:`repro.engine.heavy.batch_random_excursions`):
+    identical integer histograms give bit-identical results.
+    """
+    p_values = []
+    statistics = []
+    for x in EXCURSION_STATES:
+        pi = _state_probabilities(x)
+        expected = j * np.array(pi)
+        observed = np.asarray(histograms[x]).astype(np.float64)
+        chi_squared = float(np.sum((observed - expected) ** 2 / expected))
+        statistics.append(chi_squared)
+        p_values.append(igamc(2.5, chi_squared / 2.0))
+    return TestResult(
+        name="Random Excursions Test",
+        statistic=max(statistics),
+        p_value=min(p_values),
+        p_values=p_values,
+        details={
+            "n": n,
+            "num_cycles": j,
+            "j_below_recommendation": j < 500,
+            "states": list(EXCURSION_STATES),
+            "histograms": {
+                x: [int(k) for k in histograms[x]] for x in EXCURSION_STATES
+            },
+            "statistics": statistics,
+        },
+    )
+
+
 def random_excursions_test(bits: BitsLike) -> TestResult:
     """Run the random excursions test.
 
@@ -74,26 +114,4 @@ def random_excursions_test(bits: BitsLike) -> TestResult:
         for x in EXCURSION_STATES:
             visits = int(np.count_nonzero(cycle == x))
             histograms[x][min(visits, 5)] += 1
-    p_values = []
-    statistics = []
-    for x in EXCURSION_STATES:
-        pi = _state_probabilities(x)
-        expected = j * np.array(pi)
-        observed = histograms[x].astype(np.float64)
-        chi_squared = float(np.sum((observed - expected) ** 2 / expected))
-        statistics.append(chi_squared)
-        p_values.append(igamc(2.5, chi_squared / 2.0))
-    return TestResult(
-        name="Random Excursions Test",
-        statistic=max(statistics),
-        p_value=min(p_values),
-        p_values=p_values,
-        details={
-            "n": n,
-            "num_cycles": j,
-            "j_below_recommendation": j < 500,
-            "states": list(EXCURSION_STATES),
-            "histograms": {x: histograms[x].tolist() for x in EXCURSION_STATES},
-            "statistics": statistics,
-        },
-    )
+    return excursions_decision(histograms, j, n)

@@ -14,10 +14,37 @@ import numpy as np
 
 from repro.nist.common import BitsLike, TestResult, erfc, to_bits
 
-__all__ = ["random_excursions_variant_test", "VARIANT_STATES"]
+__all__ = ["random_excursions_variant_test", "variant_decision", "VARIANT_STATES"]
 
 #: The eighteen states examined by the test.
 VARIANT_STATES = tuple(x for x in range(-9, 10) if x != 0)
+
+
+def variant_decision(counts: dict, j: int, n: int) -> TestResult:
+    """Decision math of the variant test from the per-state visit counts.
+
+    Shared by the scalar reference and the batched kernel
+    (:func:`repro.engine.heavy.batch_random_excursions_variant`): identical
+    integer counts give bit-identical results.
+    """
+    p_values = []
+    for x in VARIANT_STATES:
+        count = counts[x]
+        denom = math.sqrt(2.0 * j * (4.0 * abs(x) - 2.0))
+        p_values.append(erfc(abs(count - j) / denom))
+    return TestResult(
+        name="Random Excursions Variant Test",
+        statistic=float(j),
+        p_value=min(p_values),
+        p_values=p_values,
+        details={
+            "n": n,
+            "num_cycles": j,
+            "j_below_recommendation": j < 500,
+            "states": list(VARIANT_STATES),
+            "counts": {x: int(counts[x]) for x in VARIANT_STATES},
+        },
+    )
 
 
 def random_excursions_variant_test(bits: BitsLike) -> TestResult:
@@ -38,23 +65,5 @@ def random_excursions_variant_test(bits: BitsLike) -> TestResult:
     j = int(np.count_nonzero(walk[1:] == 0))
     if j == 0:
         raise ValueError("random walk produced no cycles")
-    p_values = []
-    counts = {}
-    for x in VARIANT_STATES:
-        count = int(np.count_nonzero(walk == x))
-        counts[x] = count
-        denom = math.sqrt(2.0 * j * (4.0 * abs(x) - 2.0))
-        p_values.append(erfc(abs(count - j) / denom))
-    return TestResult(
-        name="Random Excursions Variant Test",
-        statistic=float(j),
-        p_value=min(p_values),
-        p_values=p_values,
-        details={
-            "n": n,
-            "num_cycles": j,
-            "j_below_recommendation": j < 500,
-            "states": list(VARIANT_STATES),
-            "counts": counts,
-        },
-    )
+    counts = {x: int(np.count_nonzero(walk == x)) for x in VARIANT_STATES}
+    return variant_decision(counts, j, n)

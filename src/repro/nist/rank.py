@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.nist.common import BitsLike, TestResult, binary_matrix_rank, igamc, to_bits
 
-__all__ = ["binary_matrix_rank_test", "rank_probabilities"]
+__all__ = ["binary_matrix_rank_test", "rank_decision", "rank_probabilities"]
 
 
 def rank_probabilities(m: int, q: int) -> tuple:
@@ -36,6 +36,37 @@ def rank_probabilities(m: int, q: int) -> tuple:
     p_full = prob(r_full)
     p_full_minus_1 = prob(r_full - 1)
     return p_full, p_full_minus_1, 1.0 - p_full - p_full_minus_1
+
+
+def rank_decision(
+    counts: dict, num_matrices: int, matrix_rows: int, matrix_cols: int, n: int
+) -> TestResult:
+    """Decision math of the rank test from the integer rank histogram.
+
+    Shared by the scalar reference and the batched packed-word kernel
+    (:func:`repro.engine.heavy.batch_rank`), so both produce bit-identical
+    floating-point results from identical integer counts.
+    """
+    bits_per_matrix = matrix_rows * matrix_cols
+    p_full, p_minus1, p_rest = rank_probabilities(matrix_rows, matrix_cols)
+    expected = np.array([p_full, p_minus1, p_rest]) * num_matrices
+    observed = np.array([counts["full"], counts["full_minus_1"], counts["rest"]], dtype=np.float64)
+    chi_squared = float(np.sum((observed - expected) ** 2 / expected))
+    p_value = igamc(1.0, chi_squared / 2.0)
+    return TestResult(
+        name="Binary Matrix Rank Test",
+        statistic=chi_squared,
+        p_value=p_value,
+        details={
+            "n": n,
+            "matrix_rows": matrix_rows,
+            "matrix_cols": matrix_cols,
+            "num_matrices": num_matrices,
+            "discarded_bits": n - num_matrices * bits_per_matrix,
+            "counts": dict(counts),
+            "probabilities": (p_full, p_minus1, p_rest),
+        },
+    )
 
 
 def binary_matrix_rank_test(bits: BitsLike, matrix_rows: int = 32, matrix_cols: int = 32) -> TestResult:
@@ -74,22 +105,4 @@ def binary_matrix_rank_test(bits: BitsLike, matrix_rows: int = 32, matrix_cols: 
             counts["full_minus_1"] += 1
         else:
             counts["rest"] += 1
-    p_full, p_minus1, p_rest = rank_probabilities(matrix_rows, matrix_cols)
-    expected = np.array([p_full, p_minus1, p_rest]) * num_matrices
-    observed = np.array([counts["full"], counts["full_minus_1"], counts["rest"]], dtype=np.float64)
-    chi_squared = float(np.sum((observed - expected) ** 2 / expected))
-    p_value = igamc(1.0, chi_squared / 2.0)
-    return TestResult(
-        name="Binary Matrix Rank Test",
-        statistic=chi_squared,
-        p_value=p_value,
-        details={
-            "n": n,
-            "matrix_rows": matrix_rows,
-            "matrix_cols": matrix_cols,
-            "num_matrices": num_matrices,
-            "discarded_bits": n - num_matrices * bits_per_matrix,
-            "counts": dict(counts),
-            "probabilities": (p_full, p_minus1, p_rest),
-        },
-    )
+    return rank_decision(counts, num_matrices, matrix_rows, matrix_cols, n)

@@ -15,7 +15,12 @@ import numpy as np
 
 from repro.nist.common import BitsLike, TestResult, erfc, to_bits
 
-__all__ = ["universal_test", "UNIVERSAL_CONSTANTS", "recommended_l"]
+__all__ = [
+    "universal_test",
+    "universal_decision",
+    "UNIVERSAL_CONSTANTS",
+    "recommended_l",
+]
 
 #: NIST-tabulated (expectedValue, variance) for block length L.
 UNIVERSAL_CONSTANTS: Dict[int, Tuple[float, float]] = {
@@ -59,6 +64,40 @@ def recommended_l(n: int) -> int:
     return chosen
 
 
+def universal_decision(distances: np.ndarray, L: int, Q: int, K: int, n: int) -> TestResult:
+    """Decision math of the universal test from the integer gap distances.
+
+    ``distances[k]`` is the number of blocks since the previous occurrence of
+    test block ``Q + k``'s value (``i + 1`` for a first occurrence at block
+    index ``i``).  Shared by the scalar reference and the batched kernel
+    (:func:`repro.engine.heavy.batch_universal`): identical integer distances
+    give bit-identical results, because both paths sum ``log2`` terms through
+    the same ``np.sum`` reduction.
+    """
+    total = float(np.log2(distances.astype(np.float64)).sum())
+    fn = total / K
+    expected, variance = UNIVERSAL_CONSTANTS[L]
+    c = 0.7 - 0.8 / L + (4.0 + 32.0 / L) * (K ** (-3.0 / L)) / 15.0
+    sigma = c * math.sqrt(variance / K)
+    statistic = abs(fn - expected) / (math.sqrt(2.0) * sigma)
+    p_value = erfc(statistic)
+    return TestResult(
+        name="Maurer's Universal Statistical Test",
+        statistic=fn,
+        p_value=p_value,
+        details={
+            "n": n,
+            "L": L,
+            "Q": Q,
+            "K": K,
+            "fn": fn,
+            "expected": expected,
+            "variance": variance,
+            "sigma": sigma,
+        },
+    )
+
+
 def universal_test(bits: BitsLike, block_length: int | None = None, init_blocks: int | None = None) -> TestResult:
     """Run Maurer's universal statistical test.
 
@@ -99,29 +138,9 @@ def universal_test(bits: BitsLike, block_length: int | None = None, init_blocks:
     table = np.zeros(1 << L, dtype=np.int64)
     for i in range(Q):
         table[block_values[i]] = i + 1
-    total = 0.0
+    distances = np.empty(K, dtype=np.int64)
     for i in range(Q, total_blocks):
         value = block_values[i]
-        total += math.log2(i + 1 - table[value])
+        distances[i - Q] = i + 1 - table[value]
         table[value] = i + 1
-    fn = total / K
-    expected, variance = UNIVERSAL_CONSTANTS[L]
-    c = 0.7 - 0.8 / L + (4.0 + 32.0 / L) * (K ** (-3.0 / L)) / 15.0
-    sigma = c * math.sqrt(variance / K)
-    statistic = abs(fn - expected) / (math.sqrt(2.0) * sigma)
-    p_value = erfc(statistic)
-    return TestResult(
-        name="Maurer's Universal Statistical Test",
-        statistic=fn,
-        p_value=p_value,
-        details={
-            "n": n,
-            "L": L,
-            "Q": Q,
-            "K": K,
-            "fn": fn,
-            "expected": expected,
-            "variance": variance,
-            "sigma": sigma,
-        },
-    )
+    return universal_decision(distances, L, Q, K, n)

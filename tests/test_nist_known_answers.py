@@ -10,16 +10,21 @@ import pytest
 
 from repro.nist import (
     approximate_entropy_test,
+    binary_matrix_rank_test,
     block_frequency_test,
     cumulative_sums_test,
+    dft_test,
     frequency_test,
+    linear_complexity_test,
     longest_run_test,
     non_overlapping_template_test,
     random_excursions_test,
     random_excursions_variant_test,
     runs_test,
     serial_test,
+    universal_test,
 )
+from repro.nist.linear_complexity import berlekamp_massey
 
 #: First 100 bits of the binary expansion of pi's fractional part, the sample
 #: sequence used throughout SP 800-22 section 2 examples.
@@ -79,6 +84,70 @@ class TestLongestRunKnownAnswer:
         result = longest_run_test(eps, block_length=8)
         assert result.details["categories"] == [4, 9, 3, 0]
         assert result.p_value == pytest.approx(0.180609, abs=1e-4)
+
+
+class TestRankKnownAnswer:
+    def test_small_example(self):
+        # SP 800-22 2.5.4: eps = 01011001001010101101, M = Q = 3, N = 2;
+        # ranks 2 and 3 give counts full = 1, full-1 = 1, rest = 0.  The
+        # spec's worked P-value (0.741948) plugs in the *rounded* asymptotic
+        # probabilities (0.2888, 0.5776, 0.1336); we evaluate the exact
+        # section-3.5 product formulas for M = Q = 3, which shifts the
+        # P-value while keeping the identical integer rank histogram.
+        result = binary_matrix_rank_test(
+            "01011001001010101101", matrix_rows=3, matrix_cols=3
+        )
+        assert result.details["counts"] == {"full": 1, "full_minus_1": 1, "rest": 0}
+        assert result.details["num_matrices"] == 2
+        assert result.details["discarded_bits"] == 2
+        assert result.p_value == pytest.approx(0.8209616256861869, abs=1e-12)
+
+    def test_too_short_sequence_raises(self):
+        with pytest.raises(ValueError, match="need at least 1024 bits"):
+            binary_matrix_rank_test("1" * 1023)
+
+
+class TestDftKnownAnswer:
+    def test_small_example(self):
+        # SP 800-22 2.6.4: eps = 1001010011, T ≈ 5.47, expected N0 = 4.75.
+        # The spec's example counts N1 = 4 sub-threshold peaks (it drops the
+        # DC bin, P = 0.029523); our reference keeps the full first half of
+        # the spectrum including bin 0, giving N1 = 5 on the same sequence.
+        result = dft_test("1001010011")
+        assert result.details["expected_below"] == pytest.approx(4.75, abs=1e-12)
+        assert result.details["observed_below"] == 5.0
+        assert result.p_value == pytest.approx(0.4681599098544281, abs=1e-12)
+
+    def test_too_short_sequence_raises(self):
+        with pytest.raises(ValueError, match="at least 2 bits"):
+            dft_test("1")
+
+
+class TestUniversalKnownAnswer:
+    def test_too_short_sequence_raises(self):
+        # Maurer's test needs Q = 10 * 2^L initialisation blocks; the
+        # smallest recommended parameterisation (L = 6) already requires
+        # 387,840 bits, so every SP 800-22 toy example is out of range.
+        with pytest.raises(ValueError, match="387,840 bits"):
+            universal_test("0" * 100)
+
+
+class TestLinearComplexityKnownAnswers:
+    def test_berlekamp_massey_example(self):
+        # SP 800-22 2.10.4: eps = 1101011110001 (n = 13) has linear
+        # complexity L = 4 (LFSR <1 + x^3 + x^4>).
+        assert berlekamp_massey("1101011110001") == 4
+
+    def test_single_block_complexities(self):
+        # The full test over one 13-bit block must report that same L = 4
+        # through the chi-squared machinery.
+        result = linear_complexity_test("1101011110001", block_length=13)
+        assert result.details["complexities"] == [4]
+        assert result.details["num_blocks"] == 1
+
+    def test_block_length_validation(self):
+        with pytest.raises(ValueError, match="block_length must be at least 4"):
+            linear_complexity_test("1" * 100, block_length=3)
 
 
 class TestNonOverlappingKnownAnswer:
