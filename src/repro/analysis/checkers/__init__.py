@@ -1,0 +1,13 @@
+"""The shipped checker families; importing this module registers them all."""
+
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.hygiene import ApiHygieneChecker
+from repro.analysis.checkers.locks import LockDisciplineChecker
+from repro.analysis.checkers.packed import PackedKernelChecker
+
+__all__ = [
+    "DeterminismChecker",
+    "PackedKernelChecker",
+    "LockDisciplineChecker",
+    "ApiHygieneChecker",
+]

@@ -1,0 +1,27 @@
+"""Shared AST helpers for the checker families."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+__all__ = ["dotted_name", "is_int_literal"]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` as a string for pure Name/Attribute chains, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def is_int_literal(node: ast.AST) -> bool:
+    """True for a bare integer constant, including a unary ``-``/``~`` of one."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.Invert)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and type(node.value) is int

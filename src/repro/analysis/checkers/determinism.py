@@ -1,0 +1,185 @@
+"""Determinism checkers: every random draw must be explicitly seeded.
+
+Bit-identical p-values are the repository's core contract (the golden
+parity suites of ``tests/test_engine_parity.py`` and
+``tests/test_trng_block_parity.py`` depend on them): any unseeded or
+ambient randomness in the library would make experiment results
+irreproducible across runs and across the split-invariant block streams of
+PR 3.  These rules machine-enforce that contract.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers._common import dotted_name
+from repro.analysis.framework import Checker, DEFAULT_REGISTRY, Rule
+from repro.analysis.findings import Severity
+
+__all__ = ["DeterminismChecker"]
+
+#: numpy bit-generator / seed-sequence constructors that also need a seed.
+_SEEDED_CONSTRUCTORS = ("default_rng", "SeedSequence", "PCG64", "MT19937", "Philox", "SFC64")
+
+#: Fully-qualified calls that draw entropy from the environment.
+_ENTROPY_CALLS = {
+    "time.time": "time.time() is wall-clock entropy",
+    "time.time_ns": "time.time_ns() is wall-clock entropy",
+    "datetime.now": "datetime.now() is wall-clock entropy",
+    "datetime.utcnow": "datetime.utcnow() is wall-clock entropy",
+    "datetime.today": "datetime.today() is wall-clock entropy",
+    "datetime.datetime.now": "datetime.now() is wall-clock entropy",
+    "datetime.datetime.utcnow": "datetime.utcnow() is wall-clock entropy",
+    "datetime.date.today": "date.today() is wall-clock entropy",
+    "os.urandom": "os.urandom() draws OS entropy",
+    "uuid.uuid1": "uuid1() mixes in clock and host state",
+    "uuid.uuid4": "uuid4() draws OS entropy",
+}
+
+
+@DEFAULT_REGISTRY.register
+class DeterminismChecker(Checker):
+    rules = (
+        Rule(
+            id="DET001",
+            family="determinism",
+            severity=Severity.ERROR,
+            summary="RNG constructed without an explicit seed",
+            invariant="every np.random.default_rng()/bit-generator call must pass "
+                      "a seed (or SeedSequence) so runs are bit-reproducible",
+        ),
+        Rule(
+            id="DET002",
+            family="determinism",
+            severity=Severity.ERROR,
+            summary="legacy global np.random.* API used",
+            invariant="draws go through per-experiment Generator objects, never the "
+                      "shared global numpy RNG state (split-invariance of PR 3)",
+        ),
+        Rule(
+            id="DET003",
+            family="determinism",
+            severity=Severity.ERROR,
+            summary="stdlib random module imported",
+            invariant="the stdlib random module's global state is untracked by the "
+                      "seeding discipline; use seeded numpy Generators",
+        ),
+        Rule(
+            id="DET004",
+            family="determinism",
+            severity=Severity.ERROR,
+            summary="nondeterministic entropy source in library code",
+            invariant="library results must not depend on wall clock, OS entropy or "
+                      "host identity (time.perf_counter for *timing* is fine)",
+            scopes=("library",),
+        ),
+        Rule(
+            id="DET005",
+            family="determinism",
+            severity=Severity.WARNING,
+            summary="builtin hash() is salted per process",
+            invariant="str/bytes hash() values change between interpreter runs "
+                      "(PYTHONHASHSEED), so hash-derived draws or orderings drift",
+            scopes=("library",),
+        ),
+    )
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        self._function_stack: list = []
+
+    # ------------------------------------------------------------- imports
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root == "random":
+                self.report("DET003", node, "stdlib 'random' imported; use a seeded "
+                                            "np.random.default_rng(seed) instead")
+            if root == "secrets":
+                self.report("DET004", node, "'secrets' draws OS entropy; library code "
+                                            "must stay seed-deterministic")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        root = (node.module or "").split(".")[0]
+        if root == "random":
+            self.report("DET003", node, "stdlib 'random' imported; use a seeded "
+                                        "np.random.default_rng(seed) instead")
+        if root == "secrets":
+            self.report("DET004", node, "'secrets' draws OS entropy; library code "
+                                        "must stay seed-deterministic")
+        self.generic_visit(node)
+
+    # --------------------------------------------------------------- calls
+    def _check_unseeded_constructor(self, node: ast.Call, name: str) -> None:
+        tail = name.split(".")[-1]
+        if tail not in _SEEDED_CONSTRUCTORS:
+            return
+        # A bare name must plausibly be the numpy one: either imported from
+        # numpy.random (not tracked) or dotted through np/numpy.random.  We
+        # flag the dotted forms and the well-known bare name 'default_rng'.
+        if "." in name and not name.endswith(f"random.{tail}"):
+            return
+        seeded = False
+        if node.args and not (
+            isinstance(node.args[0], ast.Constant) and node.args[0].value is None
+        ):
+            seeded = True
+        for keyword in node.keywords:
+            if keyword.arg in ("seed", "entropy") and not (
+                isinstance(keyword.value, ast.Constant) and keyword.value.value is None
+            ):
+                seeded = True
+        if not seeded:
+            self.report(
+                "DET001",
+                node,
+                f"{tail}() constructed without an explicit seed; pass a seed or "
+                f"spawned SeedSequence so every draw is reproducible",
+            )
+
+    def _check_legacy_numpy(self, node: ast.Call, name: str) -> None:
+        parts = name.split(".")
+        if len(parts) < 3 or parts[-2] != "random" or parts[0] not in ("np", "numpy"):
+            return
+        tail = parts[-1]
+        if tail[0].islower() and tail != "default_rng":
+            self.report(
+                "DET002",
+                node,
+                f"legacy global np.random.{tail}() mutates shared RNG state; draw "
+                f"from a seeded np.random.default_rng(seed) Generator",
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            self._check_unseeded_constructor(node, name)
+            self._check_legacy_numpy(node, name)
+            if name in _ENTROPY_CALLS:
+                self.report(
+                    "DET004",
+                    node,
+                    f"{_ENTROPY_CALLS[name]}; library results must derive from "
+                    f"explicit seeds only",
+                )
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "hash"
+            and "__hash__" not in self._function_stack
+        ):
+            self.report(
+                "DET005",
+                node,
+                "builtin hash() of str/bytes is salted per interpreter run "
+                "(PYTHONHASHSEED); derive stable keys explicitly instead",
+            )
+        self.generic_visit(node)
+
+    # ----------------------------------------------------------- func stack
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function_stack.append(node.name)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]

@@ -1,0 +1,212 @@
+"""Command-line front-end of the static-analysis pass.
+
+Runnable as ``python -m repro.analysis`` and as the ``lint`` sub-command of
+the main ``repro-trng-test`` CLI (both share :func:`configure_parser`).
+Exit codes are CI-friendly: 0 clean, 1 gating findings, 2 for unusable
+input or a broken/stale baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence, TextIO
+
+import repro.analysis.checkers  # noqa: F401  - registers the checker families
+from repro.analysis.baseline import Baseline, DEFAULT_BASELINE_PATH, TODO_JUSTIFICATION
+from repro.analysis.findings import AnalysisReport, Finding
+from repro.analysis.framework import DEFAULT_REGISTRY, analyze_file, collect_files
+
+__all__ = ["build_parser", "configure_parser", "run_from_args", "main"]
+
+#: Default path set of the repository gate (CI runs exactly this).
+DEFAULT_PATHS = ("src", "benchmarks", "examples")
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the analysis options to ``parser`` (shared with `lint`)."""
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help="files or directories to analyse (default: src benchmarks examples)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format on stdout: human-readable text or the json "
+             "findings document (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--json-report", metavar="PATH", default=None,
+        help="additionally write the json findings document to PATH "
+             "(uploaded as the CI artifact)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help=f"baseline file of accepted findings (default: "
+             f"{DEFAULT_BASELINE_PATH} when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file (report the raw findings)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings, keeping "
+             "existing justifications; new entries get a TODO placeholder "
+             "that fails validation until a justification is written",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="warnings gate the exit code too, not only errors",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue (id, family, severity, invariant) and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-native static analysis: determinism, packed-kernel "
+                    "and lock-discipline invariants of the repro codebase",
+    )
+    configure_parser(parser)
+    return parser
+
+
+def _print_rules(out: TextIO) -> None:
+    rules = DEFAULT_REGISTRY.rules()
+    print(f"{len(rules)} rules in {len(DEFAULT_REGISTRY.families())} families "
+          f"(suppress inline with '# repro: ignore[RULE]'):", file=out)
+    for rule in rules:
+        scopes = ",".join(rule.scopes) if rule.scopes else "all files"
+        print(f"  {rule.id}  [{rule.family:<14}] {rule.severity.value:<7} "
+              f"{rule.summary}  (scope: {scopes})", file=out)
+        print(f"         protects: {rule.invariant}", file=out)
+
+
+def _render_text(report: AnalysisReport, out: TextIO) -> None:
+    for finding in sorted(report.findings, key=Finding.sort_key):
+        print(f"{finding.location()}: {finding.rule} {finding.severity.value}: "
+              f"{finding.message}", file=out)
+    for error in report.baseline_errors:
+        print(f"baseline: {error}", file=out)
+    print(
+        f"repro.analysis: {report.files_scanned} files, "
+        f"{len(report.errors())} errors, {len(report.warnings())} warnings "
+        f"({len(report.suppressed)} suppressed, {len(report.baselined)} baselined)",
+        file=out,
+    )
+
+
+def run_from_args(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
+    out = out or sys.stdout
+    if args.list_rules:
+        _print_rules(out)
+        return 0
+    select = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+        known = {rule.id for rule in DEFAULT_REGISTRY.rules()}
+        unknown = [rule_id for rule_id in select if rule_id not in known]
+        if unknown:
+            print(f"error: unknown rule id(s): {', '.join(unknown)}", file=out)
+            return 2
+    try:
+        files = collect_files(args.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+
+    report = AnalysisReport(files_scanned=len(files))
+    for path in files:
+        try:
+            ctx = analyze_file(path, select=select)
+        except SyntaxError as exc:
+            print(f"error: {path} does not parse: {exc}", file=out)
+            return 2
+        report.findings.extend(ctx.findings)
+        report.suppressed.extend(ctx.suppressed)
+
+    baseline, baseline_path = _load_baseline(args, out)
+    if args.update_baseline:
+        # A missing/irreparable baseline is fine here: update writes a
+        # fresh file from the current findings.
+        return _update_baseline(report, baseline, baseline_path, files, out)
+    if baseline is None and args.baseline is not None and not args.no_baseline:
+        return 2  # explicitly named baseline did not load
+
+    if baseline is not None:
+        scanned = set(files)
+        relevant = Baseline([e for e in baseline.entries if e.path in scanned])
+        report.baseline_errors.extend(baseline.validation_errors())
+        report.baseline_errors.extend(relevant.staleness_errors())
+        live, baselined, unmatched = relevant.partition(report.findings)
+        report.findings = live
+        report.baselined = baselined
+        report.baseline_errors.extend(unmatched)
+
+    if args.format == "json":
+        json.dump(report.to_dict(), out, indent=2)
+        out.write("\n")
+    else:
+        _render_text(report, out)
+    if args.json_report:
+        with open(args.json_report, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+    return report.exit_code(strict=args.strict)
+
+
+def _load_baseline(args: argparse.Namespace, out: TextIO):
+    """Resolve the (baseline, path) pair from the CLI flags."""
+    if args.no_baseline:
+        return None, None
+    path = args.baseline
+    if path is None:
+        if not os.path.isfile(DEFAULT_BASELINE_PATH):
+            return None, DEFAULT_BASELINE_PATH
+        path = DEFAULT_BASELINE_PATH
+    if not os.path.isfile(path) and args.update_baseline:
+        return None, path  # first --update-baseline creates the file
+    try:
+        return Baseline.load(path), path
+    except FileNotFoundError:
+        print(f"error: baseline file not found: {path}", file=out)
+        return None, None
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"error: invalid baseline file {path}: {exc}", file=out)
+        return None, None
+
+
+def _update_baseline(
+    report: AnalysisReport,
+    previous: Optional[Baseline],
+    baseline_path: Optional[str],
+    files: Sequence[str],
+    out: TextIO,
+) -> int:
+    path = baseline_path or DEFAULT_BASELINE_PATH
+    scanned = set(files)
+    fresh = Baseline.from_findings(report.findings, previous=previous)
+    if previous is not None:
+        # Entries for files outside this run's path set are kept verbatim.
+        fresh.entries.extend(e for e in previous.entries if e.path not in scanned)
+        fresh.entries.sort(key=lambda e: (e.path, e.line, e.rule))
+    fresh.save(path)
+    todo = sum(1 for e in fresh.entries if e.justification == TODO_JUSTIFICATION)
+    print(f"baseline written to {path}: {len(fresh.entries)} entries"
+          + (f" ({todo} still need a written justification)" if todo else ""),
+          file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out: Optional[TextIO] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run_from_args(args, out=out)

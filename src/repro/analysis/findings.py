@@ -1,0 +1,103 @@
+"""Finding and severity model of the project-native static-analysis pass.
+
+A :class:`Finding` is one rule violation anchored to a source line; the
+:class:`Severity` ordering decides which findings gate the CI exit code
+(errors always, warnings only under ``--strict``).  Findings are plain
+frozen dataclasses so reports serialise to JSON without custom encoders
+and sort deterministically regardless of checker execution order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+class Severity(enum.Enum):
+    """Severity of a finding; only errors gate the exit code by default."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return 1 if self is Severity.ERROR else 0
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    column: int
+    message: str
+    #: The stripped source line the finding anchors to — what baseline
+    #: entries pin so a moved/edited line invalidates its baseline slot.
+    snippet: str = ""
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.column, self.rule)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of one analysis run over a file set."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    #: Baseline entries that no longer match the tree (stale) or are
+    #: malformed; any entry here fails the run outright (exit code 2).
+    baseline_errors: List[str] = field(default_factory=list)
+    files_scanned: int = 0
+
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 clean, 1 gating findings, 2 broken/stale baseline."""
+        if self.baseline_errors:
+            return 2
+        if self.errors():
+            return 1
+        if strict and self.warnings():
+            return 1
+        return 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "findings": [f.to_dict() for f in sorted(self.findings, key=Finding.sort_key)],
+            "suppressed": [f.to_dict() for f in sorted(self.suppressed, key=Finding.sort_key)],
+            "baselined": [f.to_dict() for f in sorted(self.baselined, key=Finding.sort_key)],
+            "baseline_errors": list(self.baseline_errors),
+            "summary": {
+                "files_scanned": self.files_scanned,
+                "errors": len(self.errors()),
+                "warnings": len(self.warnings()),
+                "suppressed": len(self.suppressed),
+                "baselined": len(self.baselined),
+            },
+        }

@@ -1,0 +1,265 @@
+"""Checker framework: registry, per-file visitor pipeline, suppressions.
+
+The pass is deliberately self-contained (``ast`` + stdlib only) so it can
+run in CI before any third-party tooling is installed.  One
+:class:`FileContext` is built per analysed file — parsed tree, source
+lines, path-derived scope tags, inline suppressions — and every registered
+:class:`Checker` visits the tree through it.  Checkers declare the
+:class:`~repro.analysis.findings.Finding` rules they own as :class:`Rule`
+descriptors, which is what ``--list-rules`` and the API-surface tests
+enumerate.
+
+Scope tags
+----------
+Rules opt into path scopes instead of hard-coding the repository layout:
+``library`` (anything under ``src/repro`` or an importable ``repro/``
+tree), ``engine`` / ``fleet`` / ``analysis`` (the respective subpackages),
+``benchmarks`` / ``examples`` / ``tests`` (top-level directories).  A rule
+with ``scopes=()`` applies everywhere.
+
+Suppressions
+------------
+``# repro: ignore[RULE]`` (comma-separated rule ids allowed) on the line a
+finding anchors to suppresses that finding; suppressed findings are still
+counted and reported in the summary so silent drift stays visible.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.analysis.findings import Finding, Severity
+
+__all__ = [
+    "Rule",
+    "Checker",
+    "CheckerRegistry",
+    "FileContext",
+    "DEFAULT_REGISTRY",
+    "classify_path",
+    "scan_suppressions",
+    "collect_files",
+    "analyze_source",
+    "analyze_file",
+]
+
+#: Inline suppression syntax: ``# repro: ignore[DET001]`` or
+#: ``# repro: ignore[DET001, PKD002]``.
+SUPPRESSION_RE = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One rule of the catalogue: id, family, severity, what it protects."""
+
+    id: str
+    family: str
+    severity: Severity
+    summary: str
+    #: The repository invariant the rule machine-enforces (shown by
+    #: ``--list-rules`` and documented in the README rule catalogue).
+    invariant: str
+    #: Path scopes the rule applies to; empty means every analysed file.
+    scopes: Tuple[str, ...] = ()
+
+
+def classify_path(path: str) -> Set[str]:
+    """Scope tags of a file path (see module docstring)."""
+    posix = path.replace(os.sep, "/")
+    tags: Set[str] = set()
+    if "src/repro/" in posix or posix.startswith("repro/"):
+        tags.add("library")
+    for subpackage in ("engine", "fleet", "analysis"):
+        if f"repro/{subpackage}/" in posix:
+            tags.add(subpackage)
+    for top in ("benchmarks", "examples", "tests"):
+        if f"{top}/" in posix or posix.startswith(f"{top}/"):
+            tags.add(top)
+    return tags
+
+
+def scan_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line number -> rule ids suppressed on that line."""
+    suppressions: Dict[int, Set[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        match = SUPPRESSION_RE.search(line)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            if rules:
+                suppressions[number] = rules
+    return suppressions
+
+
+class FileContext:
+    """Everything a checker needs about the file under analysis."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path.replace(os.sep, "/")
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.tags: Set[str] = classify_path(self.path)
+        self.suppressions: Dict[int, Set[str]] = scan_suppressions(self.lines)
+        self.findings: List[Finding] = []
+        self.suppressed: List[Finding] = []
+        self._rules: Dict[str, Rule] = {}
+
+    def in_scope(self, rule: Rule) -> bool:
+        return not rule.scopes or bool(self.tags.intersection(rule.scopes))
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def add(self, rule: Rule, node: ast.AST, message: str) -> None:
+        """Record one finding at ``node``, honouring scope and suppressions."""
+        if not self.in_scope(rule):
+            return
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0) + 1
+        finding = Finding(
+            rule=rule.id,
+            severity=rule.severity,
+            path=self.path,
+            line=line,
+            column=column,
+            message=message,
+            snippet=self.snippet(line),
+        )
+        if rule.id in self.suppressions.get(line, set()):
+            self.suppressed.append(finding)
+        else:
+            self.findings.append(finding)
+
+
+class Checker(ast.NodeVisitor):
+    """Base class of one checker family member.
+
+    Subclasses declare their :attr:`rules` and implement ``visit_*``
+    methods; one fresh instance runs per analysed file.  ``self.rule(id)``
+    resolves a declared rule for reporting through
+    :meth:`FileContext.add`.
+    """
+
+    #: Rules this checker can emit; registered into the rule catalogue.
+    rules: Tuple[Rule, ...] = ()
+
+    def __init__(self, ctx: FileContext):
+        self.ctx = ctx
+        self._by_id = {rule.id: rule for rule in self.rules}
+
+    def rule(self, rule_id: str) -> Rule:
+        return self._by_id[rule_id]
+
+    def report(self, rule_id: str, node: ast.AST, message: str) -> None:
+        self.ctx.add(self.rule(rule_id), node, message)
+
+    def run(self, tree: ast.Module) -> None:
+        self.visit(tree)
+
+
+class CheckerRegistry:
+    """The shipped checker set and its flat rule catalogue."""
+
+    def __init__(self) -> None:
+        self._checkers: List[Type[Checker]] = []
+
+    def register(self, checker_cls: Type[Checker]) -> Type[Checker]:
+        """Class decorator: add a checker (duplicate rule ids rejected)."""
+        existing = {rule.id for rule in self.rules()}
+        for rule in checker_cls.rules:
+            if rule.id in existing:
+                raise ValueError(f"duplicate rule id {rule.id!r}")
+        self._checkers.append(checker_cls)
+        return checker_cls
+
+    def checkers(self) -> Tuple[Type[Checker], ...]:
+        return tuple(self._checkers)
+
+    def rules(self) -> Tuple[Rule, ...]:
+        return tuple(rule for cls in self._checkers for rule in cls.rules)
+
+    def families(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for rule in self.rules():
+            if rule.family not in seen:
+                seen.append(rule.family)
+        return tuple(seen)
+
+
+#: The process-wide registry the CLI and tests run against; importing
+#: :mod:`repro.analysis.checkers` populates it.
+DEFAULT_REGISTRY = CheckerRegistry()
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    registry: Optional[CheckerRegistry] = None,
+    select: Optional[Iterable[str]] = None,
+) -> FileContext:
+    """Run every registered checker over one source string.
+
+    Raises :class:`SyntaxError` when the source does not parse — the
+    caller decides whether that is fatal (CLI: exit 2).  ``select``
+    restricts reporting to the given rule ids (used by fixture tests to
+    isolate one family).
+    """
+    registry = registry if registry is not None else DEFAULT_REGISTRY
+    ctx = FileContext(path, source)
+    tree = ast.parse(source, filename=path)
+    for checker_cls in registry.checkers():
+        checker_cls(ctx).run(tree)
+    if select is not None:
+        wanted = set(select)
+        ctx.findings = [f for f in ctx.findings if f.rule in wanted]
+        ctx.suppressed = [f for f in ctx.suppressed if f.rule in wanted]
+    ctx.findings.sort(key=Finding.sort_key)
+    ctx.suppressed.sort(key=Finding.sort_key)
+    return ctx
+
+
+def analyze_file(
+    path: str,
+    registry: Optional[CheckerRegistry] = None,
+    select: Optional[Iterable[str]] = None,
+) -> FileContext:
+    """Run the pass over one file on disk (UTF-8)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return analyze_source(source, path, registry=registry, select=select)
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand path arguments into a sorted, de-duplicated ``.py`` file list.
+
+    Directories are walked recursively; hidden directories and
+    ``__pycache__`` are skipped.  A named file is taken as-is (it must
+    exist), so fixture tests can point the CLI at single snippets.
+    """
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if not d.startswith(".") and d != "__pycache__"
+                )
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(root, name))
+        elif os.path.isfile(path):
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+    seen: Set[str] = set()
+    unique: List[str] = []
+    for path in files:
+        normalised = os.path.normpath(path).replace(os.sep, "/")
+        if normalised not in seen:
+            seen.add(normalised)
+            unique.append(normalised)
+    return sorted(unique)

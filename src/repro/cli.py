@@ -31,6 +31,12 @@ Installed as ``repro-trng-test`` (see ``pyproject.toml``); also runnable as
     scenario mix and advances it in multiplexed engine rounds (one fleet-wide
     batch per round); ``fleet serve`` additionally exposes the fleet over the
     stdlib HTTP/JSON service (ingest, per-device health, fleet summary).
+``lint``
+    The project-native static-analysis pass (:mod:`repro.analysis`):
+    determinism, packed-kernel and lock-discipline invariants over
+    ``src/``, ``benchmarks/`` and ``examples/``, with inline suppressions
+    and the committed finding baseline.  Same engine as
+    ``python -m repro.analysis``.
 """
 
 from __future__ import annotations
@@ -272,6 +278,16 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--port", type=int, default=8080,
                        help="serve: TCP port (0 picks a free one)")
     _add_backend_argument(fleet)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project-native static-analysis pass (repro.analysis)",
+    )
+    # The analysis CLI owns its option surface; `lint` is a thin alias so
+    # both entry points accept exactly the same flags.
+    from repro.analysis.cli import configure_parser as _configure_lint_parser
+
+    _configure_lint_parser(lint)
 
     return parser
 
@@ -615,6 +631,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_campaign(args, out)
     if args.command == "fleet":
         return _cmd_fleet(args, out)
+    if args.command == "lint":
+        from repro.analysis.cli import run_from_args
+
+        return run_from_args(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

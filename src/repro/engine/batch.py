@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -44,7 +44,7 @@ from repro.engine.registry import (
     TestRegistry,
     TestSpec,
 )
-from repro.nist.common import TestResult, to_bits
+from repro.nist.common import BitsLike, TestResult, to_bits
 
 __all__ = ["EngineReport", "run_batch"]
 
@@ -116,7 +116,7 @@ def _describe_error(exc: Exception) -> str:
 
 
 def run_batch(
-    sequences,
+    sequences: Union[np.ndarray, PackedMatrix, Iterable[BitsLike]],
     tests: Optional[Sequence[TestSpec]] = None,
     parameters: Optional[Dict[TestSpec, Dict[str, object]]] = None,
     processes: Optional[int] = None,

@@ -22,7 +22,7 @@ reference implementation that re-scans the raw bits (asserted by
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -331,7 +331,7 @@ class BatchContext:
     """
 
     @staticmethod
-    def as_matrix(sequences) -> np.ndarray:
+    def as_matrix(sequences: Union[np.ndarray, Sequence[BitsLike]]) -> np.ndarray:
         """Normalise ``sequences`` to a validated 2-D uint8 bit matrix.
 
         A uint8 array that already has the right shape — e.g. one produced
@@ -347,11 +347,17 @@ class BatchContext:
         return matrix
 
     @classmethod
-    def from_blocks(cls, blocks, backend: str = DEFAULT_BACKEND) -> "BatchContext":
+    def from_blocks(
+        cls, blocks: Iterable[np.ndarray], backend: str = DEFAULT_BACKEND
+    ) -> "BatchContext":
         """Batch context over equal-length source blocks (1-D uint8 arrays)."""
         return cls(np.vstack([np.atleast_1d(block) for block in blocks]), backend=backend)
 
-    def __init__(self, matrix, backend: str = DEFAULT_BACKEND):
+    def __init__(
+        self,
+        matrix: Union[np.ndarray, PackedMatrix, Sequence[BitsLike]],
+        backend: str = DEFAULT_BACKEND,
+    ):
         self.backend = validate_backend(backend)
         if isinstance(matrix, PackedMatrix):
             # Prepacked input (e.g. the fleet scheduler's round matrix):

@@ -237,7 +237,9 @@ def popcount(values: np.ndarray, *, force_lut: bool = False) -> np.ndarray:
 # Word-level kernels
 # ---------------------------------------------------------------------------
 
-def ones_count(packed: PackedMatrix) -> np.ndarray:
+# PackedMatrix guarantees the tail bits beyond n are zero (validated at
+# construction), so a whole-word popcount needs no tail mask and no .n.
+def ones_count(packed: PackedMatrix) -> np.ndarray:  # repro: ignore[PKD002]
     """Per-row ones count — the hardware's frequency counter, 64 bits/op."""
     return popcount(packed.words).sum(axis=1, dtype=np.int64)
 
@@ -359,7 +361,9 @@ def _chunk_luts(bits: int) -> Dict[str, np.ndarray]:
     return luts
 
 
-def _chunk_view(packed: PackedMatrix, bits: int) -> np.ndarray:
+# Pure reinterpret-cast of the zero-padded words; callers slice to their
+# own geometry, so the view itself never consults .n or masks the tail.
+def _chunk_view(packed: PackedMatrix, bits: int) -> np.ndarray:  # repro: ignore[PKD002]
     """The words reinterpreted as stream-ordered ``bits``-wide chunks."""
     dtype = "<u2" if bits == 16 else np.uint8
     return np.ascontiguousarray(packed.words).view(dtype)

@@ -17,10 +17,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.core.export import JsonCsvExportMixin
 from repro.eval.attribution import format_rows
+
+if TYPE_CHECKING:  # imported lazily: registry is a consumer of this module
+    from repro.fleet.registry import DeviceRegistry
 
 __all__ = [
     "FleetRound",
@@ -301,7 +304,7 @@ class FleetReport(JsonCsvExportMixin):
 
 
 def build_report(
-    registry,
+    registry: "DeviceRegistry",
     rounds: List[FleetRound],
     backend: str = "packed",
     execution_paths: Optional[Dict[str, str]] = None,

@@ -26,7 +26,7 @@ import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -37,7 +37,7 @@ from repro.engine.packed import PackedMatrix, pack_matrix
 from repro.engine.registry import NIST_NUMBER_TO_ID
 from repro.fleet.registry import DeviceRegistry
 from repro.fleet.report import FleetReport, FleetRound, build_report
-from repro.nist.common import to_bits
+from repro.nist.common import BitsLike, to_bits
 
 __all__ = ["FleetVerdict", "FleetScheduler"]
 
@@ -153,7 +153,29 @@ class FleetScheduler:
         self.lock = threading.RLock()
 
     # ------------------------------------------------------------- evaluation
-    def evaluate_matrix(self, matrix) -> List[FleetVerdict]:
+    def _fold_paths(self, paths: Dict[str, str]) -> None:
+        """Merge observed per-test execution paths under the fleet lock.
+
+        ``evaluate_matrix`` runs outside the lock on the ingest path, so
+        two service threads (or a request racing ``report()``'s snapshot
+        iteration) would otherwise mutate and read the dict concurrently.
+        The lock is re-entrant, so the locked ``run_round`` path folds
+        through here unchanged.
+        """
+        with self.lock:
+            self.execution_paths.update(paths)
+
+    def _fold_reports(self, reports: List[EngineReport], alpha: float) -> List[FleetVerdict]:
+        """Reduce engine reports to verdicts, folding their execution paths."""
+        paths: Dict[str, str] = {}
+        for report in reports:
+            paths.update(report.execution_paths)
+        self._fold_paths(paths)
+        return [_reduce_report(report, alpha) for report in reports]
+
+    def evaluate_matrix(
+        self, matrix: Union[np.ndarray, PackedMatrix]
+    ) -> List[FleetVerdict]:
         """One fleet matrix through the engine.
 
         ``matrix`` is a ``(devices, n)`` uint8 matrix or a prepacked
@@ -182,9 +204,7 @@ class FleetScheduler:
         )
         if not pooled:
             reports = run_batch(matrix, tests=list(tests), backend=self.backend)
-            for report in reports:
-                self.execution_paths.update(report.execution_paths)
-            return [_reduce_report(report, alpha) for report in reports]
+            return self._fold_reports(reports, alpha)
         shards = [s for s in np.array_split(np.arange(rows), self.processes) if len(s)]
         # On the packed backend the shards ship as 64-bit words: 1/8th the
         # bytes across the pool pipe.
@@ -214,13 +234,13 @@ class FleetScheduler:
                 pool = self._pool
         if pool is None:
             reports = run_batch(matrix, tests=list(tests), backend=self.backend)
-            for report in reports:
-                self.execution_paths.update(report.execution_paths)
-            return [_reduce_report(report, alpha) for report in reports]
+            return self._fold_reports(reports, alpha)
         verdicts: List[FleetVerdict] = []
+        paths: Dict[str, str] = {}
         for shard_verdicts, shard_paths in pool.map(_shard_worker, payloads):
             verdicts.extend(shard_verdicts)
-            self.execution_paths.update(shard_paths)
+            paths.update(shard_paths)
+        self._fold_paths(paths)
         return verdicts
 
     # ------------------------------------------------------------- rounds
@@ -269,7 +289,7 @@ class FleetScheduler:
         return self.report()
 
     # ------------------------------------------------------------- ingest
-    def ingest(self, device_id: str, bits) -> List[MonitorEvent]:
+    def ingest(self, device_id: str, bits: BitsLike) -> List[MonitorEvent]:
         """Evaluate raw bits for one registered device (the service path).
 
         ``bits`` is anything :func:`~repro.nist.common.to_bits` accepts and

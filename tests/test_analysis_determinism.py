@@ -1,0 +1,98 @@
+"""Fixture tests of the determinism family (DET001-DET005)."""
+
+from repro.analysis.framework import analyze_source
+
+LIB = "src/repro/fixture.py"
+
+
+def rules(source, path=LIB, select=None):
+    ctx = analyze_source(source, path, select=select)
+    return [f.rule for f in ctx.findings]
+
+
+class TestDet001UnseededRng:
+    def test_unseeded_default_rng_fires(self):
+        assert "DET001" in rules("import numpy as np\nr = np.random.default_rng()\n")
+
+    def test_seed_none_still_fires(self):
+        assert "DET001" in rules(
+            "import numpy as np\nr = np.random.default_rng(None)\n"
+        )
+        assert "DET001" in rules(
+            "import numpy as np\nr = np.random.default_rng(seed=None)\n"
+        )
+
+    def test_seeded_is_clean(self):
+        assert "DET001" not in rules(
+            "import numpy as np\nr = np.random.default_rng(1234)\n"
+        )
+        assert "DET001" not in rules(
+            "import numpy as np\nr = np.random.default_rng(seed=settings.seed)\n"
+        )
+
+    def test_bit_generators_need_seeds_too(self):
+        assert "DET001" in rules("import numpy as np\ng = np.random.PCG64()\n")
+        assert "DET001" in rules("import numpy as np\ns = np.random.SeedSequence()\n")
+        assert "DET001" not in rules(
+            "import numpy as np\ns = np.random.SeedSequence(entropy=7)\n"
+        )
+
+    def test_bare_default_rng_import_form(self):
+        source = "from numpy.random import default_rng\nr = default_rng()\n"
+        assert "DET001" in rules(source)
+
+    def test_fires_in_benchmarks_and_examples_too(self):
+        source = "import numpy as np\nr = np.random.default_rng()\n"
+        assert "DET001" in rules(source, path="benchmarks/bench_x.py")
+        assert "DET001" in rules(source, path="examples/demo.py")
+
+
+class TestDet002LegacyNumpyRandom:
+    def test_legacy_global_draw_fires(self):
+        assert "DET002" in rules("import numpy as np\nx = np.random.rand(4)\n")
+        assert "DET002" in rules("import numpy as np\nnp.random.seed(0)\n")
+
+    def test_generator_draws_are_clean(self):
+        source = (
+            "import numpy as np\n"
+            "r = np.random.default_rng(9)\n"
+            "x = r.integers(0, 2, size=128)\n"
+        )
+        assert "DET002" not in rules(source)
+
+
+class TestDet003StdlibRandom:
+    def test_import_fires(self):
+        assert "DET003" in rules("import random\n")
+        assert "DET003" in rules("from random import shuffle\n")
+
+    def test_similarly_named_modules_clean(self):
+        assert "DET003" not in rules("import randomness_tools\n")
+
+
+class TestDet004EntropySources:
+    def test_wall_clock_fires_in_library(self):
+        assert "DET004" in rules("import time\nseed = time.time()\n")
+        assert "DET004" in rules("import os\nblob = os.urandom(16)\n")
+        assert "DET004" in rules("import secrets\n")
+
+    def test_perf_counter_timing_is_fine(self):
+        assert "DET004" not in rules("import time\nt0 = time.perf_counter()\n")
+
+    def test_scope_excludes_tests(self):
+        # Entropy in the test tree is not library code.
+        assert "DET004" not in rules("import time\nseed = time.time()\n",
+                                     path="tests/test_x.py")
+
+
+class TestDet005BuiltinHash:
+    def test_hash_warns_in_library(self):
+        assert "DET005" in rules("key = hash('device-7')\n")
+
+    def test_dunder_hash_is_exempt(self):
+        source = (
+            "class Key:\n"
+            "    def __hash__(self):\n"
+            "        return hash((self.a, self.b))\n"
+        )
+        assert "DET005" not in rules(source)

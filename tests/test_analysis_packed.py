@@ -1,0 +1,95 @@
+"""Fixture tests of the packed-kernel family (PKD001-PKD003)."""
+
+from repro.analysis.framework import analyze_source
+
+LIB = "src/repro/engine/fixture.py"
+
+
+def rules(source, path=LIB):
+    ctx = analyze_source(source, path)
+    return [f.rule for f in ctx.findings]
+
+
+class TestPkd001RawIntShift:
+    def test_raw_int_shift_on_words_fires(self):
+        assert "PKD001" in rules("shifted = words >> 3\n")
+        assert "PKD001" in rules("carry = packed.words << 1\n")
+
+    def test_raw_int_mask_fires(self):
+        assert "PKD001" in rules("tail = words & 0xFF\n")
+        assert "PKD001" in rules("merged = 1 | word_row\n")
+
+    def test_wrapped_scalar_is_clean(self):
+        assert "PKD001" not in rules(
+            "import numpy as np\nshifted = words >> np.uint64(3)\n"
+        )
+        assert "PKD001" not in rules(
+            "import numpy as np\ntail = words & np.uint64(0xFF)\n"
+        )
+
+    def test_non_word_arrays_are_not_flagged(self):
+        assert "PKD001" not in rules("flags = status >> 3\n")
+        assert "PKD001" not in rules("index = (n + 7) >> 3\n")
+
+
+class TestPkd002TailHandling:
+    def test_kernel_ignoring_bit_length_warns(self):
+        source = (
+            "def ones(packed):\n"
+            "    return popcount(packed.words).sum(axis=1)\n"
+        )
+        assert "PKD002" in rules(source)
+
+    def test_kernel_reading_n_is_clean(self):
+        source = (
+            "def ones(packed):\n"
+            "    total = popcount(packed.words).sum(axis=1)\n"
+            "    return total[: packed.n]\n"
+        )
+        assert "PKD002" not in rules(source)
+
+    def test_supports_guard_counts_as_tail_handling(self):
+        source = (
+            "def block_ones(packed, block_length):\n"
+            "    if not supports_block_ones(block_length, 128):\n"
+            "        raise ValueError\n"
+            "    return packed.words\n"
+        )
+        assert "PKD002" not in rules(source)
+
+    def test_annotation_marks_the_parameter(self):
+        source = (
+            "def kernel(matrix: PackedMatrix):\n"
+            "    return matrix.words.sum()\n"
+        )
+        assert "PKD002" in rules(source)
+
+    def test_is_warning_only_outside_strict(self):
+        source = (
+            "def ones(packed):\n"
+            "    return packed.words.sum()\n"
+        )
+        ctx = analyze_source(source, LIB)
+        warning = [f for f in ctx.findings if f.rule == "PKD002"][0]
+        assert warning.severity.value == "warning"
+
+
+class TestPkd003PackingHomes:
+    def test_packbits_outside_homes_fires(self):
+        assert "PKD003" in rules("import numpy as np\nw = np.packbits(bits)\n")
+        assert "PKD003" in rules(
+            "import numpy as np\nbits = np.unpackbits(words.view(np.uint8))\n"
+        )
+
+    def test_sanctioned_homes_are_exempt(self):
+        source = "import numpy as np\nw = np.packbits(bits)\n"
+        for home in (
+            "src/repro/engine/packed.py",
+            "src/repro/engine/heavy.py",
+            "src/repro/nist/common.py",
+        ):
+            assert "PKD003" not in rules(source, path=home), home
+
+    def test_sanctioned_wrappers_are_clean(self):
+        source = "from repro.engine.packed import pack_matrix\nm = pack_matrix(bits)\n"
+        assert "PKD003" not in rules(source)

@@ -31,6 +31,7 @@ class TestSubpackageApi:
     @pytest.mark.parametrize(
         "module_name",
         [
+            "repro.analysis",
             "repro.campaign",
             "repro.core",
             "repro.engine",
@@ -61,6 +62,50 @@ class TestSubpackageApi:
 
         assert "ReplaySource" in trng.__all__
         assert "CaptureSource" in trng.__all__
+
+    def test_analysis_registry_lists_every_shipped_checker(self):
+        from repro.analysis import DEFAULT_REGISTRY
+        from repro.analysis.checkers import (
+            ApiHygieneChecker,
+            DeterminismChecker,
+            LockDisciplineChecker,
+            PackedKernelChecker,
+        )
+
+        registered = set(DEFAULT_REGISTRY.checkers())
+        assert {
+            ApiHygieneChecker,
+            DeterminismChecker,
+            LockDisciplineChecker,
+            PackedKernelChecker,
+        } <= registered
+
+        rule_ids = [rule.id for rule in DEFAULT_REGISTRY.rules()]
+        assert sorted(rule_ids) == sorted(set(rule_ids)), "duplicate rule ids"
+        assert set(rule_ids) == {
+            "DET001", "DET002", "DET003", "DET004", "DET005",
+            "PKD001", "PKD002", "PKD003",
+            "LCK001", "LCK002",
+            "API001", "API002", "API003",
+        }
+        assert set(DEFAULT_REGISTRY.families()) == {
+            "determinism", "packed-kernel", "lock-discipline", "api-hygiene",
+        }
+
+    def test_analysis_cli_surface(self, capsys):
+        from repro.analysis.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["src", "--format", "json", "--strict"])
+        assert args.paths == ["src"]
+        assert args.format == "json" and args.strict
+
+    def test_main_cli_exposes_lint_subcommand(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["lint", "src", "--list-rules"])
+        assert args.command == "lint"
+        assert args.list_rules
 
     def test_docstrings_present_on_public_entry_points(self):
         for obj in (
