@@ -4,11 +4,18 @@ Where ``bench_detection.py`` spot-checks single sequences, this bench runs
 the full campaign subsystem: every catalogue scenario x both 128-bit design
 points, several seeded trials per cell through the engine batch path, and
 renders the paper-style tables — detection probability/latency per cell and
-the per-test attribution matrix — as persisted artefacts.
+the per-test attribution matrix — as persisted artefacts.  The wall-clock
+of the campaign sweep lands in ``benchmarks/results/BENCH_campaign.json``
+through the shared ``bench_harness`` schema (no speedup pair here — the
+campaign has no slow-path twin — so the record carries timings and
+throughput only, with an empty floors map).
 """
+
+import time
 
 import pytest
 
+from bench_harness import assert_floors, write_bench_json
 from repro.campaign import CampaignConfig, run_campaign
 from repro.eval.attribution import attribution_rows
 
@@ -26,7 +33,15 @@ def campaign_report():
 
 
 def test_campaign_detection_matrix(benchmark, save_table):
-    report = benchmark.pedantic(run_campaign, args=(CONFIG,), rounds=1, iterations=1)
+    timings = {}
+
+    def timed_campaign():
+        start = time.perf_counter()
+        result = run_campaign(CONFIG)
+        timings["run_campaign"] = time.perf_counter() - start
+        return result
+
+    report = benchmark.pedantic(timed_campaign, rounds=1, iterations=1)
     save_table(
         "campaign_detection",
         "Detection campaign: probability / latency per (scenario x design) cell "
@@ -44,6 +59,26 @@ def test_campaign_detection_matrix(benchmark, save_table):
             assert cell.mean_latency_bits == CONFIG.fail_after * cell.n
     for design in report.designs:
         assert report.control_false_alarm_rate(design) <= 0.2
+
+    cells = len(report.cells)
+    speedups: dict = {}
+    floors: dict = {}
+    write_bench_json(
+        "campaign",
+        workload={
+            "designs": list(CONFIG.designs),
+            "trials": CONFIG.trials,
+            "sequences_per_trial": CONFIG.sequences_per_trial,
+            "alpha": CONFIG.alpha,
+            "seed": CONFIG.seed,
+            "cells": cells,
+        },
+        timings_s=timings,
+        speedups=speedups,
+        floors=floors,
+        extra={"cells_per_s": cells / timings["run_campaign"]},
+    )
+    assert_floors(speedups, floors)
 
 
 def test_campaign_attribution_table(campaign_report, save_table):

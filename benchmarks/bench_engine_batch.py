@@ -10,11 +10,14 @@ dispatched to).  The middle row shows the engine's per-sequence mode
 statistic sharing within a sequence and vectorisation across sequences.
 
 Parity is asserted inside the benchmark: all three paths must produce
-bit-identical P-values.
+bit-identical P-values.  The pinned contract lands in
+``benchmarks/results/BENCH_engine_batch.json`` through the shared
+``bench_harness`` schema.
 """
 
 import time
 
+from bench_harness import assert_floors, write_bench_json
 from repro.nist.approximate_entropy import approximate_entropy_test
 from repro.nist.block_frequency import block_frequency_test
 from repro.nist.cusum import cumulative_sums_test
@@ -43,6 +46,11 @@ REFERENCE_DISPATCH = {
 
 NUM_SEQUENCES = 256
 SEQUENCE_BITS = 4096
+
+#: Acceptance criterion of the engine refactor: >= 3x over the seed path.
+MIN_BATCH_SPEEDUP = 3.0
+#: The batched FIPS battery must at least match the per-block reference.
+MIN_FIPS_SPEEDUP = 1.0
 
 
 def _generate_batch():
@@ -101,11 +109,29 @@ def test_engine_batch_speedup(save_table):
         ["path", "seconds", "sequences_per_s", "mbit_per_s", "speedup_vs_seed"],
     )
 
-    # Acceptance criterion of the engine refactor: >= 3x over the seed path.
-    assert seed_seconds / engine_batch_seconds >= 3.0, (
-        f"batch engine only {seed_seconds / engine_batch_seconds:.2f}x faster "
-        f"than the per-sequence reference path"
+    speedups = {"engine_batch_vs_seed": seed_seconds / engine_batch_seconds}
+    floors = {"engine_batch_vs_seed": MIN_BATCH_SPEEDUP}
+    write_bench_json(
+        "engine_batch",
+        workload={
+            "num_sequences": NUM_SEQUENCES,
+            "sequence_bits": SEQUENCE_BITS,
+            "tests": list(HW_SUITABLE_TESTS),
+        },
+        timings_s={
+            "seed_per_sequence": seed_seconds,
+            "engine_per_sequence": engine_solo_seconds,
+            "engine_batch": engine_batch_seconds,
+        },
+        speedups=speedups,
+        floors=floors,
+        extra={
+            "engine_solo_vs_seed": seed_seconds / engine_solo_seconds,
+            "sequences_per_s_batch": NUM_SEQUENCES / engine_batch_seconds,
+            "mbit_per_s_batch": NUM_SEQUENCES * SEQUENCE_BITS / engine_batch_seconds / 1e6,
+        },
     )
+    assert_floors(speedups, floors)
 
 
 def test_fips_batch_throughput(save_table):
@@ -146,4 +172,17 @@ def test_fips_batch_throughput(save_table):
         rows,
         ["path", "seconds", "blocks_per_s"],
     )
-    assert batch_seconds < reference_seconds
+    speedups = {"fips_batch_vs_reference": reference_seconds / batch_seconds}
+    floors = {"fips_batch_vs_reference": MIN_FIPS_SPEEDUP}
+    write_bench_json(
+        "engine_fips_batch",
+        workload={"blocks": len(blocks), "block_bits": FIPS_BLOCK_BITS},
+        timings_s={
+            "reference_battery": reference_seconds,
+            "batch_battery": batch_seconds,
+        },
+        speedups=speedups,
+        floors=floors,
+        extra={"blocks_per_s_batch": len(blocks) / batch_seconds},
+    )
+    assert_floors(speedups, floors)

@@ -1,0 +1,237 @@
+"""Streaming window-roll throughput vs the slice-and-repack recompute path.
+
+The streaming contexts' acceptance claim (ISSUE 8): delivering the shared
+statistics of a sliding monitor window from the running ring state must be
+at least **5x** faster than the pre-streaming path at 75% window overlap
+(stride = n/4).  Bit-identity is asserted alongside: the rolled window's
+engine P-values must equal the recompute path's exactly, roll for roll.
+
+Both paths are bounded-memory monitors over the same stream and deliver
+the same statistics per window (ones, num_runs, walk extremes, last bits,
+word-aligned block sums):
+
+* the **recompute** path keeps the pre-streaming uint8 history window —
+  every push shifts the buffer, and every window is re-validated,
+  re-packed and re-scanned by the packed kernels from scratch;
+* the **streaming** path pushes packed 64-bit words (the chunks are packed
+  outside the timed region — word-native producer output), summarises each
+  committed word once, and serves the window statistics from the rolled
+  counters and summary rings (O(window/64) folds, no bit re-scan).
+
+The streams run ``track_runs=False``: neither the measured statistic set
+nor the cheap-test suite reads the block-longest statistic, and the run
+rings are an explicit constructor opt-in costing one extra table gather
+per chunk on the push path.
+
+A second comparison times the cheap-test ``run_batch`` per window end to
+end; the scalar decision math is shared by both paths, so it pins a
+modest floor.  Per-device state is O(window): the ring byte size is
+captured before and after the rolls and must not grow with the stream.
+Results land in ``benchmarks/results/BENCH_streaming.json`` through the
+shared ``bench_harness`` schema; ``REPRO_BENCH_SMOKE=1`` shrinks the
+workload to CI-smoke size.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from bench_harness import assert_floors, write_bench_json
+from repro.engine import BatchContext, StreamingBatchContext, run_batch
+from repro.engine.packed import pack_matrix
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Devices streamed in parallel (one ring row each).
+DEVICES = 8 if SMOKE else 16
+#: Window size: the paper's largest design (n = 2**20) full-size, half of
+#: it in smoke mode (small windows are numpy-overhead-bound on both paths
+#: and stop measuring the kernels).
+WINDOW_BITS = 524288 if SMOKE else 1048576
+#: New bits per roll: n/4 = 75% overlap between consecutive windows.
+STRIDE_BITS = WINDOW_BITS // 4
+#: Window rolls per timed pass.
+ROLLS = 8
+#: Word-aligned block length for the block-sums statistic.
+BLOCK_BITS = 128
+#: Cheap-test subset for parity + the end-to-end comparison (frequency,
+#: block frequency, runs, cusum — the always-on monitor core).
+CHEAP_TESTS = [1, 2, 3, 13]
+
+MIN_STATS_SPEEDUP = 5.0
+MIN_RUN_BATCH_SPEEDUP = 1.2
+#: Timed passes per path; the minimum is reported (standard noise floor).
+PASSES = 3
+
+
+def _stream_chunks():
+    """Per-device stream as uint8 chunks (window seed + ROLLS strides)."""
+    rng = np.random.default_rng(20150309)
+    chunks = [rng.integers(0, 2, size=(DEVICES, WINDOW_BITS), dtype=np.uint8)]
+    for _ in range(ROLLS):
+        chunks.append(rng.integers(0, 2, size=(DEVICES, STRIDE_BITS), dtype=np.uint8))
+    return chunks
+
+
+def _read_stream_stats(stream: StreamingBatchContext):
+    """The shared statistics of the rolled window, from the rings alone."""
+    stats = stream.window_stats()
+    blocks = stream.window_block_sums(BLOCK_BITS)
+    assert blocks is not None
+    return stats, blocks
+
+
+def _read_context_stats(context: BatchContext):
+    """The same statistics recomputed from a window context."""
+    return (
+        context.ones(),
+        context.num_runs(),
+        context.walk_extremes(),
+        context.last_bits(),
+        context.block_sums(BLOCK_BITS),
+    )
+
+
+def _shift_history(history: np.ndarray, chunk: np.ndarray) -> np.ndarray:
+    """Bounded uint8 history roll: evict the stride, append the new bits."""
+    return np.concatenate([history[:, chunk.shape[1] :], chunk], axis=1)
+
+
+def test_streaming_window_roll(save_table):
+    chunks = _stream_chunks()
+    packed_chunks = [pack_matrix(chunk) for chunk in chunks]
+
+    # ---------------------------------------------------------------- parity
+    # Bit-identical P-values: the rolled window's engine run must equal the
+    # recompute path's, window for window (untimed; every roll checked).
+    parity_stream = StreamingBatchContext(DEVICES, WINDOW_BITS, track_runs=False)
+    parity_history = chunks[0]
+    parity_stream.push(packed_chunks[0])
+    for index in range(1, len(chunks)):
+        parity_stream.push(packed_chunks[index])
+        parity_history = _shift_history(parity_history, chunks[index])
+        rolled = run_batch(parity_stream.window_context(), tests=CHEAP_TESTS)
+        recomputed = run_batch(BatchContext(parity_history), tests=CHEAP_TESTS)
+        for rolled_report, recomputed_report in zip(rolled, recomputed):
+            assert rolled_report.p_values() == recomputed_report.p_values()
+    # The rolled statistics match the recomputed ones exactly, too.
+    stats, blocks = _read_stream_stats(parity_stream)
+    reference = BatchContext(parity_history)
+    assert np.array_equal(stats["ones"], reference.ones())
+    assert np.array_equal(stats["num_runs"], reference.num_runs())
+    assert np.array_equal(blocks, reference.block_sums(BLOCK_BITS))
+
+    # ------------------------------------------------- statistics delivery
+    state_nbytes_start = state_nbytes_end = 0
+    streaming_stats_seconds = float("inf")
+    for _ in range(PASSES):
+        stream = StreamingBatchContext(DEVICES, WINDOW_BITS, track_runs=False)
+        stream.push(packed_chunks[0])
+        state_nbytes_start = stream.state_nbytes
+        start = time.perf_counter()
+        for chunk in packed_chunks[1:]:
+            stream.push(chunk)
+            _read_stream_stats(stream)
+        streaming_stats_seconds = min(
+            streaming_stats_seconds, time.perf_counter() - start
+        )
+        state_nbytes_end = stream.state_nbytes
+
+    recompute_stats_seconds = float("inf")
+    for _ in range(PASSES):
+        history = chunks[0]
+        start = time.perf_counter()
+        for chunk in chunks[1:]:
+            history = _shift_history(history, chunk)
+            _read_context_stats(BatchContext(history))
+        recompute_stats_seconds = min(
+            recompute_stats_seconds, time.perf_counter() - start
+        )
+    stats_speedup = recompute_stats_seconds / streaming_stats_seconds
+
+    # Constant memory per device: the rings do not grow with the stream.
+    assert state_nbytes_end == state_nbytes_start, (
+        f"per-device state grew with the stream: "
+        f"{state_nbytes_start} -> {state_nbytes_end} bytes"
+    )
+
+    # ------------------------------------------------- end-to-end run_batch
+    streaming_e2e_seconds = float("inf")
+    for _ in range(PASSES):
+        stream_e2e = StreamingBatchContext(DEVICES, WINDOW_BITS, track_runs=False)
+        stream_e2e.push(packed_chunks[0])
+        start = time.perf_counter()
+        for chunk in packed_chunks[1:]:
+            stream_e2e.push(chunk)
+            run_batch(stream_e2e.window_context(), tests=CHEAP_TESTS)
+        streaming_e2e_seconds = min(streaming_e2e_seconds, time.perf_counter() - start)
+
+    recompute_e2e_seconds = float("inf")
+    for _ in range(PASSES):
+        history = chunks[0]
+        start = time.perf_counter()
+        for chunk in chunks[1:]:
+            history = _shift_history(history, chunk)
+            run_batch(BatchContext(history), tests=CHEAP_TESTS)
+        recompute_e2e_seconds = min(recompute_e2e_seconds, time.perf_counter() - start)
+    e2e_speedup = recompute_e2e_seconds / streaming_e2e_seconds
+
+    rows = [
+        {
+            "path": "recompute (shift + repack + rescan)",
+            "stats_s": f"{recompute_stats_seconds:.3f}",
+            "run_batch_s": f"{recompute_e2e_seconds:.3f}",
+            "speedup": "1.0x",
+        },
+        {
+            "path": "streaming window roll",
+            "stats_s": f"{streaming_stats_seconds:.3f}",
+            "run_batch_s": f"{streaming_e2e_seconds:.3f}",
+            "speedup": f"{stats_speedup:.1f}x stats / {e2e_speedup:.1f}x e2e",
+        },
+    ]
+    save_table(
+        "streaming",
+        f"Streaming O(1) window roll vs recompute - {DEVICES} devices, "
+        f"window {WINDOW_BITS}, stride {STRIDE_BITS} (75% overlap), "
+        f"{ROLLS} rolls{' [smoke sizes]' if SMOKE else ''}",
+        rows,
+        ["path", "stats_s", "run_batch_s", "speedup"],
+    )
+    speedups = {
+        "streaming_stats_vs_recompute": stats_speedup,
+        "streaming_run_batch_vs_recompute": e2e_speedup,
+    }
+    floors = {
+        "streaming_stats_vs_recompute": MIN_STATS_SPEEDUP,
+        "streaming_run_batch_vs_recompute": MIN_RUN_BATCH_SPEEDUP,
+    }
+    write_bench_json(
+        "streaming",
+        smoke=SMOKE,
+        workload={
+            "devices": DEVICES,
+            "window_bits": WINDOW_BITS,
+            "stride_bits": STRIDE_BITS,
+            "overlap": 1.0 - STRIDE_BITS / WINDOW_BITS,
+            "rolls": ROLLS,
+            "block_bits": BLOCK_BITS,
+            "cheap_tests": CHEAP_TESTS,
+        },
+        timings_s={
+            "streaming_stats": streaming_stats_seconds,
+            "recompute_stats": recompute_stats_seconds,
+            "streaming_run_batch": streaming_e2e_seconds,
+            "recompute_run_batch": recompute_e2e_seconds,
+        },
+        speedups=speedups,
+        floors=floors,
+        extra={
+            "windows_per_s_streaming": ROLLS / streaming_stats_seconds,
+            "state_nbytes_per_device": state_nbytes_end / DEVICES,
+            "stream_bits_per_device": WINDOW_BITS + ROLLS * STRIDE_BITS,
+            "state_constant_across_rolls": True,
+        },
+    )
+    assert_floors(speedups, floors)

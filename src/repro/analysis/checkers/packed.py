@@ -21,7 +21,13 @@ from repro.analysis.findings import Severity
 __all__ = ["PackedKernelChecker"]
 
 #: Identifier fragments that mark an expression as a packed word array.
-_WORDY = ("word", "packed")
+#: "ring" covers the streaming contexts' word rings (engine.streaming);
+#: names containing "string" are excluded below — "ring" is a substring of
+#: "string", and e.g. a bit-string formatter is not a word array.
+_WORDY = ("word", "packed", "ring")
+
+#: Fragments that veto a _WORDY match for the whole identifier.
+_WORDY_EXCLUDE = ("string",)
 
 #: Modules allowed to call np.packbits/np.unpackbits directly: the packing
 #: convention's home (engine.packed), the byte-level codec it re-exports
@@ -46,6 +52,8 @@ def _mentions_words(node: ast.AST) -> bool:
             name = sub.attr
         if name is not None:
             lowered = name.lower()
+            if any(fragment in lowered for fragment in _WORDY_EXCLUDE):
+                continue
             if any(fragment in lowered for fragment in _WORDY):
                 return True
     return False

@@ -185,6 +185,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="drive the cycle-accurate bit-serial hardware model "
                               "bit by bit instead of the vectorized block path "
                               "(slow; for RTL-fidelity runs)")
+    monitor.add_argument("--streaming", action="store_true",
+                         help="feed windows from a streaming packed ring with O(1) "
+                              "window rolls instead of re-packing each sequence; "
+                              "--sequences counts evaluated windows")
+    monitor.add_argument("--stride", type=int, default=None,
+                         help="streaming only: new bits between window evaluations "
+                              "(default n; < n slides overlapping windows)")
+    monitor.add_argument("--history-bits", type=int, default=None,
+                         help="streaming only: ring capacity in bits (default n; "
+                              "bounds per-stream memory regardless of stream length)")
 
     suite = sub.add_parser("suite", help="run the full reference NIST suite on a capture")
     suite.add_argument("capture", help="raw byte file with the captured TRNG output")
@@ -264,6 +274,10 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--fail-after", type=int, default=2)
     fleet.add_argument("--seed", type=int, default=0,
                        help="fleet seed; device placement and streams derive from it")
+    fleet.add_argument("--streaming", action="store_true",
+                       help="keep per-device packed rings across rounds (O(1) window "
+                            "rolls, ingest accepts arbitrary chunk sizes) instead of "
+                            "rebuilding each round's matrix; verdicts are identical")
     fleet.add_argument("--processes", type=int, default=None,
                        help="fallback knob: rounds already run pool-free on the "
                             "batched engine path; set > 1 only to shard each "
@@ -356,17 +370,38 @@ def _cmd_monitor(args, out) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=out)
         return 2
+    if args.streaming and args.rtl_fidelity:
+        print("error: --streaming evaluates windows from the packed ring; "
+              "it cannot drive the bit-serial --rtl-fidelity model", file=out)
+        return 2
+    if not args.streaming and (args.stride is not None or args.history_bits is not None):
+        print("error: --stride/--history-bits require --streaming", file=out)
+        return 2
     if args.rtl_fidelity:
         path = "bit-serial RTL model (--rtl-fidelity)"
+    elif args.streaming:
+        path = "streaming packed-ring window roll (--streaming)"
     else:
         path = "vectorized block streaming (default)"
     print(f"hardware path: {path}", file=out)
-    events = monitor.monitor(
-        source,
-        num_sequences=args.sequences,
-        batch_size=args.batch_size,
-        accelerated=not args.rtl_fidelity,
-    )
+    if args.streaming:
+        try:
+            events = monitor.monitor_stream(
+                source,
+                num_windows=args.sequences,
+                stride=args.stride,
+                history_bits=args.history_bits,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+    else:
+        events = monitor.monitor(
+            source,
+            num_sequences=args.sequences,
+            batch_size=args.batch_size,
+            accelerated=not args.rtl_fidelity,
+        )
     for event in events:
         verdict = "pass" if event.report.passed else f"fail {event.report.failing_tests}"
         print(
@@ -558,7 +593,10 @@ def _cmd_fleet(args, out) -> int:
         )
         registry.populate(args.devices, mix, seed=args.seed)
         scheduler = FleetScheduler(
-            registry, processes=args.processes, backend=args.backend
+            registry,
+            processes=args.processes,
+            backend=args.backend,
+            streaming=args.streaming,
         )
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=out)

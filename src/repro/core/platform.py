@@ -145,9 +145,12 @@ class OnTheFlyPlatform:
         ``sequences`` may be any iterable of ``BitsLike`` sequences, the
         zero-copy fast path used by the monitor and campaign runner — a
         2-D ``(num_sequences, n)`` uint8 matrix straight from
-        :meth:`~repro.trng.source.EntropySource.generate_matrix` — or a
+        :meth:`~repro.trng.source.EntropySource.generate_matrix` — a
         prepacked :class:`~repro.engine.packed.PackedMatrix` from
-        ``generate_matrix(..., packed=True)``.
+        ``generate_matrix(..., packed=True)``, or a prebuilt
+        :class:`~repro.engine.context.BatchContext` (e.g. the preseeded
+        trailing window of a streaming context), which is used as-is so
+        statistics already rolled into it are never recomputed.
 
         On the accelerated path the whole batch shares one
         :class:`~repro.engine.context.BatchContext` (built on the platform's
@@ -156,7 +159,9 @@ class OnTheFlyPlatform:
         instead of once per sequence.
         """
         batch: Optional[BatchContext] = None
-        if isinstance(sequences, PackedMatrix):
+        if isinstance(sequences, BatchContext):
+            batch = sequences
+        elif isinstance(sequences, PackedMatrix):
             batch = BatchContext(sequences, backend=self.backend)
         elif isinstance(sequences, np.ndarray):
             # as_matrix validates shape (2-D) and 0/1 content.

@@ -36,6 +36,7 @@ from repro.engine.registry import (
     TestRegistry,
     build_default_registry,
 )
+from repro.engine.streaming import StreamingBatchContext, StreamingContext
 
 __all__ = [
     "BACKENDS",
@@ -49,6 +50,8 @@ __all__ = [
     "RegisteredTest",
     "SequenceContext",
     "StatisticalTest",
+    "StreamingBatchContext",
+    "StreamingContext",
     "TestRegistry",
     "build_default_registry",
     "pack_matrix",

@@ -116,7 +116,7 @@ def _describe_error(exc: Exception) -> str:
 
 
 def run_batch(
-    sequences: Union[np.ndarray, PackedMatrix, Iterable[BitsLike]],
+    sequences: Union[np.ndarray, PackedMatrix, BatchContext, Iterable[BitsLike]],
     tests: Optional[Sequence[TestSpec]] = None,
     parameters: Optional[Dict[TestSpec, Dict[str, object]]] = None,
     processes: Optional[int] = None,
@@ -137,6 +137,11 @@ def run_batch(
         ``generate_matrix(..., packed=True)`` or the fleet scheduler), in
         which case the uint8 matrix is only materialised if a statistic
         without a packed kernel needs it.
+        A prebuilt :class:`~repro.engine.context.BatchContext` — e.g. the
+        preseeded window of a streaming context via
+        :meth:`BatchContext.from_streaming` — is used as-is, statistics
+        already cached in it included; its own backend wins over the
+        ``backend`` argument.
         Equal-length sequences are stacked into one bit matrix and share
         vectorised statistics; mixed lengths fall back to per-sequence
         contexts.
@@ -178,7 +183,11 @@ def run_batch(
     validate_backend(backend)
     registry = registry if registry is not None else DEFAULT_REGISTRY
     batch: Optional[BatchContext] = None
-    if isinstance(sequences, PackedMatrix):
+    if isinstance(sequences, BatchContext):
+        # Prebuilt (possibly preseeded) context: run on it directly so its
+        # cached statistics are reused, not recomputed.
+        batch = sequences
+    elif isinstance(sequences, PackedMatrix):
         batch = BatchContext(sequences, backend=backend)
     elif isinstance(sequences, np.ndarray) and sequences.ndim == 2:
         batch = BatchContext(BatchContext.as_matrix(sequences), backend=backend)

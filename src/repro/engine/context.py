@@ -22,7 +22,7 @@ reference implementation that re-scans the raw bits (asserted by
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, Optional, Protocol, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -37,6 +37,23 @@ __all__ = [
     "DEFAULT_BACKEND",
     "validate_backend",
 ]
+
+#: A preseeded block-statistic source: given a block length, return the
+#: ``(num_sequences, num_blocks)`` statistic array, or ``None`` to decline
+#: (the context then falls back to its own kernels).
+BlockProvider = Callable[[int], Optional[np.ndarray]]
+
+
+class SupportsWindowContext(Protocol):
+    """Anything that can serve its trailing window as a :class:`BatchContext`.
+
+    The structural type of :class:`repro.engine.streaming.StreamingContext`
+    and :class:`~repro.engine.streaming.StreamingBatchContext`; spelled as a
+    protocol so this module never imports the streaming layer it underpins.
+    """
+
+    def window_context(self, nbits: Optional[int] = None) -> "BatchContext":
+        ...
 
 #: Recognised compute backends for batch statistics.
 BACKENDS = ("packed", "uint8")
@@ -383,6 +400,63 @@ class BatchContext:
         self._pattern_counts: Dict[Tuple[int, bool], np.ndarray] = {}
         self._window_values: Dict[int, np.ndarray] = {}
         self._block_value_counts: Dict[int, np.ndarray] = {}
+        self._block_sums_provider: Optional[BlockProvider] = None
+        self._block_longest_provider: Optional[BlockProvider] = None
+
+    @classmethod
+    def from_streaming(
+        cls, stream: SupportsWindowContext, nbits: Optional[int] = None
+    ) -> "BatchContext":
+        """The trailing window of a streaming context, as a batch context.
+
+        The bridge the tentpole names: ``run_batch`` and the cheap-test
+        registry run unchanged on the rolled window, because the streaming
+        side hands back a regular :class:`BatchContext` preseeded with its
+        incrementally maintained statistics.  Accepts anything exposing
+        ``window_context()`` — a ``StreamingContext`` or a
+        ``StreamingBatchContext``.
+        """
+        return stream.window_context(nbits)
+
+    def preseed(
+        self,
+        *,
+        ones: Optional[np.ndarray] = None,
+        num_runs: Optional[np.ndarray] = None,
+        walk_extremes: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None,
+        last_bits: Optional[np.ndarray] = None,
+        block_sums_provider: Optional[BlockProvider] = None,
+        block_longest_provider: Optional[BlockProvider] = None,
+    ) -> "BatchContext":
+        """Seed statistic caches with externally maintained values.
+
+        The streaming contexts roll these statistics incrementally and hand
+        them over here so the batch executor never recomputes them.  Seeded
+        arrays must match the batch shape; block providers are consulted on
+        cache miss and may decline (return ``None``) to fall back to the
+        regular kernels.  Callers guarantee seeded values equal what the
+        context would compute — parity is enforced by the streaming test
+        suite, not re-checked here.  Returns ``self`` for chaining.
+        """
+        expected = (self.num_sequences,)
+        for name, value in (("ones", ones), ("num_runs", num_runs), ("last_bits", last_bits)):
+            if value is not None and value.shape != expected:
+                raise ValueError(f"preseed {name} has shape {value.shape}, expected {expected}")
+        if ones is not None:
+            self._ones = ones
+        if num_runs is not None:
+            self._num_runs = num_runs
+        if walk_extremes is not None:
+            if any(part.shape != expected for part in walk_extremes):
+                raise ValueError(f"preseed walk_extremes parts must have shape {expected}")
+            self._walk_extremes = walk_extremes
+        if last_bits is not None:
+            self._last_bits = last_bits
+        if block_sums_provider is not None:
+            self._block_sums_provider = block_sums_provider
+        if block_longest_provider is not None:
+            self._block_longest_provider = block_longest_provider
+        return self
 
     @property
     def matrix(self) -> np.ndarray:
@@ -474,6 +548,11 @@ class BatchContext:
 
     def block_sums(self, block_length: int) -> np.ndarray:
         if block_length not in self._block_sums:
+            if self._block_sums_provider is not None:
+                provided = self._block_sums_provider(block_length)
+                if provided is not None:
+                    self._block_sums[block_length] = provided
+                    return provided
             if self._use_packed() and _packed.supports_block_ones(block_length, self.n):
                 self._block_sums[block_length] = _packed.block_ones(
                     self.packed(), block_length
@@ -488,6 +567,11 @@ class BatchContext:
 
     def block_longest_one_runs(self, block_length: int) -> np.ndarray:
         if block_length not in self._block_longest:
+            if self._block_longest_provider is not None:
+                provided = self._block_longest_provider(block_length)
+                if provided is not None:
+                    self._block_longest[block_length] = provided
+                    return provided
             if self._use_packed() and _packed.supports_block_longest_one_runs(
                 block_length, self.n
             ):

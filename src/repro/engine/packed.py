@@ -59,6 +59,7 @@ __all__ = [
     "supports_block_longest_one_runs",
     "walk_extremes",
     "last_bits",
+    "word_summaries",
 ]
 
 #: Bits per packed word.
@@ -361,6 +362,47 @@ def _chunk_luts(bits: int) -> Dict[str, np.ndarray]:
     return luts
 
 
+_WALK_PACK_LUT: Optional[np.ndarray] = None
+_RUN_PACK_LUT: Optional[np.ndarray] = None
+
+
+def _walk_pack_lut() -> np.ndarray:
+    """Chunk walk extremes bias-packed into one int16 table.
+
+    Entry v is ``((walk_max + 16) << 6) | (walk_min + 16)`` — both extremes
+    of a 16-bit chunk lie in [-16, 16], so one gather per chunk column
+    replaces two, and unpacking is a shift and a mask (flat ops, far
+    cheaper than table gathers at streaming-push sizes).
+    """
+    global _WALK_PACK_LUT
+    if _WALK_PACK_LUT is None:
+        luts = _chunk_luts(16)
+        pair = ((luts["walk_max"].astype(np.int32) + 16) << 6) | (
+            luts["walk_min"].astype(np.int32) + 16
+        )
+        _WALK_PACK_LUT = pair.astype(np.int16)
+    return _WALK_PACK_LUT
+
+
+def _run_pack_lut() -> np.ndarray:
+    """Chunk one-run lengths packed ``(longest << 10) | (prefix << 5) | suffix``.
+
+    All three lengths of a 16-bit chunk lie in [0, 16] (5 bits each), so the
+    triple fits one int16 gather; ``prefix == 16`` doubles as the all-ones
+    test the cross-chunk merge needs.
+    """
+    global _RUN_PACK_LUT
+    if _RUN_PACK_LUT is None:
+        luts = _chunk_luts(16)
+        triple = (
+            (luts["longest"].astype(np.int32) << 10)
+            | (luts["prefix"].astype(np.int32) << 5)
+            | luts["suffix"].astype(np.int32)
+        )
+        _RUN_PACK_LUT = triple.astype(np.int16)
+    return _RUN_PACK_LUT
+
+
 # Pure reinterpret-cast of the zero-padded words; callers slice to their
 # own geometry, so the view itself never consults .n or masks the tail.
 def _chunk_view(packed: PackedMatrix, bits: int) -> np.ndarray:  # repro: ignore[PKD002]
@@ -405,6 +447,93 @@ def block_longest_one_runs(packed: PackedMatrix, block_length: int) -> np.ndarra
         np.maximum(longest, bridged, out=longest)
         trailing = np.where(chunk == all_ones, trailing + chunk_bits, luts["suffix"][chunk])
     return longest
+
+
+def word_summaries(words: np.ndarray, *, track_runs: bool = True) -> Dict[str, np.ndarray]:
+    """Per-word shared-statistic summaries of *full* 64-bit words.
+
+    The streaming contexts (:mod:`repro.engine.streaming`) maintain their
+    running window statistics from these summaries: every committed word is
+    reduced once, and a window roll then adds/subtracts word summaries
+    instead of re-scanning bits.  ``words`` is a ``(rows, count)`` uint64
+    array of complete words — callers own the tail discipline (a streaming
+    ring only commits full words), so no bit length is consulted here.
+
+    Returned keys (all ``(rows, count)`` arrays):
+
+    ``pop`` / ``inner``
+        Ones count and in-word adjacent-pair transition count (uint8).
+    ``first`` / ``last``
+        The word's first and last stream bit (uint8) — the seam state the
+        incremental transition count stitches across word boundaries.
+    ``delta`` / ``walk_max`` / ``walk_min``
+        ±1 walk summary of the word (int16): total delta and the extreme
+        prefix sums relative to the word's start.
+    ``longest`` / ``prefix`` / ``suffix``
+        Longest / start-touching / end-touching one-run lengths (int16),
+        present only with ``track_runs=True`` (they cost one extra table
+        gather per chunk and only the block-longest statistic reads them).
+    """
+    words = np.ascontiguousarray(words, dtype=WORD_DTYPE)
+    if words.ndim != 2:
+        raise ValueError("word_summaries expects a 2-D (rows, count) word array")
+    rows, count = words.shape
+    chunks = words.view("<u2").reshape(rows, count, 4)
+    # Chunk ±1 deltas come straight from popcount (delta = 2*pop - 16) and
+    # the in-chunk walk extremes from one bias-packed gather: push-sized
+    # inputs are bound by gather traffic, so fewer/narrower tables win.
+    deltas = (popcount(chunks).astype(np.int16) << np.int16(1)) - np.int16(16)
+    walk_pair = _walk_pack_lut()[chunks]
+    highs = walk_pair >> np.int16(6)
+    lows = walk_pair & np.int16(63)
+    # Merge the four chunks Horner-style from the right:
+    #   max(m0, d0 + max(m1, d1 + max(m2, d2 + m3)))
+    # — numpy reductions over a length-4 axis cost far more than three
+    # unrolled adds/maxima on the column slices.  The +16 table bias rides
+    # through unchanged (the d terms are unbiased) and cancels at the end.
+    s_max = highs[:, :, 3]
+    s_min = lows[:, :, 3]
+    total = deltas[:, :, 3].copy()
+    for index in (2, 1, 0):
+        d = deltas[:, :, index]
+        s_max = np.maximum(highs[:, :, index], d + s_max)
+        s_min = np.minimum(lows[:, :, index], d + s_min)
+        total += d
+    summaries: Dict[str, np.ndarray] = {
+        "pop": popcount(words),
+        "inner": popcount((words ^ (words >> np.uint64(1))) & _INNER_PAIR_MASK),
+        "first": (words & np.uint64(1)).astype(np.uint8),
+        "last": (words >> np.uint64(63)).astype(np.uint8),
+        "delta": total,
+        "walk_max": s_max - np.int16(16),
+        "walk_min": s_min - np.int16(16),
+    }
+    if track_runs:
+        run_triple = _run_pack_lut()[chunks]
+        longest_t = run_triple >> np.int16(10)
+        prefix_t = (run_triple >> np.int16(5)) & np.int16(31)
+        suffix_t = run_triple & np.int16(31)
+        saturated = prefix_t == np.int16(16)
+        # Chunk 0 seeds the merge directly (an empty carry bridges nothing).
+        longest = longest_t[:, :, 0].copy()
+        trailing = np.where(saturated[:, :, 0], np.int16(16), suffix_t[:, :, 0])
+        prefix = prefix_t[:, :, 0].copy()
+        prefix_open = saturated[:, :, 0]
+        for index in range(1, 4):
+            bridged = trailing + prefix_t[:, :, index]
+            np.maximum(longest, longest_t[:, :, index], out=longest)
+            np.maximum(longest, bridged, out=longest)
+            trailing = np.where(
+                saturated[:, :, index], trailing + np.int16(16), suffix_t[:, :, index]
+            )
+            prefix += np.where(prefix_open, prefix_t[:, :, index], np.int16(0))
+            prefix_open = prefix_open & saturated[:, :, index]
+        summaries["longest"] = longest
+        summaries["prefix"] = prefix
+        # The run touching the word's end is whatever run the merge carries
+        # out of the last chunk.
+        summaries["suffix"] = trailing
+    return summaries
 
 
 def walk_extremes(packed: PackedMatrix) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:

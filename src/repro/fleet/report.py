@@ -186,6 +186,10 @@ class FleetReport(JsonCsvExportMixin):
     #: Compute backend the scheduler evaluated rounds on ("packed" 64-bit
     #: word kernels or the "uint8" reference paths); verdicts are identical.
     backend: str = "packed"
+    #: Whether the scheduler ran in streaming mode (long-lived per-device
+    #: packed rings with O(1) window rolls instead of per-round matrix
+    #: rebuilds); verdicts are identical either way.
+    streaming: bool = False
     #: Canonical test id -> execution path the engine took for it
     #: ("batched" batch-native kernel / "inline" per-sequence scalar /
     #: "pooled" process-pool fallback), as observed on the scheduler's
@@ -269,6 +273,7 @@ class FleetReport(JsonCsvExportMixin):
                 "seed": self.seed,
                 "mix": dict(self.mix),
                 "backend": self.backend,
+                "streaming": self.streaming,
             },
             "rounds": [fleet_round.to_dict() for fleet_round in self.rounds],
             "scenarios": [stats.to_dict() for stats in self.scenarios],
@@ -291,6 +296,8 @@ class FleetReport(JsonCsvExportMixin):
             scenarios=[FleetScenarioStats.from_dict(s) for s in data["scenarios"]],
             # Reports saved before the packed backend existed ran on uint8.
             backend=config.get("backend", "uint8"),
+            # Reports saved before streaming mode existed ran the matrix path.
+            streaming=bool(config.get("streaming", False)),
             # Reports saved before the batch-native heavy kernels recorded
             # no per-test paths.
             execution_paths={
@@ -308,6 +315,7 @@ def build_report(
     rounds: List[FleetRound],
     backend: str = "packed",
     execution_paths: Optional[Dict[str, str]] = None,
+    streaming: bool = False,
 ) -> FleetReport:
     """Aggregate a registry's device health into a :class:`FleetReport`.
 
@@ -358,4 +366,5 @@ def build_report(
         scenarios=scenarios,
         backend=backend,
         execution_paths=dict(execution_paths or {}),
+        streaming=streaming,
     )

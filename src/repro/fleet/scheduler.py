@@ -35,6 +35,7 @@ from repro.engine.batch import EngineReport, run_batch
 from repro.engine.context import DEFAULT_BACKEND, validate_backend
 from repro.engine.packed import PackedMatrix, pack_matrix
 from repro.engine.registry import NIST_NUMBER_TO_ID
+from repro.engine.streaming import StreamingBatchContext, StreamingContext
 from repro.fleet.registry import DeviceRegistry
 from repro.fleet.report import FleetReport, FleetRound, build_report
 from repro.nist.common import BitsLike, to_bits
@@ -70,6 +71,21 @@ def _reduce_report(report: EngineReport, alpha: float) -> FleetVerdict:
         failing_tests=tuple(failing),
         errors=tuple(sorted(report.errors.values())),
     )
+
+
+@dataclass
+class _IngestStream:
+    """Per-device streaming ingest state (the service path's ring).
+
+    ``lock`` serialises pushes for one device (chunk order defines the
+    stream) without ever holding the fleet lock across an engine
+    evaluation; ``pending`` counts the bits of the next, not yet complete,
+    n-bit sequence sitting in the ring.
+    """
+
+    context: StreamingContext
+    lock: threading.Lock
+    pending: int = 0
 
 
 def _shard_worker(payload) -> Tuple[List[FleetVerdict], Dict[str, str]]:
@@ -119,6 +135,17 @@ class FleetScheduler:
         reference paths.  Verdicts are bit-identical either way; the choice
         is recorded in :attr:`FleetReport.backend
         <repro.fleet.report.FleetReport.backend>`.
+    streaming:
+        Keep per-shard streaming state instead of rebuilding matrices.
+        Rounds push the fleet's new words into one long-lived
+        :class:`~repro.engine.streaming.StreamingBatchContext` (one packed
+        ring per device) and evaluate the preseeded rolled window; ingest
+        keeps a per-device :class:`~repro.engine.streaming.StreamingContext`
+        and accepts *arbitrary* chunk sizes — partial sequences pend in the
+        device's ring (see :meth:`pending_bits`) instead of being rejected.
+        Verdicts are bit-identical to the matrix path.  Streaming rounds
+        always evaluate inline (the rings are process-local state, so
+        pool sharding does not apply).
     """
 
     def __init__(
@@ -127,6 +154,7 @@ class FleetScheduler:
         processes: Optional[int] = None,
         min_shard_devices: int = 256,
         backend: str = DEFAULT_BACKEND,
+        streaming: bool = False,
     ):
         if processes is not None and processes < 1:
             raise ValueError("processes must be positive (or None)")
@@ -134,6 +162,11 @@ class FleetScheduler:
         self.processes = processes
         self.min_shard_devices = min_shard_devices
         self.backend = validate_backend(backend)
+        self.streaming = bool(streaming)
+        # Round-path fleet ring (built on first streaming round, rebuilt only
+        # when the device count changes) and per-device ingest streams.
+        self._round_stream: Optional[StreamingBatchContext] = None
+        self._ingest_streams: Dict[str, "_IngestStream"] = {}
         self.rounds: List[FleetRound] = []
         #: Canonical test id -> execution path ("batched" / "inline" /
         #: "pooled") observed on the most recent evaluations; surfaced in
@@ -243,6 +276,24 @@ class FleetScheduler:
         self._fold_paths(paths)
         return verdicts
 
+    def _round_stream_verdicts(self, matrix: np.ndarray) -> List[FleetVerdict]:
+        """Streaming round path: push new words, evaluate the rolled window.
+
+        The fleet ring lives across rounds (rebuilt only when the device
+        count changes); each round is one vectorised push of the fleet's
+        new words, and the engine runs on the preseeded window context —
+        the round matrix is never re-packed or re-scanned.  Always inline:
+        the rings are process-local state, so pool sharding does not apply.
+        """
+        rows, n = matrix.shape
+        with self.lock:
+            if self._round_stream is None or self._round_stream.num_rows != rows:
+                self._round_stream = StreamingBatchContext(rows, n, backend=self.backend)
+            stream = self._round_stream
+        stream.push(matrix)
+        reports = run_batch(stream.window_context(), tests=list(self.registry.tests))
+        return self._fold_reports(reports, self.registry.alpha)
+
     # ------------------------------------------------------------- rounds
     def run_round(self) -> FleetRound:
         """Advance every simulated device by one sequence.
@@ -250,7 +301,10 @@ class FleetScheduler:
         Pulls one n-bit block per device (continuing each device's own
         stream — staged attacks and aging trajectories unfold across
         rounds), evaluates the stacked fleet matrix through the engine and
-        folds each verdict into its device's health machine.
+        folds each verdict into its device's health machine.  In
+        ``streaming`` mode the fleet matrix is pushed into the long-lived
+        fleet ring and the rolled window is evaluated instead (identical
+        verdicts).
         """
         with self.lock:
             devices = self.registry.simulated_devices()
@@ -263,7 +317,10 @@ class FleetScheduler:
             matrix = np.empty((len(devices), n), dtype=np.uint8)
             for row, device in enumerate(devices):
                 matrix[row] = device.source.generate_block(n)
-            verdicts = self.evaluate_matrix(matrix)
+            if self.streaming:
+                verdicts = self._round_stream_verdicts(matrix)
+            else:
+                verdicts = self.evaluate_matrix(matrix)
             failing = 0
             for device, verdict in zip(devices, verdicts):
                 event = device.monitor.observe(verdict)
@@ -292,20 +349,50 @@ class FleetScheduler:
     def ingest(self, device_id: str, bits: BitsLike) -> List[MonitorEvent]:
         """Evaluate raw bits for one registered device (the service path).
 
-        ``bits`` is anything :func:`~repro.nist.common.to_bits` accepts and
-        must hold a positive multiple of the design's sequence length; each
-        n-bit sequence is evaluated through the engine and folded into the
-        device's health machine in order.
+        ``bits`` is anything :func:`~repro.nist.common.to_bits` accepts.  In
+        the default matrix mode it must hold a positive multiple of the
+        design's sequence length; each n-bit sequence is evaluated through
+        the engine and folded into the device's health machine in order.
+        In ``streaming`` mode *any* positive number of bits is accepted:
+        chunks append to the device's packed ring, a window is evaluated
+        whenever n new bits have accumulated, and a trailing partial
+        sequence simply pends in the ring (:meth:`pending_bits`) until the
+        next chunk completes it — the device's stream is never rebuilt.
 
         Only the health-machine fold takes the fleet lock: the engine
         evaluation itself is pure compute over the submitted bits (the
         design's test subset and alpha are immutable registry config), so a
         large ingest never stalls concurrent service reads or scheduler
-        rounds while the statistics run.
+        rounds while the statistics run.  Streaming chunks for one device
+        serialise on that device's own lock instead (chunk order defines
+        the stream).
         """
         device = self.registry.get(device_id)
         arr = to_bits(bits)
         n = self.registry.n
+        if self.streaming:
+            if arr.size == 0:
+                raise ValueError("streaming ingest needs at least one bit")
+            entry = self._ingest_entry(device_id)
+            verdicts: List[FleetVerdict] = []
+            with entry.lock:
+                offset = 0
+                while offset < arr.size:
+                    take = min(n - entry.pending, arr.size - offset)
+                    entry.context.push(arr[offset : offset + take])
+                    offset += take
+                    entry.pending += take
+                    if entry.pending == n:
+                        reports = run_batch(
+                            entry.context.window_context(),
+                            tests=list(self.registry.tests),
+                        )
+                        verdicts.extend(
+                            self._fold_reports(reports, self.registry.alpha)
+                        )
+                        entry.pending = 0
+            with self.lock:
+                return [device.monitor.observe(verdict) for verdict in verdicts]
         if arr.size == 0 or arr.size % n != 0:
             raise ValueError(
                 f"ingest needs a positive multiple of {n} bits "
@@ -314,6 +401,32 @@ class FleetScheduler:
         verdicts = self.evaluate_matrix(arr.reshape(-1, n))
         with self.lock:
             return [device.monitor.observe(verdict) for verdict in verdicts]
+
+    def _ingest_entry(self, device_id: str) -> _IngestStream:
+        """The device's streaming ingest state, created on first use."""
+        with self.lock:
+            entry = self._ingest_streams.get(device_id)
+            if entry is None:
+                entry = _IngestStream(
+                    context=StreamingContext(self.registry.n, backend=self.backend),
+                    lock=threading.Lock(),
+                )
+                self._ingest_streams[device_id] = entry
+            return entry
+
+    def pending_bits(self, device_id: str) -> int:
+        """Bits of the device's next sequence pending in its ingest ring.
+
+        Always 0 outside streaming mode (partial sequences are rejected
+        there) and for devices that have not streamed yet.
+        """
+        self.registry.get(device_id)
+        with self.lock:
+            entry = self._ingest_streams.get(device_id)
+        if entry is None:
+            return 0
+        with entry.lock:
+            return entry.pending
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -345,4 +458,5 @@ class FleetScheduler:
                 self.rounds,
                 backend=self.backend,
                 execution_paths=dict(self.execution_paths),
+                streaming=self.streaming,
             )

@@ -14,6 +14,10 @@ network-facing API without a single new dependency.  Endpoints:
     positive multiple of the design's sequence length; every n-bit sequence
     runs through the engine's batch path and folds into the device's health
     machine.  Responds with the per-sequence verdicts and the new state.
+    On a streaming scheduler the multiple-of-n restriction is lifted: any
+    chunk size is accepted, windows are evaluated from the device's packed
+    ring as they complete, and the response's ``pending_bits`` reports the
+    partial sequence still waiting in the ring.
 ``GET /devices/<id>/health``
     Health snapshot of one device.
 ``GET /fleet/summary``
@@ -124,7 +128,7 @@ class FleetService:
             raise ServiceError(400, str(exc))
         with self._lock:
             health = device.snapshot()
-        return {
+        response: Dict[str, object] = {
             "device_id": device_id,
             "sequences": len(events),
             "verdicts": [
@@ -138,6 +142,9 @@ class FleetService:
             ],
             "health": health,
         }
+        if self.scheduler.streaming:
+            response["pending_bits"] = self.scheduler.pending_bits(device_id)
+        return response
 
     def device_health(self, device_id: str) -> Dict[str, object]:
         with self._lock:
@@ -157,6 +164,7 @@ class FleetService:
             "n": report.n,
             "alpha": report.alpha,
             "backend": report.backend,
+            "streaming": report.streaming,
             "execution_paths": dict(sorted(report.execution_paths.items())),
             "num_devices": report.num_devices,
             "rounds_completed": report.rounds_completed,

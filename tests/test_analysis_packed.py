@@ -93,3 +93,26 @@ class TestPkd003PackingHomes:
     def test_sanctioned_wrappers_are_clean(self):
         source = "from repro.engine.packed import pack_matrix\nm = pack_matrix(bits)\n"
         assert "PKD003" not in rules(source)
+
+
+class TestRingIdentifiers:
+    """The streaming contexts' rings count as word arrays (PKD001 scope)."""
+
+    def test_raw_int_shift_on_ring_fires(self):
+        assert "PKD001" in rules("evicted = ring >> 3\n")
+        assert "PKD001" in rules("low = self._words_ring & 0x7\n")
+
+    def test_wrapped_ring_scalar_is_clean(self):
+        assert "PKD001" not in rules(
+            "import numpy as np\nevicted = ring >> np.uint64(3)\n"
+        )
+
+    def test_string_identifiers_are_excluded(self):
+        # "ring" is a substring of "string": bit-string formatters are not
+        # word arrays and must stay unflagged.
+        assert "PKD001" not in rules("flags = bit_string >> 3\n")
+        assert "PKD001" not in rules("padded = substring & 0xFF\n")
+
+    def test_streaming_module_is_in_scope(self):
+        source = "import numpy as np\nevicted = ring >> 3\n"
+        assert "PKD001" in rules(source, path="src/repro/engine/streaming.py")

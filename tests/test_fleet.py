@@ -276,3 +276,77 @@ class TestPercentile:
     def test_out_of_range_rejected(self):
         with pytest.raises(ValueError):
             percentile([1], 101)
+
+
+class TestStreamingScheduler:
+    """Streaming mode: rolled fleet rounds and arbitrary-chunk ingest."""
+
+    def _health_trajectory(self, scheduler, rounds):
+        trajectory = []
+        for _ in range(rounds):
+            fleet_round = scheduler.run_round()
+            trajectory.append(
+                (fleet_round.failing_sequences, dict(fleet_round.health))
+            )
+        return trajectory
+
+    def test_streaming_rounds_match_matrix_rounds(self):
+        matrix_mode = FleetScheduler(small_fleet(num_devices=24, seed=7))
+        streaming = FleetScheduler(
+            small_fleet(num_devices=24, seed=7), streaming=True
+        )
+        left = self._health_trajectory(matrix_mode, 4)
+        right = self._health_trajectory(streaming, 4)
+        assert left == right
+        assert any(failing > 0 for failing, _ in left)  # threats really fire
+        assert streaming.report().streaming is True
+        assert matrix_mode.report().streaming is False
+
+    def test_streaming_report_flag_survives_serialization(self):
+        scheduler = FleetScheduler(small_fleet(num_devices=8, seed=5), streaming=True)
+        scheduler.run_round()
+        report = scheduler.report()
+        assert FleetReport.from_dict(report.to_dict()).streaming is True
+
+    def test_ingest_accepts_arbitrary_chunks(self):
+        registry = small_fleet(num_devices=8, seed=21)
+        device_id = registry.device_ids()[0]
+        scheduler = FleetScheduler(registry, streaming=True)
+        n = registry.n
+        rng = np.random.default_rng(99)
+        bits = rng.integers(0, 2, size=2 * n + 37, dtype=np.uint8)
+        events = []
+        offset = 0
+        for size in (63, 64, 65, 1, n, 2 * n):
+            take = min(size, bits.size - offset)
+            if take == 0:
+                break
+            events.extend(scheduler.ingest(device_id, bits[offset : offset + take]))
+            offset += take
+        # Two full sequences were completed; 37 bits pend in the ring.
+        assert len(events) == 2
+        assert scheduler.pending_bits(device_id) == 37
+        # The streamed verdicts equal the matrix-mode evaluation of the
+        # same two sequences.
+        reference = FleetScheduler(small_fleet(num_devices=8, seed=21))
+        ref_events = reference.ingest(device_id, bits[: 2 * n])
+        assert [e.report.failing_tests for e in events] == [
+            e.report.failing_tests for e in ref_events
+        ]
+        assert [e.state for e in events] == [e.state for e in ref_events]
+
+    def test_streaming_ingest_rejects_empty(self):
+        registry = small_fleet(num_devices=4, seed=2)
+        scheduler = FleetScheduler(registry, streaming=True)
+        with pytest.raises(ValueError):
+            scheduler.ingest(registry.device_ids()[0], np.zeros(0, dtype=np.uint8))
+
+    def test_pending_bits_outside_streaming_mode(self):
+        registry = small_fleet(num_devices=4, seed=3)
+        scheduler = FleetScheduler(registry)
+        device_id = registry.device_ids()[0]
+        assert scheduler.pending_bits(device_id) == 0
+        with pytest.raises(ValueError):
+            scheduler.ingest(device_id, np.zeros(37, dtype=np.uint8))
+        with pytest.raises(KeyError):
+            scheduler.pending_bits("no-such-device")

@@ -255,3 +255,49 @@ class TestServiceFacade:
         assert summary["rounds_completed"] == 0
         assert summary["devices_per_s"] is None
         assert summary["num_devices"] == 4
+
+
+class TestStreamingService:
+    """Streaming scheduler behind the service: chunked ingest + pending_bits."""
+
+    def make_service(self):
+        registry = DeviceRegistry("n128_light")
+        registry.populate(4, FleetMix.healthy_with_threats(0.9), seed=0)
+        return FleetService(FleetScheduler(registry, streaming=True))
+
+    def test_partial_chunk_pends_then_completes(self):
+        service = self.make_service()
+        device_id = service.registry.device_ids()[0]
+        first = bits_string(IdealSource(seed=41), 100)
+        response = service.ingest({"device_id": device_id, "bits": first})
+        assert response["sequences"] == 0
+        assert response["verdicts"] == []
+        assert response["pending_bits"] == 100
+        second = bits_string(IdealSource(seed=42), 28)
+        response = service.ingest({"device_id": device_id, "bits": second})
+        assert response["sequences"] == 1
+        assert response["pending_bits"] == 0
+
+    def test_arbitrary_chunk_sizes_accepted(self):
+        service = self.make_service()
+        device_id = service.registry.device_ids()[1]
+        # 1-bit chunks would be rejected by the matrix path; streaming
+        # ingest takes them and reports the growing remainder.
+        for index in range(3):
+            response = service.ingest({"device_id": device_id, "bits": "1"})
+            assert response["pending_bits"] == index + 1
+
+    def test_summary_reports_streaming_mode(self):
+        service = self.make_service()
+        assert service.fleet_summary()["streaming"] is True
+
+    def test_matrix_mode_has_no_pending_bits_field(self):
+        registry = DeviceRegistry("n128_light")
+        registry.populate(2, FleetMix.healthy_with_threats(0.9), seed=1)
+        service = FleetService(FleetScheduler(registry))
+        device_id = registry.device_ids()[0]
+        response = service.ingest(
+            {"device_id": device_id, "bits": bits_string(IdealSource(seed=43), 128)}
+        )
+        assert "pending_bits" not in response
+        assert service.fleet_summary()["streaming"] is False

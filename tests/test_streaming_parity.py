@@ -1,0 +1,289 @@
+"""Streaming-vs-recompute parity for every shared statistic.
+
+The streaming contexts' bit-identity contract: however the stream is
+chopped into pushes (single bits up to multi-window slabs), the rolled
+window statistics and every preseeded ``window_context`` must equal the
+packed kernels recomputed on the equivalent trailing history slice.  The
+property tests here randomise push sizes and window rolls (exercising the
+mirrored rings across many wrap points and the cumulative-walk ring), and
+pin the degenerate streams (all zeros / all ones) and the query API's
+edge behaviour (not-ready errors, unsupported block geometries).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    BatchContext,
+    StreamingBatchContext,
+    StreamingContext,
+    pack_matrix,
+    run_batch,
+)
+
+CHEAP_TESTS = [1, 2, 3, 4, 13]
+
+
+def random_matrix(rows, nbits, seed=0, p=0.5):
+    rng = np.random.default_rng(seed)
+    return (rng.random((rows, nbits)) < p).astype(np.uint8)
+
+
+def split_into_chunks(matrix, sizes):
+    """Column-slices of ``matrix`` with the given randomized widths."""
+    chunks, offset = [], 0
+    for size in sizes:
+        take = min(size, matrix.shape[1] - offset)
+        if take == 0:
+            break
+        chunks.append(matrix[:, offset : offset + take])
+        offset += take
+    if offset < matrix.shape[1]:
+        chunks.append(matrix[:, offset:])
+    return chunks
+
+
+def assert_window_parity(stream, history, block_lengths=(64, 128, 256)):
+    """Every rolled statistic equals the recompute on the trailing window."""
+    window = history[:, -stream.window_bits :]
+    reference = BatchContext(window)
+    stats = stream.window_stats()
+    assert np.array_equal(stats["ones"], reference.ones())
+    assert np.array_equal(stats["num_runs"], reference.num_runs())
+    assert np.array_equal(stats["last_bits"], reference.last_bits())
+    for rolled, recomputed in zip(stats["walk_extremes"], reference.walk_extremes()):
+        assert np.array_equal(rolled, recomputed)
+    for block_length in block_lengths:
+        sums = stream.window_block_sums(block_length)
+        assert sums is not None
+        assert np.array_equal(sums, reference.block_sums(block_length))
+        longest = stream.window_block_longest(block_length)
+        if stream.track_runs:
+            assert longest is not None
+            assert np.array_equal(
+                longest, reference.block_longest_one_runs(block_length)
+            )
+        else:
+            assert longest is None
+
+
+class TestRandomizedPushParity:
+    """Parity under randomized chunking, from single bits to huge slabs."""
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        sizes=st.lists(st.integers(1, 700), min_size=4, max_size=40),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_chunking_matches_recompute(self, seed, sizes):
+        window = 512
+        total = max(sum(sizes), window + 64)
+        history = random_matrix(3, total, seed=seed)
+        stream = StreamingBatchContext(3, window)
+        for chunk in split_into_chunks(history, sizes):
+            stream.push(chunk)
+        assert stream.total_bits == total
+        if stream.window_ready:
+            assert_window_parity(stream, history, block_lengths=(64, 128))
+        # The extraction path serves the window at any alignment.
+        context = stream.window_context()
+        reference = BatchContext(history[:, -window:])
+        assert np.array_equal(context.ones(), reference.ones())
+        assert np.array_equal(context.num_runs(), reference.num_runs())
+
+    def test_single_bit_pushes(self):
+        history = random_matrix(2, 320, seed=11, p=0.4)
+        stream = StreamingBatchContext(2, 128)
+        for column in range(history.shape[1]):
+            stream.push(history[:, column : column + 1])
+            if stream.window_ready:
+                assert_window_parity(stream, history[:, : column + 1], (64, 128))
+
+    def test_one_giant_push_of_4096_words(self):
+        # A single push far larger than the ring exercises the whole-window
+        # replacement paths (counter rebuild + full ring overwrite).
+        history = random_matrix(2, 4096 * 64, seed=7)
+        stream = StreamingBatchContext(2, 2048)
+        stream.push(history)
+        assert_window_parity(stream, history)
+
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_constant_streams(self, value):
+        history = np.full((2, 1024), value, dtype=np.uint8)
+        stream = StreamingBatchContext(2, 512)
+        for chunk in split_into_chunks(history, [63, 64, 65, 1, 511]):
+            stream.push(chunk)
+        assert_window_parity(stream, history)
+        stats = stream.window_stats()
+        assert np.array_equal(stats["ones"], np.full(2, value * 512))
+        assert np.array_equal(stats["num_runs"], np.ones(2))
+
+    def test_packed_and_uint8_pushes_identical(self):
+        history = random_matrix(3, 896, seed=23)
+        via_bits = StreamingBatchContext(3, 640)
+        via_words = StreamingBatchContext(3, 640)
+        for chunk in split_into_chunks(history, [100, 64, 1, 300, 63]):
+            via_bits.push(chunk)
+            via_words.push(pack_matrix(chunk))
+        for stream in (via_bits, via_words):
+            assert_window_parity(stream, history)
+        assert np.array_equal(
+            via_bits.window_matrix().words, via_words.window_matrix().words
+        )
+
+
+class TestWindowRolls:
+    """Many rolls wrap the mirrored rings and the cumulative-walk ring."""
+
+    @pytest.mark.parametrize("capacity", [1024, 1600])
+    def test_strided_rolls_stay_bit_identical(self, capacity):
+        window, stride, rolls = 1024, 192, 50
+        total = window + rolls * stride
+        history = random_matrix(2, total, seed=5)
+        stream = StreamingBatchContext(2, window, capacity_bits=capacity)
+        stream.push(history[:, :window])
+        assert_window_parity(stream, history[:, :window])
+        for roll in range(rolls):
+            start = window + roll * stride
+            stream.push(history[:, start : start + stride])
+            assert_window_parity(stream, history[:, : start + stride])
+
+    def test_preseeded_run_batch_p_values_identical(self):
+        window, stride = 1024, 256
+        history = random_matrix(4, window + 6 * stride, seed=31, p=0.55)
+        stream = StreamingBatchContext(4, window)
+        stream.push(history[:, :window])
+        for roll in range(6):
+            start = window + roll * stride
+            stream.push(history[:, start : start + stride])
+            rolled = run_batch(stream.window_context(), tests=CHEAP_TESTS)
+            recomputed = run_batch(
+                BatchContext(history[:, : start + stride][:, -window:]),
+                tests=CHEAP_TESTS,
+            )
+            for rolled_report, recomputed_report in zip(rolled, recomputed):
+                assert rolled_report.p_values() == recomputed_report.p_values()
+
+    def test_walk_extremes_survive_maximum_eviction(self):
+        # The global walk maximum sits in the first window and must leave
+        # the statistics once evicted (walks are query-time reductions, not
+        # rollable totals — the regression this pins).
+        front = np.ones((1, 512), dtype=np.uint8)
+        back = random_matrix(1, 2048, seed=13, p=0.3)
+        history = np.concatenate([front, back], axis=1)
+        stream = StreamingBatchContext(1, 512)
+        for chunk in split_into_chunks(history, [512] * 5):
+            stream.push(chunk)
+            assert_window_parity(stream, history[:, : stream.total_bits])
+
+    def test_window_matrix_serves_any_trailing_slice(self):
+        history = random_matrix(2, 2300, seed=41)
+        stream = StreamingBatchContext(2, 1024, capacity_bits=2048)
+        for chunk in split_into_chunks(history, [777, 63, 1000, 460]):
+            stream.push(chunk)
+        for nbits in (0, 1, 63, 64, 65, 1000, 1024, 2048):
+            served = stream.window_matrix(nbits).unpack()
+            assert np.array_equal(served, history[:, history.shape[1] - nbits :])
+        with pytest.raises(ValueError):
+            stream.window_matrix(2049)
+
+
+class TestQueryEdgeBehaviour:
+    def test_queries_raise_before_window_fills(self):
+        stream = StreamingBatchContext(2, 256)
+        stream.push(random_matrix(2, 255, seed=3))
+        assert not stream.window_ready
+        with pytest.raises(ValueError):
+            stream.window_stats()
+        with pytest.raises(ValueError):
+            stream.window_block_sums(64)
+        with pytest.raises(ValueError):
+            stream.window_block_longest(64)
+
+    def test_queries_raise_with_pending_tail_bits(self):
+        stream = StreamingBatchContext(1, 128)
+        stream.push(random_matrix(1, 129, seed=4))
+        assert stream.tail_bits == 1
+        assert not stream.window_ready
+        with pytest.raises(ValueError):
+            stream.window_stats()
+        # The extraction path still serves a bit-identical window.
+        history = random_matrix(1, 129, seed=4)
+        context = stream.window_context()
+        assert np.array_equal(context.ones(), BatchContext(history[:, -128:]).ones())
+
+    def test_unaligned_window_always_falls_back(self):
+        history = random_matrix(2, 300, seed=8)
+        stream = StreamingBatchContext(2, 100)
+        stream.push(history)
+        assert not stream.window_ready
+        with pytest.raises(ValueError):
+            stream.window_stats()
+        context = stream.window_context()
+        reference = BatchContext(history[:, -100:])
+        assert np.array_equal(context.ones(), reference.ones())
+        assert np.array_equal(context.num_runs(), reference.num_runs())
+
+    def test_unsupported_block_geometries_return_none(self):
+        stream = StreamingBatchContext(1, 256)
+        stream.push(random_matrix(1, 256, seed=9))
+        assert stream.window_block_sums(96) is None
+        assert stream.window_block_sums(512) is None
+        assert stream.window_block_longest(96) is None
+
+    def test_track_runs_off_serves_sums_not_longest(self):
+        stream = StreamingBatchContext(1, 256, track_runs=False)
+        stream.push(random_matrix(1, 256, seed=10))
+        assert stream.window_block_sums(64) is not None
+        assert stream.window_block_longest(64) is None
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            StreamingBatchContext(-1, 128)
+        with pytest.raises(ValueError):
+            StreamingBatchContext(1, 0)
+        with pytest.raises(ValueError):
+            StreamingBatchContext(1, 128, capacity_bits=100)
+
+    def test_state_is_constant_across_the_stream(self):
+        stream = StreamingBatchContext(4, 1024)
+        stream.push(random_matrix(4, 1024, seed=12))
+        baseline = stream.state_nbytes
+        for seed in range(20):
+            stream.push(random_matrix(4, 257, seed=100 + seed))
+            assert stream.state_nbytes == baseline
+
+    def test_bookkeeping_at_word_boundaries(self):
+        stream = StreamingBatchContext(1, 128)
+        for size, tail, words in ((63, 63, 0), (64, 63, 1), (65, 0, 3)):
+            stream.push(random_matrix(1, size, seed=size))
+            assert stream.tail_bits == tail
+            assert stream.committed_words == words
+        assert stream.total_bits == 63 + 64 + 65
+        assert stream.bits_stored == 128
+
+
+class TestStreamingContextFacade:
+    def test_single_stream_matches_sequence_context(self):
+        rng = np.random.default_rng(77)
+        bits = rng.integers(0, 2, size=1500, dtype=np.uint8)
+        stream = StreamingContext(512)
+        offset = 0
+        for size in (1, 63, 64, 65, 500, 807):
+            stream.push(bits[offset : offset + size])
+            offset += size
+        assert stream.total_bits == 1500
+        sequence = stream.sequence_context()
+        reference = BatchContext(bits[np.newaxis, -512:]).context(0)
+        assert sequence.ones == reference.ones
+        assert sequence.num_runs() == reference.num_runs()
+        assert sequence.walk_extremes() == reference.walk_extremes()
+
+    def test_facade_accepts_packed_rows(self):
+        bits = random_matrix(1, 640, seed=88)
+        stream = StreamingContext(256)
+        stream.push(pack_matrix(bits))
+        stats = stream.window_stats()
+        assert np.array_equal(stats["ones"], BatchContext(bits[:, -256:]).ones())
