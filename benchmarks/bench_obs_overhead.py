@@ -1,0 +1,243 @@
+"""Observability overhead benchmark: instrumented vs `obs.disabled()`.
+
+PR 9 threaded metrics and tracing spans through the engine batch path and
+the fleet round loop.  The design claim is that instrumentation is cheap
+enough to leave on everywhere — per run it is a handful of counter
+increments and span allocations against milliseconds of kernel work — and
+this benchmark pins that claim at <= 3% for both ``run_batch`` and a
+multiplexed fleet round.
+
+**Methodology.**  Naive A/B wall-clock differencing cannot certify a 3%
+bound on a shared runner: timing two *identical* arms here spreads +-6%
+(cgroup throttling and steal time move the attainable minimum itself), an
+order of magnitude above the effect.  The pinned ratio is instead built
+from two quantities that *are* stable:
+
+* the exact number of obs operations one workload performs — spans counted
+  from the recorded trace tree, metric updates counted by wrapping the
+  primitive ``inc``/``set``/``add``/``observe`` methods for one run;
+* the per-operation cost of those primitives, microbenchmarked over 10^5
+  iterations (deterministic to well under a microsecond).
+
+``overhead = ops x cost / t_workload`` with ``t_workload`` the *minimum*
+uninstrumented wall time (smallest denominator — the conservative choice),
+and the floored speedup key is ``t / (t + overhead_cost)``, same semantics
+as a measured ``t_disabled / t_enabled`` ratio: 1.0 is zero overhead, the
+0.97 floor is the <= 3% contract.  Directly measured A/B wall times are
+reported alongside in ``extra`` for the record.  Results land in
+``benchmarks/results/BENCH_obs.json`` in the shared harness schema.
+"""
+
+import os
+import time
+
+import numpy as np
+
+import repro.obs as obs
+from bench_harness import assert_floors, write_bench_json
+from repro.engine import run_batch
+from repro.fleet import DeviceRegistry, FleetMix, FleetScheduler
+from repro.obs.metrics import Counter, Gauge, Histogram
+from repro.trng import IdealSource
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Modeled t/(t + obs cost) must stay >= 0.97: instrumentation <= ~3%.
+OVERHEAD_FLOOR = 0.97
+
+BATCH_SEQUENCES = 32 if SMOKE else 48
+BATCH_LENGTH = 4096
+BATCH_TESTS = ("nist.frequency", "nist.block_frequency", "nist.runs",
+               "nist.cumulative_sums", "fips.poker")
+FLEET_DEVICES = 32 if SMOKE else 128
+#: Wall-time samples per arm (min taken) and primitive microbench iterations.
+SAMPLES = 10 if SMOKE else 20
+MICRO_ITERS = 20_000 if SMOKE else 100_000
+SEED = 20150309
+
+
+def _min_time(workload, samples=SAMPLES):
+    best = float("inf")
+    for _ in range(samples):
+        start = time.perf_counter()
+        workload()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _primitive_costs():
+    """Per-operation cost (seconds) of one span and one metric update."""
+    registry = obs.registry()
+    bench_counter = registry.counter("bench_obs_probe_total", "microbench probe",
+                                     labels=("k",))
+    bench_hist = registry.histogram("bench_obs_probe_seconds", "microbench probe",
+                                    labels=("k",))
+
+    start = time.perf_counter()
+    for _ in range(MICRO_ITERS):
+        with obs.span("bench", k="v"):
+            pass
+    span_cost = (time.perf_counter() - start) / MICRO_ITERS
+
+    start = time.perf_counter()
+    for _ in range(MICRO_ITERS):
+        bench_counter.inc(1, k="v")
+    counter_cost = (time.perf_counter() - start) / MICRO_ITERS
+
+    start = time.perf_counter()
+    for _ in range(MICRO_ITERS):
+        bench_hist.observe(0.001, k="v")
+    histogram_cost = (time.perf_counter() - start) / MICRO_ITERS
+
+    obs.clear_traces()  # drop the 10^5 microbench roots from the ring
+    # One conservative "metric update" price: the dearest of the three
+    # primitive updates (gauge set is cheaper than either).
+    return span_cost, max(counter_cost, histogram_cost)
+
+
+class _OpCounter:
+    """Counts metric updates by wrapping the primitive methods for one run."""
+
+    _PATCHES = (
+        (Counter, "inc"), (Gauge, "set"), (Gauge, "add"), (Histogram, "observe"),
+    )
+
+    def __init__(self):
+        self.updates = 0
+        self._originals = []
+
+    def __enter__(self):
+        for cls, name in self._PATCHES:
+            original = getattr(cls, name)
+            self._originals.append((cls, name, original))
+
+            def wrapped(inner_self, *args, _original=original, **kwargs):
+                self.updates += 1
+                return _original(inner_self, *args, **kwargs)
+
+            setattr(cls, name, wrapped)
+        return self
+
+    def __exit__(self, *exc):
+        for cls, name, original in self._originals:
+            setattr(cls, name, original)
+
+
+def _count_ops(workload):
+    """(spans, metric updates) one workload run performs."""
+    obs.clear_traces()
+    with _OpCounter() as ops:
+        workload()
+    spans = sum(len(root.stage_names()) for root in obs.TRACER.traces())
+    obs.clear_traces()
+    return spans, ops.updates
+
+
+def _profile(workload):
+    """Model one workload: uninstrumented time, op counts, measured A/B."""
+    workload()  # warm-up: imports, kernel caches, allocator
+    spans, updates = _count_ops(workload)
+    enabled = _min_time(workload)
+    with obs.disabled():
+        disabled = _min_time(workload)
+    return {"spans": spans, "updates": updates,
+            "enabled": enabled, "disabled": disabled}
+
+
+def _build_fleet():
+    registry = DeviceRegistry("n128_light", alpha=0.01)
+    registry.populate(
+        FLEET_DEVICES, FleetMix.healthy_with_threats(0.95), seed=SEED
+    )
+    return FleetScheduler(registry)
+
+
+def test_obs_overhead_within_three_percent(save_table):
+    span_cost, update_cost = _primitive_costs()
+
+    matrix = np.stack([
+        IdealSource(seed=SEED + row).generate(BATCH_LENGTH).bits
+        for row in range(BATCH_SEQUENCES)
+    ])
+    batch = _profile(lambda: run_batch(matrix, tests=BATCH_TESTS))
+
+    scheduler = _build_fleet()
+    fleet_round = _profile(scheduler.run_round)
+
+    def modeled_ratio(profile):
+        cost = profile["spans"] * span_cost + profile["updates"] * update_cost
+        # The uninstrumented minimum is the smallest denominator the
+        # workload can present, i.e. the most conservative overhead base.
+        base = min(profile["enabled"], profile["disabled"])
+        return base / (base + cost), cost
+
+    batch_ratio, batch_cost = modeled_ratio(batch)
+    round_ratio, round_cost = modeled_ratio(fleet_round)
+    speedups = {
+        "batch_uninstrumented_vs_instrumented": batch_ratio,
+        "fleet_round_uninstrumented_vs_instrumented": round_ratio,
+    }
+    floors = {key: OVERHEAD_FLOOR for key in speedups}
+
+    rows = []
+    for label, profile, cost, ratio in (
+        ("run_batch", batch, batch_cost, batch_ratio),
+        ("fleet round", fleet_round, round_cost, round_ratio),
+    ):
+        rows.append({
+            "workload": label,
+            "spans": profile["spans"],
+            "metric_updates": profile["updates"],
+            "obs_cost_us": f"{cost * 1e6:.1f}",
+            "workload_ms": f"{min(profile['enabled'], profile['disabled']) * 1e3:.2f}",
+            "overhead_%": f"{(1 / ratio - 1) * 100:.2f}",
+        })
+    save_table(
+        "obs_overhead",
+        "Observability overhead: instrumented (default) vs obs.disabled()",
+        rows,
+        ("workload", "spans", "metric_updates", "obs_cost_us", "workload_ms",
+         "overhead_%"),
+    )
+    write_bench_json(
+        "obs",
+        workload={
+            "batch_sequences": BATCH_SEQUENCES,
+            "batch_length": BATCH_LENGTH,
+            "batch_tests": list(BATCH_TESTS),
+            "fleet_devices": FLEET_DEVICES,
+            "fleet_design": "n128_light",
+            "samples": SAMPLES,
+            "micro_iters": MICRO_ITERS,
+            "timing": "op-count x primitive-cost over min uninstrumented time",
+        },
+        timings_s={
+            "batch_enabled": batch["enabled"],
+            "batch_disabled": batch["disabled"],
+            "fleet_round_enabled": fleet_round["enabled"],
+            "fleet_round_disabled": fleet_round["disabled"],
+            "span_cost": span_cost,
+            "metric_update_cost": update_cost,
+        },
+        speedups=speedups,
+        floors=floors,
+        smoke=SMOKE,
+        extra={
+            "batch_spans": batch["spans"],
+            "batch_metric_updates": batch["updates"],
+            "fleet_round_spans": fleet_round["spans"],
+            "fleet_round_metric_updates": fleet_round["updates"],
+            "measured_ab_ratio_batch": batch["disabled"] / batch["enabled"],
+            "measured_ab_ratio_fleet_round":
+                fleet_round["disabled"] / fleet_round["enabled"],
+        },
+    )
+    assert_floors(speedups, floors)
+
+    # The instrumentation the overhead pays for really fired: the profiled
+    # runs recorded spans and moved the metric registry.
+    assert batch["spans"] > 0 and batch["updates"] > 0
+    assert fleet_round["spans"] >= 4 and fleet_round["updates"] > 0
+    registry = obs.registry()
+    assert registry.get("repro_engine_bits_evaluated_total").value() > 0
+    assert registry.get("repro_fleet_round_latency_seconds").count() > 0

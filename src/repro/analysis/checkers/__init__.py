@@ -3,6 +3,7 @@
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.hygiene import ApiHygieneChecker
 from repro.analysis.checkers.locks import LockDisciplineChecker
+from repro.analysis.checkers.observability import ObservabilityChecker
 from repro.analysis.checkers.packed import PackedKernelChecker
 
 __all__ = [
@@ -10,4 +11,5 @@ __all__ = [
     "PackedKernelChecker",
     "LockDisciplineChecker",
     "ApiHygieneChecker",
+    "ObservabilityChecker",
 ]

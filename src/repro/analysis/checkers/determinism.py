@@ -21,6 +21,12 @@ __all__ = ["DeterminismChecker"]
 #: numpy bit-generator / seed-sequence constructors that also need a seed.
 _SEEDED_CONSTRUCTORS = ("default_rng", "SeedSequence", "PCG64", "MT19937", "Philox", "SFC64")
 
+#: The sanctioned wall-clock home (mirrors PKD003's packing homes): the
+#: observability layer times spans and may read the wall clock; wall-clock
+#: entropy names are exempt there.  OS-entropy names never are — telemetry
+#: has no business drawing os.urandom/uuid4.
+_WALLCLOCK_HOME = "repro/obs/"
+
 #: Fully-qualified calls that draw entropy from the environment.
 _ENTROPY_CALLS = {
     "time.time": "time.time() is wall-clock entropy",
@@ -156,7 +162,7 @@ class DeterminismChecker(Checker):
         if name is not None:
             self._check_unseeded_constructor(node, name)
             self._check_legacy_numpy(node, name)
-            if name in _ENTROPY_CALLS:
+            if name in _ENTROPY_CALLS and not self._wallclock_exempt(name):
                 self.report(
                     "DET004",
                     node,
@@ -175,6 +181,12 @@ class DeterminismChecker(Checker):
                 "(PYTHONHASHSEED); derive stable keys explicitly instead",
             )
         self.generic_visit(node)
+
+    def _wallclock_exempt(self, name: str) -> bool:
+        """Wall-clock names are sanctioned inside the repro.obs timing home."""
+        if _WALLCLOCK_HOME not in self.ctx.path:
+            return False
+        return name.split(".")[0] in ("time", "datetime")
 
     # ----------------------------------------------------------- func stack
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:

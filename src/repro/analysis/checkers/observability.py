@@ -1,0 +1,86 @@
+"""Observability checker: one wall clock, owned by :mod:`repro.obs`.
+
+PR 9 threaded spans and metrics through every hot layer, and the design
+hinges on a single timing substrate: a module that times itself with a
+private ``time.perf_counter()`` pair produces latency numbers that can
+silently disagree with the span tree and the ``/metrics`` histograms right
+next to them.  The rule mirrors PKD003's "packing homes" idea for the wall
+clock — :mod:`repro.obs` is the sanctioned home (see the DET004 exemption
+in :mod:`repro.analysis.checkers.determinism`), and the instrumented layers
+must time through ``obs.span(...)`` / ``obs.trace(...)``, whose
+``duration_s`` is free to read afterwards.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers._common import dotted_name
+from repro.analysis.framework import Checker, DEFAULT_REGISTRY, Rule
+from repro.analysis.findings import Severity
+
+__all__ = ["ObservabilityChecker"]
+
+#: Clock reads whose *timing* use the rule polices.  Wall-clock entropy
+#: (time.time etc.) is additionally DET004's business; perf_counter and
+#: monotonic are pure timing and only this rule's.
+_CLOCK_CALLS = (
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.time",
+    "time.time_ns",
+)
+
+#: The instrumented layers: everywhere repro.obs spans/metrics are wired
+#: through.  Uninstrumented library corners (trng sources, eval models)
+#: stay free to time ad hoc until they grow instrumentation.
+_INSTRUMENTED_PREFIXES = (
+    "repro/engine/",
+    "repro/fleet/",
+    "repro/campaign/",
+)
+_INSTRUMENTED_FILES = ("repro/cli.py",)
+
+#: The sanctioned wall-clock home itself (tracing reads the clock here).
+_TIMING_HOME = "repro/obs/"
+
+
+@DEFAULT_REGISTRY.register
+class ObservabilityChecker(Checker):
+    rules = (
+        Rule(
+            id="OBS001",
+            family="observability",
+            severity=Severity.ERROR,
+            summary="direct clock read in an instrumented module",
+            invariant="the instrumented layers (engine, fleet, campaign, cli) time "
+                      "stages through repro.obs spans — one wall-clock home — so "
+                      "reported latencies and traces can never disagree; read "
+                      "span.duration_s instead of calling time.perf_counter()",
+            scopes=("library",),
+        ),
+    )
+
+    def _instrumented(self) -> bool:
+        path = self.ctx.path
+        if _TIMING_HOME in path:
+            return False
+        if path.endswith(_INSTRUMENTED_FILES):
+            return True
+        return any(prefix in path for prefix in _INSTRUMENTED_PREFIXES)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name in _CLOCK_CALLS and self._instrumented():
+            self.report(
+                "OBS001",
+                node,
+                f"{name}() read directly in an instrumented module; open an "
+                f"obs.span(...) around the stage (its .duration_s is the same "
+                f"clock) so the timing agrees with the trace tree and metrics",
+            )
+        self.generic_visit(node)

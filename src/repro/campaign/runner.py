@@ -27,6 +27,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional, Tuple
 
+import repro.obs as obs
 from repro.campaign.report import CampaignCell, CampaignReport
 from repro.campaign.scenarios import DEFAULT_CATALOG, ScenarioCatalog, ScenarioSpec
 from repro.core.configs import get_design
@@ -39,6 +40,12 @@ __all__ = ["CampaignConfig", "run_campaign", "DEFAULT_CAMPAIGN_DESIGNS"]
 #: Three design points spanning the sequence-length / test-subset space:
 #: both 128-bit profiles (quick detection) and a 65536-bit design (power).
 DEFAULT_CAMPAIGN_DESIGNS: Tuple[str, ...] = ("n128_light", "n128_medium", "n65536_light")
+
+_CELL_SECONDS = obs.histogram(
+    "repro_campaign_cell_seconds",
+    "Wall time of one (design x scenario) campaign cell, all trials.",
+    labels=("design", "scenario"),
+)
 
 
 @dataclass(frozen=True)
@@ -109,6 +116,18 @@ def _evaluate_cell(
     config: CampaignConfig,
 ) -> CampaignCell:
     """Run all trials of one (scenario x design) cell and aggregate them."""
+    with obs.span("campaign.cell", design=design, scenario=spec.label) as cell_span:
+        cell = _evaluate_cell_inner(platform, design, spec, config)
+    _CELL_SECONDS.observe(cell_span.duration_s, design=design, scenario=spec.label)
+    return cell
+
+
+def _evaluate_cell_inner(
+    platform: OnTheFlyPlatform,
+    design: str,
+    spec: ScenarioSpec,
+    config: CampaignConfig,
+) -> CampaignCell:
     detected = 0
     failing_sequences = 0
     latency_sequences = []

@@ -37,14 +37,26 @@ Installed as ``repro-trng-test`` (see ``pyproject.toml``); also runnable as
     ``src/``, ``benchmarks/`` and ``examples/``, with inline suppressions
     and the committed finding baseline.  Same engine as
     ``python -m repro.analysis``.
+``metrics``
+    Run any other sub-command as a workload and dump the process-wide
+    :mod:`repro.obs` metrics registry afterwards (text exposition format,
+    or ``--json`` for the structured snapshot).
+
+The engine-driven sub-commands (``batch``, ``monitor``, ``fleet``) also
+take ``--trace <path>``: the recorded :mod:`repro.obs` span trees (pack /
+dispatch / decision, fleet round stages, ...) are written to the path as
+JSON when the command finishes.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from typing import List, Optional
 
+import repro.obs as obs
 from repro.campaign import (
     CampaignConfig,
     DEFAULT_CAMPAIGN_DESIGNS,
@@ -137,6 +149,15 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--trace`` flag of the instrumented sub-commands."""
+    parser.add_argument(
+        "--trace", dest="trace_path", default=None, metavar="PATH",
+        help="write the recorded repro.obs span trees (nested timed stages "
+             "of this run) to PATH as JSON when the command finishes",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command-line parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -195,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--history-bits", type=int, default=None,
                          help="streaming only: ring capacity in bits (default n; "
                               "bounds per-stream memory regardless of stream length)")
+    _add_trace_argument(monitor)
 
     suite = sub.add_parser("suite", help="run the full reference NIST suite on a capture")
     suite.add_argument("capture", help="raw byte file with the captured TRNG output")
@@ -223,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated NIST test numbers, or 'hw' for the "
                             "HW-suitable subset, or 'all' for all 15")
     _add_backend_argument(batch)
+    _add_trace_argument(batch)
 
     campaign = sub.add_parser(
         "campaign",
@@ -291,7 +314,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--host", default="127.0.0.1", help="serve: bind address")
     fleet.add_argument("--port", type=int, default=8080,
                        help="serve: TCP port (0 picks a free one)")
+    fleet.add_argument("--quiet", action="store_true",
+                       help="serve: log only warnings and errors (drop the "
+                            "per-request INFO lines of the service logger)")
     _add_backend_argument(fleet)
+    _add_trace_argument(fleet)
 
     lint = sub.add_parser(
         "lint",
@@ -302,6 +329,19 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.analysis.cli import configure_parser as _configure_lint_parser
 
     _configure_lint_parser(lint)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run another sub-command as a workload, then dump the "
+             "repro.obs metrics registry it populated",
+    )
+    metrics.add_argument("--json", dest="json_output", action="store_true",
+                         help="dump the structured JSON snapshot instead of "
+                              "the Prometheus text exposition format")
+    metrics.add_argument("workload", nargs=argparse.REMAINDER,
+                         help="any repro.cli command line, e.g. "
+                              "'batch --sequences 32 --length 4096'; omit to "
+                              "dump the (empty) registry as-is")
 
     return parser
 
@@ -437,8 +477,6 @@ def _cmd_suite(args, out) -> int:
 
 
 def _cmd_batch(args, out) -> int:
-    import time
-
     from repro.engine import NIST_NUMBER_TO_ID, run_batch
     from repro.nist.suite import HW_SUITABLE_TESTS, NIST_TEST_NAMES
 
@@ -464,10 +502,12 @@ def _cmd_batch(args, out) -> int:
     matrix = source.generate_matrix(
         args.sequences, args.length, packed=args.backend == "packed"
     )
-    start = time.perf_counter()
-    reports = run_batch(matrix, tests=tests, processes=args.processes,
-                        backend=args.backend)
-    elapsed = time.perf_counter() - start
+    # The span doubles as the throughput timer (spans always measure time;
+    # repro.obs is the sanctioned wall-clock home, see rule OBS001).
+    with obs.span("cli.batch", sequences=args.sequences, length=args.length) as batch_span:
+        reports = run_batch(matrix, tests=tests, processes=args.processes,
+                            backend=args.backend)
+    elapsed = batch_span.duration_s
     print(
         f"engine batch: {args.sequences} sequences x {args.length} bits from "
         f"{source.name} ({len(tests)} tests, alpha = {args.alpha}, "
@@ -565,6 +605,23 @@ def _cmd_campaign(args, out) -> int:
     return 0
 
 
+def _configure_service_logging(quiet: bool) -> None:
+    """Wire the fleet-service logger to stderr for ``fleet serve``.
+
+    One structured line per request at INFO (method, path, status, latency);
+    ``--quiet`` keeps only warnings and errors.  Library use of the service
+    stays silent — only the CLI attaches a handler, and only once.
+    """
+    service_logger = logging.getLogger("repro.fleet.service")
+    if not service_logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        service_logger.addHandler(handler)
+    service_logger.setLevel(logging.WARNING if quiet else logging.INFO)
+
+
 def _cmd_fleet(args, out) -> int:
     from repro.fleet import DeviceRegistry, FleetMix, FleetScheduler, serve
 
@@ -636,11 +693,13 @@ def _cmd_fleet(args, out) -> int:
             report.save_csv(args.csv_path)
             print(f"CSV summary written to {args.csv_path}", file=out)
     if args.mode == "serve":
+        _configure_service_logging(quiet=args.quiet)
         server = serve(scheduler, host=args.host, port=args.port)
         host, port = server.server_address
         print(f"fleet service listening on http://{host}:{port}", file=out)
         print("endpoints: POST /devices, POST /ingest, "
-              "GET /devices/<id>/health, GET /fleet/summary", file=out)
+              "GET /devices/<id>/health, GET /fleet/summary, "
+              "GET /metrics, GET /metrics.json", file=out)
         try:
             server.serve_forever()
         except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
@@ -651,10 +710,24 @@ def _cmd_fleet(args, out) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None, out=None) -> int:
-    """CLI entry point; returns the process exit code."""
-    out = out or sys.stdout
-    args = build_parser().parse_args(argv)
+def _cmd_metrics(args, out) -> int:
+    """Run the wrapped workload (if any), then dump the metrics registry."""
+    workload = list(args.workload)
+    if workload and workload[0] == "--":
+        workload = workload[1:]
+    if workload and workload[0] == "metrics":
+        print("error: the metrics command cannot wrap itself", file=out)
+        return 2
+    code = main(workload, out) if workload else 0
+    if args.json_output:
+        json.dump(obs.registry().snapshot(), out, indent=2)
+        print("", file=out)
+    else:
+        print(obs.registry().render_text(), file=out, end="")
+    return code
+
+
+def _dispatch(args, out) -> int:
     if args.command == "designs":
         return _cmd_designs(out)
     if args.command == "evaluate":
@@ -673,7 +746,27 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         from repro.analysis.cli import run_from_args
 
         return run_from_args(args, out)
+    if args.command == "metrics":
+        return _cmd_metrics(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    trace_path = getattr(args, "trace_path", None)
+    if trace_path:
+        # Only this command's spans should land in the file, not whatever an
+        # embedding process recorded before.
+        obs.clear_traces()
+    code = _dispatch(args, out)
+    if trace_path:
+        with open(trace_path, "w", encoding="utf-8") as handle:
+            json.dump({"traces": obs.export_traces()}, handle, indent=2)
+            handle.write("\n")
+        print(f"trace written to {trace_path}", file=out)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests

@@ -25,10 +25,11 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+import repro.obs as obs
 from repro.engine.context import (
     DEFAULT_BACKEND,
     BatchContext,
@@ -47,6 +48,21 @@ from repro.engine.registry import (
 from repro.nist.common import BitsLike, TestResult, to_bits
 
 __all__ = ["EngineReport", "run_batch"]
+
+_TEST_SECONDS = obs.histogram(
+    "repro_engine_test_seconds",
+    "Wall time of one test's dispatch over a whole batch, by canonical test id.",
+    labels=("test",),
+)
+_TESTS_TOTAL = obs.counter(
+    "repro_engine_tests_total",
+    "Per-sequence test evaluations by execution path (batched/inline/pooled).",
+    labels=("path",),
+)
+_BITS_EVALUATED = obs.counter(
+    "repro_engine_bits_evaluated_total",
+    "Bits entering run_batch (sequences x sequence length).",
+)
 
 
 @dataclass
@@ -180,75 +196,108 @@ def run_batch(
     list of EngineReport
         One report per input sequence, in input order.
     """
+    with obs.trace("run_batch", backend=backend):
+        return _run_batch(
+            sequences, tests, parameters, processes, registry, skip_errors, backend
+        )
+
+
+def _run_batch(
+    sequences: Union[np.ndarray, PackedMatrix, BatchContext, Iterable[BitsLike]],
+    tests: Optional[Sequence[TestSpec]],
+    parameters: Optional[Dict[TestSpec, Dict[str, object]]],
+    processes: Optional[int],
+    registry: Optional[TestRegistry],
+    skip_errors: bool,
+    backend: str,
+) -> List[EngineReport]:
+    """The traced body of :func:`run_batch` (runs under its root span)."""
     validate_backend(backend)
     registry = registry if registry is not None else DEFAULT_REGISTRY
-    batch: Optional[BatchContext] = None
-    if isinstance(sequences, BatchContext):
-        # Prebuilt (possibly preseeded) context: run on it directly so its
-        # cached statistics are reused, not recomputed.
-        batch = sequences
-    elif isinstance(sequences, PackedMatrix):
-        batch = BatchContext(sequences, backend=backend)
-    elif isinstance(sequences, np.ndarray) and sequences.ndim == 2:
-        batch = BatchContext(BatchContext.as_matrix(sequences), backend=backend)
-    if batch is not None:
-        if batch.num_sequences == 0:
+    with obs.span("pack"):
+        batch: Optional[BatchContext] = None
+        if isinstance(sequences, BatchContext):
+            # Prebuilt (possibly preseeded) context: run on it directly so
+            # its cached statistics are reused, not recomputed.
+            batch = sequences
+        elif isinstance(sequences, PackedMatrix):
+            batch = BatchContext(sequences, backend=backend)
+        elif isinstance(sequences, np.ndarray) and sequences.ndim == 2:
+            batch = BatchContext(BatchContext.as_matrix(sequences), backend=backend)
+        if batch is not None:
+            if batch.num_sequences == 0:
+                return []
+            arrays: Optional[List[np.ndarray]] = None
+            num_sequences = batch.num_sequences
+        else:
+            arrays = [to_bits(sequence) for sequence in sequences]
+            num_sequences = len(arrays)
+        if not num_sequences:
             return []
-        arrays: Optional[List[np.ndarray]] = None
-        num_sequences = batch.num_sequences
-    else:
-        arrays = [to_bits(sequence) for sequence in sequences]
-        num_sequences = len(arrays)
-    if not num_sequences:
-        return []
-    specs = list(tests) if tests is not None else sorted(NIST_NUMBER_TO_ID)
-    # Dedupe after resolution (first occurrence wins): the same test given
-    # twice — e.g. by number and by id alias — would otherwise run twice and
-    # silently overwrite its own result.
-    resolved: List[RegisteredTest] = []
-    seen_ids = set()
-    for spec in specs:
-        test = registry.resolve(spec)
-        if test.id not in seen_ids:
-            seen_ids.add(test.id)
-            resolved.append(test)
-    params: Dict[str, Dict[str, object]] = {}
-    for spec, kwargs in (parameters or {}).items():
-        test_id = registry.resolve(spec).id
-        if test_id in params and params[test_id] != dict(kwargs):
-            raise ValueError(
-                f"conflicting parameters for test {test_id!r}: "
-                "the same test was keyed under multiple aliases"
-            )
-        params[test_id] = dict(kwargs)
+        specs = list(tests) if tests is not None else sorted(NIST_NUMBER_TO_ID)
+        # Dedupe after resolution (first occurrence wins): the same test
+        # given twice — e.g. by number and by id alias — would otherwise run
+        # twice and silently overwrite its own result.
+        resolved: List[RegisteredTest] = []
+        seen_ids = set()
+        for spec in specs:
+            test = registry.resolve(spec)
+            if test.id not in seen_ids:
+                seen_ids.add(test.id)
+                resolved.append(test)
+        params: Dict[str, Dict[str, object]] = {}
+        for spec, kwargs in (parameters or {}).items():
+            test_id = registry.resolve(spec).id
+            if test_id in params and params[test_id] != dict(kwargs):
+                raise ValueError(
+                    f"conflicting parameters for test {test_id!r}: "
+                    "the same test was keyed under multiple aliases"
+                )
+            params[test_id] = dict(kwargs)
 
-    if batch is None:
-        lengths = {arr.size for arr in arrays}
-        if len(lengths) == 1 and len(arrays) > 1:
-            batch = BatchContext(np.vstack(arrays), backend=backend)
-    if batch is not None:
-        contexts: List[SequenceContext] = list(batch.contexts())
-        reports = [
-            EngineReport(n=batch.n, backend=batch.backend) for _ in range(num_sequences)
-        ]
-    else:
-        # Mixed-length fallback: per-sequence contexts on the uint8 paths.
-        contexts = [SequenceContext(arr) for arr in arrays]
-        reports = [EngineReport(n=int(arr.size), backend="uint8") for arr in arrays]
+        if batch is None:
+            lengths = {arr.size for arr in arrays}
+            if len(lengths) == 1 and len(arrays) > 1:
+                batch = BatchContext(np.vstack(arrays), backend=backend)
+        if batch is not None:
+            contexts: List[SequenceContext] = list(batch.contexts())
+            reports = [
+                EngineReport(n=batch.n, backend=batch.backend)
+                for _ in range(num_sequences)
+            ]
+        else:
+            # Mixed-length fallback: per-sequence contexts on the uint8 paths.
+            contexts = [SequenceContext(arr) for arr in arrays]
+            reports = [EngineReport(n=int(arr.size), backend="uint8") for arr in arrays]
+    _BITS_EVALUATED.inc(sum(report.n for report in reports))
 
     pool_allowed = (
         processes is not None and processes > 1 and registry is DEFAULT_REGISTRY
     )
 
     def run_inline(test: RegisteredTest, kwargs: Dict[str, object]) -> None:
-        for report, context in zip(reports, contexts):
-            report.execution_paths[test.id] = "inline"
-            try:
-                report.results[test.id] = test.run(context, **kwargs)
-            except Exception as exc:  # noqa: BLE001 - see skip_errors docs
-                if not skip_errors:
-                    raise
-                report.errors[test.id] = _describe_error(exc)
+        # The dispatch span covers the per-sequence test evaluations; the
+        # decision span the fold of outcomes into reports.  Collecting
+        # outcomes first keeps skip_errors=False raising from inside the
+        # dispatch span, exactly where the failure happened.
+        outcomes: List[Tuple[bool, object]] = []
+        with obs.span("dispatch", test=test.id, path="inline") as dispatch_span:
+            for context in contexts:
+                try:
+                    outcomes.append((True, test.run(context, **kwargs)))
+                except Exception as exc:  # noqa: BLE001 - see skip_errors docs
+                    if not skip_errors:
+                        raise
+                    outcomes.append((False, exc))
+        _TEST_SECONDS.observe(dispatch_span.duration_s, test=test.id)
+        _TESTS_TOTAL.inc(len(reports), path="inline")
+        with obs.span("decision", test=test.id):
+            for report, (ok, value) in zip(reports, outcomes):
+                report.execution_paths[test.id] = "inline"
+                if ok:
+                    report.results[test.id] = value  # type: ignore[assignment]
+                else:
+                    report.errors[test.id] = _describe_error(value)  # type: ignore[arg-type]
 
     pooled: List[RegisteredTest] = []
     for test in resolved:
@@ -261,7 +310,8 @@ def run_batch(
             # Batch-native kernel over the whole packed batch: the pool-free
             # default for the heavyweight tests.
             try:
-                outcomes = test.run_batch(batch, **kwargs)
+                with obs.span("dispatch", test=test.id, path="batched") as dispatch_span:
+                    outcomes = test.run_batch(batch, **kwargs)
             except BatchFallback:
                 # Parameters outside the kernel's fast path: rerun this one
                 # test per sequence (pooled only if explicitly opted in).
@@ -276,19 +326,24 @@ def run_batch(
                 # Batch kernels validate parameters once for the whole
                 # batch (all rows share n), so the error is uniform.
                 message = _describe_error(exc)
+                _TESTS_TOTAL.inc(len(reports), path="batched")
                 for report in reports:
                     report.execution_paths[test.id] = "batched"
                     report.errors[test.id] = message
                 continue
-            for report, outcome in zip(reports, outcomes):
-                report.execution_paths[test.id] = "batched"
-                report.results[test.id] = outcome
+            _TEST_SECONDS.observe(dispatch_span.duration_s, test=test.id)
+            _TESTS_TOTAL.inc(len(reports), path="batched")
+            with obs.span("decision", test=test.id):
+                for report, outcome in zip(reports, outcomes):
+                    report.execution_paths[test.id] = "batched"
+                    report.results[test.id] = outcome
         elif pool_allowed and test.expensive:
             pooled.append(test)
         else:
             run_inline(test, kwargs)
 
     if pooled:
+        _TESTS_TOTAL.inc(len(pooled) * len(reports), path="pooled")
         if arrays is not None:
             payloads = [("bits", arr.tobytes(), int(arr.size)) for arr in arrays]
         else:
@@ -302,24 +357,26 @@ def run_batch(
                 ]
             else:
                 payloads = [("bits", row.tobytes(), batch.n) for row in batch.matrix]
-        with ProcessPoolExecutor(max_workers=processes) as pool:
-            futures = {}
-            for test in pooled:
-                kwargs = params.get(test.id, {})
-                for index, (kind, raw, length) in enumerate(payloads):
-                    future = pool.submit(
-                        _pool_worker, (test.id, kind, raw, length, kwargs)
-                    )
-                    futures[future] = (index, test.id)
-                    reports[index].execution_paths[test.id] = "pooled"
-            for future in as_completed(futures):
-                index, test_id = futures[future]
-                status, outcome = future.result()
-                if status == "ok":
-                    reports[index].results[test_id] = outcome
-                elif skip_errors:
-                    reports[index].errors[test_id] = _describe_error(outcome)
-                else:
-                    raise outcome
+        pooled_ids = ",".join(test.id for test in pooled)
+        with obs.span("dispatch", test=pooled_ids, path="pooled"):
+            with ProcessPoolExecutor(max_workers=processes) as pool:
+                futures = {}
+                for test in pooled:
+                    kwargs = params.get(test.id, {})
+                    for index, (kind, raw, length) in enumerate(payloads):
+                        future = pool.submit(
+                            _pool_worker, (test.id, kind, raw, length, kwargs)
+                        )
+                        futures[future] = (index, test.id)
+                        reports[index].execution_paths[test.id] = "pooled"
+                for future in as_completed(futures):
+                    index, test_id = futures[future]
+                    status, outcome = future.result()
+                    if status == "ok":
+                        reports[index].results[test_id] = outcome
+                    elif skip_errors:
+                        reports[index].errors[test_id] = _describe_error(outcome)
+                    else:
+                        raise outcome
 
     return reports

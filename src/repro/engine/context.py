@@ -26,6 +26,7 @@ from typing import Callable, Dict, Iterable, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
+import repro.obs as obs
 from repro.engine import packed as _packed
 from repro.engine.packed import PackedMatrix, pack_matrix
 from repro.nist.common import BitsLike, pattern_counts, to_bits
@@ -37,6 +38,12 @@ __all__ = [
     "DEFAULT_BACKEND",
     "validate_backend",
 ]
+
+_KERNEL_CALLS = obs.counter(
+    "repro_packed_kernel_invocations_total",
+    "Packed (64-bits-per-word) kernel dispatches from BatchContext, by kernel.",
+    labels=("kernel",),
+)
 
 #: A preseeded block-statistic source: given a block length, return the
 #: ``(num_sequences, num_blocks)`` statistic array, or ``None`` to decline
@@ -514,6 +521,7 @@ class BatchContext:
     def ones(self) -> np.ndarray:
         if self._ones is None:
             if self._use_packed():
+                _KERNEL_CALLS.inc(kernel="ones_count")
                 self._ones = _packed.ones_count(self.packed())
             else:
                 self._ones = self.matrix.sum(axis=1, dtype=np.int64)
@@ -523,6 +531,7 @@ class BatchContext:
         """The final bit of every sequence (uint8, no unpack on packed input)."""
         if self._last_bits is None:
             if self._use_packed():
+                _KERNEL_CALLS.inc(kernel="last_bits")
                 self._last_bits = _packed.last_bits(self.packed())
             else:
                 self._last_bits = self.matrix[:, -1]
@@ -531,6 +540,7 @@ class BatchContext:
     def walk_extremes(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         if self._walk_extremes is None:
             if self._use_packed():
+                _KERNEL_CALLS.inc(kernel="walk_extremes")
                 self._walk_extremes = _packed.walk_extremes(self.packed())
             else:
                 walk = np.cumsum(2 * self.matrix.astype(np.int64) - 1, axis=1)
@@ -540,6 +550,7 @@ class BatchContext:
     def num_runs(self) -> np.ndarray:
         if self._num_runs is None:
             if self._use_packed():
+                _KERNEL_CALLS.inc(kernel="transition_counts")
                 self._num_runs = _packed.transition_counts(self.packed()) + 1
             else:
                 changes = np.count_nonzero(np.diff(self.matrix.astype(np.int8), axis=1), axis=1)
@@ -554,6 +565,7 @@ class BatchContext:
                     self._block_sums[block_length] = provided
                     return provided
             if self._use_packed() and _packed.supports_block_ones(block_length, self.n):
+                _KERNEL_CALLS.inc(kernel="block_ones")
                 self._block_sums[block_length] = _packed.block_ones(
                     self.packed(), block_length
                 )
@@ -575,6 +587,7 @@ class BatchContext:
             if self._use_packed() and _packed.supports_block_longest_one_runs(
                 block_length, self.n
             ):
+                _KERNEL_CALLS.inc(kernel="block_longest_one_runs")
                 self._block_longest[block_length] = _packed.block_longest_one_runs(
                     self.packed(), block_length
                 )

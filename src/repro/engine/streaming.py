@@ -52,6 +52,7 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+import repro.obs as obs
 from repro.engine import packed as _packed
 from repro.engine.context import (
     DEFAULT_BACKEND,
@@ -63,6 +64,19 @@ from repro.engine.packed import BITS_PER_WORD, WORD_DTYPE, PackedMatrix, pack_ma
 from repro.nist.common import BitsLike, to_bits
 
 __all__ = ["StreamingBatchContext", "StreamingContext"]
+
+_BITS_INGESTED = obs.counter(
+    "repro_stream_bits_ingested_total",
+    "Bits pushed into streaming contexts, summed over every row.",
+)
+_WINDOW_ROLLS = obs.counter(
+    "repro_stream_window_rolls_total",
+    "Incremental O(1) window rolls of the running streaming counters.",
+)
+_RING_WRAPS = obs.counter(
+    "repro_stream_ring_wraps_total",
+    "Commits whose word writes wrapped past the end of the packed ring.",
+)
 
 #: Summary rings every streaming context maintains (int16 per word).  The
 #: cumulative walk rides in a separate int64 ring (`_walk_cum`) so window
@@ -225,6 +239,7 @@ class StreamingBatchContext:
         nbits = packed_in.n
         if nbits == 0:
             return
+        _BITS_INGESTED.inc(nbits * self.num_rows)
         in_words = packed_in.words
         offset = self._tail_len
         total = offset + nbits
@@ -262,6 +277,8 @@ class StreamingBatchContext:
     def _commit(self, new_words: np.ndarray) -> None:
         """Fold ``count`` freshly completed words into rings and counters."""
         count = new_words.shape[1]
+        if self._committed % self._ring_words + min(count, self._ring_words) > self._ring_words:
+            _RING_WRAPS.inc()
         sums = _packed.word_summaries(new_words, track_runs=self.track_runs)
         last = sums["last"]
         prev_last = np.empty((self.num_rows, count), dtype=np.uint8)
@@ -300,6 +317,7 @@ class StreamingBatchContext:
 
     def _roll_counters(self, entry: Dict[str, np.ndarray], count: int) -> None:
         """O(1)-per-word roll of the running ones/transition totals."""
+        _WINDOW_ROLLS.inc()
         window = self._window_words
         if count >= window:
             # The push replaces the whole window: rebuild from the new

@@ -23,20 +23,20 @@ stay >= 5x faster than the naive per-device loop at a 512-device fleet.
 from __future__ import annotations
 
 import threading
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.monitor import MonitorEvent
 from repro.engine.batch import EngineReport, run_batch
 from repro.engine.context import DEFAULT_BACKEND, validate_backend
 from repro.engine.packed import PackedMatrix, pack_matrix
 from repro.engine.registry import NIST_NUMBER_TO_ID
 from repro.engine.streaming import StreamingBatchContext, StreamingContext
-from repro.fleet.registry import DeviceRegistry
+from repro.fleet.registry import Device, DeviceRegistry
 from repro.fleet.report import FleetReport, FleetRound, build_report
 from repro.nist.common import BitsLike, to_bits
 
@@ -44,6 +44,38 @@ __all__ = ["FleetVerdict", "FleetScheduler"]
 
 #: Canonical registry id -> NIST test number (for verdict attribution).
 _ID_TO_NIST_NUMBER = {test_id: number for number, test_id in NIST_NUMBER_TO_ID.items()}
+
+_ROUND_SECONDS = obs.histogram(
+    "repro_fleet_round_latency_seconds",
+    "Wall time of one multiplexed fleet round (generate + evaluate + fold).",
+)
+_DEVICES_PER_S = obs.gauge(
+    "repro_fleet_devices_per_second",
+    "Device throughput of the most recent fleet round.",
+)
+_INGEST_BITS = obs.counter(
+    "repro_fleet_ingest_bits_total",
+    "Raw bits submitted through FleetScheduler.ingest (the service path).",
+)
+_HEALTH_TRANSITIONS = obs.counter(
+    "repro_fleet_health_transitions_total",
+    "Device health-state machine transitions, by (from, to) state pair.",
+    labels=("from_state", "to_state"),
+)
+
+
+def _count_transitions(
+    transitions: Dict[Tuple[str, str], int], before: str, after: str
+) -> None:
+    """Accumulate one health transition locally (one inc per pair later)."""
+    key = (before, after)
+    transitions[key] = transitions.get(key, 0) + 1
+
+
+def _flush_transitions(transitions: Dict[Tuple[str, str], int]) -> None:
+    """One counter inc per observed (from, to) pair, not per device."""
+    for (before, after), count in transitions.items():
+        _HEALTH_TRANSITIONS.inc(count, from_state=before, to_state=after)
 
 
 @dataclass(frozen=True)
@@ -313,20 +345,34 @@ class FleetScheduler:
                     "no simulated devices registered; populate() the fleet first"
                 )
             n = self.registry.n
-            start = time.perf_counter()
-            matrix = np.empty((len(devices), n), dtype=np.uint8)
-            for row, device in enumerate(devices):
-                matrix[row] = device.source.generate_block(n)
-            if self.streaming:
-                verdicts = self._round_stream_verdicts(matrix)
-            else:
-                verdicts = self.evaluate_matrix(matrix)
-            failing = 0
-            for device, verdict in zip(devices, verdicts):
-                event = device.monitor.observe(verdict)
-                if not event.report.passed:
-                    failing += 1
-            elapsed = time.perf_counter() - start
+            # The root span is also the round timer: its duration feeds both
+            # FleetRound.elapsed_s and the latency histogram (spans always
+            # measure, even with recording disabled — see repro.obs.tracing).
+            with obs.trace(
+                "fleet.run_round", devices=len(devices), streaming=self.streaming
+            ) as root:
+                with obs.span("generate"):
+                    matrix = np.empty((len(devices), n), dtype=np.uint8)
+                    for row, device in enumerate(devices):
+                        matrix[row] = device.source.generate_block(n)
+                with obs.span("evaluate"):
+                    if self.streaming:
+                        verdicts = self._round_stream_verdicts(matrix)
+                    else:
+                        verdicts = self.evaluate_matrix(matrix)
+                with obs.span("fold"):
+                    failing = 0
+                    transitions: Dict[Tuple[str, str], int] = {}
+                    for device, verdict in zip(devices, verdicts):
+                        before = device.monitor.state.value
+                        event = device.monitor.observe(verdict)
+                        _count_transitions(transitions, before, event.state.value)
+                        if not event.report.passed:
+                            failing += 1
+                    _flush_transitions(transitions)
+            elapsed = root.duration_s
+            _ROUND_SECONDS.observe(elapsed)
+            _DEVICES_PER_S.set(len(devices) / elapsed if elapsed > 0 else 0.0)
             fleet_round = FleetRound(
                 index=len(self.rounds),
                 health=self.registry.health_counts(),
@@ -369,6 +415,7 @@ class FleetScheduler:
         """
         device = self.registry.get(device_id)
         arr = to_bits(bits)
+        _INGEST_BITS.inc(arr.size)
         n = self.registry.n
         if self.streaming:
             if arr.size == 0:
@@ -392,7 +439,7 @@ class FleetScheduler:
                         )
                         entry.pending = 0
             with self.lock:
-                return [device.monitor.observe(verdict) for verdict in verdicts]
+                return self._observe_all(device, verdicts)
         if arr.size == 0 or arr.size % n != 0:
             raise ValueError(
                 f"ingest needs a positive multiple of {n} bits "
@@ -400,7 +447,25 @@ class FleetScheduler:
             )
         verdicts = self.evaluate_matrix(arr.reshape(-1, n))
         with self.lock:
-            return [device.monitor.observe(verdict) for verdict in verdicts]
+            return self._observe_all(device, verdicts)
+
+    def _observe_all(
+        self, device: Device, verdicts: List[FleetVerdict]
+    ) -> List[MonitorEvent]:
+        """Fold ingest verdicts into one device's health machine, counted.
+
+        Callers hold the fleet lock.  Transitions accumulate locally and
+        flush as one counter inc per observed (from, to) pair.
+        """
+        events: List[MonitorEvent] = []
+        transitions: Dict[Tuple[str, str], int] = {}
+        for verdict in verdicts:
+            before = device.monitor.state.value
+            event = device.monitor.observe(verdict)
+            _count_transitions(transitions, before, event.state.value)
+            events.append(event)
+        _flush_transitions(transitions)
+        return events
 
     def _ingest_entry(self, device_id: str) -> _IngestStream:
         """The device's streaming ingest state, created on first use."""

@@ -23,6 +23,17 @@ network-facing API without a single new dependency.  Endpoints:
 ``GET /fleet/summary``
     Fleet-wide summary: health mix, scenario mix, throughput, the
     per-scenario detection table of :class:`~repro.fleet.report.FleetReport`.
+``GET /metrics``
+    The process-wide :mod:`repro.obs` registry in Prometheus text
+    exposition format 0.0.4 (round latency histogram, bits counters,
+    execution-path and health-transition counters, request metrics, ...).
+``GET /metrics.json``
+    The same registry as a structured JSON snapshot.
+
+Requests are logged through the ``repro.fleet.service`` :mod:`logging`
+logger — one INFO line per request with method, path, status and latency —
+instead of ``http.server``'s raw stderr lines (the CLI's ``fleet serve``
+wires a handler; ``--quiet`` drops it to warnings only).
 
 The server is a :class:`~http.server.ThreadingHTTPServer` (daemon threads,
 one per connection), and lock holds are bounded: requests take the
@@ -38,15 +49,55 @@ connection, and vice versa (pinned by the two-connection e2e test in
 from __future__ import annotations
 
 import json
+import logging
 import re
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Tuple
 from urllib.parse import unquote, urlsplit
 
+import repro.obs as obs
 from repro.fleet.registry import DeviceRegistry
 from repro.fleet.scheduler import FleetScheduler
 
 __all__ = ["FleetService", "ServiceError", "serve"]
+
+#: Per-request log lines (INFO) and raw ``http.server`` chatter (DEBUG)
+#: both flow through here; unconfigured, nothing reaches stderr.
+logger = logging.getLogger("repro.fleet.service")
+
+#: Content type of the Prometheus text exposition format.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_REQUESTS = obs.counter(
+    "repro_service_requests_total",
+    "HTTP requests served by the fleet service, by method, route and status.",
+    labels=("method", "route", "status"),
+)
+_REQUEST_SECONDS = obs.histogram(
+    "repro_service_request_seconds",
+    "Wall time of one fleet-service request (dispatch through response body).",
+    labels=("method",),
+)
+
+#: Known route templates, so the request counter's cardinality stays fixed
+#: no matter what paths clients probe.
+_ROUTES = (
+    (re.compile(r"^/metrics$"), "/metrics"),
+    (re.compile(r"^/metrics\.json$"), "/metrics.json"),
+    (re.compile(r"^/fleet/summary$"), "/fleet/summary"),
+    (re.compile(r"^/devices/[^/]+/health$"), "/devices/<id>/health"),
+    (re.compile(r"^/devices$"), "/devices"),
+    (re.compile(r"^/ingest$"), "/ingest"),
+)
+
+
+def _route_label(path: str) -> str:
+    """The route template of ``path`` (``<unknown>`` off the route table)."""
+    clean = urlsplit(path).path.rstrip("/") or "/"
+    for pattern, label in _ROUTES:
+        if pattern.match(clean):
+            return label
+    return "<unknown>"
 
 #: Cap on accepted request bodies (a 2^20-bit design ingest is ~1 MiB of
 #: ASCII bits; anything far beyond that is a client error, not traffic).
@@ -175,11 +226,21 @@ class FleetService:
             "scenarios": [stats.to_dict() for stats in report.scenarios],
         }
 
+    def metrics_text(self) -> str:
+        """The process-wide metrics registry in Prometheus 0.0.4 text format."""
+        return obs.registry().render_text()
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The process-wide metrics registry as a structured JSON snapshot."""
+        return obs.registry().snapshot()
+
     # ------------------------------------------------------------- dispatch
     def handle_get(self, path: str) -> Tuple[int, Dict[str, object]]:
         # Drop any query string (?pretty=1 must not 404 a real endpoint)
         # and percent-decode the segments before routing.
         parts = [unquote(part) for part in urlsplit(path).path.split("/") if part]
+        if parts == ["metrics.json"]:
+            return 200, self.metrics_snapshot()
         if parts == ["fleet", "summary"]:
             return 200, self.fleet_summary()
         if len(parts) == 3 and parts[0] == "devices" and parts[2] == "health":
@@ -205,10 +266,9 @@ class _FleetRequestHandler(BaseHTTPRequestHandler):
     def service(self) -> FleetService:
         return self.server.service  # type: ignore[attr-defined]
 
-    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -231,25 +291,54 @@ class _FleetRequestHandler(BaseHTTPRequestHandler):
         return payload
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        try:
-            status, payload = self.service.handle_get(self.path)
-        except ServiceError as exc:
-            status, payload = exc.status, {"error": exc.message}
-        self._send_json(status, payload)
+        route = _route_label(self.path)
+        with obs.span("service.request", method="GET", route=route) as request_span:
+            if route == "/metrics":
+                # The exposition endpoint is plain text, not JSON, and is
+                # rendered outside the fleet lock (the registry has its own
+                # per-metric locks).
+                status = 200
+                body = self.service.metrics_text().encode("utf-8")
+                content_type = METRICS_CONTENT_TYPE
+            else:
+                try:
+                    status, payload = self.service.handle_get(self.path)
+                except ServiceError as exc:
+                    status, payload = exc.status, {"error": exc.message}
+                body = json.dumps(payload).encode("utf-8")
+                content_type = "application/json"
+        # Account before writing the response, so a client that reads its
+        # reply and immediately scrapes /metrics always sees this request.
+        self._account("GET", route, status, request_span.duration_s)
+        self._send_body(status, body, content_type)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        try:
-            status, payload = self.service.handle_post(self.path, self._read_json())
-        except ServiceError as exc:
-            # The body may not have been consumed (bad/oversized payload); on
-            # a keep-alive connection the leftover bytes would be parsed as
-            # the next request line, so drop the connection after responding.
-            self.close_connection = True
-            status, payload = exc.status, {"error": exc.message}
-        self._send_json(status, payload)
+        route = _route_label(self.path)
+        with obs.span("service.request", method="POST", route=route) as request_span:
+            try:
+                status, payload = self.service.handle_post(self.path, self._read_json())
+            except ServiceError as exc:
+                # The body may not have been consumed (bad/oversized payload);
+                # on a keep-alive connection the leftover bytes would be parsed
+                # as the next request line, so drop the connection after
+                # responding.
+                self.close_connection = True
+                status, payload = exc.status, {"error": exc.message}
+        self._account("POST", route, status, request_span.duration_s)
+        self._send_body(status, json.dumps(payload).encode("utf-8"), "application/json")
+
+    def _account(self, method: str, route: str, status: int, seconds: float) -> None:
+        """Per-request telemetry: counters, latency histogram, one log line."""
+        _REQUESTS.inc(method=method, route=route, status=str(status))
+        _REQUEST_SECONDS.observe(seconds, method=method)
+        logger.info(
+            "%s %s -> %d in %.2f ms", method, self.path, status, seconds * 1000.0
+        )
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        pass  # keep tests and CLI output clean; the CLI prints its own line
+        # http.server's own chatter (error lines etc.) goes to the logger at
+        # DEBUG; the per-request INFO line above is the structured one.
+        logger.debug(format, *args)
 
 
 def serve(

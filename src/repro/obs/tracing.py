@@ -1,0 +1,184 @@
+"""Tracing spans: nested timed stages, a bounded ring of recent traces.
+
+A :class:`Span` is one timed stage of a run — ``pack`` / ``dispatch`` /
+``decision`` inside :func:`repro.engine.batch.run_batch`, ``generate`` /
+``evaluate`` / ``fold`` inside a fleet round — opened with the
+:func:`span` context manager and nested through a thread-local stack, so
+concurrent service threads and worker rounds never interleave their trees.
+
+Spans *always* time themselves (``time.perf_counter`` start/stop — this
+module is the repository's sanctioned wall-clock home, see rule ``OBS001``),
+so instrumented code can read ``span.duration_s`` for its own reporting
+(the fleet round latency is exactly its root span's duration).  What the
+enable flag (:func:`repro.obs.metrics.set_enabled`) gates is *recording*:
+when disabled, spans do not attach to a parent and finished roots are not
+appended to the trace ring, so the disabled cost is two clock reads and
+one small allocation.
+
+Finished **root** spans land in a bounded ring (``deque(maxlen=...)``) of
+recent traces; :meth:`Tracer.export` renders them as JSON-ready dicts —
+the payload behind the CLI's ``--trace <path>`` flag.  The export schema
+per span::
+
+    {"name": str, "start_s": float,     # relative to its root's start
+     "duration_s": float, "attributes": {...},
+     "error": str | null, "children": [...]}
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import is_enabled
+
+__all__ = ["Span", "Tracer", "TRACER", "span", "trace", "export_traces", "clear_traces"]
+
+#: Default bound of the recent-trace ring: enough to hold a whole CLI run's
+#: batch/round roots, small enough that a long-lived service stays O(1).
+DEFAULT_TRACE_CAPACITY = 128
+
+
+class Span:
+    """One timed stage; children nest through the thread-local stack."""
+
+    __slots__ = ("name", "attributes", "children", "start_s", "duration_s", "error")
+
+    def __init__(self, name: str, attributes: Dict[str, object]):
+        self.name = name
+        self.attributes = attributes
+        self.children: List["Span"] = []
+        self.start_s = 0.0
+        self.duration_s = 0.0
+        self.error: Optional[str] = None
+
+    def to_dict(self, origin_s: Optional[float] = None) -> Dict[str, object]:
+        """JSON-ready span tree; start times are relative to the root."""
+        origin = self.start_s if origin_s is None else origin_s
+        return {
+            "name": self.name,
+            "start_s": self.start_s - origin,
+            "duration_s": self.duration_s,
+            "attributes": dict(self.attributes),
+            "error": self.error,
+            "children": [child.to_dict(origin) for child in self.children],
+        }
+
+    def stage_names(self) -> List[str]:
+        """Every span name in this tree, depth-first (test/debug helper)."""
+        names = [self.name]
+        for child in self.children:
+            names.extend(child.stage_names())
+        return names
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, duration_s={self.duration_s:.6f}, "
+            f"children={len(self.children)})"
+        )
+
+
+class _SpanHandle:
+    """Context manager driving one span's lifecycle on the tracer stack."""
+
+    __slots__ = ("_tracer", "_span", "_attached")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, object]):
+        self._tracer = tracer
+        self._span = Span(name, attributes)
+        self._attached = False
+
+    def __enter__(self) -> Span:
+        current = self._span
+        if is_enabled():
+            stack = self._tracer._stack()
+            if stack:
+                stack[-1].children.append(current)
+            stack.append(current)
+            self._attached = True
+        current.start_s = time.perf_counter()
+        return current
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        current = self._span
+        current.duration_s = time.perf_counter() - current.start_s
+        if exc_type is not None:
+            current.error = getattr(exc_type, "__name__", str(exc_type))
+        if self._attached:
+            stack = self._tracer._stack()
+            # The span we pushed is still on top (with statements unwind in
+            # LIFO order even under exceptions).
+            stack.pop()
+            if not stack:
+                self._tracer._record(current)
+
+
+class Tracer:
+    """Thread-local span stacks over a shared bounded ring of recent traces."""
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY):
+        if capacity < 1:
+            raise ValueError("trace ring capacity must be positive")
+        self.capacity = capacity
+        self._traces: Deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, root: Span) -> None:
+        with self._lock:
+            self._traces.append(root)
+
+    # --------------------------------------------------------------- API
+    def span(self, name: str, **attributes: object) -> _SpanHandle:
+        """Open a (possibly nested) timed span as a context manager."""
+        return _SpanHandle(self, name, dict(attributes))
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def traces(self) -> Tuple[Span, ...]:
+        """The recent finished root spans, oldest first."""
+        with self._lock:
+            return tuple(self._traces)
+
+    def export(self) -> List[Dict[str, object]]:
+        """JSON-ready dicts of the recent traces (oldest first)."""
+        return [root.to_dict() for root in self.traces()]
+
+    def clear(self) -> None:
+        """Drop the recorded traces (open spans are unaffected)."""
+        with self._lock:
+            self._traces.clear()
+
+
+#: The process-wide default tracer every instrumented module records into.
+TRACER = Tracer()
+
+
+def span(name: str, **attributes: object) -> _SpanHandle:
+    """Open a span on the default tracer (nests under any open span)."""
+    return TRACER.span(name, **attributes)
+
+
+#: Alias emphasising intent at call sites that open a run's *root* span.
+trace = span
+
+
+def export_traces() -> List[Dict[str, object]]:
+    """The default tracer's recent traces as JSON-ready dicts."""
+    return TRACER.export()
+
+
+def clear_traces() -> None:
+    """Drop the default tracer's recorded traces."""
+    TRACER.clear()

@@ -1,0 +1,81 @@
+"""Fixture tests of OBS001 and the repro.obs wall-clock home exemption."""
+
+from repro.analysis.framework import analyze_source
+
+
+def rules(source, path, select=None):
+    ctx = analyze_source(source, path, select=select)
+    return [f.rule for f in ctx.findings]
+
+
+CLOCK = "import time\nt0 = time.perf_counter()\n"
+
+
+class TestObs001Scope:
+    def test_fires_in_every_instrumented_layer(self):
+        for path in (
+            "src/repro/engine/timing.py",
+            "src/repro/fleet/scheduler.py",
+            "src/repro/campaign/runner.py",
+            "src/repro/cli.py",
+        ):
+            assert "OBS001" in rules(CLOCK, path), path
+
+    def test_covers_the_monotonic_and_wall_clock_family(self):
+        for call in ("time.monotonic()", "time.perf_counter_ns()", "time.time()"):
+            source = f"import time\nt0 = {call}\n"
+            assert "OBS001" in rules(source, "src/repro/engine/batch.py"), call
+
+    def test_obs_home_is_sanctioned(self):
+        assert "OBS001" not in rules(CLOCK, "src/repro/obs/tracing.py")
+        assert "OBS001" not in rules(CLOCK, "src/repro/obs/metrics.py")
+
+    def test_uninstrumented_library_corners_stay_free(self):
+        assert "OBS001" not in rules(CLOCK, "src/repro/trng/ideal.py")
+        assert "OBS001" not in rules(CLOCK, "src/repro/eval/attribution.py")
+
+    def test_out_of_scope_trees_are_exempt(self):
+        # scopes=("library",): benchmarks and tests time ad hoc by design.
+        assert "OBS001" not in rules(CLOCK, "benchmarks/bench_engine.py")
+        assert "OBS001" not in rules(CLOCK, "tests/test_engine_batch.py")
+
+    def test_span_durations_are_the_sanctioned_alternative(self):
+        source = (
+            "import repro.obs as obs\n"
+            "with obs.span('stage') as stage:\n"
+            "    pass\n"
+            "elapsed = stage.duration_s\n"
+        )
+        assert rules(source, "src/repro/engine/batch.py", select=("OBS001",)) == []
+
+
+class TestDet004WallclockHome:
+    def test_wall_clock_entropy_sanctioned_inside_obs(self):
+        assert "DET004" not in rules(
+            "import time\nnow = time.time()\n", "src/repro/obs/metrics.py"
+        )
+        assert "DET004" not in rules(
+            "import datetime\nnow = datetime.datetime.now()\n",
+            "src/repro/obs/tracing.py",
+        )
+
+    def test_wall_clock_entropy_still_flagged_elsewhere(self):
+        assert "DET004" in rules(
+            "import time\nnow = time.time()\n", "src/repro/engine/batch.py"
+        )
+
+    def test_os_entropy_never_exempt_even_in_obs(self):
+        assert "DET004" in rules(
+            "import os\nkey = os.urandom(8)\n", "src/repro/obs/metrics.py"
+        )
+        assert "DET004" in rules(
+            "import uuid\nrun_id = uuid.uuid4()\n", "src/repro/obs/tracing.py"
+        )
+
+    def test_shipped_obs_modules_are_clean(self):
+        import pathlib
+
+        for name in ("metrics.py", "tracing.py", "__init__.py"):
+            path = pathlib.Path("src/repro/obs") / name
+            findings = rules(path.read_text(), path.as_posix())
+            assert findings == [], (name, findings)

@@ -69,6 +69,7 @@ class TestSubpackageApi:
             ApiHygieneChecker,
             DeterminismChecker,
             LockDisciplineChecker,
+            ObservabilityChecker,
             PackedKernelChecker,
         )
 
@@ -77,6 +78,7 @@ class TestSubpackageApi:
             ApiHygieneChecker,
             DeterminismChecker,
             LockDisciplineChecker,
+            ObservabilityChecker,
             PackedKernelChecker,
         } <= registered
 
@@ -87,9 +89,11 @@ class TestSubpackageApi:
             "PKD001", "PKD002", "PKD003",
             "LCK001", "LCK002",
             "API001", "API002", "API003",
+            "OBS001",
         }
         assert set(DEFAULT_REGISTRY.families()) == {
             "determinism", "packed-kernel", "lock-discipline", "api-hygiene",
+            "observability",
         }
 
     def test_analysis_cli_surface(self, capsys):

@@ -1,0 +1,272 @@
+"""Unit tests of the observability core: metrics primitives, spans, export."""
+
+import json
+import re
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        counter = registry.counter("c_total", "help")
+        assert counter.value() == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_negative_increment_rejected(self, registry):
+        counter = registry.counter("c_total", "help")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labelled_children_are_independent(self, registry):
+        counter = registry.counter("c_total", "help", labels=("path",))
+        counter.inc(path="inline")
+        counter.inc(3, path="batched")
+        assert counter.value(path="inline") == 1.0
+        assert counter.value(path="batched") == 3.0
+        assert counter.value(path="pooled") == 0.0
+
+    def test_wrong_label_set_rejected(self, registry):
+        counter = registry.counter("c_total", "help", labels=("path",))
+        with pytest.raises(ValueError):
+            counter.inc(route="x")
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_eight_thread_hammer_is_exact(self, registry):
+        counter = registry.counter("c_total", "help", labels=("worker",))
+        threads = 8
+        per_thread = 5000
+
+        def hammer(index):
+            for _ in range(per_thread):
+                counter.inc(worker=str(index % 2))
+
+        pool = [threading.Thread(target=hammer, args=(i,)) for i in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        total = counter.value(worker="0") + counter.value(worker="1")
+        assert total == threads * per_thread
+
+
+class TestGauge:
+    def test_set_and_add(self, registry):
+        gauge = registry.gauge("g", "help")
+        gauge.set(4.0)
+        gauge.add(-1.5)
+        assert gauge.value() == 2.5
+        gauge.set(0.25)
+        assert gauge.value() == 0.25
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self, registry):
+        histogram = registry.histogram("h_seconds", "help", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count() == 4
+        assert histogram.total() == pytest.approx(55.55)
+        text = registry.render_text()
+        assert 'h_seconds_bucket{le="0.1"} 1' in text
+        assert 'h_seconds_bucket{le="1"} 2' in text
+        assert 'h_seconds_bucket{le="10"} 3' in text
+        assert 'h_seconds_bucket{le="+Inf"} 4' in text
+
+    def test_boundary_value_is_inclusive(self, registry):
+        histogram = registry.histogram("h_seconds", "help", buckets=(1.0,))
+        histogram.observe(1.0)
+        assert 'h_seconds_bucket{le="1"} 1' in registry.render_text()
+
+    def test_unsorted_buckets_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("h", "help", buckets=(2.0, 1.0))
+
+    def test_default_latency_buckets_are_log_spaced(self):
+        bounds = obs.DEFAULT_LATENCY_BUCKETS
+        assert bounds == tuple(sorted(bounds))
+        assert bounds[0] == 1e-6
+        assert bounds[-1] == 50.0
+        # 1-2-5 per decade, rendered without float fuzz.
+        assert 5e-6 in bounds and 0.02 in bounds
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self, registry):
+        first = registry.counter("c_total", "help", labels=("a",))
+        second = registry.counter("c_total", "help", labels=("a",))
+        assert first is second
+
+    def test_conflicting_reregistration_rejected(self, registry):
+        registry.counter("name", "help")
+        with pytest.raises(ValueError):
+            registry.gauge("name", "help")
+        with pytest.raises(ValueError):
+            registry.counter("name", "help", labels=("x",))
+
+    def test_invalid_metric_name_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("bad-name", "help")
+
+    def test_reset_clears_values_but_keeps_registrations(self, registry):
+        counter = registry.counter("c_total", "help")
+        counter.inc(7)
+        registry.reset()
+        assert counter.value() == 0.0
+        assert registry.counter("c_total", "help") is counter
+
+    def test_snapshot_is_json_ready(self, registry):
+        registry.counter("c_total", "help", labels=("k",)).inc(2, k="v")
+        registry.histogram("h_seconds", "help", buckets=(1.0,)).observe(0.5)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        names = {metric["name"] for metric in snapshot["metrics"]}
+        assert {"c_total", "h_seconds"} <= names
+
+
+#: One exposition line: name{labels} value  (labels optional, value a float,
+#: integer or +/-Inf/NaN spelling).
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})? "
+    r"(-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN)$"
+)
+
+
+class TestExpositionFormat:
+    def test_every_line_is_help_type_or_sample(self, registry):
+        registry.counter("c_total", "with \\ and \n newline", labels=("k",)).inc(
+            1, k='quote " backslash \\ newline \n'
+        )
+        registry.gauge("g", "plain").set(1.5)
+        registry.histogram("h_seconds", "hist", buckets=(0.1, 1.0)).observe(0.2)
+        seen_types = {}
+        for line in registry.render_text().splitlines():
+            if line.startswith("# HELP "):
+                assert re.match(r"^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$", line)
+                assert "\n" not in line
+            elif line.startswith("# TYPE "):
+                name, kind = line.split()[2:4]
+                assert kind in ("counter", "gauge", "histogram")
+                seen_types[name] = kind
+            else:
+                assert _SAMPLE_RE.match(line), f"malformed sample line: {line!r}"
+        assert seen_types == {
+            "c_total": "counter", "g": "gauge", "h_seconds": "histogram",
+        }
+
+    def test_histogram_emits_sum_and_count(self, registry):
+        registry.histogram("h_seconds", "hist", buckets=(1.0,)).observe(0.5)
+        text = registry.render_text()
+        assert "h_seconds_sum 0.5" in text
+        assert "h_seconds_count 1" in text
+
+
+class TestEnableFlag:
+    def test_disabled_blocks_updates_and_recording(self, registry):
+        counter = registry.counter("c_total", "help")
+        tracer = Tracer()
+        with obs.disabled():
+            counter.inc(5)
+            with tracer.span("root") as span:
+                pass
+        assert counter.value() == 0.0
+        assert tracer.traces() == ()
+        # Spans still measure time while disabled (the scheduler's round
+        # timer reads duration_s unconditionally).
+        assert span.duration_s >= 0.0
+        counter.inc()
+        assert counter.value() == 1.0
+
+    def test_set_enabled_round_trip(self):
+        assert obs.is_enabled()
+        obs.set_enabled(False)
+        try:
+            assert not obs.is_enabled()
+        finally:
+            obs.set_enabled(True)
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("root", kind="test") as root:
+            with tracer.span("child-a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child-b"):
+                pass
+        assert root.stage_names() == ["root", "child-a", "grandchild", "child-b"]
+        assert tracer.traces() == (root,)
+        assert root.attributes == {"kind": "test"}
+        assert root.duration_s >= sum(c.duration_s for c in root.children)
+
+    def test_export_start_times_relative_to_root(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        exported = tracer.export()[0]
+        assert exported["start_s"] == 0.0
+        child = exported["children"][0]
+        assert child["start_s"] >= 0.0
+        assert child["error"] is None
+        json.dumps(exported)  # JSON-ready
+
+    def test_exception_recorded_and_stack_unwound(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("root"):
+                with tracer.span("child"):
+                    raise RuntimeError("boom")
+        root = tracer.traces()[0]
+        assert root.error == "RuntimeError"
+        assert root.children[0].error == "RuntimeError"
+        assert tracer.current() is None
+
+    def test_ring_is_bounded(self):
+        tracer = Tracer(capacity=4)
+        for index in range(10):
+            with tracer.span(f"root-{index}"):
+                pass
+        names = [root.name for root in tracer.traces()]
+        assert names == ["root-6", "root-7", "root-8", "root-9"]
+
+    def test_threads_do_not_interleave_trees(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def worker(tag):
+            with tracer.span(f"root-{tag}"):
+                barrier.wait(timeout=5)
+                with tracer.span(f"child-{tag}"):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in "ab"]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = tracer.traces()
+        assert len(roots) == 2
+        for root in roots:
+            tag = root.name[-1]
+            assert [c.name for c in root.children] == [f"child-{tag}"]
+
+    def test_clear_drops_recorded_traces(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            pass
+        tracer.clear()
+        assert tracer.traces() == ()
