@@ -5,6 +5,7 @@ from repro.analysis.checkers.hygiene import ApiHygieneChecker
 from repro.analysis.checkers.locks import LockDisciplineChecker
 from repro.analysis.checkers.observability import ObservabilityChecker
 from repro.analysis.checkers.packed import PackedKernelChecker
+from repro.analysis.checkers.robustness import RobustnessChecker
 
 __all__ = [
     "DeterminismChecker",
@@ -12,4 +13,5 @@ __all__ = [
     "LockDisciplineChecker",
     "ApiHygieneChecker",
     "ObservabilityChecker",
+    "RobustnessChecker",
 ]

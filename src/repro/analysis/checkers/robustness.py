@@ -1,0 +1,110 @@
+"""Robustness checker: persistence in the fleet goes through atomic writes.
+
+The durability layer's whole contract is that a crash at any instruction
+leaves readable state on disk.  That holds only because every persisted
+file is written with the tmp + fsync + rename discipline of
+:func:`repro.fleet.durability.atomic_write_bytes` — a bare
+``open(path, "w")`` in the fleet tier can be killed mid-write and leave a
+torn snapshot that recovery then chokes on.  ROB001 flags write-mode
+``open()`` calls (and the ``Path.write_text``/``write_bytes`` shorthands)
+in ``repro/fleet/`` outside the sanctioned home, mirroring OBS001's
+"one wall-clock home" shape: :mod:`repro.fleet.durability` itself is
+exempt (the atomic helper and the journal live there), and *append* mode
+is exempt too — the write-ahead journal appends by design, and appends
+don't truncate existing state.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers._common import dotted_name
+from repro.analysis.framework import Checker, DEFAULT_REGISTRY, Rule
+from repro.analysis.findings import Severity
+
+__all__ = ["RobustnessChecker"]
+
+#: The fleet tier the rule polices.
+_FLEET_PREFIX = "repro/fleet/"
+
+#: The sanctioned persistence home (atomic helpers + journal live here).
+_DURABILITY_HOME = "repro/fleet/durability.py"
+
+#: ``Path`` convenience writers that truncate in place just like
+#: ``open(..., "w")`` does.
+_PATH_WRITERS = ("write_text", "write_bytes")
+
+
+def _write_mode(mode: str) -> bool:
+    """True for modes that truncate or create: ``w``, ``x`` (append is
+    crash-safe by construction — it never destroys the existing prefix)."""
+    return ("w" in mode or "x" in mode) and "a" not in mode
+
+
+class _OpenMode:
+    """Extract the literal mode of an ``open()`` call, if statically known."""
+
+    @staticmethod
+    def of(node: ast.Call) -> str | None:
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        else:
+            keywords = {kw.arg: kw.value for kw in node.keywords}
+            if "mode" not in keywords:
+                return "r"  # open() defaults to read
+            mode = keywords["mode"]
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        return None  # dynamic mode: out of static reach
+
+
+@DEFAULT_REGISTRY.register
+class RobustnessChecker(Checker):
+    rules = (
+        Rule(
+            id="ROB001",
+            family="robustness",
+            severity=Severity.ERROR,
+            summary="non-atomic persistence write in the fleet tier",
+            invariant="fleet state reaches disk only through the durability "
+                      "layer's atomic tmp + fsync + rename discipline "
+                      "(repro.fleet.durability.atomic_write_bytes/_json) or "
+                      "its append-only journal, so a crash at any point "
+                      "leaves a readable snapshot instead of a torn file",
+            scopes=("fleet",),
+        ),
+    )
+
+    def _policed(self) -> bool:
+        path = self.ctx.path
+        if _DURABILITY_HOME in path:
+            return False
+        return _FLEET_PREFIX in path
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._policed():
+            name = dotted_name(node.func)
+            if name == "open":
+                mode = _OpenMode.of(node)
+                if mode is not None and _write_mode(mode):
+                    self.report(
+                        "ROB001",
+                        node,
+                        f"open(..., {mode!r}) truncates in place; a crash "
+                        f"mid-write leaves a torn file — persist through "
+                        f"repro.fleet.durability.atomic_write_bytes/_json "
+                        f"(tmp + fsync + rename) instead",
+                    )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _PATH_WRITERS
+            ):
+                self.report(
+                    "ROB001",
+                    node,
+                    f".{node.func.attr}(...) truncates in place; a crash "
+                    f"mid-write leaves a torn file — persist through "
+                    f"repro.fleet.durability.atomic_write_bytes/_json "
+                    f"(tmp + fsync + rename) instead",
+                )
+        self.generic_visit(node)

@@ -314,11 +314,77 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--host", default="127.0.0.1", help="serve: bind address")
     fleet.add_argument("--port", type=int, default=8080,
                        help="serve: TCP port (0 picks a free one)")
+    fleet.add_argument("--snapshot-dir", default=None,
+                       help="serve: durability spool directory; enables atomic "
+                            "fleet snapshots plus the write-ahead ingest journal")
+    fleet.add_argument("--snapshot-interval", type=float, default=None,
+                       help="serve: seconds between background snapshots "
+                            "(requires --snapshot-dir; default: only on "
+                            "startup and shutdown)")
+    fleet.add_argument("--restore", action="store_true",
+                       help="serve: restore the fleet from --snapshot-dir "
+                            "(snapshot + journal replay) instead of building "
+                            "a fresh one; falls back to fresh when the spool "
+                            "holds no snapshot yet")
+    fleet.add_argument("--wal-fsync", action="store_true",
+                       help="serve: fsync every journal record (survives "
+                            "machine crashes, not just process crashes; "
+                            "costs throughput)")
+    fleet.add_argument("--max-inflight", type=int, default=None,
+                       help="serve: max concurrent ingest evaluations before "
+                            "load-shedding with 429 + Retry-After")
+    fleet.add_argument("--quarantine-after", type=int, default=None,
+                       help="serve: quarantine a device (403) after this many "
+                            "consecutive malformed ingests")
+    fleet.add_argument("--max-body-bytes", type=int, default=None,
+                       help="serve: reject request bodies larger than this "
+                            "with 413 (default: 32 MiB)")
     fleet.add_argument("--quiet", action="store_true",
                        help="serve: log only warnings and errors (drop the "
                             "per-request INFO lines of the service logger)")
     _add_backend_argument(fleet)
     _add_trace_argument(fleet)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection harness: boot the fleet service, kill "
+             "it mid-ingest, restore from snapshot + journal, and verify the "
+             "recovered fleet matches an uninterrupted control run",
+    )
+    chaos.add_argument("--devices", type=int, default=4,
+                       help="externally-fed devices driven over HTTP")
+    chaos.add_argument("--chunks", type=int, default=6,
+                       help="sequenced chunks ingested per device")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="seed for device bits, fault schedule and kill point")
+    chaos.add_argument("--design", default="n128_light", help="shared design point")
+    chaos.add_argument("--kill-after", type=int, default=None,
+                       help="SIGKILL the service after this many acknowledged "
+                            "ingests (default: a seeded point mid-run)")
+    chaos.add_argument("--drop", type=float, default=0.1,
+                       help="per-chunk probability of dropping the send once "
+                            "before retrying it")
+    chaos.add_argument("--duplicate", type=float, default=0.1,
+                       help="per-chunk probability of sending the chunk twice")
+    chaos.add_argument("--reorder", type=float, default=0.1,
+                       help="per-chunk probability of sending the next chunk "
+                            "first (expects 409, then recovers the order)")
+    chaos.add_argument("--corrupt", type=float, default=0.1,
+                       help="per-chunk probability of sending a corrupt payload "
+                            "first (expects 400, then the real chunk)")
+    chaos.add_argument("--snapshot-interval", type=float, default=0.2,
+                       help="background snapshot interval of the service under test")
+    chaos.add_argument("--streaming", action="store_true",
+                       help="exercise the streaming ingest path (varied chunk "
+                            "sizes) instead of whole sequences")
+    chaos.add_argument("--workdir", default=None,
+                       help="spool/scratch directory (default: a fresh "
+                            "temporary directory, removed on success)")
+    chaos.add_argument("--report", default=None,
+                       help="write the JSON recovery report to this path")
+    chaos.add_argument("--quiet", action="store_true",
+                       help="suppress the per-phase progress lines")
+    _add_backend_argument(chaos)
 
     lint = sub.add_parser(
         "lint",
@@ -624,11 +690,13 @@ def _configure_service_logging(quiet: bool) -> None:
 
 def _cmd_fleet(args, out) -> int:
     from repro.fleet import DeviceRegistry, FleetMix, FleetScheduler, serve
+    from repro.fleet.durability import has_snapshot, recover_fleet
 
+    serving = args.mode == "serve"
     try:
         # serve mode may start with zero simulated rounds; run mode without
         # rounds would silently produce no report (and no --json/--csv).
-        minimum_rounds = 0 if args.mode == "serve" else 1
+        minimum_rounds = 0 if serving else 1
         if args.rounds < minimum_rounds:
             raise ValueError(
                 f"--rounds must be >= {minimum_rounds} for fleet {args.mode}"
@@ -638,30 +706,60 @@ def _cmd_fleet(args, out) -> int:
                 "--json/--csv need at least one round to report on "
                 "(serve with --rounds >= 1)"
             )
-        if args.mix:
-            mix = FleetMix.parse(args.mix)
+        if not serving and (
+            args.snapshot_dir or args.restore or args.snapshot_interval is not None
+        ):
+            raise ValueError("--snapshot-dir/--snapshot-interval/--restore "
+                             "apply to fleet serve only")
+        if args.restore and not args.snapshot_dir:
+            raise ValueError("--restore needs --snapshot-dir")
+        if args.restore and has_snapshot(args.snapshot_dir):
+            scheduler, replay = recover_fleet(
+                args.snapshot_dir, processes=args.processes
+            )
+            registry = scheduler.registry
+            print(
+                f"fleet restored from {args.snapshot_dir}: "
+                f"{len(registry)} devices, {len(scheduler.rounds)} rounds, "
+                f"journal replay applied {replay.applied} ingests "
+                f"({replay.duplicates} duplicates, {replay.errors} errors, "
+                f"{replay.rounds_applied} rounds)",
+                file=out,
+            )
         else:
-            mix = FleetMix.healthy_with_threats(0.95)
-        registry = DeviceRegistry(
-            args.design,
-            alpha=args.alpha,
-            suspect_after=args.suspect_after,
-            fail_after=args.fail_after,
-        )
-        registry.populate(args.devices, mix, seed=args.seed)
-        scheduler = FleetScheduler(
-            registry,
-            processes=args.processes,
-            backend=args.backend,
-            streaming=args.streaming,
-        )
-    except (KeyError, ValueError) as exc:
+            if args.restore:
+                print(
+                    f"no snapshot under {args.snapshot_dir} yet; "
+                    "starting a fresh fleet",
+                    file=out,
+                )
+            if args.mix:
+                mix = FleetMix.parse(args.mix)
+            else:
+                mix = FleetMix.healthy_with_threats(0.95)
+            registry = DeviceRegistry(
+                args.design,
+                alpha=args.alpha,
+                suspect_after=args.suspect_after,
+                fail_after=args.fail_after,
+            )
+            # A fleet may start empty (external devices register over HTTP);
+            # populate() would reject zero devices.
+            if args.devices > 0:
+                registry.populate(args.devices, mix, seed=args.seed)
+            scheduler = FleetScheduler(
+                registry,
+                processes=args.processes,
+                backend=args.backend,
+                streaming=args.streaming,
+            )
+    except (KeyError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=out)
         return 2
     print(
-        f"fleet: {args.devices} devices on {args.design} "
-        f"(n = {registry.n}, alpha = {args.alpha}, seed = {args.seed}, "
-        f"backend = {args.backend})",
+        f"fleet: {len(registry)} devices on {registry.design_name} "
+        f"(n = {registry.n}, alpha = {registry.alpha}, seed = {args.seed}, "
+        f"backend = {scheduler.backend})",
         file=out,
     )
     counts = registry.scenario_counts()
@@ -692,22 +790,135 @@ def _cmd_fleet(args, out) -> int:
         if args.csv_path:
             report.save_csv(args.csv_path)
             print(f"CSV summary written to {args.csv_path}", file=out)
-    if args.mode == "serve":
-        _configure_service_logging(quiet=args.quiet)
-        server = serve(scheduler, host=args.host, port=args.port)
-        host, port = server.server_address
-        print(f"fleet service listening on http://{host}:{port}", file=out)
-        print("endpoints: POST /devices, POST /ingest, "
-              "GET /devices/<id>/health, GET /fleet/summary, "
-              "GET /metrics, GET /metrics.json", file=out)
-        try:
-            server.serve_forever()
-        except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
-            pass
-        finally:
-            server.server_close()
+    if serving:
+        return _serve_fleet(args, scheduler, out)
     scheduler.close()
     return 0
+
+
+def _serve_fleet(args, scheduler, out) -> int:
+    """The ``fleet serve`` loop: durability, signals, graceful drain.
+
+    The server runs on a worker thread while the main thread waits on a
+    stop event set by SIGTERM/SIGINT (``server.shutdown()`` deadlocks when
+    called from the ``serve_forever`` thread itself).  Shutdown drains
+    in-flight ingests, writes a final snapshot when durability is on, and
+    the exit code records whether the drain was clean (0) or dirty (3).
+    """
+    import signal
+    import threading
+
+    from repro.fleet import serve
+    from repro.fleet.durability import DurableFleet
+    from repro.fleet.service import MAX_BODY_BYTES
+
+    _configure_service_logging(quiet=args.quiet)
+    durable = None
+    if args.snapshot_dir:
+        durable = DurableFleet(
+            scheduler,
+            args.snapshot_dir,
+            snapshot_interval_s=args.snapshot_interval,
+            fsync_journal=args.wal_fsync,
+        )
+        durable.start()
+        print(f"durability spool at {args.snapshot_dir} "
+              f"(snapshot written, journal live)", file=out)
+    server = serve(
+        scheduler,
+        host=args.host,
+        port=args.port,
+        max_body_bytes=args.max_body_bytes or MAX_BODY_BYTES,
+        max_inflight_ingests=args.max_inflight,
+        quarantine_after=args.quarantine_after,
+    )
+    service = server.service
+    host, port = server.server_address
+    stop = threading.Event()
+    if threading.current_thread() is threading.main_thread():
+        # Embedders (tests) may run this off the main thread, where signal
+        # handlers cannot be installed; Ctrl-C still works via the
+        # KeyboardInterrupt catch below.
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, lambda _sig, _frame: stop.set())
+    worker = threading.Thread(
+        target=server.serve_forever, name="fleet-serve", daemon=True
+    )
+    worker.start()
+    print(f"fleet service listening on http://{host}:{port}", file=out, flush=True)
+    print("endpoints: POST /devices, POST /ingest, "
+          "GET /devices/<id>/health, GET /fleet/summary, "
+          "GET /metrics, GET /metrics.json", file=out, flush=True)
+    clean = True
+    try:
+        stop.wait()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    print("shutting down: draining in-flight ingests", file=out, flush=True)
+    server.shutdown()
+    worker.join()
+    # New ingests are refused (503) from here; bounded wait for the rest.
+    if not service.drain(timeout=10.0):
+        clean = False
+        print("warning: drain timed out with ingests still in flight", file=out)
+    if durable is not None:
+        try:
+            durable.close(final_snapshot=True)
+            print("final snapshot written", file=out)
+        except Exception as exc:  # pragma: no cover - disk full etc.
+            clean = False
+            print(f"warning: final snapshot failed: {exc}", file=out)
+    server.server_close()
+    scheduler.close()
+    print(f"fleet service stopped ({'clean' if clean else 'dirty'})", file=out)
+    return 0 if clean else 3
+
+
+def _cmd_chaos(args, out) -> int:
+    """Run the fault-injection harness and report the recovery verdict."""
+    from repro.fleet.chaos import ChaosConfig, run_chaos
+
+    try:
+        config = ChaosConfig(
+            devices=args.devices,
+            chunks_per_device=args.chunks,
+            seed=args.seed,
+            design=args.design,
+            kill_after_acks=args.kill_after,
+            drop_rate=args.drop,
+            duplicate_rate=args.duplicate,
+            reorder_rate=args.reorder,
+            corrupt_rate=args.corrupt,
+            snapshot_interval_s=args.snapshot_interval,
+            backend=args.backend,
+            streaming=args.streaming,
+            workdir=args.workdir,
+        )
+        result = run_chaos(config, out=None if args.quiet else out)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    report = result.to_dict()
+    if args.report:
+        from repro.fleet.durability import atomic_write_json
+
+        atomic_write_json(args.report, report)
+        print(f"recovery report written to {args.report}", file=out)
+    print(
+        f"chaos: killed after {result.acks_before_kill} acks, "
+        f"{result.faults_injected} faults injected, "
+        f"restart replay applied {result.replay_applied} ingests "
+        f"({result.replay_duplicates} duplicates)",
+        file=out,
+    )
+    if result.matched:
+        print("recovered fleet matches the uninterrupted control run "
+              "(bit-identical per-device health)", file=out)
+        return 0
+    print("MISMATCH between recovered fleet and control run:", file=out)
+    for line in result.mismatches[:20]:
+        print(f"  {line}", file=out)
+    return 1
 
 
 def _cmd_metrics(args, out) -> int:
@@ -742,6 +953,8 @@ def _dispatch(args, out) -> int:
         return _cmd_campaign(args, out)
     if args.command == "fleet":
         return _cmd_fleet(args, out)
+    if args.command == "chaos":
+        return _cmd_chaos(args, out)
     if args.command == "lint":
         from repro.analysis.cli import run_from_args
 

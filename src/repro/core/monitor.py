@@ -135,6 +135,78 @@ class OnTheFlyMonitor:
         self._first_failing_tests = None
         self._failing_test_counts = {}
 
+    # ------------------------------------------------------------------ state dict
+    def state_dict(self) -> Dict[str, object]:
+        """The monitor's decision state as plain JSON-safe values.
+
+        Captures everything the health machine decides from — counters,
+        first-failure attribution, the health policy for validation — but
+        *not* :attr:`history`: the retained :class:`MonitorEvent` objects
+        carry whole platform reports and are operational context, not
+        decision state.  :meth:`load_state` restores an empty history; the
+        subsequent health trajectory is bit-identical regardless.
+        """
+        return {
+            "version": 1,
+            "suspect_after": self.suspect_after,
+            "fail_after": self.fail_after,
+            "max_history": self.max_history,
+            "consecutive_failures": self._consecutive_failures,
+            "sequences_monitored": self._sequences_monitored,
+            "failures_total": self._failures_total,
+            "first_failed_index": self._first_failed_index,
+            "first_suspect_index": self._first_suspect_index,
+            "first_failing_tests": (
+                None
+                if self._first_failing_tests is None
+                else list(self._first_failing_tests)
+            ),
+            # JSON object keys are strings; keep the on-disk form stable.
+            "failing_test_counts": {
+                str(number): count
+                for number, count in self._failing_test_counts.items()
+            },
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` capture (history restored empty).
+
+        The health policy (``suspect_after`` / ``fail_after``) must match
+        the captured one — restoring counters under a different policy
+        would silently change what the counters mean.
+        """
+        if state.get("version") != 1:
+            raise ValueError(
+                f"unsupported monitor state version {state.get('version')!r}"
+            )
+        for key, expected in (
+            ("suspect_after", self.suspect_after),
+            ("fail_after", self.fail_after),
+        ):
+            if state[key] != expected:
+                raise ValueError(
+                    f"monitor state mismatch: {key} is {state[key]!r}, "
+                    f"this monitor has {expected!r}"
+                )
+        self.history = deque(maxlen=self.max_history)
+        self._consecutive_failures = int(state["consecutive_failures"])  # type: ignore[arg-type]
+        self._sequences_monitored = int(state["sequences_monitored"])  # type: ignore[arg-type]
+        self._failures_total = int(state["failures_total"])  # type: ignore[arg-type]
+        first_failed = state["first_failed_index"]
+        self._first_failed_index = None if first_failed is None else int(first_failed)  # type: ignore[arg-type]
+        first_suspect = state["first_suspect_index"]
+        self._first_suspect_index = (
+            None if first_suspect is None else int(first_suspect)  # type: ignore[arg-type]
+        )
+        failing = state["first_failing_tests"]
+        self._first_failing_tests = (
+            None if failing is None else tuple(int(number) for number in failing)  # type: ignore[union-attr]
+        )
+        counts = state["failing_test_counts"]
+        self._failing_test_counts = {
+            int(number): int(count) for number, count in counts.items()  # type: ignore[union-attr]
+        }
+
     # ------------------------------------------------------------------ monitoring
     def observe(self, report: PlatformReport) -> MonitorEvent:
         """Fold one sequence report into the health state."""

@@ -48,7 +48,7 @@ recomputing on the equivalent history slice.  Enforced by
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -582,6 +582,104 @@ class StreamingBatchContext:
             block_longest_provider=block_longest_provider,
         )
 
+    # ------------------------------------------------------------------ state dict
+    def state_dict(self) -> Dict[str, Any]:
+        """The full streaming state as plain values (fleet snapshot support).
+
+        Only the primary ring halves are captured: the mirrored layout keeps
+        ``ring[:, i] == ring[:, i + size]`` as an invariant, so
+        ``ring[:, :size]`` fully determines each ring and the snapshot is
+        half the ring bytes.  Arrays are copies — later pushes never mutate
+        a captured state.  The counterpart is :meth:`load_state` /
+        :meth:`from_state`, which restore a context whose subsequent pushes
+        and window statistics are bit-identical to the uninterrupted run.
+        """
+        size = self._ring_words
+        keys = _SUMMARY_KEYS + (_RUN_KEYS if self.track_runs else ())
+        return {
+            "version": 1,
+            "num_rows": self.num_rows,
+            "window_bits": self.window_bits,
+            "capacity_bits": self.capacity_bits,
+            "backend": self.backend,
+            "track_runs": self.track_runs,
+            "committed": self._committed,
+            "total_bits": self._total_bits,
+            "tail_len": self._tail_len,
+            "tail": self._tail.copy(),
+            "last_bit": self._last_bit.copy(),
+            "win_ones": self._win_ones.copy(),
+            "win_trans": self._win_trans.copy(),
+            "walk_total": self._walk_total.copy(),
+            "words": self._words[:, :size].copy(),
+            "walk_cum": self._walk_cum[:, :size].copy(),
+            "sums": {key: self._sums[key][:, :size].copy() for key in keys},
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` capture into this context.
+
+        The context's geometry (rows, window, capacity, ``track_runs``) must
+        match the captured one; the backend is free to differ (statistics
+        are bit-identical on either backend).  Ring mirrors are rebuilt from
+        the captured primary halves.
+        """
+        if state.get("version") != 1:
+            raise ValueError(
+                f"unsupported streaming state version {state.get('version')!r}"
+            )
+        for key, expected in (
+            ("num_rows", self.num_rows),
+            ("window_bits", self.window_bits),
+            ("capacity_bits", self.capacity_bits),
+            ("track_runs", self.track_runs),
+        ):
+            if state[key] != expected:
+                raise ValueError(
+                    f"streaming state mismatch: {key} is {state[key]!r}, "
+                    f"this context has {expected!r}"
+                )
+        self._committed = int(state["committed"])
+        self._total_bits = int(state["total_bits"])
+        self._tail_len = int(state["tail_len"])
+        self._tail[:] = np.asarray(state["tail"], dtype=WORD_DTYPE)
+        self._last_bit[:] = np.asarray(state["last_bit"], dtype=np.uint8)
+        self._win_ones[:] = np.asarray(state["win_ones"], dtype=np.int64)
+        self._win_trans[:] = np.asarray(state["win_trans"], dtype=np.int64)
+        self._walk_total[:] = np.asarray(state["walk_total"], dtype=np.int64)
+        self._restore_ring(self._words, np.asarray(state["words"], dtype=WORD_DTYPE))
+        self._restore_ring(
+            self._walk_cum, np.asarray(state["walk_cum"], dtype=np.int64)
+        )
+        for key in self._sums:
+            self._restore_ring(
+                self._sums[key], np.asarray(state["sums"][key], dtype=np.int16)
+            )
+
+    def _restore_ring(self, ring: np.ndarray, primary: np.ndarray) -> None:
+        """Load a primary ring half and rebuild its mirror."""
+        size = self._ring_words
+        if primary.shape != (self.num_rows, size):
+            raise ValueError(
+                f"ring state has shape {primary.shape}, "
+                f"expected {(self.num_rows, size)}"
+            )
+        ring[:, :size] = primary
+        ring[:, size:] = primary
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "StreamingBatchContext":
+        """Build a fresh context from a :meth:`state_dict` capture."""
+        context = cls(
+            int(state["num_rows"]),
+            int(state["window_bits"]),
+            capacity_bits=int(state["capacity_bits"]),
+            backend=str(state["backend"]),
+            track_runs=bool(state["track_runs"]),
+        )
+        context.load_state(state)
+        return context
+
 
 class StreamingContext:
     """Single-stream facade over a one-row :class:`StreamingBatchContext`.
@@ -668,6 +766,28 @@ class StreamingContext:
     def sequence_context(self, nbits: Optional[int] = None) -> SequenceContext:
         """The trailing window as a per-sequence context."""
         return self._batch.window_context(nbits).context(0)
+
+    def state_dict(self) -> Dict[str, Any]:
+        """The stream state as plain values (see :meth:`StreamingBatchContext.state_dict`)."""
+        return self._batch.state_dict()
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` capture into this stream."""
+        self._batch.load_state(state)
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "StreamingContext":
+        """Build a fresh single-row stream from a :meth:`state_dict` capture."""
+        if state.get("num_rows") != 1:
+            raise ValueError("StreamingContext state must have exactly one row")
+        stream = cls(
+            int(state["window_bits"]),
+            capacity_bits=int(state["capacity_bits"]),
+            backend=str(state["backend"]),
+            track_runs=bool(state["track_runs"]),
+        )
+        stream.load_state(state)
+        return stream
 
     def __repr__(self) -> str:
         return (

@@ -18,7 +18,17 @@ is that aggregation tier, built on the substrate of PRs 1–3:
   healthy-device false-alarm rate, devices/second — with JSON/CSV export.
 * :mod:`repro.fleet.service` puts a stdlib ``http.server`` JSON front-end on
   top: ``POST /devices``, ``POST /ingest``, ``GET /devices/<id>/health``,
-  ``GET /fleet/summary``.
+  ``GET /fleet/summary`` — with load-shedding (429 + ``Retry-After``),
+  payload caps and per-device quarantine; :mod:`repro.fleet.client` is the
+  matching retrying client.
+* :mod:`repro.fleet.durability` makes the whole thing crash-safe: atomic
+  versioned snapshots of the scheduler (registry, health machines, rounds,
+  streaming rings) plus a CRC-framed write-ahead ingest journal, replayed
+  bit-identically by :func:`recover_fleet` after a crash.
+* :mod:`repro.fleet.chaos` proves it: a seeded harness that boots the real
+  service, kills it with SIGKILL mid-ingest, injects drop/duplicate/
+  reorder/corrupt faults, restores from the spool, and asserts the
+  recovered fleet matches an uninterrupted control run verdict for verdict.
 
 Quickstart::
 
@@ -31,6 +41,13 @@ Quickstart::
     report.save_json("fleet.json")
 """
 
+from repro.fleet.client import FleetClient, FleetServiceError
+from repro.fleet.durability import (
+    DurableFleet,
+    IngestJournal,
+    JournalReplayStats,
+    recover_fleet,
+)
 from repro.fleet.registry import Device, DeviceRegistry, FleetMix
 from repro.fleet.report import (
     FleetReport,
@@ -39,21 +56,36 @@ from repro.fleet.report import (
     SUMMARY_COLUMNS,
     build_report,
 )
-from repro.fleet.scheduler import FleetScheduler, FleetVerdict
+from repro.fleet.scheduler import (
+    DuplicateIngestError,
+    FleetScheduler,
+    FleetVerdict,
+    IngestSequenceError,
+    IngestSequenceGapError,
+)
 from repro.fleet.service import FleetService, ServiceError, serve
 
 __all__ = [
     "Device",
     "DeviceRegistry",
+    "DuplicateIngestError",
+    "DurableFleet",
+    "FleetClient",
     "FleetMix",
     "FleetReport",
     "FleetRound",
     "FleetScenarioStats",
     "FleetScheduler",
     "FleetService",
+    "FleetServiceError",
     "FleetVerdict",
+    "IngestJournal",
+    "IngestSequenceError",
+    "IngestSequenceGapError",
+    "JournalReplayStats",
     "SUMMARY_COLUMNS",
     "ServiceError",
     "build_report",
+    "recover_fleet",
     "serve",
 ]

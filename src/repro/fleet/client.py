@@ -1,0 +1,209 @@
+"""Stdlib HTTP client for the fleet service, with retries and backpressure.
+
+The service front-end (:mod:`repro.fleet.service`) sheds load with 429 +
+``Retry-After`` and sequences ingests with per-device ``seq`` numbers; this
+client is the other half of those contracts.  :class:`FleetClient` wraps
+``urllib.request`` (no new dependencies) and retries transient failures —
+connection errors, timeouts, 5xx, 408 and 429 — with exponential backoff,
+honouring the server's ``Retry-After`` when it sends one and otherwise
+jittering the delay from a *seeded* generator, so a swarm of restarted
+clients never thunders back in lockstep yet every run of the chaos harness
+is reproducible.
+
+Because ingests carry ``seq``, a retry after an ambiguous failure (the
+request may or may not have been applied before the connection died) is
+safe: the server answers a replayed chunk with ``{"duplicate": true}``
+instead of double-evaluating it, and the client surfaces that as success.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+import repro.obs as obs
+
+__all__ = ["FleetClient", "FleetServiceError"]
+
+#: HTTP statuses worth retrying: the request never ran (408/429/503) or the
+#: server hit a transient internal condition (5xx).
+_RETRYABLE_STATUSES = frozenset({408, 429, 500, 502, 503, 504})
+
+_RETRIES = obs.counter(
+    "repro_fleet_client_retries_total",
+    "Requests retried by the fleet client, by reason.",
+    labels=("reason",),
+)
+
+
+class FleetServiceError(Exception):
+    """A non-retryable (or retry-exhausted) error reply from the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class FleetClient:
+    """Convenience wrapper over the fleet service's JSON endpoints.
+
+    Parameters
+    ----------
+    base_url:
+        Service root, e.g. ``http://127.0.0.1:8080``.
+    timeout_s:
+        Per-request socket timeout.
+    retries:
+        Transient failures retried per request before giving up.
+    backoff_s / backoff_cap_s:
+        Exponential backoff base and ceiling: attempt ``k`` sleeps
+        ``min(cap, backoff_s * 2**k)`` scaled by a jitter factor in
+        ``[0.5, 1.5)`` — unless the server sent ``Retry-After``, which
+        wins.
+    jitter_seed:
+        Seed of the jitter generator (determinism rule: no unseeded
+        randomness anywhere in the project, clients included).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout_s: float = 10.0,
+        retries: int = 5,
+        backoff_s: float = 0.1,
+        backoff_cap_s: float = 2.0,
+        jitter_seed: int = 0,
+    ):
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self._rng = np.random.default_rng(jitter_seed)
+
+    # -------------------------------------------------------------- endpoints
+    def register_device(
+        self,
+        device_id: str,
+        scenario: Optional[str] = None,
+        seed: Optional[int] = None,
+        exist_ok: bool = False,
+    ) -> Dict[str, Any]:
+        """Register a device; with ``exist_ok`` a 409 reads as success.
+
+        ``exist_ok=True`` is the recovery idiom: a client resuming after a
+        server restart re-registers blindly and proceeds either way.
+        """
+        payload: Dict[str, Any] = {"device_id": device_id}
+        if scenario is not None:
+            payload["scenario"] = scenario
+        if seed is not None:
+            payload["seed"] = seed
+        try:
+            return self._request("POST", "/devices", payload)
+        except FleetServiceError as exc:
+            if exist_ok and exc.status == 409:
+                return self.device_health(device_id)
+            raise
+
+    def ingest(
+        self, device_id: str, bits: str, seq: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Submit one chunk of bits; pass ``seq`` for idempotent retries."""
+        payload: Dict[str, Any] = {"device_id": device_id, "bits": bits}
+        if seq is not None:
+            payload["seq"] = seq
+        return self._request("POST", "/ingest", payload)
+
+    def device_health(self, device_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/devices/{device_id}/health")
+
+    def fleet_summary(self) -> Dict[str, Any]:
+        return self._request("GET", "/fleet/summary")
+
+    def metrics_text(self) -> str:
+        body = self._request_raw("GET", "/metrics")
+        return body.decode("utf-8")
+
+    # -------------------------------------------------------------- plumbing
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        body = self._request_raw(method, path, payload)
+        decoded = json.loads(body)
+        if not isinstance(decoded, dict):
+            raise FleetServiceError(502, "service returned a non-object JSON body")
+        return decoded
+
+    def _request_raw(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> bytes:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                self.base_url + path, data=data, headers=headers, method=method
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout_s) as reply:
+                    return reply.read()
+            except urllib.error.HTTPError as exc:
+                status = exc.code
+                detail = self._error_message(exc)
+                if status not in _RETRYABLE_STATUSES or attempt == self.retries:
+                    raise FleetServiceError(status, detail)
+                last_error = FleetServiceError(status, detail)
+                _RETRIES.inc(reason=f"http_{status}")
+                self._sleep(attempt, self._retry_after(exc))
+            except (urllib.error.URLError, OSError) as exc:
+                # Connection refused / reset / timed out: the server may be
+                # mid-restart (the chaos harness guarantees it sometimes is).
+                if attempt == self.retries:
+                    raise FleetServiceError(503, f"service unreachable: {exc}")
+                last_error = exc
+                _RETRIES.inc(reason="connection")
+                self._sleep(attempt, None)
+        raise FleetServiceError(503, f"service unreachable: {last_error}")
+
+    @staticmethod
+    def _error_message(exc: urllib.error.HTTPError) -> str:
+        try:
+            decoded = json.loads(exc.read())
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            return exc.reason if isinstance(exc.reason, str) else str(exc.reason)
+        if isinstance(decoded, dict) and isinstance(decoded.get("error"), str):
+            return decoded["error"]
+        return str(decoded)
+
+    @staticmethod
+    def _retry_after(exc: urllib.error.HTTPError) -> Optional[float]:
+        raw = exc.headers.get("Retry-After") if exc.headers is not None else None
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except ValueError:
+            return None
+        return value if value >= 0 else None
+
+    def _sleep(self, attempt: int, retry_after: Optional[float]) -> None:
+        if retry_after is not None:
+            delay = retry_after
+        else:
+            delay = min(self.backoff_cap_s, self.backoff_s * (2.0**attempt))
+            delay *= 0.5 + float(self._rng.random())
+        if delay > 0:
+            time.sleep(delay)

@@ -22,9 +22,10 @@ simulated rounds.
 
 from __future__ import annotations
 
+import pickle
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -343,6 +344,103 @@ class DeviceRegistry:
                 )
             )
         return devices
+
+    # ------------------------------------------------------------------ state dict
+    def state_dict(self) -> Dict[str, Any]:
+        """The fleet ledger as plain values (the snapshot's registry part).
+
+        Device sources are pickled whole — a source *is* its RNG state, and
+        restoring it bit-exactly is what makes replayed rounds reproduce
+        the uninterrupted run.  Pickles are bytes blobs inside the state;
+        only load snapshots you wrote yourself (unpickling executes code),
+        which is the trust model of a service restoring its own spool
+        directory.
+        """
+        devices: List[Dict[str, Any]] = []
+        for device in self:
+            devices.append(
+                {
+                    "device_id": device.device_id,
+                    "scenario": device.scenario,
+                    "category": device.category,
+                    "expected_detectable": device.expected_detectable,
+                    "seed": device.seed,
+                    "monitor": device.monitor.state_dict(),
+                    "source_pickle": (
+                        None
+                        if device.source is None
+                        else pickle.dumps(device.source, protocol=pickle.DEFAULT_PROTOCOL)
+                    ),
+                }
+            )
+        return {
+            "version": 1,
+            "design": self.design_name,
+            "alpha": self.alpha,
+            "suspect_after": self.suspect_after,
+            "fail_after": self.fail_after,
+            "max_history": self.max_history,
+            "seed": self.seed,
+            "devices": devices,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` capture into this registry.
+
+        The platform configuration (design point, alpha, health policy)
+        must match the captured one; the current device ledger is replaced
+        wholesale.  See :meth:`state_dict` for the pickled-source trust
+        caveat.
+        """
+        if state.get("version") != 1:
+            raise ValueError(
+                f"unsupported registry state version {state.get('version')!r}"
+            )
+        for key, expected in (
+            ("design", self.design_name),
+            ("alpha", self.alpha),
+            ("suspect_after", self.suspect_after),
+            ("fail_after", self.fail_after),
+            ("max_history", self.max_history),
+        ):
+            if state[key] != expected:
+                raise ValueError(
+                    f"registry state mismatch: {key} is {state[key]!r}, "
+                    f"this registry has {expected!r}"
+                )
+        self.seed = state["seed"]
+        self._devices = {}
+        for spec in state["devices"]:
+            monitor = self._new_monitor()
+            monitor.load_state(spec["monitor"])
+            blob = spec["source_pickle"]
+            source = None if blob is None else pickle.loads(blob)
+            device = Device(
+                device_id=spec["device_id"],
+                scenario=spec["scenario"],
+                category=spec["category"],
+                expected_detectable=bool(spec["expected_detectable"]),
+                source=source,
+                monitor=monitor,
+                seed=spec["seed"],
+            )
+            self._devices[device.device_id] = device
+
+    @classmethod
+    def from_state(
+        cls, state: Dict[str, Any], catalog: Optional[ScenarioCatalog] = None
+    ) -> "DeviceRegistry":
+        """Build a registry (config + devices) from a :meth:`state_dict` capture."""
+        registry = cls(
+            state["design"],
+            alpha=state["alpha"],
+            suspect_after=state["suspect_after"],
+            fail_after=state["fail_after"],
+            catalog=catalog,
+            max_history=state["max_history"],
+        )
+        registry.load_state(state)
+        return registry
 
     # ------------------------------------------------------------------ health
     def health_counts(self) -> Dict[str, int]:

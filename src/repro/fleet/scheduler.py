@@ -25,7 +25,7 @@ from __future__ import annotations
 import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -40,7 +40,16 @@ from repro.fleet.registry import Device, DeviceRegistry
 from repro.fleet.report import FleetReport, FleetRound, build_report
 from repro.nist.common import BitsLike, to_bits
 
-__all__ = ["FleetVerdict", "FleetScheduler"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (durability imports us)
+    from repro.fleet.durability import IngestJournal
+
+__all__ = [
+    "DuplicateIngestError",
+    "FleetScheduler",
+    "FleetVerdict",
+    "IngestSequenceError",
+    "IngestSequenceGapError",
+]
 
 #: Canonical registry id -> NIST test number (for verdict attribution).
 _ID_TO_NIST_NUMBER = {test_id: number for number, test_id in NIST_NUMBER_TO_ID.items()}
@@ -62,6 +71,54 @@ _HEALTH_TRANSITIONS = obs.counter(
     "Device health-state machine transitions, by (from, to) state pair.",
     labels=("from_state", "to_state"),
 )
+_INGEST_REJECTED = obs.counter(
+    "repro_fleet_ingest_rejected_total",
+    "Idempotency rejections on the sequenced ingest path, by reason.",
+    labels=("reason",),
+)
+
+
+class IngestSequenceError(ValueError):
+    """A sequenced ingest was rejected by the per-device monotonic contract.
+
+    Sequenced ingest (``FleetScheduler.ingest(..., seq=...)``) requires each
+    device's sequence numbers to arrive strictly in order (``last + 1``);
+    this is what makes ingest idempotent, so clients can retry and the
+    durability layer can replay its write-ahead journal without double-
+    applying any chunk.
+    """
+
+    def __init__(self, device_id: str, seq: int, last_seq: int, message: str):
+        super().__init__(message)
+        self.device_id = device_id
+        self.seq = seq
+        self.last_seq = last_seq
+
+
+class DuplicateIngestError(IngestSequenceError):
+    """The chunk was already applied (``seq <= last``); safe to ignore."""
+
+    def __init__(self, device_id: str, seq: int, last_seq: int):
+        super().__init__(
+            device_id,
+            seq,
+            last_seq,
+            f"device {device_id!r} already applied ingest seq {seq} "
+            f"(last applied seq is {last_seq})",
+        )
+
+
+class IngestSequenceGapError(IngestSequenceError):
+    """The chunk arrived out of order (``seq > last + 1``); resend in order."""
+
+    def __init__(self, device_id: str, seq: int, last_seq: int):
+        super().__init__(
+            device_id,
+            seq,
+            last_seq,
+            f"device {device_id!r} expected ingest seq {last_seq + 1}, "
+            f"got {seq} (chunks must arrive in order)",
+        )
 
 
 def _count_transitions(
@@ -107,17 +164,22 @@ def _reduce_report(report: EngineReport, alpha: float) -> FleetVerdict:
 
 @dataclass
 class _IngestStream:
-    """Per-device streaming ingest state (the service path's ring).
+    """Per-device ingest state (the service path's serialisation point).
 
-    ``lock`` serialises pushes for one device (chunk order defines the
-    stream) without ever holding the fleet lock across an engine
-    evaluation; ``pending`` counts the bits of the next, not yet complete,
-    n-bit sequence sitting in the ring.
+    ``lock`` serialises ingests for one device (chunk order defines the
+    stream, and the monotonic ``seq`` contract needs a total per-device
+    order) without ever holding the fleet lock across an engine
+    evaluation.  In streaming mode ``context`` is the device's packed ring
+    and ``pending`` counts the bits of the next, not yet complete, n-bit
+    sequence sitting in it; in matrix mode both stay empty and the entry
+    only carries the lock and the idempotency high-water mark
+    ``last_seq``.
     """
 
-    context: StreamingContext
     lock: threading.Lock
+    context: Optional[StreamingContext] = None
     pending: int = 0
+    last_seq: Optional[int] = None
 
 
 def _shard_worker(payload) -> Tuple[List[FleetVerdict], Dict[str, str]]:
@@ -199,6 +261,16 @@ class FleetScheduler:
         # when the device count changes) and per-device ingest streams.
         self._round_stream: Optional[StreamingBatchContext] = None
         self._ingest_streams: Dict[str, "_IngestStream"] = {}
+        # Guards the ingest-entry dict alone (add-only membership), so
+        # state_dict() can enumerate entries *before* taking their locks —
+        # the entry-locks-then-fleet-lock order every ingest follows.
+        self._streams_lock = threading.Lock()
+        #: Write-ahead journal attached by the durability layer
+        #: (:class:`repro.fleet.durability.DurableFleet`); when set,
+        #: completed rounds append replay markers to it.  ``None`` while no
+        #: durability spool is configured (and during journal replay, so
+        #: replayed rounds are not re-journaled).
+        self.journal: Optional["IngestJournal"] = None
         self.rounds: List[FleetRound] = []
         #: Canonical test id -> execution path ("batched" / "inline" /
         #: "pooled") observed on the most recent evaluations; surfaced in
@@ -381,6 +453,13 @@ class FleetScheduler:
                 elapsed_s=elapsed,
             )
             self.rounds.append(fleet_round)
+            # Write-behind round marker: journaled only after the round's
+            # effects are complete, so a crash mid-round replays nothing.
+            # The index makes replay idempotent — a marker whose round is
+            # already inside the restored snapshot is skipped.
+            journal = self.journal
+            if journal is not None:
+                journal.append_round(fleet_round.index)
             return fleet_round
 
     def run(self, num_rounds: int) -> FleetReport:
@@ -392,7 +471,9 @@ class FleetScheduler:
         return self.report()
 
     # ------------------------------------------------------------- ingest
-    def ingest(self, device_id: str, bits: BitsLike) -> List[MonitorEvent]:
+    def ingest(
+        self, device_id: str, bits: BitsLike, *, seq: Optional[int] = None
+    ) -> List[MonitorEvent]:
         """Evaluate raw bits for one registered device (the service path).
 
         ``bits`` is anything :func:`~repro.nist.common.to_bits` accepts.  In
@@ -405,49 +486,106 @@ class FleetScheduler:
         sequence simply pends in the ring (:meth:`pending_bits`) until the
         next chunk completes it — the device's stream is never rebuilt.
 
+        ``seq`` opts the chunk into the idempotent sequenced contract: per
+        device, sequence numbers must arrive strictly in order.  A replayed
+        or retried chunk (``seq <= last``) raises
+        :class:`DuplicateIngestError` *without* re-applying anything, an
+        out-of-order chunk (``seq > last + 1``) raises
+        :class:`IngestSequenceGapError` without applying it, and the
+        sequence number commits only after the chunk's effects are fully
+        folded — which is what lets clients retry blindly and the
+        durability layer replay its write-ahead journal after a crash.
+
         Only the health-machine fold takes the fleet lock: the engine
         evaluation itself is pure compute over the submitted bits (the
         design's test subset and alpha are immutable registry config), so a
         large ingest never stalls concurrent service reads or scheduler
-        rounds while the statistics run.  Streaming chunks for one device
-        serialise on that device's own lock instead (chunk order defines
-        the stream).
+        rounds while the statistics run.  Chunks for one device serialise
+        on that device's own entry lock instead (chunk order defines the
+        stream and the seq order).
         """
         device = self.registry.get(device_id)
         arr = to_bits(bits)
         _INGEST_BITS.inc(arr.size)
         n = self.registry.n
-        if self.streaming:
-            if arr.size == 0:
-                raise ValueError("streaming ingest needs at least one bit")
-            entry = self._ingest_entry(device_id)
-            verdicts: List[FleetVerdict] = []
-            with entry.lock:
+        entry = self._ingest_entry(device_id)
+        with entry.lock:
+            self._check_seq(entry, device_id, seq)
+            # Write-ahead: journal the accepted chunk before applying it,
+            # inside the entry lock so per-device journal order matches
+            # apply order (replay depends on that for the seq contract).
+            # During recovery replay the journal is still detached, so
+            # replayed chunks are not re-journaled.
+            journal = self.journal
+            if journal is not None:
+                journal.append_ingest(device_id, arr, seq=seq)
+            verdicts: List[FleetVerdict]
+            if self.streaming:
+                if arr.size == 0:
+                    raise ValueError("streaming ingest needs at least one bit")
+                context = entry.context
+                assert context is not None  # streaming entries always carry a ring
+                verdicts = []
                 offset = 0
                 while offset < arr.size:
                     take = min(n - entry.pending, arr.size - offset)
-                    entry.context.push(arr[offset : offset + take])
+                    context.push(arr[offset : offset + take])
                     offset += take
                     entry.pending += take
                     if entry.pending == n:
                         reports = run_batch(
-                            entry.context.window_context(),
+                            context.window_context(),
                             tests=list(self.registry.tests),
                         )
                         verdicts.extend(
                             self._fold_reports(reports, self.registry.alpha)
                         )
                         entry.pending = 0
+            else:
+                if arr.size == 0 or arr.size % n != 0:
+                    raise ValueError(
+                        f"ingest needs a positive multiple of {n} bits "
+                        f"(the {self.registry.design_name} sequence length), "
+                        f"got {arr.size}"
+                    )
+                verdicts = self.evaluate_matrix(arr.reshape(-1, n))
             with self.lock:
-                return self._observe_all(device, verdicts)
-        if arr.size == 0 or arr.size % n != 0:
-            raise ValueError(
-                f"ingest needs a positive multiple of {n} bits "
-                f"(the {self.registry.design_name} sequence length), got {arr.size}"
-            )
-        verdicts = self.evaluate_matrix(arr.reshape(-1, n))
-        with self.lock:
-            return self._observe_all(device, verdicts)
+                events = self._observe_all(device, verdicts)
+            # Commit the idempotency high-water mark only after the fold:
+            # a chunk that failed validation or evaluation stays unapplied
+            # and must be resendable under the same seq.
+            if seq is not None:
+                entry.last_seq = seq
+            return events
+
+    @staticmethod
+    def _check_seq(
+        entry: _IngestStream, device_id: str, seq: Optional[int]
+    ) -> None:
+        """Enforce the strictly-in-order per-device seq contract (if opted in)."""
+        if seq is None:
+            return
+        if seq < 0:
+            raise ValueError("ingest seq must be non-negative")
+        last = entry.last_seq
+        if last is None:
+            return
+        if seq <= last:
+            _INGEST_REJECTED.inc(reason="duplicate")
+            raise DuplicateIngestError(device_id, seq, last)
+        if seq != last + 1:
+            _INGEST_REJECTED.inc(reason="gap")
+            raise IngestSequenceGapError(device_id, seq, last)
+
+    def last_ingest_seq(self, device_id: str) -> Optional[int]:
+        """The device's last applied sequenced-ingest number (None if none)."""
+        self.registry.get(device_id)
+        with self._streams_lock:
+            entry = self._ingest_streams.get(device_id)
+        if entry is None:
+            return None
+        with entry.lock:
+            return entry.last_seq
 
     def _observe_all(
         self, device: Device, verdicts: List[FleetVerdict]
@@ -468,13 +606,17 @@ class FleetScheduler:
         return events
 
     def _ingest_entry(self, device_id: str) -> _IngestStream:
-        """The device's streaming ingest state, created on first use."""
-        with self.lock:
+        """The device's ingest entry, created on first use (add-only)."""
+        with self._streams_lock:
             entry = self._ingest_streams.get(device_id)
             if entry is None:
                 entry = _IngestStream(
-                    context=StreamingContext(self.registry.n, backend=self.backend),
                     lock=threading.Lock(),
+                    context=(
+                        StreamingContext(self.registry.n, backend=self.backend)
+                        if self.streaming
+                        else None
+                    ),
                 )
                 self._ingest_streams[device_id] = entry
             return entry
@@ -486,12 +628,118 @@ class FleetScheduler:
         there) and for devices that have not streamed yet.
         """
         self.registry.get(device_id)
-        with self.lock:
+        with self._streams_lock:
             entry = self._ingest_streams.get(device_id)
         if entry is None:
             return 0
         with entry.lock:
             return entry.pending
+
+    # ------------------------------------------------------------- state dict
+    def state_dict(self) -> Dict[str, Any]:
+        """The whole fleet's durable state as plain values.
+
+        Covers the registry's device specs and health machines (sources
+        pickled with their RNG state — see
+        :meth:`~repro.fleet.registry.DeviceRegistry.state_dict` for the
+        trust caveat), the round history, the execution-path record, the
+        round-path fleet ring and every device's ingest entry (ring,
+        pending bits, idempotency high-water mark).
+
+        The capture is crash-consistent: locks are taken in the same order
+        every ingest uses (device entry locks first, then the fleet lock),
+        so any concurrent ingest either commits *all* its effects before
+        the capture or contributes none of them — exactly the property the
+        write-ahead journal replay relies on.
+        """
+        while True:
+            with self._streams_lock:
+                entries = sorted(self._ingest_streams.items())
+            for _, entry in entries:
+                entry.lock.acquire()
+            self.lock.acquire()
+            with self._streams_lock:
+                if len(self._ingest_streams) == len(entries):
+                    break
+            # A device ingested for the first time mid-capture; retry so
+            # its entry is held too (entry creation is add-only).
+            self.lock.release()
+            for _, entry in entries:
+                entry.lock.release()
+        try:
+            streams: Dict[str, Any] = {}
+            for device_id, entry in entries:
+                streams[device_id] = {
+                    "pending": entry.pending,
+                    "last_seq": entry.last_seq,
+                    "context": (
+                        None if entry.context is None else entry.context.state_dict()
+                    ),
+                }
+            return {
+                "version": 1,
+                "backend": self.backend,
+                "streaming": self.streaming,
+                "registry": self.registry.state_dict(),
+                "rounds": [fleet_round.to_dict() for fleet_round in self.rounds],
+                "execution_paths": dict(self.execution_paths),
+                "round_stream": (
+                    None
+                    if self._round_stream is None
+                    else self._round_stream.state_dict()
+                ),
+                "ingest_streams": streams,
+            }
+        finally:
+            self.lock.release()
+            for _, entry in entries:
+                entry.lock.release()
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` capture into this scheduler.
+
+        The backend and streaming mode must match the capture (they shape
+        the per-device state), and the registry configuration is validated
+        by :meth:`~repro.fleet.registry.DeviceRegistry.load_state`.  After
+        the restore, subsequent rounds and sequenced ingests are
+        bit-identical to the uninterrupted run.
+        """
+        if state.get("version") != 1:
+            raise ValueError(
+                f"unsupported fleet state version {state.get('version')!r}"
+            )
+        for key, expected in (("backend", self.backend), ("streaming", self.streaming)):
+            if state[key] != expected:
+                raise ValueError(
+                    f"fleet state mismatch: {key} is {state[key]!r}, "
+                    f"this scheduler has {expected!r}"
+                )
+        with self.lock:
+            self.registry.load_state(state["registry"])
+            self.rounds = [
+                FleetRound.from_dict(entry) for entry in state["rounds"]
+            ]
+            self.execution_paths = dict(state["execution_paths"])
+            round_stream = state["round_stream"]
+            self._round_stream = (
+                None
+                if round_stream is None
+                else StreamingBatchContext.from_state(round_stream)
+            )
+        with self._streams_lock:
+            self._ingest_streams.clear()
+            for device_id, spec in state["ingest_streams"].items():
+                context_state = spec["context"]
+                self._ingest_streams[device_id] = _IngestStream(
+                    lock=threading.Lock(),
+                    context=(
+                        None
+                        if context_state is None
+                        else StreamingContext.from_state(context_state)
+                    ),
+                    pending=int(spec["pending"]),
+                    last_seq=spec["last_seq"],
+                )
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:

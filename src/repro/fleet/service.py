@@ -51,13 +51,18 @@ from __future__ import annotations
 import json
 import logging
 import re
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 from urllib.parse import unquote, urlsplit
 
 import repro.obs as obs
 from repro.fleet.registry import DeviceRegistry
-from repro.fleet.scheduler import FleetScheduler
+from repro.fleet.scheduler import (
+    DuplicateIngestError,
+    FleetScheduler,
+    IngestSequenceGapError,
+)
 
 __all__ = ["FleetService", "ServiceError", "serve"]
 
@@ -77,6 +82,15 @@ _REQUEST_SECONDS = obs.histogram(
     "repro_service_request_seconds",
     "Wall time of one fleet-service request (dispatch through response body).",
     labels=("method",),
+)
+_INGEST_SHED = obs.counter(
+    "repro_service_ingest_shed_total",
+    "Ingest requests load-shed by the service, by reason (backpressure/draining).",
+    labels=("reason",),
+)
+_QUARANTINED = obs.counter(
+    "repro_service_quarantined_total",
+    "Devices quarantined by the service after repeated malformed ingests.",
 )
 
 #: Known route templates, so the request counter's cardinality stays fixed
@@ -110,12 +124,19 @@ _DEVICE_ID_RE = re.compile(r"^[A-Za-z0-9._~-]+$")
 
 
 class ServiceError(Exception):
-    """An error with an HTTP status code attached."""
+    """An error with an HTTP status code attached.
 
-    def __init__(self, status: int, message: str):
+    ``retry_after`` (seconds) surfaces as a ``Retry-After`` header — the
+    backpressure contract of the 429 load-shedding path, which well-behaved
+    clients (:class:`~repro.fleet.client.FleetClient`) honour before
+    retrying.
+    """
+
+    def __init__(self, status: int, message: str, retry_after: Optional[float] = None):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.retry_after = retry_after
 
 
 class FleetService:
@@ -125,13 +146,40 @@ class FleetService:
     unit-testable without sockets; the handler below is a thin shell.
     """
 
-    def __init__(self, scheduler: FleetScheduler):
+    def __init__(
+        self,
+        scheduler: FleetScheduler,
+        *,
+        max_body_bytes: int = MAX_BODY_BYTES,
+        max_inflight_ingests: Optional[int] = None,
+        retry_after_s: float = 1.0,
+        quarantine_after: Optional[int] = None,
+    ):
+        if max_body_bytes <= 0:
+            raise ValueError("max_body_bytes must be positive")
+        if max_inflight_ingests is not None and max_inflight_ingests < 0:
+            raise ValueError("max_inflight_ingests must be non-negative (or None)")
+        if quarantine_after is not None and quarantine_after <= 0:
+            raise ValueError("quarantine_after must be positive (or None)")
         self.scheduler = scheduler
         self.registry: DeviceRegistry = scheduler.registry
+        self.max_body_bytes = max_body_bytes
+        self.max_inflight_ingests = max_inflight_ingests
+        self.retry_after_s = retry_after_s
+        self.quarantine_after = quarantine_after
         # The scheduler's re-entrant lock, shared so service requests and
         # owner-driven fleet rounds serialise against each other even when
         # the owner keeps advancing rounds while the server is live.
         self._lock = scheduler.lock
+        # Backpressure state: in-flight ingest count gated by its own
+        # condition (never the fleet lock — shedding must stay cheap even
+        # while evaluations hold the scheduler busy).
+        self._drain_cond = threading.Condition()
+        self._inflight = 0
+        self._draining = False
+        # Abuse state, keyed by device id, guarded by the fleet lock.
+        self._malformed: Dict[str, int] = {}
+        self._quarantined: set[str] = set()
 
     # ------------------------------------------------------------- endpoints
     def register_device(self, payload: Dict[str, object]) -> Dict[str, object]:
@@ -152,6 +200,12 @@ class FleetService:
         with self._lock:
             if device_id in self.registry:
                 raise ServiceError(409, f"device {device_id!r} already registered")
+            # Write-ahead: journal the registration before applying it, so
+            # a crash right after the reply can't lose the device (its
+            # journaled ingests would otherwise error out of replay).
+            journal = self.scheduler.journal
+            if journal is not None:
+                journal.append_device(device_id, scenario=scenario, seed=seed)
             try:
                 device = self.registry.register(device_id, scenario=scenario, seed=seed)
             except ValueError as exc:
@@ -165,19 +219,54 @@ class FleetService:
         raw = payload.get("bits")
         if not isinstance(raw, str) or not raw:
             raise ServiceError(400, "bits must be a non-empty string of 0/1 characters")
+        seq = payload.get("seq")
+        if seq is not None and (isinstance(seq, bool) or not isinstance(seq, int)):
+            raise ServiceError(400, "seq must be a non-negative integer")
+        if isinstance(seq, int) and seq < 0:
+            raise ServiceError(400, "seq must be a non-negative integer")
         try:
             device = self.registry.get(device_id)
         except KeyError as exc:
             raise ServiceError(404, str(exc))
-        try:
-            # to_bits (via scheduler.ingest) owns the 0/1-string contract:
-            # one validation path, whitespace tolerated like the library.
-            # The scheduler locks only the health fold, not the engine
-            # evaluation, so concurrent requests proceed meanwhile.
-            events = self.scheduler.ingest(device_id, raw)
-        except ValueError as exc:
-            raise ServiceError(400, str(exc))
         with self._lock:
+            if device_id in self._quarantined:
+                raise ServiceError(
+                    403,
+                    f"device {device_id!r} is quarantined after repeated "
+                    "malformed ingests",
+                )
+        self._admit_ingest()
+        try:
+            try:
+                # to_bits (via scheduler.ingest) owns the 0/1-string contract:
+                # one validation path, whitespace tolerated like the library.
+                # The scheduler locks only the health fold, not the engine
+                # evaluation, so concurrent requests proceed meanwhile.  The
+                # sequenced path journals write-ahead inside the scheduler.
+                events = self.scheduler.ingest(device_id, raw, seq=seq)
+            except DuplicateIngestError as exc:
+                # Idempotent success: the chunk was already applied, so a
+                # blind retry (client timeout, WAL replay, at-least-once
+                # delivery) converges instead of erroring.
+                with self._lock:
+                    health = device.snapshot()
+                return {
+                    "device_id": device_id,
+                    "duplicate": True,
+                    "sequences": 0,
+                    "verdicts": [],
+                    "health": health,
+                    "last_seq": exc.last_seq,
+                }
+            except IngestSequenceGapError as exc:
+                raise ServiceError(409, str(exc))
+            except ValueError as exc:
+                self._count_malformed(device_id)
+                raise ServiceError(400, str(exc))
+        finally:
+            self._release_ingest()
+        with self._lock:
+            self._malformed.pop(device_id, None)
             health = device.snapshot()
         response: Dict[str, object] = {
             "device_id": device_id,
@@ -193,9 +282,66 @@ class FleetService:
             ],
             "health": health,
         }
+        if seq is not None:
+            response["last_seq"] = seq
         if self.scheduler.streaming:
             response["pending_bits"] = self.scheduler.pending_bits(device_id)
         return response
+
+    # --------------------------------------------------------- backpressure
+    def _admit_ingest(self) -> None:
+        """Admit one ingest or shed it (429 at capacity, 503 while draining)."""
+        with self._drain_cond:
+            if self._draining:
+                _INGEST_SHED.inc(reason="draining")
+                raise ServiceError(
+                    503, "service is draining", retry_after=self.retry_after_s
+                )
+            cap = self.max_inflight_ingests
+            if cap is not None and self._inflight >= cap:
+                _INGEST_SHED.inc(reason="backpressure")
+                raise ServiceError(
+                    429,
+                    f"ingest capacity ({cap} in flight) exhausted; retry later",
+                    retry_after=self.retry_after_s,
+                )
+            self._inflight += 1
+
+    def _release_ingest(self) -> None:
+        with self._drain_cond:
+            self._inflight -= 1
+            self._drain_cond.notify_all()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting ingests and wait for in-flight ones to finish.
+
+        The graceful-shutdown half of backpressure: new ingests are shed
+        with 503 from the moment this is called, and the call returns once
+        the last admitted ingest has folded (or ``timeout`` elapsed —
+        returns False on a dirty drain).
+        """
+        with self._drain_cond:
+            self._draining = True
+            return self._drain_cond.wait_for(
+                lambda: self._inflight == 0, timeout=timeout
+            )
+
+    def _count_malformed(self, device_id: str) -> None:
+        """Track consecutive malformed ingests; quarantine repeat offenders."""
+        threshold = self.quarantine_after
+        if threshold is None:
+            return
+        with self._lock:
+            count = self._malformed.get(device_id, 0) + 1
+            self._malformed[device_id] = count
+            if count >= threshold and device_id not in self._quarantined:
+                self._quarantined.add(device_id)
+                _QUARANTINED.inc()
+                logger.warning(
+                    "quarantined device %s after %d consecutive malformed ingests",
+                    device_id,
+                    count,
+                )
 
     def device_health(self, device_id: str) -> Dict[str, object]:
         with self._lock:
@@ -256,6 +402,13 @@ class FleetService:
         raise ServiceError(404, f"unknown path {path!r}")
 
 
+def _retry_headers(exc: ServiceError) -> Tuple[Tuple[str, str], ...]:
+    """The ``Retry-After`` header of a load-shed response (else nothing)."""
+    if exc.retry_after is None:
+        return ()
+    return (("Retry-After", f"{exc.retry_after:g}"),)
+
+
 class _FleetRequestHandler(BaseHTTPRequestHandler):
     """Thin HTTP shell around :class:`FleetService`."""
 
@@ -266,10 +419,18 @@ class _FleetRequestHandler(BaseHTTPRequestHandler):
     def service(self) -> FleetService:
         return self.server.service  # type: ignore[attr-defined]
 
-    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: Sequence[Tuple[str, str]] = (),
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in extra_headers:
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -280,10 +441,16 @@ class _FleetRequestHandler(BaseHTTPRequestHandler):
             raise ServiceError(400, "invalid Content-Length header")
         if length <= 0:
             raise ServiceError(400, "request body required")
-        if length > MAX_BODY_BYTES:
-            raise ServiceError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        cap = self.service.max_body_bytes
+        if length > cap:
+            raise ServiceError(413, f"request body exceeds {cap} bytes")
+        raw = self.rfile.read(length)
+        if len(raw) < length:
+            # The client died (or lied about Content-Length) mid-body; a
+            # partial JSON document must not be half-parsed into a request.
+            raise ServiceError(400, "truncated request body")
         try:
-            payload = json.loads(self.rfile.read(length))
+            payload = json.loads(raw)
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise ServiceError(400, f"invalid JSON body: {exc}")
         if not isinstance(payload, dict):
@@ -293,6 +460,7 @@ class _FleetRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         route = _route_label(self.path)
         with obs.span("service.request", method="GET", route=route) as request_span:
+            extra_headers: Tuple[Tuple[str, str], ...] = ()
             if route == "/metrics":
                 # The exposition endpoint is plain text, not JSON, and is
                 # rendered outside the fleet lock (the registry has its own
@@ -305,16 +473,24 @@ class _FleetRequestHandler(BaseHTTPRequestHandler):
                     status, payload = self.service.handle_get(self.path)
                 except ServiceError as exc:
                     status, payload = exc.status, {"error": exc.message}
+                    extra_headers = _retry_headers(exc)
+                except Exception:
+                    # A bug must become one 500 response, never a dropped
+                    # connection with no diagnostics.
+                    logger.exception("unhandled error serving GET %s", self.path)
+                    self.close_connection = True
+                    status, payload = 500, {"error": "internal server error"}
                 body = json.dumps(payload).encode("utf-8")
                 content_type = "application/json"
         # Account before writing the response, so a client that reads its
         # reply and immediately scrapes /metrics always sees this request.
         self._account("GET", route, status, request_span.duration_s)
-        self._send_body(status, body, content_type)
+        self._send_body(status, body, content_type, extra_headers)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         route = _route_label(self.path)
         with obs.span("service.request", method="POST", route=route) as request_span:
+            extra_headers: Tuple[Tuple[str, str], ...] = ()
             try:
                 status, payload = self.service.handle_post(self.path, self._read_json())
             except ServiceError as exc:
@@ -324,8 +500,16 @@ class _FleetRequestHandler(BaseHTTPRequestHandler):
                 # responding.
                 self.close_connection = True
                 status, payload = exc.status, {"error": exc.message}
+                extra_headers = _retry_headers(exc)
+            except Exception:
+                logger.exception("unhandled error serving POST %s", self.path)
+                self.close_connection = True
+                status, payload = 500, {"error": "internal server error"}
         self._account("POST", route, status, request_span.duration_s)
-        self._send_body(status, json.dumps(payload).encode("utf-8"), "application/json")
+        self._send_body(
+            status, json.dumps(payload).encode("utf-8"), "application/json",
+            extra_headers,
+        )
 
     def _account(self, method: str, route: str, status: int, seconds: float) -> None:
         """Per-request telemetry: counters, latency histogram, one log line."""
@@ -345,6 +529,11 @@ def serve(
     scheduler: FleetScheduler,
     host: str = "127.0.0.1",
     port: int = 8080,
+    *,
+    max_body_bytes: int = MAX_BODY_BYTES,
+    max_inflight_ingests: Optional[int] = None,
+    retry_after_s: float = 1.0,
+    quarantine_after: Optional[int] = None,
 ) -> ThreadingHTTPServer:
     """Build a ready-to-run HTTP server over ``scheduler``.
 
@@ -353,8 +542,20 @@ def serve(
     Bind to port 0 to let the OS pick a free port (``server.server_address``
     then reports the real one).  Connections are served on daemon threads,
     so a stalled client never prevents process exit.
+
+    The keyword knobs are the degradation policy: ``max_body_bytes`` caps
+    request payloads (413 beyond it), ``max_inflight_ingests`` bounds
+    concurrent ingest evaluations (429 + ``Retry-After: retry_after_s``
+    beyond it), and ``quarantine_after`` cuts off a device (403) after that
+    many consecutive malformed ingests.
     """
     server = ThreadingHTTPServer((host, port), _FleetRequestHandler)
     server.daemon_threads = True
-    server.service = FleetService(scheduler)  # type: ignore[attr-defined]
+    server.service = FleetService(  # type: ignore[attr-defined]
+        scheduler,
+        max_body_bytes=max_body_bytes,
+        max_inflight_ingests=max_inflight_ingests,
+        retry_after_s=retry_after_s,
+        quarantine_after=quarantine_after,
+    )
     return server

@@ -1,0 +1,70 @@
+"""Fixture tests of ROB001: atomic-write discipline in the fleet tier."""
+
+from repro.analysis.framework import analyze_source
+
+
+def rules(source, path, select=None):
+    ctx = analyze_source(source, path, select=select)
+    return [f.rule for f in ctx.findings]
+
+
+BARE_WRITE = 'handle = open("state.json", "w")\n'
+
+
+class TestRob001Scope:
+    def test_fires_on_write_mode_open_in_fleet(self):
+        assert rules(BARE_WRITE, "src/repro/fleet/scheduler.py") == ["ROB001"]
+
+    def test_fires_on_every_truncating_mode(self):
+        for mode in ("w", "wb", "w+", "x", "xb", "wt"):
+            source = f'open("f", "{mode}")\n'
+            found = rules(source, "src/repro/fleet/service.py")
+            assert found == ["ROB001"], (mode, found)
+
+    def test_fires_on_mode_keyword(self):
+        source = 'open("f", mode="w")\n'
+        assert rules(source, "src/repro/fleet/service.py") == ["ROB001"]
+
+    def test_fires_on_path_write_helpers(self):
+        for call in ('p.write_text("x")', 'p.write_bytes(b"x")'):
+            source = f"from pathlib import Path\np = Path('f')\n{call}\n"
+            found = rules(source, "src/repro/fleet/registry.py")
+            assert found == ["ROB001"], (call, found)
+
+    def test_append_mode_is_exempt(self):
+        # The write-ahead journal appends by design: appends never truncate
+        # the existing prefix, so a crash mid-append is recoverable.
+        for mode in ("a", "ab", "a+"):
+            assert rules(f'open("f", "{mode}")\n', "src/repro/fleet/scheduler.py") == []
+
+    def test_read_modes_and_default_are_exempt(self):
+        assert rules('open("f")\n', "src/repro/fleet/scheduler.py") == []
+        assert rules('open("f", "rb")\n', "src/repro/fleet/scheduler.py") == []
+
+    def test_dynamic_mode_is_out_of_static_reach(self):
+        source = 'mode = pick()\nopen("f", mode)\n'
+        assert rules(source, "src/repro/fleet/scheduler.py") == []
+
+    def test_durability_home_is_sanctioned(self):
+        # The atomic helper itself must open its tmp file for writing.
+        assert rules(BARE_WRITE, "src/repro/fleet/durability.py") == []
+
+    def test_outside_the_fleet_tier_is_exempt(self):
+        assert rules(BARE_WRITE, "src/repro/core/reporting.py") == []
+        assert rules(BARE_WRITE, "src/repro/campaign/report.py") == []
+        assert rules(BARE_WRITE, "tests/test_fleet.py") == []
+
+    def test_suppression_comment_works(self):
+        source = 'open("f", "w")  # repro: ignore[ROB001]\n'
+        assert rules(source, "src/repro/fleet/scheduler.py") == []
+
+
+class TestShippedFleetTierIsClean:
+    def test_fleet_modules_carry_no_bare_persistence_writes(self):
+        import pathlib
+
+        fleet_dir = pathlib.Path(__file__).resolve().parents[1] / "src/repro/fleet"
+        for module in sorted(fleet_dir.glob("*.py")):
+            source = module.read_text(encoding="utf-8")
+            found = rules(source, f"src/repro/fleet/{module.name}", select=["ROB001"])
+            assert found == [], (module.name, found)

@@ -71,6 +71,7 @@ class TestSubpackageApi:
             LockDisciplineChecker,
             ObservabilityChecker,
             PackedKernelChecker,
+            RobustnessChecker,
         )
 
         registered = set(DEFAULT_REGISTRY.checkers())
@@ -80,6 +81,7 @@ class TestSubpackageApi:
             LockDisciplineChecker,
             ObservabilityChecker,
             PackedKernelChecker,
+            RobustnessChecker,
         } <= registered
 
         rule_ids = [rule.id for rule in DEFAULT_REGISTRY.rules()]
@@ -90,10 +92,11 @@ class TestSubpackageApi:
             "LCK001", "LCK002",
             "API001", "API002", "API003",
             "OBS001",
+            "ROB001",
         }
         assert set(DEFAULT_REGISTRY.families()) == {
             "determinism", "packed-kernel", "lock-discipline", "api-hygiene",
-            "observability",
+            "observability", "robustness",
         }
 
     def test_analysis_cli_surface(self, capsys):
